@@ -1,0 +1,130 @@
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/graph_dataset.h"
+#include "datagen/dataset.h"
+#include "datagen/simulator.h"
+#include "metrics/classification.h"
+#include "util/cli.h"
+#include "util/stopwatch.h"
+#include "util/table.h"
+
+/// \file bench_common.h
+/// \brief Shared scaffolding for the per-table / per-figure benchmark
+/// harnesses: economy construction, dataset materialization, and the
+/// per-class table rendering the paper's tables use.
+
+namespace ba::bench {
+
+/// \brief One materialized experiment: simulated economy + stratified
+/// 80/20 split with tensors prepared.
+struct Experiment {
+  std::unique_ptr<datagen::Simulator> simulator;
+  std::vector<core::AddressSample> train;
+  std::vector<core::AddressSample> test;
+  core::StageTimings construction_timings;
+  int64_t addresses_used = 0;
+};
+
+/// \brief Default benchmark economy, rescalable from the command line:
+///   --blocks N        simulation length           (default 400)
+///   --addresses N     labeled addresses sampled   (default 700)
+///   --seed S          master seed                 (default 42)
+///   --slice N         transactions per graph      (default 100)
+///   --khops K         GFN propagation depth       (default 2)
+///   --noise X         behavioral noise            (default 0.12)
+///   --threads N       graph-construction threads  (default 1)
+inline datagen::ScenarioConfig ScenarioFromFlags(const CliFlags& flags,
+                                                 uint64_t seed_offset = 0) {
+  datagen::ScenarioConfig config;
+  config.seed = static_cast<uint64_t>(flags.GetInt("seed", 42)) + seed_offset;
+  config.num_blocks = static_cast<int>(flags.GetInt("blocks", 400));
+  config.behavior_noise = flags.GetDouble("noise", 0.12);
+  // Population tuned so label shares approximate the paper's Table I
+  // ordering: Exchange > Service > Gambling > Mining.
+  config.num_mining_pools = 2;
+  config.miners_per_pool = 30;
+  config.num_exchanges = 3;
+  config.num_gambling_houses = 2;
+  config.gamblers_per_house = 70;
+  config.num_services = 5;
+  config.num_retail_users = 180;
+  config.mixes_per_block = 0.35;
+  config.mix_fresh_entry_prob = 0.4;
+  return config;
+}
+
+inline core::GraphDatasetOptions DatasetOptionsFromFlags(
+    const CliFlags& flags) {
+  core::GraphDatasetOptions opts;
+  opts.construction.slice_size = static_cast<int>(flags.GetInt("slice", 100));
+  opts.construction.similarity_threshold = flags.GetDouble("psi", 0.5);
+  opts.k_hops = static_cast<int>(flags.GetInt("khops", 2));
+  opts.num_threads = static_cast<int>(flags.GetInt("threads", 1));
+  return opts;
+}
+
+/// Simulates the economy, samples labeled addresses (stratified), splits
+/// 80/20 (the paper's protocol) and materializes graph tensors.
+inline Experiment BuildExperiment(const CliFlags& flags, bool verbose = true,
+                                  uint64_t seed_offset = 0) {
+  Experiment exp;
+  const auto config = ScenarioFromFlags(flags, seed_offset);
+  Stopwatch watch;
+  watch.Start();
+  exp.simulator = std::make_unique<datagen::Simulator>(config);
+  BA_CHECK_OK(exp.simulator->Run());
+  watch.Stop();
+  if (verbose) {
+    std::cout << "[setup] simulated " << config.num_blocks << " blocks, "
+              << exp.simulator->ledger().num_transactions()
+              << " transactions, " << exp.simulator->ledger().num_addresses()
+              << " addresses in " << TablePrinter::Num(watch.ElapsedSeconds(), 2)
+              << "s (seed " << config.seed << ")\n";
+  }
+
+  auto labeled = exp.simulator->CollectLabeledAddresses(
+      static_cast<int>(flags.GetInt("min_txs", 2)));
+  Rng rng(config.seed ^ 0xBEEF);
+  labeled = datagen::StratifiedSample(
+      labeled, flags.GetInt("addresses", 700), &rng);
+  exp.addresses_used = static_cast<int64_t>(labeled.size());
+  const auto split = datagen::StratifiedSplit(labeled, 0.8, &rng);
+
+  watch.Reset();
+  watch.Start();
+  core::GraphDatasetBuilder builder(DatasetOptionsFromFlags(flags));
+  exp.train = builder.Build(exp.simulator->ledger(), split.train);
+  exp.test = builder.Build(exp.simulator->ledger(), split.test);
+  exp.construction_timings = builder.timings();
+  watch.Stop();
+  if (verbose) {
+    std::cout << "[setup] materialized " << exp.train.size() << " train / "
+              << exp.test.size() << " test address samples in "
+              << TablePrinter::Num(watch.ElapsedSeconds(), 2) << "s\n";
+  }
+  return exp;
+}
+
+/// Appends the per-class + weighted-average rows the paper's Tables
+/// III/IV use for one model.
+inline void AddPerClassRows(TablePrinter* table, const std::string& model,
+                            const metrics::ConfusionMatrix& cm) {
+  const auto names = datagen::BehaviorNames();
+  const auto reports = cm.AllReports();
+  for (int c = 0; c < cm.num_classes(); ++c) {
+    table->AddRow({c == 0 ? model : "", names[static_cast<size_t>(c)],
+                   TablePrinter::Num(reports[static_cast<size_t>(c)].precision),
+                   TablePrinter::Num(reports[static_cast<size_t>(c)].recall),
+                   TablePrinter::Num(reports[static_cast<size_t>(c)].f1)});
+  }
+  const auto w = cm.WeightedAverage();
+  table->AddRow({"", "Weighted Avg", TablePrinter::Num(w.precision),
+                 TablePrinter::Num(w.recall), TablePrinter::Num(w.f1)});
+  table->AddSeparator();
+}
+
+}  // namespace ba::bench

@@ -1,0 +1,163 @@
+// Micro-benchmarks (google-benchmark) for the hot kernels: SFE,
+// centrality measures, sparse products, normalized adjacency, and the
+// individual construction stages on a fixed economy.
+
+#include <benchmark/benchmark.h>
+
+#include "chain/ledger.h"
+#include "core/gfn_features.h"
+#include "core/graph_builder.h"
+#include "core/sfe.h"
+#include "datagen/simulator.h"
+#include "graph/centrality.h"
+#include "graph/sparse_matrix.h"
+#include "util/rng.h"
+
+namespace {
+
+std::vector<double> RandomValues(int64_t n, uint64_t seed) {
+  ba::Rng rng(seed);
+  std::vector<double> v(static_cast<size_t>(n));
+  for (auto& x : v) x = rng.LogNormal(0.0, 1.0);
+  return v;
+}
+
+void BM_Sfe(benchmark::State& state) {
+  const auto values = RandomValues(state.range(0), 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ba::core::ComputeCompressedSfe(values));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Sfe)->Arg(16)->Arg(256)->Arg(4096);
+
+ba::graph::AdjacencyList RandomGraph(int64_t n, int64_t edges,
+                                     uint64_t seed) {
+  ba::Rng rng(seed);
+  ba::graph::AdjacencyList g(n);
+  for (int64_t e = 0; e < edges; ++e) {
+    g.AddEdge(static_cast<int64_t>(rng.UniformInt(static_cast<uint64_t>(n))),
+              static_cast<int64_t>(rng.UniformInt(static_cast<uint64_t>(n))));
+  }
+  return g;
+}
+
+void BM_Betweenness(benchmark::State& state) {
+  const auto g = RandomGraph(state.range(0), state.range(0) * 3, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ba::graph::BetweennessCentrality(g));
+  }
+}
+BENCHMARK(BM_Betweenness)->Arg(64)->Arg(256)->Arg(512);
+
+void BM_Closeness(benchmark::State& state) {
+  const auto g = RandomGraph(state.range(0), state.range(0) * 3, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ba::graph::ClosenessCentrality(g));
+  }
+}
+BENCHMARK(BM_Closeness)->Arg(64)->Arg(256)->Arg(512);
+
+void BM_PageRank(benchmark::State& state) {
+  const auto g = RandomGraph(state.range(0), state.range(0) * 3, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ba::graph::PageRank(g));
+  }
+}
+BENCHMARK(BM_PageRank)->Arg(256)->Arg(2048);
+
+void BM_SparseSimilarity(benchmark::State& state) {
+  // S = A·Aᵀ on an incidence pattern like Eq. 3's.
+  ba::Rng rng(5);
+  const int64_t n = state.range(0), d = state.range(0) / 2;
+  std::vector<ba::graph::Triplet> triplets;
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t k = 2 + static_cast<int64_t>(rng.UniformInt(6));
+    for (int64_t j = 0; j < k; ++j) {
+      triplets.push_back(
+          {i, static_cast<int64_t>(rng.UniformInt(static_cast<uint64_t>(d))),
+           1.0f});
+    }
+  }
+  const auto a = ba::graph::SparseMatrix::FromTriplets(n, d, triplets);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.Multiply(a.Transpose()));
+  }
+}
+BENCHMARK(BM_SparseSimilarity)->Arg(128)->Arg(512)->Arg(1024);
+
+void BM_SpmmDense(benchmark::State& state) {
+  ba::Rng rng(6);
+  const int64_t n = state.range(0);
+  const auto g = RandomGraph(n, n * 4, 7);
+  const auto norm = ba::graph::NormalizedAdjacency(g);
+  std::vector<float> x(static_cast<size_t>(n) * 23);
+  for (auto& v : x) v = static_cast<float>(rng.Gaussian());
+  std::vector<float> y(x.size());
+  for (auto _ : state) {
+    norm.MultiplyDense(x.data(), 23, y.data());
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_SpmmDense)->Arg(256)->Arg(2048);
+
+/// Fixture economy shared by the stage benchmarks.
+class StageFixture : public benchmark::Fixture {
+ public:
+  void SetUp(const benchmark::State&) override {
+    if (simulator) return;
+    ba::datagen::ScenarioConfig config;
+    config.seed = 42;
+    config.num_blocks = 200;
+    config.miners_per_pool = 40;
+    simulator = std::make_unique<ba::datagen::Simulator>(config);
+    BA_CHECK_OK(simulator->Run());
+    const auto labeled = simulator->CollectLabeledAddresses(3);
+    // A busy mining-pool address exercises the worst-case path.
+    size_t busiest = 0;
+    for (size_t i = 0; i < labeled.size(); ++i) {
+      if (simulator->ledger().TransactionsOf(labeled[i].address).size() >
+          simulator->ledger().TransactionsOf(labeled[busiest].address)
+              .size()) {
+        busiest = i;
+      }
+    }
+    address = labeled[busiest].address;
+  }
+
+  static std::unique_ptr<ba::datagen::Simulator> simulator;
+  static ba::chain::AddressId address;
+};
+
+std::unique_ptr<ba::datagen::Simulator> StageFixture::simulator;
+ba::chain::AddressId StageFixture::address = 0;
+
+BENCHMARK_F(StageFixture, FullConstruction)(benchmark::State& state) {
+  for (auto _ : state) {
+    ba::core::GraphConstructor constructor;
+    benchmark::DoNotOptimize(
+        constructor.BuildGraphs(simulator->ledger(), address));
+  }
+}
+
+BENCHMARK_F(StageFixture, ExtractionOnly)(benchmark::State& state) {
+  ba::core::GraphConstructor constructor;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        constructor.ExtractOriginalGraphs(simulator->ledger(), address));
+  }
+}
+
+BENCHMARK_F(StageFixture, TensorPreparation)(benchmark::State& state) {
+  ba::core::GraphConstructor constructor;
+  auto graphs = constructor.BuildGraphs(simulator->ledger(), address);
+  for (auto _ : state) {
+    for (const auto& g : graphs) {
+      benchmark::DoNotOptimize(ba::core::PrepareGraphTensors(g, 2));
+    }
+  }
+}
+
+}  // namespace
+
+BENCHMARK_MAIN();

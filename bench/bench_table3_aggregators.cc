@@ -1,0 +1,95 @@
+// Reproduces Table III: address-classification model comparison.
+//
+// Per trial (independent economy): a GFN encoder is trained once; its
+// frozen per-slice embeddings form each address's chronological
+// sequence; six aggregators (LSTM+MLP — the paper's choice — BiLSTM,
+// Attention, SUM/AVG/MAX + MLP) are trained identically. Test
+// confusions are pooled over `--trials` economies; per-class precision
+// / recall / F1 and the weighted average are reported as in the paper.
+//
+// Paper's shape: LSTM+MLP attains the best weighted F1 (0.9497, with
+// BiLSTM within half a point); pooling aggregators trail; Service is
+// the hardest class for every model.
+
+#include <iostream>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/aggregator.h"
+#include "core/classifier.h"
+#include "core/graph_model.h"
+
+int main(int argc, char** argv) {
+  ba::CliFlags flags(argc, argv);
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  const int trials = static_cast<int>(flags.GetInt("trials", 3));
+
+  auto kinds = ba::core::AllAggregators();
+  // Transformer-style self-attention: an extension beyond Table III.
+  kinds.push_back(ba::core::AggregatorKind::kSelfAttention);
+  std::vector<ba::metrics::ConfusionMatrix> pooled(
+      kinds.size(),
+      ba::metrics::ConfusionMatrix(ba::datagen::kNumBehaviors));
+
+  for (int trial = 0; trial < trials; ++trial) {
+    std::cout << "--- trial " << trial + 1 << "/" << trials << " ---\n";
+    auto exp = ba::bench::BuildExperiment(flags, /*verbose=*/trial == 0,
+                                          /*seed_offset=*/100u * trial);
+
+    // Shared graph encoder (GFN), trained once per trial.
+    ba::core::GraphModelOptions gopts;
+    gopts.epochs = static_cast<int>(flags.GetInt("gfn_epochs", 25));
+    gopts.k_hops = static_cast<int>(flags.GetInt("khops", 2));
+    gopts.seed = seed + static_cast<uint64_t>(trial);
+    ba::core::GraphModel gfn(gopts);
+    ba::Stopwatch watch;
+    watch.Start();
+    gfn.Train(exp.train);
+    watch.Stop();
+    std::cout << "[train] shared GFN encoder: "
+              << ba::TablePrinter::Num(watch.ElapsedSeconds(), 1) << "s\n";
+
+    auto train_seq = ba::core::BuildEmbeddingSequences(gfn, exp.train);
+    auto test_seq = ba::core::BuildEmbeddingSequences(gfn, exp.test);
+    const auto scaler = ba::core::EmbeddingScaler::Fit(train_seq);
+    scaler.Apply(&train_seq);
+    scaler.Apply(&test_seq);
+
+    for (size_t k = 0; k < kinds.size(); ++k) {
+      ba::core::AggregatorOptions opts;
+      opts.kind = kinds[k];
+      opts.embed_dim = gfn.embed_dim();
+      opts.epochs = static_cast<int>(flags.GetInt("clf_epochs", 120));
+      opts.seed = seed + static_cast<uint64_t>(trial) + 1;
+      ba::core::AggregatorModel agg(opts);
+      watch.Reset();
+      watch.Start();
+      agg.Train(train_seq);
+      watch.Stop();
+      const auto cm = agg.Evaluate(test_seq);
+      pooled[k].Merge(cm);
+      std::cout << "[train] " << ba::core::AggregatorName(kinds[k]) << ": "
+                << ba::TablePrinter::Num(watch.ElapsedSeconds(), 1)
+                << "s, weighted F1 "
+                << ba::TablePrinter::Num(cm.WeightedAverage().f1) << "\n";
+    }
+  }
+
+  ba::TablePrinter table(
+      {"Model", "Type", "Precision", "Recall", "F1-score"});
+  for (size_t k = 0; k < kinds.size(); ++k) {
+    std::string name = ba::core::AggregatorName(kinds[k]);
+    if (kinds[k] == ba::core::AggregatorKind::kLstm) name += " (ours)";
+    if (kinds[k] == ba::core::AggregatorKind::kSelfAttention) {
+      name += " (extension)";
+    }
+    ba::bench::AddPerClassRows(&table, name, pooled[k]);
+  }
+  table.Print(std::cout,
+              "Table III — address classification models on frozen GFN "
+              "embeddings, pooled over " +
+                  std::to_string(trials) +
+                  " economies (paper: LSTM+MLP weighted F1 0.9497 best; "
+                  "Service hardest class everywhere)");
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Mixer hunt: the paper's motivating workflow (§III, "Workflow of Our
+// System") — hunting underground banks and mixing services.
+//
+// A compliance team has a handful of confirmed labels. They train
+// BAClassifier on them, then sweep EVERY sufficiently-active address on
+// the chain and flag those predicted "Service". The example reports the
+// flag list's precision/recall against ground truth and shows how
+// flagged addresses expose further hidden laundering addresses via
+// their transaction graphs.
+//
+// Run:  ./build/examples/mixer_hunt [--blocks 350] [--seed 3]
+
+#include <algorithm>
+#include <iostream>
+#include <set>
+
+#include "core/classifier.h"
+#include "datagen/dataset.h"
+#include "datagen/simulator.h"
+#include "util/cli.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  ba::CliFlags flags(argc, argv);
+  ba::datagen::ScenarioConfig config;
+  config.seed = static_cast<uint64_t>(flags.GetInt("seed", 3));
+  config.num_blocks = static_cast<int>(flags.GetInt("blocks", 350));
+  config.num_underground_banks = 2;
+  ba::datagen::Simulator simulator(config);
+  BA_CHECK_OK(simulator.Run());
+
+  const auto labeled = simulator.CollectLabeledAddresses(/*min_txs=*/3);
+  ba::Rng rng(config.seed);
+  const auto split = ba::datagen::StratifiedSplit(labeled, 0.6, &rng);
+  std::cout << "training on " << split.train.size()
+            << " confirmed labels; sweeping the rest of the chain...\n";
+
+  ba::core::BaClassifier::Options options;
+  options.graph_model.epochs = 20;
+  options.aggregator.epochs = 60;
+  ba::core::BaClassifier classifier(options);
+  BA_CHECK_OK(classifier.Train(simulator.ledger(), split.train));
+
+  // Sweep: every held-out address, flag predicted Services.
+  const auto predictions = classifier.Predict(simulator.ledger(), split.test);
+  std::vector<ba::chain::AddressId> flagged;
+  int64_t true_positive = 0, total_service = 0;
+  for (size_t i = 0; i < split.test.size(); ++i) {
+    const bool is_service =
+        split.test[i].label == ba::datagen::BehaviorLabel::kService;
+    total_service += is_service;
+    if (predictions[i] ==
+        static_cast<int>(ba::datagen::BehaviorLabel::kService)) {
+      flagged.push_back(split.test[i].address);
+      true_positive += is_service;
+    }
+  }
+  std::cout << "flagged " << flagged.size() << " suspected service/"
+            << "laundering addresses out of " << split.test.size()
+            << " swept\n";
+  const double precision =
+      flagged.empty() ? 0.0
+                      : static_cast<double>(true_positive) /
+                            static_cast<double>(flagged.size());
+  const double recall =
+      total_service == 0 ? 0.0
+                         : static_cast<double>(true_positive) /
+                               static_cast<double>(total_service);
+  std::cout << "flag precision " << ba::TablePrinter::Num(precision)
+            << ", recall " << ba::TablePrinter::Num(recall) << "\n";
+
+  // Lead expansion: counterparties of flagged addresses that are
+  // themselves heavily entangled with the flags are follow-up leads —
+  // "dig out more hidden addresses of underground banks" (§III).
+  std::set<ba::chain::AddressId> flag_set(flagged.begin(), flagged.end());
+  std::map<ba::chain::AddressId, int> lead_scores;
+  for (ba::chain::AddressId a : flagged) {
+    for (ba::chain::TxId txid : simulator.ledger().TransactionsOf(a)) {
+      const auto& tx = simulator.ledger().tx(txid);
+      auto touch = [&](ba::chain::AddressId other) {
+        if (other != a && !flag_set.count(other)) ++lead_scores[other];
+      };
+      for (const auto& in : tx.inputs) touch(in.address);
+      for (const auto& out : tx.outputs) touch(out.address);
+    }
+  }
+  std::vector<std::pair<int, ba::chain::AddressId>> leads;
+  for (const auto& [addr, score] : lead_scores) leads.push_back({score, addr});
+  std::sort(leads.rbegin(), leads.rend());
+
+  std::cout << "\ntop follow-up leads (shared transactions with flags):\n";
+  for (size_t i = 0; i < 8 && i < leads.size(); ++i) {
+    std::cout << "  " << ba::chain::FormatAddress(leads[i].second) << "  ("
+              << leads[i].first << " shared txs)\n";
+  }
+  return 0;
+}

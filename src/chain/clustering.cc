@@ -1,0 +1,105 @@
+#include "chain/clustering.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/logging.h"
+
+namespace ba::chain {
+
+AddressClusterer::AddressClusterer(size_t num_addresses)
+    : parent_(num_addresses), rank_(num_addresses, 0) {
+  for (size_t i = 0; i < num_addresses; ++i) {
+    parent_[i] = static_cast<AddressId>(i);
+  }
+}
+
+AddressId AddressClusterer::Find(AddressId a) const {
+  BA_CHECK_LT(a, parent_.size());
+  AddressId root = a;
+  while (parent_[root] != root) root = parent_[root];
+  // Path compression.
+  while (parent_[a] != root) {
+    const AddressId next = parent_[a];
+    parent_[a] = root;
+    a = next;
+  }
+  return root;
+}
+
+void AddressClusterer::Union(AddressId a, AddressId b) {
+  AddressId ra = Find(a);
+  AddressId rb = Find(b);
+  if (ra == rb) return;
+  if (rank_[ra] < rank_[rb]) std::swap(ra, rb);
+  parent_[rb] = ra;
+  if (rank_[ra] == rank_[rb]) ++rank_[ra];
+}
+
+void AddressClusterer::AddTransaction(const Transaction& tx,
+                                      bool output0_first_seen,
+                                      bool output1_first_seen,
+                                      const Options& options) {
+  if (tx.coinbase || tx.inputs.empty()) return;
+  if (options.common_input) {
+    for (size_t i = 1; i < tx.inputs.size(); ++i) {
+      Union(tx.inputs[0].address, tx.inputs[i].address);
+    }
+  }
+  if (options.change_heuristic && tx.outputs.size() == 2) {
+    // Exactly one first-appearance output => treat it as the change.
+    if (output0_first_seen != output1_first_seen) {
+      const AddressId change = output0_first_seen ? tx.outputs[0].address
+                                                  : tx.outputs[1].address;
+      Union(tx.inputs[0].address, change);
+    }
+  }
+}
+
+AddressClusterer AddressClusterer::FromLedger(const Ledger& ledger,
+                                              Options options) {
+  AddressClusterer clusterer(ledger.num_addresses());
+  std::vector<bool> seen(ledger.num_addresses(), false);
+  for (const auto& block : ledger.blocks()) {
+    for (TxId id : block.transactions) {
+      const Transaction& tx = ledger.tx(id);
+      bool first0 = false, first1 = false;
+      if (tx.outputs.size() == 2) {
+        first0 = !seen[tx.outputs[0].address];
+        first1 = !seen[tx.outputs[1].address];
+      }
+      clusterer.AddTransaction(tx, first0, first1, options);
+      for (const auto& out : tx.outputs) seen[out.address] = true;
+      for (const auto& in : tx.inputs) seen[in.address] = true;
+    }
+  }
+  return clusterer;
+}
+
+size_t AddressClusterer::NumClusters() const {
+  size_t count = 0;
+  for (size_t i = 0; i < parent_.size(); ++i) {
+    if (Find(static_cast<AddressId>(i)) == static_cast<AddressId>(i)) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+std::vector<std::vector<AddressId>> AddressClusterer::Clusters(
+    size_t min_size) const {
+  std::unordered_map<AddressId, std::vector<AddressId>> groups;
+  for (size_t i = 0; i < parent_.size(); ++i) {
+    groups[Find(static_cast<AddressId>(i))].push_back(
+        static_cast<AddressId>(i));
+  }
+  std::vector<std::vector<AddressId>> out;
+  for (auto& [root, members] : groups) {
+    if (members.size() >= min_size) out.push_back(std::move(members));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.size() > b.size(); });
+  return out;
+}
+
+}  // namespace ba::chain

@@ -1,0 +1,79 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "chain/ledger.h"
+#include "chain/types.h"
+
+/// \file clustering.h
+/// \brief Classic bitcoin address-clustering heuristics — the
+/// foundation of the clustering-based analysis line the paper's
+/// introduction surveys (Ermilov et al. [18], Kang et al. [19],
+/// BitScope [84]).
+///
+/// Two standard heuristics over a union-find structure:
+///  - *Common-input-ownership*: all input addresses of one transaction
+///    are controlled by the same wallet (they were co-signed).
+///  - *Change heuristic*: in a 2-output spend, an output address seen
+///    for the first time ever (and never reused as a payment target in
+///    the same transaction pattern) is likely the payer's change.
+/// Both are implemented exactly as analysts run them on the real chain,
+/// and both hold by construction for this repository's Wallet — which
+/// makes ground-truth evaluation possible (see bench_clustering).
+
+namespace ba::chain {
+
+/// \brief Union-find address clusterer.
+class AddressClusterer {
+ public:
+  struct Options {
+    /// Apply the common-input-ownership heuristic.
+    bool common_input = true;
+    /// Apply the change-address heuristic (more aggressive; can over-
+    /// merge when payees receive at fresh addresses).
+    bool change_heuristic = false;
+  };
+
+  /// Initializes singleton clusters for `num_addresses` addresses.
+  explicit AddressClusterer(size_t num_addresses);
+
+  /// Runs the configured heuristics over every confirmed transaction.
+  static AddressClusterer FromLedger(const Ledger& ledger, Options options);
+
+  /// Same with default options (common-input heuristic only).
+  static AddressClusterer FromLedger(const Ledger& ledger) {
+    return FromLedger(ledger, Options{});
+  }
+
+  /// Feeds one transaction through the heuristics. `first_seen` must
+  /// return true the first time an address appears on-chain (the
+  /// FromLedger driver maintains this automatically).
+  void AddTransaction(const Transaction& tx, bool output0_first_seen,
+                      bool output1_first_seen, const Options& options);
+
+  /// Merges the clusters of two addresses.
+  void Union(AddressId a, AddressId b);
+
+  /// Representative address of `a`'s cluster (path-compressed).
+  AddressId Find(AddressId a) const;
+
+  /// True when two addresses are in the same cluster.
+  bool SameCluster(AddressId a, AddressId b) const {
+    return Find(a) == Find(b);
+  }
+
+  /// Number of distinct clusters (including singletons).
+  size_t NumClusters() const;
+
+  /// All clusters with at least `min_size` members, largest first.
+  std::vector<std::vector<AddressId>> Clusters(size_t min_size = 2) const;
+
+  size_t num_addresses() const { return parent_.size(); }
+
+ private:
+  mutable std::vector<AddressId> parent_;
+  std::vector<uint32_t> rank_;
+};
+
+}  // namespace ba::chain

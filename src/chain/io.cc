@@ -1,0 +1,181 @@
+#include "chain/io.h"
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace ba::chain {
+
+namespace {
+
+std::string JoinOutputs(const std::vector<TxOut>& outs) {
+  std::ostringstream os;
+  for (size_t i = 0; i < outs.size(); ++i) {
+    if (i) os << "|";
+    os << outs[i].address << ":" << outs[i].value;
+  }
+  return os.str();
+}
+
+std::string JoinInputs(const std::vector<TxIn>& ins) {
+  std::ostringstream os;
+  for (size_t i = 0; i < ins.size(); ++i) {
+    if (i) os << "|";
+    os << ins[i].prevout.txid << ":" << ins[i].prevout.index;
+  }
+  return os.str();
+}
+
+/// Splits "a:b|c:d" into (a, b) pairs; returns false on malformed text.
+bool ParsePairs(const std::string& text,
+                std::vector<std::pair<uint64_t, int64_t>>* out) {
+  std::stringstream ss(text);
+  std::string item;
+  while (std::getline(ss, item, '|')) {
+    const auto colon = item.find(':');
+    if (colon == std::string::npos) return false;
+    try {
+      out->push_back({std::stoull(item.substr(0, colon)),
+                      std::stoll(item.substr(colon + 1))});
+    } catch (const std::exception&) {
+      return false;
+    }
+  }
+  return !out->empty();
+}
+
+}  // namespace
+
+Status ExportLedgerCsv(const Ledger& ledger, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::Internal("cannot open for write: " + path);
+  out << "# ba-ledger v1," << ledger.options().block_subsidy << ","
+      << ledger.num_addresses() << "\n";
+  for (const auto& block : ledger.blocks()) {
+    out << "B," << block.height << "," << block.timestamp << "\n";
+    for (TxId id : block.transactions) {
+      const Transaction& tx = ledger.tx(id);
+      if (tx.coinbase) {
+        out << "C," << tx.timestamp << "," << JoinOutputs(tx.outputs) << "\n";
+      } else {
+        out << "T," << tx.timestamp << "," << JoinInputs(tx.inputs) << ","
+            << JoinOutputs(tx.outputs) << "\n";
+      }
+    }
+  }
+  if (!out.good()) return Status::Internal("write failed: " + path);
+  return Status::OK();
+}
+
+Result<Ledger> ImportLedgerCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open: " + path);
+
+  std::string header;
+  if (!std::getline(in, header) || header.rfind("# ba-ledger v1,", 0) != 0) {
+    return Status::InvalidArgument("missing ba-ledger v1 header");
+  }
+  Amount subsidy = 0;
+  size_t num_addresses = 0;
+  {
+    std::stringstream ss(header.substr(std::string("# ba-ledger v1,").size()));
+    std::string field;
+    try {
+      if (!std::getline(ss, field, ',')) throw std::invalid_argument("");
+      subsidy = std::stoll(field);
+      if (!std::getline(ss, field, ',')) throw std::invalid_argument("");
+      num_addresses = std::stoull(field);
+    } catch (const std::exception&) {
+      return Status::InvalidArgument("malformed header: " + header);
+    }
+  }
+
+  LedgerOptions options;
+  options.block_subsidy = subsidy;
+  Ledger ledger(options);
+  for (size_t i = 0; i < num_addresses; ++i) ledger.NewAddress();
+
+  std::string line;
+  Timestamp block_time = 0;
+  bool in_block = false;
+  int line_no = 1;
+  auto fail = [&line_no](const std::string& why) {
+    return Status::InvalidArgument("line " + std::to_string(line_no) + ": " +
+                                   why);
+  };
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::stringstream ss(line);
+    std::string kind;
+    if (!std::getline(ss, kind, ',')) return fail("empty record");
+    if (kind == "B") {
+      if (in_block) BA_RETURN_NOT_OK(ledger.SealBlock(block_time));
+      std::string height_s, ts_s;
+      if (!std::getline(ss, height_s, ',') || !std::getline(ss, ts_s, ',')) {
+        return fail("malformed block record");
+      }
+      try {
+        block_time = std::stoll(ts_s);
+      } catch (const std::exception&) {
+        return fail("bad block timestamp");
+      }
+      in_block = true;
+    } else if (kind == "C") {
+      std::string ts_s, outs_s;
+      if (!std::getline(ss, ts_s, ',') || !std::getline(ss, outs_s)) {
+        return fail("malformed coinbase record");
+      }
+      std::vector<std::pair<uint64_t, int64_t>> outs;
+      if (!ParsePairs(outs_s, &outs)) return fail("bad coinbase outputs");
+      std::vector<AddressId> addresses;
+      std::vector<double> weights;
+      for (const auto& [addr, value] : outs) {
+        addresses.push_back(static_cast<AddressId>(addr));
+        weights.push_back(static_cast<double>(value));
+      }
+      Timestamp ts = 0;
+      try {
+        ts = std::stoll(ts_s);
+      } catch (const std::exception&) {
+        return fail("bad coinbase timestamp");
+      }
+      auto result = ledger.ApplyCoinbase(ts, addresses, weights);
+      if (!result.ok()) return result.status();
+    } else if (kind == "T") {
+      std::string ts_s, ins_s, outs_s;
+      if (!std::getline(ss, ts_s, ',') || !std::getline(ss, ins_s, ',') ||
+          !std::getline(ss, outs_s)) {
+        return fail("malformed transaction record");
+      }
+      std::vector<std::pair<uint64_t, int64_t>> ins, outs;
+      if (!ParsePairs(ins_s, &ins)) return fail("bad inputs");
+      if (!ParsePairs(outs_s, &outs)) return fail("bad outputs");
+      TxDraft draft;
+      try {
+        draft.timestamp = std::stoll(ts_s);
+      } catch (const std::exception&) {
+        return fail("bad transaction timestamp");
+      }
+      for (const auto& [txid, index] : ins) {
+        draft.inputs.push_back(
+            OutPoint{txid, static_cast<uint32_t>(index)});
+      }
+      for (const auto& [addr, value] : outs) {
+        draft.outputs.push_back({static_cast<AddressId>(addr), value});
+      }
+      auto result = ledger.ApplyTransaction(draft);
+      if (!result.ok()) return result.status();
+    } else if (kind[0] == '#') {
+      continue;  // comment
+    } else {
+      return fail("unknown record kind: " + kind);
+    }
+  }
+  if (in_block) BA_RETURN_NOT_OK(ledger.SealBlock(block_time));
+  BA_RETURN_NOT_OK(ledger.CheckConservation());
+  return ledger;
+}
+
+}  // namespace ba::chain

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <string>
+
+#include "chain/ledger.h"
+#include "util/status.h"
+
+/// \file io.h
+/// \brief CSV export/import of a ledger — the "release the dataset"
+/// side of the paper. The format is line-oriented and re-validated on
+/// import: a ledger round-trips through disk into an identical,
+/// conservation-checked ledger.
+///
+/// Format:
+///   # ba-ledger v1,<block_subsidy>
+///   B,<height>,<timestamp>
+///   C,<timestamp>,<addr>:<value>[|<addr>:<value>...]       (coinbase)
+///   T,<timestamp>,<txid>:<vout>[|...],<addr>:<value>[|...]  (spend)
+/// Addresses are dense ids; every id below the header's address count
+/// exists.
+
+namespace ba::chain {
+
+/// \brief Writes the full chain to `path`. Fails on I/O errors.
+Status ExportLedgerCsv(const Ledger& ledger, const std::string& path);
+
+/// \brief Reads a chain written by ExportLedgerCsv, replaying every
+/// transaction through full validation. Returns the reconstructed
+/// ledger or a descriptive error (malformed line, validation failure).
+Result<Ledger> ImportLedgerCsv(const std::string& path);
+
+}  // namespace ba::chain

@@ -1,0 +1,228 @@
+#include "chain/ledger.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace ba::chain {
+
+Ledger::Ledger(LedgerOptions options) : options_(options) {
+  BA_CHECK_GT(options_.block_subsidy, 0);
+}
+
+AddressId Ledger::NewAddress() {
+  const AddressId id = static_cast<AddressId>(address_txs_.size());
+  address_txs_.emplace_back();
+  address_utxo_keys_.emplace_back();
+  return id;
+}
+
+Result<TxId> Ledger::ApplyCoinbase(
+    Timestamp timestamp, const std::vector<AddressId>& payout_addresses,
+    const std::vector<double>& payout_weights) {
+  if (pending_has_coinbase_) {
+    return Status::AlreadyExists("pending block already has a coinbase");
+  }
+  if (payout_addresses.empty() ||
+      payout_addresses.size() != payout_weights.size()) {
+    return Status::InvalidArgument("coinbase payouts malformed");
+  }
+  double weight_sum = 0.0;
+  for (double w : payout_weights) {
+    if (w < 0.0) return Status::InvalidArgument("negative payout weight");
+    weight_sum += w;
+  }
+  if (weight_sum <= 0.0) {
+    return Status::InvalidArgument("payout weights sum to zero");
+  }
+  for (AddressId a : payout_addresses) {
+    if (a >= address_txs_.size()) {
+      return Status::NotFound("coinbase payout to unknown address");
+    }
+  }
+
+  Transaction tx;
+  tx.txid = transactions_.size();
+  tx.timestamp = timestamp;
+  tx.block_height = blocks_.size();
+  tx.coinbase = true;
+  Amount remaining = options_.block_subsidy;
+  for (size_t i = 0; i + 1 < payout_addresses.size(); ++i) {
+    const Amount share = static_cast<Amount>(std::floor(
+        static_cast<double>(options_.block_subsidy) * payout_weights[i] /
+        weight_sum));
+    const Amount v = std::min(share, remaining);
+    if (v > 0) {
+      tx.outputs.push_back({payout_addresses[i], v});
+      remaining -= v;
+    }
+  }
+  if (remaining > 0) {
+    tx.outputs.push_back({payout_addresses.back(), remaining});
+  }
+
+  for (uint32_t i = 0; i < tx.outputs.size(); ++i) {
+    const OutPoint op{tx.txid, i};
+    utxos_[op.Key()] = {tx.outputs[i], blocks_.size()};
+    address_utxo_keys_[tx.outputs[i].address].push_back(op.Key());
+  }
+  total_minted_ += options_.block_subsidy;
+  IndexTransaction(tx);
+  pending_.transactions.push_back(tx.txid);
+  pending_has_coinbase_ = true;
+  transactions_.push_back(std::move(tx));
+  return transactions_.back().txid;
+}
+
+Result<TxId> Ledger::ApplyCoinbase(Timestamp timestamp, AddressId payout) {
+  return ApplyCoinbase(timestamp, std::vector<AddressId>{payout},
+                       std::vector<double>{1.0});
+}
+
+Result<TxId> Ledger::ApplyTransaction(const TxDraft& draft) {
+  if (draft.inputs.empty()) {
+    return Status::InvalidArgument("transaction has no inputs");
+  }
+  if (draft.outputs.empty()) {
+    return Status::InvalidArgument("transaction has no outputs");
+  }
+  // Reject duplicate inputs within the draft itself.
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(draft.inputs.size());
+  for (const auto& op : draft.inputs) {
+    if (!seen.insert(op.Key()).second) {
+      return Status::InvalidArgument("duplicate input outpoint in draft");
+    }
+  }
+
+  Transaction tx;
+  tx.inputs.reserve(draft.inputs.size());
+  Amount in_value = 0;
+  for (const auto& op : draft.inputs) {
+    auto it = utxos_.find(op.Key());
+    if (it == utxos_.end()) {
+      return Status::NotFound("input outpoint not found or already spent");
+    }
+    const UtxoEntry& entry = it->second;
+    const Transaction& source = transactions_[op.txid];
+    if (source.coinbase && blocks_.size() <
+        entry.confirmed_height + options_.coinbase_maturity) {
+      return Status::FailedPrecondition("coinbase output not yet mature");
+    }
+    tx.inputs.push_back({op, entry.out.address, entry.out.value});
+    in_value += entry.out.value;
+  }
+
+  Amount out_value = 0;
+  for (const auto& out : draft.outputs) {
+    if (out.value <= 0) {
+      return Status::InvalidArgument("non-positive output value");
+    }
+    if (out.address >= address_txs_.size()) {
+      return Status::NotFound("output to unknown address");
+    }
+    out_value += out.value;
+  }
+  if (out_value > in_value) {
+    return Status::InvalidArgument("outputs exceed inputs");
+  }
+
+  // Validation passed — commit.
+  tx.txid = transactions_.size();
+  tx.timestamp = draft.timestamp;
+  tx.block_height = blocks_.size();
+  tx.coinbase = false;
+  tx.outputs = draft.outputs;
+
+  for (const auto& in : tx.inputs) {
+    utxos_.erase(in.prevout.Key());
+    auto& keys = address_utxo_keys_[in.address];
+    keys.erase(std::remove(keys.begin(), keys.end(), in.prevout.Key()),
+               keys.end());
+  }
+  for (uint32_t i = 0; i < tx.outputs.size(); ++i) {
+    const OutPoint op{tx.txid, i};
+    utxos_[op.Key()] = {tx.outputs[i], blocks_.size()};
+    address_utxo_keys_[tx.outputs[i].address].push_back(op.Key());
+  }
+  total_fees_ += in_value - out_value;
+  IndexTransaction(tx);
+  pending_.transactions.push_back(tx.txid);
+  transactions_.push_back(std::move(tx));
+  return transactions_.back().txid;
+}
+
+Status Ledger::SealBlock(Timestamp timestamp) {
+  if (timestamp < last_seal_time_) {
+    return Status::InvalidArgument("block timestamps must be non-decreasing");
+  }
+  pending_.height = blocks_.size();
+  pending_.timestamp = timestamp;
+  blocks_.push_back(std::move(pending_));
+  pending_ = Block{};
+  pending_has_coinbase_ = false;
+  last_seal_time_ = timestamp;
+  return Status::OK();
+}
+
+const Transaction& Ledger::tx(TxId id) const {
+  BA_CHECK_LT(id, transactions_.size());
+  return transactions_[id];
+}
+
+const std::vector<TxId>& Ledger::TransactionsOf(AddressId address) const {
+  BA_CHECK_LT(address, address_txs_.size());
+  return address_txs_[address];
+}
+
+std::vector<Utxo> Ledger::UnspentOf(AddressId address) const {
+  BA_CHECK_LT(address, address_utxo_keys_.size());
+  std::vector<Utxo> out;
+  out.reserve(address_utxo_keys_[address].size());
+  for (uint64_t key : address_utxo_keys_[address]) {
+    auto it = utxos_.find(key);
+    BA_CHECK(it != utxos_.end());
+    Utxo u;
+    u.outpoint = OutPoint{key >> 20, static_cast<uint32_t>(key & 0xFFFFF)};
+    u.value = it->second.out.value;
+    u.confirmed_height = it->second.confirmed_height;
+    out.push_back(u);
+  }
+  return out;
+}
+
+Amount Ledger::BalanceOf(AddressId address) const {
+  Amount total = 0;
+  for (const auto& u : UnspentOf(address)) {
+    const Transaction& source = transactions_[u.outpoint.txid];
+    if (source.coinbase &&
+        blocks_.size() < u.confirmed_height + options_.coinbase_maturity) {
+      continue;  // immature coinbase
+    }
+    total += u.value;
+  }
+  return total;
+}
+
+Status Ledger::CheckConservation() const {
+  Amount utxo_total = 0;
+  for (const auto& [key, entry] : utxos_) utxo_total += entry.out.value;
+  const Amount expected = total_minted_ - total_fees_;
+  if (utxo_total != expected) {
+    return Status::Internal(
+        "conservation violated: UTXO total " + std::to_string(utxo_total) +
+        " != minted - fees " + std::to_string(expected));
+  }
+  return Status::OK();
+}
+
+void Ledger::IndexTransaction(const Transaction& tx) {
+  std::unordered_set<AddressId> touched;
+  for (const auto& in : tx.inputs) touched.insert(in.address);
+  for (const auto& out : tx.outputs) touched.insert(out.address);
+  for (AddressId a : touched) address_txs_[a].push_back(tx.txid);
+}
+
+}  // namespace ba::chain

@@ -1,0 +1,128 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "chain/types.h"
+#include "util/status.h"
+
+/// \file ledger.h
+/// \brief Append-only UTXO ledger: the blockchain substrate beneath the
+/// behavioral data generator.
+///
+/// The ledger validates and confirms transactions (double-spend checks,
+/// value conservation, coinbase rules), maintains the UTXO set, and
+/// keeps the address -> transaction index that BAClassifier's graph
+/// construction consumes.
+
+namespace ba::chain {
+
+/// \brief Tunables for the simulated chain.
+struct LedgerOptions {
+  /// Block subsidy credited by each coinbase transaction.
+  Amount block_subsidy = 625'000'000;  // 6.25 BTC
+  /// Blocks a coinbase output must age before it can be spent.
+  uint64_t coinbase_maturity = 0;
+  /// Target seconds between blocks (used by callers that auto-advance
+  /// time; the ledger itself accepts any non-decreasing timestamps).
+  int64_t block_interval_seconds = 600;
+};
+
+/// \brief The blockchain: blocks, transactions, UTXO set, and indexes.
+///
+/// Transactions are applied into a pending block; SealBlock() confirms
+/// the pending block and advances the height. All mutation goes through
+/// ApplyCoinbase / ApplyTransaction so the class can maintain its
+/// conservation invariant: sum(UTXO values) == minted - fees.
+class Ledger {
+ public:
+  explicit Ledger(LedgerOptions options = {});
+
+  /// Creates a fresh address and returns its dense id.
+  AddressId NewAddress();
+
+  /// Number of addresses ever created.
+  size_t num_addresses() const { return address_txs_.size(); }
+
+  /// Number of confirmed or pending transactions.
+  size_t num_transactions() const { return transactions_.size(); }
+
+  /// Height of the next block to be sealed (number of sealed blocks).
+  uint64_t height() const { return blocks_.size(); }
+
+  const LedgerOptions& options() const { return options_; }
+
+  /// \brief Adds the coinbase transaction of the pending block, paying
+  /// `block_subsidy` split across `payouts` (fractions must sum to 1
+  /// within rounding; remainder goes to the first payout).
+  ///
+  /// Fails if the pending block already has a coinbase or payouts are
+  /// empty/invalid.
+  Result<TxId> ApplyCoinbase(Timestamp timestamp,
+                             const std::vector<AddressId>& payout_addresses,
+                             const std::vector<double>& payout_weights);
+
+  /// Convenience: single-payout coinbase.
+  Result<TxId> ApplyCoinbase(Timestamp timestamp, AddressId payout);
+
+  /// \brief Validates and applies a draft into the pending block.
+  ///
+  /// Checks: all inputs exist and are unspent (including within the
+  /// pending block), coinbase maturity, outputs are positive and go to
+  /// existing addresses, sum(in) >= sum(out).
+  Result<TxId> ApplyTransaction(const TxDraft& draft);
+
+  /// \brief Seals the pending block (possibly empty) at `timestamp`,
+  /// which must be >= the previous block's timestamp.
+  Status SealBlock(Timestamp timestamp);
+
+  /// The confirmed transaction with the given id. Aborts on bad id.
+  const Transaction& tx(TxId id) const;
+
+  const std::vector<Block>& blocks() const { return blocks_; }
+
+  /// All transactions touching `address` (as input or output), in
+  /// chronological (apply) order — the raw material of §III-A.
+  const std::vector<TxId>& TransactionsOf(AddressId address) const;
+
+  /// Current unspent outputs owned by `address`.
+  std::vector<Utxo> UnspentOf(AddressId address) const;
+
+  /// Spendable balance of `address` (sum of its mature UTXOs).
+  Amount BalanceOf(AddressId address) const;
+
+  /// Total satoshis ever minted via coinbase subsidies.
+  Amount total_minted() const { return total_minted_; }
+
+  /// Total fees burned (sum over non-coinbase txs of in - out).
+  Amount total_fees() const { return total_fees_; }
+
+  /// \brief Verifies the global conservation invariant:
+  /// sum of UTXO values == minted - fees. O(UTXO set).
+  Status CheckConservation() const;
+
+ private:
+  struct UtxoEntry {
+    TxOut out;
+    uint64_t confirmed_height = 0;  // height of containing block
+  };
+
+  /// Records `txid` in the per-address index for each distinct address
+  /// the transaction touches.
+  void IndexTransaction(const Transaction& tx);
+
+  LedgerOptions options_;
+  std::vector<Block> blocks_;
+  Block pending_;
+  bool pending_has_coinbase_ = false;
+  Timestamp last_seal_time_ = 0;
+  std::vector<Transaction> transactions_;          // indexed by TxId
+  std::unordered_map<uint64_t, UtxoEntry> utxos_;  // OutPoint::Key() -> entry
+  std::vector<std::vector<TxId>> address_txs_;     // AddressId -> tx ids
+  std::vector<std::vector<uint64_t>> address_utxo_keys_;  // live outpoints
+  Amount total_minted_ = 0;
+  Amount total_fees_ = 0;
+};
+
+}  // namespace ba::chain

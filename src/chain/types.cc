@@ -1,0 +1,39 @@
+#include "chain/types.h"
+
+namespace ba::chain {
+
+namespace {
+
+// Base58 alphabet (no 0, O, I, l), as used by real bitcoin addresses.
+constexpr char kBase58[] =
+    "123456789ABCDEFGHJKLMNPQRSTUVWXYZabcdefghijkmnopqrstuvwxyz";
+
+uint64_t Mix(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xFF51AFD7ED558CCDULL;
+  x ^= x >> 33;
+  x *= 0xC4CEB9FE1A85EC53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+}  // namespace
+
+std::string FormatAddress(AddressId id) {
+  // Deterministic pseudo-address: "1" prefix (P2PKH style) followed by
+  // 26 base58 chars derived from two rounds of mixing.
+  std::string out = "1";
+  uint64_t a = Mix(0x42AC0FFEEULL + id);
+  uint64_t b = Mix(a ^ (0x9E3779B97F4A7C15ULL + id));
+  for (int i = 0; i < 13; ++i) {
+    out.push_back(kBase58[a % 58]);
+    a /= 58;
+  }
+  for (int i = 0; i < 13; ++i) {
+    out.push_back(kBase58[b % 58]);
+    b /= 58;
+  }
+  return out;
+}
+
+}  // namespace ba::chain

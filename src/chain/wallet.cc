@@ -1,0 +1,120 @@
+#include "chain/wallet.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace ba::chain {
+
+AddressId Wallet::CreateAddress() {
+  const AddressId id = ledger_->NewAddress();
+  addresses_.push_back(id);
+  return id;
+}
+
+void Wallet::AdoptAddress(AddressId address) { addresses_.push_back(address); }
+
+Amount Wallet::Balance() const {
+  Amount total = 0;
+  for (AddressId a : addresses_) total += ledger_->BalanceOf(a);
+  return total;
+}
+
+Result<Wallet::Selected> Wallet::SelectCoins(Amount target,
+                                             CoinSelection selection) const {
+  struct Candidate {
+    Utxo utxo;
+    AddressId owner;
+  };
+  std::vector<Candidate> candidates;
+  for (AddressId a : addresses_) {
+    for (const auto& u : ledger_->UnspentOf(a)) {
+      const Transaction& source = ledger_->tx(u.outpoint.txid);
+      if (source.coinbase &&
+          ledger_->height() <
+              u.confirmed_height + ledger_->options().coinbase_maturity) {
+        continue;
+      }
+      candidates.push_back({u, a});
+    }
+  }
+  switch (selection) {
+    case CoinSelection::kLargestFirst:
+      std::stable_sort(candidates.begin(), candidates.end(),
+                       [](const Candidate& x, const Candidate& y) {
+                         return x.utxo.value > y.utxo.value;
+                       });
+      break;
+    case CoinSelection::kOldestFirst:
+      std::stable_sort(candidates.begin(), candidates.end(),
+                       [](const Candidate& x, const Candidate& y) {
+                         return x.utxo.outpoint.txid < y.utxo.outpoint.txid;
+                       });
+      break;
+  }
+
+  Selected sel;
+  for (const auto& c : candidates) {
+    if (sel.total >= target) break;
+    if (sel.first_source == kInvalidAddress) sel.first_source = c.owner;
+    sel.inputs.push_back(c.utxo.outpoint);
+    sel.total += c.utxo.value;
+  }
+  if (sel.total < target) {
+    return Status::FailedPrecondition(
+        "insufficient funds: have " + std::to_string(sel.total) + ", need " +
+        std::to_string(target));
+  }
+  return sel;
+}
+
+Result<TxId> Wallet::Send(Timestamp timestamp,
+                          const std::vector<TxOut>& payments, Amount fee,
+                          ChangePolicy policy, CoinSelection selection) {
+  if (payments.empty()) {
+    return Status::InvalidArgument("payment list is empty");
+  }
+  if (fee < 0) return Status::InvalidArgument("negative fee");
+  Amount pay_total = 0;
+  for (const auto& p : payments) {
+    if (p.value <= 0) return Status::InvalidArgument("non-positive payment");
+    pay_total += p.value;
+  }
+
+  BA_ASSIGN_OR_RETURN(Selected sel, SelectCoins(pay_total + fee, selection));
+
+  TxDraft draft;
+  draft.timestamp = timestamp;
+  draft.inputs = std::move(sel.inputs);
+  draft.outputs = payments;
+
+  const Amount change = sel.total - pay_total - fee;
+  if (change > 0) {
+    AddressId change_addr;
+    if (policy == ChangePolicy::kFreshAddress) {
+      change_addr = CreateAddress();
+    } else {
+      change_addr = sel.first_source;
+    }
+    draft.outputs.push_back({change_addr, change});
+    last_change_address_ = change_addr;
+  }
+  return ledger_->ApplyTransaction(draft);
+}
+
+Result<TxId> Wallet::SweepTo(Timestamp timestamp, AddressId destination,
+                             Amount fee) {
+  const Amount balance = Balance();
+  if (balance <= fee) {
+    return Status::FailedPrecondition("balance does not cover sweep fee");
+  }
+  BA_ASSIGN_OR_RETURN(Selected sel,
+                      SelectCoins(balance, CoinSelection::kLargestFirst));
+  TxDraft draft;
+  draft.timestamp = timestamp;
+  draft.inputs = std::move(sel.inputs);
+  draft.outputs.push_back({destination, sel.total - fee});
+  return ledger_->ApplyTransaction(draft);
+}
+
+}  // namespace ba::chain

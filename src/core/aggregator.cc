@@ -1,0 +1,215 @@
+#include "core/aggregator.h"
+
+#include <algorithm>
+
+#include "util/stopwatch.h"
+
+namespace ba::core {
+
+const char* AggregatorName(AggregatorKind kind) {
+  switch (kind) {
+    case AggregatorKind::kLstm:
+      return "LSTM+MLP";
+    case AggregatorKind::kBiLstm:
+      return "BiLSTM+MLP";
+    case AggregatorKind::kAttention:
+      return "Attention+MLP";
+    case AggregatorKind::kSum:
+      return "SUM+MLP";
+    case AggregatorKind::kAvg:
+      return "AVG+MLP";
+    case AggregatorKind::kMax:
+      return "MAX+MLP";
+    case AggregatorKind::kSelfAttention:
+      return "SelfAttn+MLP";
+  }
+  return "Unknown";
+}
+
+std::vector<AggregatorKind> AllAggregators() {
+  return {AggregatorKind::kLstm,      AggregatorKind::kBiLstm,
+          AggregatorKind::kAttention, AggregatorKind::kSum,
+          AggregatorKind::kAvg,       AggregatorKind::kMax};
+}
+
+AggregatorModel::AggregatorModel(const AggregatorOptions& options)
+    : options_(options), rng_(options.seed) {
+  int64_t pooled_dim = options_.embed_dim;
+  switch (options_.kind) {
+    case AggregatorKind::kLstm:
+      lstm_ = std::make_unique<nn::Lstm>(options_.embed_dim,
+                                         options_.hidden_dim, &rng_);
+      pooled_dim = options_.hidden_dim;
+      break;
+    case AggregatorKind::kBiLstm:
+      bilstm_ = std::make_unique<nn::BiLstm>(options_.embed_dim,
+                                             options_.hidden_dim, &rng_);
+      pooled_dim = 2 * options_.hidden_dim;
+      break;
+    case AggregatorKind::kAttention:
+      attention_ = std::make_unique<nn::AttentionPool>(
+          options_.embed_dim, options_.hidden_dim, &rng_);
+      pooled_dim = options_.embed_dim;
+      break;
+    case AggregatorKind::kSelfAttention:
+      self_attention_ = std::make_unique<nn::SelfAttentionPool>(
+          options_.embed_dim, options_.hidden_dim, &rng_);
+      pooled_dim = options_.hidden_dim;
+      break;
+    case AggregatorKind::kSum:
+    case AggregatorKind::kAvg:
+    case AggregatorKind::kMax:
+      break;
+  }
+  head_ = std::make_unique<nn::Mlp>(
+      std::vector<int64_t>{pooled_dim, options_.mlp_hidden,
+                           static_cast<int64_t>(options_.num_classes)},
+      &rng_);
+
+  std::vector<tensor::Var> params = head_->Parameters();
+  auto append = [&params](const nn::Module* m) {
+    if (m == nullptr) return;
+    auto p = m->Parameters();
+    params.insert(params.end(), p.begin(), p.end());
+  };
+  append(lstm_.get());
+  append(bilstm_.get());
+  append(attention_.get());
+  append(self_attention_.get());
+  optimizer_ =
+      std::make_unique<tensor::Adam>(std::move(params),
+                                     options_.learning_rate);
+}
+
+std::vector<tensor::Var> AggregatorModel::Parameters() const {
+  std::vector<tensor::Var> params = head_->Parameters();
+  auto append = [&params](const nn::Module* m) {
+    if (m == nullptr) return;
+    auto p = m->Parameters();
+    params.insert(params.end(), p.begin(), p.end());
+  };
+  append(lstm_.get());
+  append(bilstm_.get());
+  append(attention_.get());
+  append(self_attention_.get());
+  return params;
+}
+
+tensor::Var AggregatorModel::Logits(
+    const tensor::Tensor& embeddings) const {
+  BA_CHECK_EQ(embeddings.rank(), 2);
+  BA_CHECK_EQ(embeddings.dim(1), options_.embed_dim);
+  const tensor::Var seq = tensor::Constant(embeddings);
+  tensor::Var pooled;
+  switch (options_.kind) {
+    case AggregatorKind::kLstm:
+      pooled = lstm_->ForwardLast(seq);
+      break;
+    case AggregatorKind::kBiLstm:
+      pooled = bilstm_->ForwardLast(seq);
+      break;
+    case AggregatorKind::kAttention:
+      pooled = attention_->Forward(seq);
+      break;
+    case AggregatorKind::kSum:
+      pooled = tensor::SumRows(seq);
+      break;
+    case AggregatorKind::kAvg:
+      pooled = tensor::MeanRows(seq);
+      break;
+    case AggregatorKind::kMax:
+      pooled = tensor::MaxRows(seq);
+      break;
+    case AggregatorKind::kSelfAttention:
+      pooled = self_attention_->Forward(seq);
+      break;
+  }
+  return head_->Forward(pooled);
+}
+
+int AggregatorModel::Predict(const tensor::Tensor& embeddings) const {
+  const tensor::Var logits = Logits(embeddings);
+  int best = 0;
+  for (int c = 1; c < options_.num_classes; ++c) {
+    if (logits->value.at(0, c) > logits->value.at(0, best)) best = c;
+  }
+  return best;
+}
+
+void AggregatorModel::Train(const std::vector<EmbeddingSequence>& train,
+                            const std::vector<EmbeddingSequence>* eval,
+                            std::vector<EpochStat>* history) {
+  BA_CHECK(!train.empty());
+  std::vector<size_t> order(train.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  Stopwatch watch;
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    watch.Start();
+    rng_.Shuffle(&order);
+    double epoch_loss = 0.0;
+    size_t i = 0;
+    while (i < order.size()) {
+      const size_t batch_end = std::min(
+          order.size(), i + static_cast<size_t>(options_.batch_size));
+      optimizer_->ZeroGrad();
+      std::vector<tensor::Var> losses;
+      for (; i < batch_end; ++i) {
+        const EmbeddingSequence& ex = train[order[i]];
+        losses.push_back(tensor::SoftmaxCrossEntropy(
+            Logits(ex.embeddings), std::vector<int>{ex.label}));
+      }
+      tensor::Var loss = losses[0];
+      for (size_t k = 1; k < losses.size(); ++k) {
+        loss = tensor::Add(loss, losses[k]);
+      }
+      loss = tensor::Scale(loss, 1.0f / static_cast<float>(losses.size()));
+      tensor::Backward(loss);
+      optimizer_->Step();
+      epoch_loss += static_cast<double>(loss->value.item()) *
+                    static_cast<double>(losses.size());
+    }
+    watch.Stop();
+
+    if (history != nullptr) {
+      EpochStat stat;
+      stat.epoch = epoch + 1;
+      stat.seconds = watch.ElapsedSeconds();
+      stat.train_loss = epoch_loss / static_cast<double>(train.size());
+      if (eval != nullptr) {
+        stat.eval_f1 = Evaluate(*eval).WeightedAverage().f1;
+      }
+      history->push_back(stat);
+    }
+  }
+}
+
+metrics::ConfusionMatrix AggregatorModel::Evaluate(
+    const std::vector<EmbeddingSequence>& samples) const {
+  metrics::ConfusionMatrix cm(options_.num_classes);
+  for (const auto& s : samples) cm.Add(s.label, Predict(s.embeddings));
+  return cm;
+}
+
+std::vector<EmbeddingSequence> BuildEmbeddingSequences(
+    const GraphModel& model, const std::vector<AddressSample>& samples) {
+  std::vector<EmbeddingSequence> out;
+  out.reserve(samples.size());
+  for (const auto& s : samples) {
+    BA_CHECK_GT(s.num_graphs(), 0);
+    EmbeddingSequence seq;
+    seq.label = s.label;
+    seq.embeddings =
+        tensor::Tensor({s.num_graphs(), model.embed_dim()});
+    for (int g = 0; g < s.num_graphs(); ++g) {
+      const tensor::Tensor e = model.Embed(s.tensors[static_cast<size_t>(g)]);
+      for (int64_t j = 0; j < model.embed_dim(); ++j) {
+        seq.embeddings.at(g, j) = e.at(0, j);
+      }
+    }
+    out.push_back(std::move(seq));
+  }
+  return out;
+}
+
+}  // namespace ba::core

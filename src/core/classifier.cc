@@ -1,0 +1,198 @@
+#include "core/classifier.h"
+
+#include <cmath>
+
+#include "tensor/serialize.h"
+#include "util/logging.h"
+
+namespace ba::core {
+
+EmbeddingScaler EmbeddingScaler::Fit(
+    const std::vector<EmbeddingSequence>& sequences) {
+  BA_CHECK(!sequences.empty());
+  const int64_t dim = sequences[0].embeddings.dim(1);
+  EmbeddingScaler s;
+  s.mean.assign(static_cast<size_t>(dim), 0.0f);
+  s.stddev.assign(static_cast<size_t>(dim), 1.0f);
+  int64_t rows = 0;
+  std::vector<double> sum(static_cast<size_t>(dim), 0.0);
+  std::vector<double> sq(static_cast<size_t>(dim), 0.0);
+  for (const auto& seq : sequences) {
+    for (int64_t r = 0; r < seq.embeddings.dim(0); ++r) {
+      for (int64_t c = 0; c < dim; ++c) {
+        const double v = seq.embeddings.at(r, c);
+        sum[static_cast<size_t>(c)] += v;
+        sq[static_cast<size_t>(c)] += v * v;
+      }
+      ++rows;
+    }
+  }
+  for (int64_t c = 0; c < dim; ++c) {
+    const double m = sum[static_cast<size_t>(c)] / static_cast<double>(rows);
+    const double var =
+        sq[static_cast<size_t>(c)] / static_cast<double>(rows) - m * m;
+    s.mean[static_cast<size_t>(c)] = static_cast<float>(m);
+    s.stddev[static_cast<size_t>(c)] =
+        static_cast<float>(std::sqrt(std::max(var, 1e-12)));
+  }
+  return s;
+}
+
+void EmbeddingScaler::Apply(std::vector<EmbeddingSequence>* sequences) const {
+  for (auto& seq : *sequences) {
+    const int64_t dim = seq.embeddings.dim(1);
+    BA_CHECK_EQ(dim, static_cast<int64_t>(mean.size()));
+    for (int64_t r = 0; r < seq.embeddings.dim(0); ++r) {
+      for (int64_t c = 0; c < dim; ++c) {
+        seq.embeddings.at(r, c) =
+            (seq.embeddings.at(r, c) - mean[static_cast<size_t>(c)]) /
+            stddev[static_cast<size_t>(c)];
+      }
+    }
+  }
+}
+
+BaClassifier::BaClassifier(const Options& options) : options_(options) {
+  // The two stages must agree on k_hops and embedding width.
+  options_.graph_model.k_hops = options_.dataset.k_hops;
+  options_.aggregator.embed_dim = options_.graph_model.embed_dim;
+  options_.aggregator.num_classes = options_.graph_model.num_classes;
+}
+
+std::vector<AddressSample> BaClassifier::BuildSamples(
+    const chain::Ledger& ledger,
+    const std::vector<datagen::LabeledAddress>& addresses) const {
+  GraphDatasetBuilder builder(options_.dataset);
+  return builder.Build(ledger, addresses);
+}
+
+Status BaClassifier::Train(
+    const chain::Ledger& ledger,
+    const std::vector<datagen::LabeledAddress>& train) {
+  return TrainOnSamples(BuildSamples(ledger, train));
+}
+
+Status BaClassifier::TrainOnSamples(
+    const std::vector<AddressSample>& train) {
+  if (train.empty()) {
+    return Status::InvalidArgument("no training samples with history");
+  }
+  graph_model_ = std::make_unique<GraphModel>(options_.graph_model);
+  graph_model_->Train(train);
+
+  std::vector<EmbeddingSequence> sequences =
+      BuildEmbeddingSequences(*graph_model_, train);
+  scaler_ = EmbeddingScaler::Fit(sequences);
+  scaler_.Apply(&sequences);
+
+  aggregator_ = std::make_unique<AggregatorModel>(options_.aggregator);
+  aggregator_->Train(sequences);
+  trained_ = true;
+  return Status::OK();
+}
+
+int BaClassifier::PredictSample(const AddressSample& sample) const {
+  BA_CHECK(trained_);
+  if (sample.tensors.empty()) return 0;
+  std::vector<EmbeddingSequence> seq =
+      BuildEmbeddingSequences(*graph_model_, {sample});
+  scaler_.Apply(&seq);
+  return aggregator_->Predict(seq[0].embeddings);
+}
+
+std::vector<int> BaClassifier::Predict(
+    const chain::Ledger& ledger,
+    const std::vector<datagen::LabeledAddress>& addresses) const {
+  BA_CHECK(trained_);
+  std::vector<int> out;
+  out.reserve(addresses.size());
+  GraphDatasetBuilder builder(options_.dataset);
+  for (const auto& a : addresses) {
+    const auto samples = builder.Build(ledger, {a});
+    out.push_back(samples.empty() ? 0 : PredictSample(samples[0]));
+  }
+  return out;
+}
+
+metrics::ConfusionMatrix BaClassifier::Evaluate(
+    const chain::Ledger& ledger,
+    const std::vector<datagen::LabeledAddress>& test) const {
+  return EvaluateSamples(BuildSamples(ledger, test));
+}
+
+metrics::ConfusionMatrix BaClassifier::EvaluateSamples(
+    const std::vector<AddressSample>& test) const {
+  BA_CHECK(trained_);
+  metrics::ConfusionMatrix cm(options_.graph_model.num_classes);
+  std::vector<EmbeddingSequence> sequences =
+      BuildEmbeddingSequences(*graph_model_, test);
+  scaler_.Apply(&sequences);
+  for (size_t i = 0; i < test.size(); ++i) {
+    cm.Add(test[i].label, aggregator_->Predict(sequences[i].embeddings));
+  }
+  return cm;
+}
+
+namespace {
+
+/// The checkpointed tensor list: encoder weights, aggregator weights,
+/// then the scaler's mean and stddev rows.
+std::vector<tensor::Var> CheckpointTensors(const GraphModel& graph_model,
+                                           const AggregatorModel& aggregator,
+                                           tensor::Var scaler_mean,
+                                           tensor::Var scaler_std) {
+  std::vector<tensor::Var> all = graph_model.Parameters();
+  const auto agg = aggregator.Parameters();
+  all.insert(all.end(), agg.begin(), agg.end());
+  all.push_back(std::move(scaler_mean));
+  all.push_back(std::move(scaler_std));
+  return all;
+}
+
+tensor::Var RowTensor(const std::vector<float>& values) {
+  tensor::Tensor t({1, static_cast<int64_t>(values.size())});
+  std::copy(values.begin(), values.end(), t.data());
+  return tensor::Param(std::move(t));
+}
+
+}  // namespace
+
+Status BaClassifier::Save(const std::string& path) const {
+  if (!trained_) {
+    return Status::FailedPrecondition("cannot save an untrained model");
+  }
+  return tensor::SaveParameters(
+      CheckpointTensors(*graph_model_, *aggregator_, RowTensor(scaler_.mean),
+                        RowTensor(scaler_.stddev)),
+      path);
+}
+
+Status BaClassifier::Load(const std::string& path) {
+  graph_model_ = std::make_unique<GraphModel>(options_.graph_model);
+  aggregator_ = std::make_unique<AggregatorModel>(options_.aggregator);
+  const int64_t dim = options_.graph_model.embed_dim;
+  scaler_.mean.assign(static_cast<size_t>(dim), 0.0f);
+  scaler_.stddev.assign(static_cast<size_t>(dim), 1.0f);
+  tensor::Var mean = RowTensor(scaler_.mean);
+  tensor::Var stddev = RowTensor(scaler_.stddev);
+  BA_RETURN_NOT_OK(tensor::LoadParameters(
+      CheckpointTensors(*graph_model_, *aggregator_, mean, stddev), path));
+  for (int64_t j = 0; j < dim; ++j) {
+    scaler_.mean[static_cast<size_t>(j)] = mean->value.at(0, j);
+    scaler_.stddev[static_cast<size_t>(j)] = stddev->value.at(0, j);
+  }
+  trained_ = true;
+  return Status::OK();
+}
+
+const GraphModel& BaClassifier::graph_model() const {
+  BA_CHECK(trained_);
+  return *graph_model_;
+}
+
+const AggregatorModel& BaClassifier::aggregator() const {
+  BA_CHECK(trained_);
+  return *aggregator_;
+}
+
+}  // namespace ba::core

@@ -1,0 +1,105 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/aggregator.h"
+#include "core/graph_dataset.h"
+#include "core/graph_model.h"
+#include "metrics/classification.h"
+
+/// \file classifier.h
+/// \brief BAClassifier — the paper's end-to-end system (Fig 2): address
+/// graph construction → graph representation learning (GFN) → address
+/// classification (LSTM+MLP). This facade is the library's primary
+/// public entry point.
+///
+/// Typical use:
+/// \code
+///   ba::core::BaClassifier::Options opts;
+///   ba::core::BaClassifier clf(opts);
+///   BA_CHECK_OK(clf.Train(ledger, train_addresses));
+///   auto cm = clf.Evaluate(ledger, test_addresses);
+/// \endcode
+
+namespace ba::core {
+
+/// \brief Standardization of embedding sequences (fit on train, applied
+/// everywhere) — keeps the SUM-readout magnitudes in the range the
+/// LSTM gates operate in.
+struct EmbeddingScaler {
+  std::vector<float> mean;
+  std::vector<float> stddev;
+
+  static EmbeddingScaler Fit(const std::vector<EmbeddingSequence>& sequences);
+  void Apply(std::vector<EmbeddingSequence>* sequences) const;
+};
+
+/// \brief End-to-end bitcoin address behavior classifier.
+class BaClassifier {
+ public:
+  struct Options {
+    GraphDatasetOptions dataset;
+    GraphModelOptions graph_model;       ///< stage 2 (GFN by default)
+    AggregatorOptions aggregator;        ///< stage 3 (LSTM+MLP by default)
+    uint64_t seed = 1;
+  };
+
+  explicit BaClassifier(const Options& options);
+
+  /// \brief Trains both stages on the labeled train addresses: the
+  /// graph encoder on individual graph slices, then the aggregator on
+  /// the frozen encoder's embedding sequences.
+  Status Train(const chain::Ledger& ledger,
+               const std::vector<datagen::LabeledAddress>& train);
+
+  /// Same, on pre-materialized samples (reuses dataset across models).
+  Status TrainOnSamples(const std::vector<AddressSample>& train);
+
+  /// Predicted class per address (order preserved; addresses with empty
+  /// history predict class 0).
+  std::vector<int> Predict(
+      const chain::Ledger& ledger,
+      const std::vector<datagen::LabeledAddress>& addresses) const;
+
+  /// Address-level confusion matrix on a labeled test set.
+  metrics::ConfusionMatrix Evaluate(
+      const chain::Ledger& ledger,
+      const std::vector<datagen::LabeledAddress>& test) const;
+
+  /// Same, on pre-materialized samples.
+  metrics::ConfusionMatrix EvaluateSamples(
+      const std::vector<AddressSample>& test) const;
+
+  int PredictSample(const AddressSample& sample) const;
+
+  /// \brief Saves the trained model (encoder + aggregator weights and
+  /// the embedding scaler) to a binary checkpoint.
+  Status Save(const std::string& path) const;
+
+  /// \brief Loads a checkpoint written by Save into this classifier.
+  /// The classifier must have been constructed with the same Options
+  /// (architecture shapes are verified). Marks the model trained.
+  Status Load(const std::string& path);
+
+  /// The trained graph encoder (valid after Train).
+  const GraphModel& graph_model() const;
+
+  /// The trained aggregator (valid after Train).
+  const AggregatorModel& aggregator() const;
+
+  const Options& options() const { return options_; }
+
+ private:
+  std::vector<AddressSample> BuildSamples(
+      const chain::Ledger& ledger,
+      const std::vector<datagen::LabeledAddress>& addresses) const;
+
+  Options options_;
+  std::unique_ptr<GraphModel> graph_model_;
+  std::unique_ptr<AggregatorModel> aggregator_;
+  EmbeddingScaler scaler_;
+  bool trained_ = false;
+};
+
+}  // namespace ba::core

@@ -1,0 +1,94 @@
+#include "core/flat_features.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace ba::core {
+
+namespace {
+
+/// Accumulates [mean-in | target | mean-out] for one graph into `acc`
+/// (size 3 * kNodeFeatureDim).
+void AccumulateGraph(const AddressGraph& g, std::vector<double>* acc) {
+  std::vector<double> in_mean(kNodeFeatureDim, 0.0);
+  std::vector<double> out_mean(kNodeFeatureDim, 0.0);
+  int64_t in_count = 0;
+  int64_t out_count = 0;
+  for (const auto& e : g.edges) {
+    if (e.to == g.target_node) {
+      const auto& f = g.nodes[static_cast<size_t>(e.from)].features;
+      for (int j = 0; j < kNodeFeatureDim; ++j) {
+        in_mean[static_cast<size_t>(j)] += f[static_cast<size_t>(j)];
+      }
+      ++in_count;
+    }
+    if (e.from == g.target_node) {
+      const auto& f = g.nodes[static_cast<size_t>(e.to)].features;
+      for (int j = 0; j < kNodeFeatureDim; ++j) {
+        out_mean[static_cast<size_t>(j)] += f[static_cast<size_t>(j)];
+      }
+      ++out_count;
+    }
+  }
+  const auto& target = g.nodes[static_cast<size_t>(g.target_node)].features;
+  for (int j = 0; j < kNodeFeatureDim; ++j) {
+    if (in_count > 0) {
+      (*acc)[static_cast<size_t>(j)] +=
+          in_mean[static_cast<size_t>(j)] / static_cast<double>(in_count);
+    }
+    (*acc)[static_cast<size_t>(kNodeFeatureDim + j)] +=
+        target[static_cast<size_t>(j)];
+    if (out_count > 0) {
+      (*acc)[static_cast<size_t>(2 * kNodeFeatureDim + j)] +=
+          out_mean[static_cast<size_t>(j)] / static_cast<double>(out_count);
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<float> FlatFeaturesForGraph(const AddressGraph& graph) {
+  std::vector<double> acc(static_cast<size_t>(kFlatFeatureDim), 0.0);
+  AccumulateGraph(graph, &acc);
+  std::vector<float> out(static_cast<size_t>(kFlatFeatureDim), 0.0f);
+  for (int64_t j = 0; j < 3 * kNodeFeatureDim; ++j) {
+    out[static_cast<size_t>(j)] = static_cast<float>(acc[static_cast<size_t>(j)]);
+  }
+  out[static_cast<size_t>(kFlatFeatureDim - 2)] = static_cast<float>(
+      std::log1p(static_cast<double>(graph.num_nodes())));
+  out[static_cast<size_t>(kFlatFeatureDim - 1)] = static_cast<float>(
+      std::log1p(static_cast<double>(graph.CountKind(NodeKind::kTransaction))));
+  return out;
+}
+
+std::vector<float> FlatFeatures(const AddressSample& sample) {
+  std::vector<double> acc(static_cast<size_t>(kFlatFeatureDim), 0.0);
+  int64_t total_txs = 0;
+  for (const auto& g : sample.graphs) {
+    AccumulateGraph(g, &acc);
+    total_txs += g.CountKind(NodeKind::kTransaction);
+  }
+  const double num_graphs =
+      std::max<double>(1.0, static_cast<double>(sample.num_graphs()));
+  std::vector<float> out(static_cast<size_t>(kFlatFeatureDim), 0.0f);
+  for (int64_t j = 0; j < 3 * kNodeFeatureDim; ++j) {
+    out[static_cast<size_t>(j)] =
+        static_cast<float>(acc[static_cast<size_t>(j)] / num_graphs);
+  }
+  out[static_cast<size_t>(kFlatFeatureDim - 2)] =
+      static_cast<float>(std::log1p(static_cast<double>(sample.num_graphs())));
+  out[static_cast<size_t>(kFlatFeatureDim - 1)] =
+      static_cast<float>(std::log1p(static_cast<double>(total_txs)));
+  return out;
+}
+
+std::vector<std::vector<float>> FlatFeatureMatrix(
+    const std::vector<AddressSample>& samples) {
+  std::vector<std::vector<float>> out;
+  out.reserve(samples.size());
+  for (const auto& s : samples) out.push_back(FlatFeatures(s));
+  return out;
+}
+
+}  // namespace ba::core

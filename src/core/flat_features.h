@@ -1,0 +1,34 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/graph_dataset.h"
+
+/// \file flat_features.h
+/// \brief The Table II comparison protocol for classical ML models:
+/// "aggregate feature vectors of all input nodes and all output nodes
+/// of a target node, and concatenate [agg-in | target | agg-out]"
+/// (§IV-C.1). Averaged over the address's graph slices, plus two global
+/// scalars (graph count, transaction count).
+
+namespace ba::core {
+
+/// Width of the flattened vector: 3 * kNodeFeatureDim + 2.
+inline constexpr int64_t kFlatFeatureDim = 3 * kNodeFeatureDim + 2;
+
+/// \brief Flattens one address sample into a fixed-size feature vector
+/// for the non-graph baselines.
+std::vector<float> FlatFeatures(const AddressSample& sample);
+
+/// \brief Flattens a single graph slice — the Table II protocol, where
+/// the classical models see exactly the same per-slice examples the
+/// GNNs classify. Width kFlatFeatureDim (the two trailing globals are
+/// the slice's node and transaction counts).
+std::vector<float> FlatFeaturesForGraph(const AddressGraph& graph);
+
+/// Flattens a whole split; rows align with `samples`.
+std::vector<std::vector<float>> FlatFeatureMatrix(
+    const std::vector<AddressSample>& samples);
+
+}  // namespace ba::core

@@ -1,0 +1,79 @@
+#include "core/graph_dataset.h"
+
+#include <atomic>
+#include <memory>
+
+#include "util/thread_pool.h"
+
+namespace ba::core {
+
+GraphDatasetBuilder::GraphDatasetBuilder(GraphDatasetOptions options)
+    : options_(options) {
+  BA_CHECK_GE(options_.num_threads, 1);
+}
+
+std::vector<AddressSample> GraphDatasetBuilder::Build(
+    const chain::Ledger& ledger,
+    const std::vector<datagen::LabeledAddress>& addresses) {
+  const size_t n = addresses.size();
+  std::vector<AddressSample> samples(n);
+
+  auto build_one = [&](GraphConstructor* constructor, size_t i) {
+    AddressSample& sample = samples[i];
+    sample.address = addresses[i].address;
+    sample.label = static_cast<int>(addresses[i].label);
+    sample.graphs = constructor->BuildGraphs(ledger, addresses[i].address);
+    sample.tensors.reserve(sample.graphs.size());
+    for (const auto& g : sample.graphs) {
+      sample.tensors.push_back(PrepareGraphTensors(g, options_.k_hops));
+    }
+  };
+
+  if (options_.num_threads == 1) {
+    GraphConstructor constructor(options_.construction);
+    for (size_t i = 0; i < n; ++i) build_one(&constructor, i);
+    const StageTimings& t = constructor.timings();
+    timings_.extract_seconds += t.extract_seconds;
+    timings_.single_compress_seconds += t.single_compress_seconds;
+    timings_.multi_compress_seconds += t.multi_compress_seconds;
+    timings_.augment_seconds += t.augment_seconds;
+  } else {
+    // One constructor per worker; timings summed afterwards.
+    const size_t workers = static_cast<size_t>(options_.num_threads);
+    std::vector<std::unique_ptr<GraphConstructor>> constructors;
+    constructors.reserve(workers);
+    for (size_t w = 0; w < workers; ++w) {
+      constructors.push_back(
+          std::make_unique<GraphConstructor>(options_.construction));
+    }
+    ThreadPool pool(workers);
+    std::atomic<size_t> next{0};
+    for (size_t w = 0; w < workers; ++w) {
+      pool.Submit([&, w] {
+        for (;;) {
+          const size_t i = next.fetch_add(1);
+          if (i >= n) break;
+          build_one(constructors[w].get(), i);
+        }
+      });
+    }
+    pool.Wait();
+    for (const auto& c : constructors) {
+      const StageTimings& t = c->timings();
+      timings_.extract_seconds += t.extract_seconds;
+      timings_.single_compress_seconds += t.single_compress_seconds;
+      timings_.multi_compress_seconds += t.multi_compress_seconds;
+      timings_.augment_seconds += t.augment_seconds;
+    }
+  }
+
+  // Drop empty histories.
+  std::vector<AddressSample> out;
+  out.reserve(samples.size());
+  for (auto& s : samples) {
+    if (!s.graphs.empty()) out.push_back(std::move(s));
+  }
+  return out;
+}
+
+}  // namespace ba::core

@@ -1,0 +1,217 @@
+#include "core/graph_model.h"
+
+#include <algorithm>
+
+#include "util/stopwatch.h"
+
+namespace ba::core {
+
+const char* GraphEncoderName(GraphEncoderKind kind) {
+  switch (kind) {
+    case GraphEncoderKind::kGfn:
+      return "GFN";
+    case GraphEncoderKind::kGcn:
+      return "GCN";
+    case GraphEncoderKind::kDiffPool:
+      return "DiffPool";
+    case GraphEncoderKind::kGat:
+      return "GAT";
+  }
+  return "Unknown";
+}
+
+GraphModel::GraphModel(const GraphModelOptions& options)
+    : options_(options), rng_(options.seed) {
+  switch (options_.encoder) {
+    case GraphEncoderKind::kGfn: {
+      nn::GfnEncoder::Options o;
+      o.input_dim = AugmentedDim(options_.k_hops);
+      o.hidden_dim = options_.hidden_dim;
+      o.embed_dim = options_.embed_dim;
+      o.num_classes = options_.num_classes;
+      o.dropout = options_.dropout;
+      gfn_ = std::make_unique<nn::GfnEncoder>(o, &rng_);
+      optimizer_ = std::make_unique<tensor::Adam>(
+          gfn_->Parameters(), options_.learning_rate, 0.9f, 0.999f, 1e-8f,
+          options_.weight_decay);
+      break;
+    }
+    case GraphEncoderKind::kGcn: {
+      nn::GcnEncoder::Options o;
+      o.input_dim = kNodeFeatureDim;
+      o.hidden_dim = options_.hidden_dim;
+      o.embed_dim = options_.embed_dim;
+      o.num_classes = options_.num_classes;
+      gcn_ = std::make_unique<nn::GcnEncoder>(o, &rng_);
+      optimizer_ = std::make_unique<tensor::Adam>(
+          gcn_->Parameters(), options_.learning_rate, 0.9f, 0.999f, 1e-8f,
+          options_.weight_decay);
+      break;
+    }
+    case GraphEncoderKind::kDiffPool: {
+      nn::DiffPoolEncoder::Options o;
+      o.input_dim = kNodeFeatureDim;
+      o.hidden_dim = options_.hidden_dim;
+      o.embed_dim = options_.embed_dim;
+      o.num_classes = options_.num_classes;
+      o.num_clusters = options_.diffpool_clusters;
+      diffpool_ = std::make_unique<nn::DiffPoolEncoder>(o, &rng_);
+      optimizer_ = std::make_unique<tensor::Adam>(
+          diffpool_->Parameters(), options_.learning_rate, 0.9f, 0.999f,
+          1e-8f, options_.weight_decay);
+      break;
+    }
+    case GraphEncoderKind::kGat: {
+      nn::GatEncoder::Options o;
+      o.input_dim = kNodeFeatureDim;
+      o.hidden_dim = options_.hidden_dim;
+      o.embed_dim = options_.embed_dim;
+      o.num_classes = options_.num_classes;
+      gat_ = std::make_unique<nn::GatEncoder>(o, &rng_);
+      optimizer_ = std::make_unique<tensor::Adam>(
+          gat_->Parameters(), options_.learning_rate, 0.9f, 0.999f, 1e-8f,
+          options_.weight_decay);
+      break;
+    }
+  }
+}
+
+int64_t GraphModel::NumParameters() const {
+  if (gfn_) return gfn_->NumParameters();
+  if (gcn_) return gcn_->NumParameters();
+  if (gat_) return gat_->NumParameters();
+  return diffpool_->NumParameters();
+}
+
+std::vector<tensor::Var> GraphModel::Parameters() const {
+  if (gfn_) return gfn_->Parameters();
+  if (gcn_) return gcn_->Parameters();
+  if (gat_) return gat_->Parameters();
+  return diffpool_->Parameters();
+}
+
+tensor::Var GraphModel::LogitsImpl(const GraphTensors& gt,
+                                   bool training) const {
+  switch (options_.encoder) {
+    case GraphEncoderKind::kGfn:
+      return gfn_->Forward(tensor::Constant(gt.augmented),
+                           training ? &rng_ : nullptr, training);
+    case GraphEncoderKind::kGcn:
+      return gcn_->Forward(gt.norm_adj, tensor::Constant(gt.base_features));
+    case GraphEncoderKind::kDiffPool:
+      return diffpool_->Forward(gt.norm_adj,
+                                tensor::Constant(gt.base_features));
+    case GraphEncoderKind::kGat:
+      return gat_->Forward(*gt.norm_adj,
+                           tensor::Constant(gt.base_features));
+  }
+  BA_CHECK(false);
+  return nullptr;
+}
+
+tensor::Var GraphModel::Logits(const GraphTensors& gt) const {
+  return LogitsImpl(gt, /*training=*/false);
+}
+
+int GraphModel::PredictGraph(const GraphTensors& gt) const {
+  const tensor::Var logits = Logits(gt);
+  int best = 0;
+  for (int c = 1; c < options_.num_classes; ++c) {
+    if (logits->value.at(0, c) > logits->value.at(0, best)) best = c;
+  }
+  return best;
+}
+
+tensor::Tensor GraphModel::Embed(const GraphTensors& gt) const {
+  switch (options_.encoder) {
+    case GraphEncoderKind::kGfn:
+      return gfn_->Embed(tensor::Constant(gt.augmented))->value;
+    case GraphEncoderKind::kGcn:
+      return gcn_->Embed(gt.norm_adj, tensor::Constant(gt.base_features))
+          ->value;
+    case GraphEncoderKind::kDiffPool:
+      return diffpool_
+          ->Embed(gt.norm_adj, tensor::Constant(gt.base_features))
+          ->value;
+    case GraphEncoderKind::kGat:
+      return gat_->Embed(*gt.norm_adj, tensor::Constant(gt.base_features))
+          ->value;
+  }
+  BA_CHECK(false);
+  return tensor::Tensor();
+}
+
+void GraphModel::Train(const std::vector<AddressSample>& train,
+                       const std::vector<AddressSample>* eval,
+                       std::vector<EpochStat>* history) {
+  // Flatten to (graph, label) pairs — each slice is one example.
+  struct Example {
+    const GraphTensors* tensors;
+    int label;
+  };
+  std::vector<Example> examples;
+  for (const auto& s : train) {
+    BA_CHECK_GE(s.label, 0);
+    for (const auto& gt : s.tensors) examples.push_back({&gt, s.label});
+  }
+  BA_CHECK(!examples.empty());
+
+  Stopwatch train_watch;
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    train_watch.Start();
+    rng_.Shuffle(&examples);
+    double epoch_loss = 0.0;
+    size_t i = 0;
+    while (i < examples.size()) {
+      const size_t batch_end = std::min(
+          examples.size(), i + static_cast<size_t>(options_.batch_size));
+      optimizer_->ZeroGrad();
+      std::vector<tensor::Var> losses;
+      losses.reserve(batch_end - i);
+      for (; i < batch_end; ++i) {
+        const tensor::Var logits =
+            LogitsImpl(*examples[i].tensors, /*training=*/true);
+        losses.push_back(tensor::SoftmaxCrossEntropy(
+            logits, std::vector<int>{examples[i].label}));
+      }
+      tensor::Var batch_loss = losses[0];
+      for (size_t k = 1; k < losses.size(); ++k) {
+        batch_loss = tensor::Add(batch_loss, losses[k]);
+      }
+      batch_loss =
+          tensor::Scale(batch_loss, 1.0f / static_cast<float>(losses.size()));
+      tensor::Backward(batch_loss);
+      optimizer_->Step();
+      epoch_loss += static_cast<double>(batch_loss->value.item()) *
+                    static_cast<double>(losses.size());
+    }
+    train_watch.Stop();
+
+    if (history != nullptr) {
+      EpochStat stat;
+      stat.epoch = epoch + 1;
+      stat.seconds = train_watch.ElapsedSeconds();
+      stat.train_loss = epoch_loss / static_cast<double>(examples.size());
+      if (eval != nullptr) stat.eval_f1 = GraphLevelWeightedF1(*this, *eval);
+      history->push_back(stat);
+    }
+  }
+}
+
+metrics::ConfusionMatrix GraphModel::EvaluateGraphLevel(
+    const std::vector<AddressSample>& samples) const {
+  metrics::ConfusionMatrix cm(options_.num_classes);
+  for (const auto& s : samples) {
+    for (const auto& gt : s.tensors) {
+      cm.Add(s.label, PredictGraph(gt));
+    }
+  }
+  return cm;
+}
+
+double GraphLevelWeightedF1(const GraphModel& model,
+                            const std::vector<AddressSample>& samples) {
+  return model.EvaluateGraphLevel(samples).WeightedAverage().f1;
+}
+
+}  // namespace ba::core

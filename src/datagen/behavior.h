@@ -1,0 +1,50 @@
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "chain/types.h"
+
+/// \file behavior.h
+/// \brief The four address-behavior classes of the paper's dataset
+/// (§IV-B): Exchange, Mining, Gambling and Service.
+
+namespace ba::datagen {
+
+/// \brief Behavior class of a bitcoin address (Table I).
+enum class BehaviorLabel : int {
+  kExchange = 0,
+  kMining = 1,
+  kGambling = 2,
+  kService = 3,
+};
+
+inline constexpr int kNumBehaviors = 4;
+
+/// Human-readable class name, matching the paper's tables.
+inline const char* BehaviorName(BehaviorLabel label) {
+  switch (label) {
+    case BehaviorLabel::kExchange:
+      return "Exchange";
+    case BehaviorLabel::kMining:
+      return "Mining";
+    case BehaviorLabel::kGambling:
+      return "Gambling";
+    case BehaviorLabel::kService:
+      return "Service";
+  }
+  return "Unknown";
+}
+
+/// All class names in label order.
+inline std::array<std::string, kNumBehaviors> BehaviorNames() {
+  return {"Exchange", "Mining", "Gambling", "Service"};
+}
+
+/// \brief A labeled bitcoin address: the unit of the dataset.
+struct LabeledAddress {
+  chain::AddressId address = chain::kInvalidAddress;
+  BehaviorLabel label = BehaviorLabel::kExchange;
+};
+
+}  // namespace ba::datagen

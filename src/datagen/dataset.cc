@@ -1,0 +1,162 @@
+#include "datagen/dataset.h"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace ba::datagen {
+
+std::array<int64_t, kNumBehaviors> CountByLabel(
+    const std::vector<LabeledAddress>& addresses) {
+  std::array<int64_t, kNumBehaviors> counts{};
+  for (const auto& a : addresses) {
+    ++counts[static_cast<size_t>(a.label)];
+  }
+  return counts;
+}
+
+namespace {
+
+std::array<std::vector<LabeledAddress>, kNumBehaviors> GroupByLabel(
+    const std::vector<LabeledAddress>& addresses) {
+  std::array<std::vector<LabeledAddress>, kNumBehaviors> groups;
+  for (const auto& a : addresses) {
+    groups[static_cast<size_t>(a.label)].push_back(a);
+  }
+  return groups;
+}
+
+}  // namespace
+
+std::vector<LabeledAddress> StratifiedSample(
+    const std::vector<LabeledAddress>& addresses, int64_t target_total,
+    Rng* rng) {
+  BA_CHECK_GE(target_total, 0);
+  auto groups = GroupByLabel(addresses);
+  const int64_t total = static_cast<int64_t>(addresses.size());
+  if (total <= target_total) return addresses;
+
+  std::vector<LabeledAddress> out;
+  out.reserve(static_cast<size_t>(target_total));
+  for (auto& group : groups) {
+    if (group.empty()) continue;
+    int64_t take = target_total * static_cast<int64_t>(group.size()) / total;
+    take = std::max<int64_t>(take, 1);
+    take = std::min<int64_t>(take, static_cast<int64_t>(group.size()));
+    rng->Shuffle(&group);
+    out.insert(out.end(), group.begin(), group.begin() + take);
+  }
+  return out;
+}
+
+TrainTestSplit StratifiedSplit(const std::vector<LabeledAddress>& addresses,
+                               double train_fraction, Rng* rng) {
+  BA_CHECK_GT(train_fraction, 0.0);
+  BA_CHECK_LT(train_fraction, 1.0);
+  TrainTestSplit split;
+  auto groups = GroupByLabel(addresses);
+  for (auto& group : groups) {
+    if (group.empty()) continue;
+    rng->Shuffle(&group);
+    // Ensure both sides get at least one example of a non-trivial class.
+    int64_t cut = static_cast<int64_t>(
+        train_fraction * static_cast<double>(group.size()));
+    if (group.size() >= 2) {
+      cut = std::clamp<int64_t>(cut, 1,
+                                static_cast<int64_t>(group.size()) - 1);
+    }
+    split.train.insert(split.train.end(), group.begin(), group.begin() + cut);
+    split.test.insert(split.test.end(), group.begin() + cut, group.end());
+  }
+  rng->Shuffle(&split.train);
+  rng->Shuffle(&split.test);
+  return split;
+}
+
+std::vector<ActivityPoint> ActiveAddressSeries(const chain::Ledger& ledger,
+                                               int64_t bucket_seconds) {
+  BA_CHECK_GT(bucket_seconds, 0);
+  std::map<chain::Timestamp, std::unordered_set<chain::AddressId>> buckets;
+  for (const auto& block : ledger.blocks()) {
+    for (chain::TxId id : block.transactions) {
+      const chain::Transaction& tx = ledger.tx(id);
+      const chain::Timestamp bucket =
+          tx.timestamp - (tx.timestamp % bucket_seconds);
+      auto& active = buckets[bucket];
+      for (const auto& in : tx.inputs) active.insert(in.address);
+      for (const auto& out : tx.outputs) active.insert(out.address);
+    }
+  }
+  std::vector<ActivityPoint> series;
+  series.reserve(buckets.size());
+  for (const auto& [start, active] : buckets) {
+    series.push_back({start, static_cast<int64_t>(active.size())});
+  }
+  return series;
+}
+
+}  // namespace ba::datagen
+
+namespace ba::datagen {
+
+Status ExportLabelsCsv(const std::vector<LabeledAddress>& labels,
+                       const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::Internal("cannot open for write: " + path);
+  out << "address,label\n";
+  for (const auto& a : labels) {
+    out << a.address << "," << BehaviorName(a.label) << "\n";
+  }
+  if (!out.good()) return Status::Internal("write failed: " + path);
+  return Status::OK();
+}
+
+Result<std::vector<LabeledAddress>> ImportLabelsCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open: " + path);
+  std::string line;
+  if (!std::getline(in, line) || line != "address,label") {
+    return Status::InvalidArgument("missing labels header");
+  }
+  const auto names = BehaviorNames();
+  std::vector<LabeledAddress> out;
+  int line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    const auto comma = line.find(',');
+    if (comma == std::string::npos) {
+      return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                     ": missing comma");
+    }
+    LabeledAddress entry;
+    try {
+      entry.address = static_cast<chain::AddressId>(
+          std::stoul(line.substr(0, comma)));
+    } catch (const std::exception&) {
+      return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                     ": bad address");
+    }
+    const std::string label = line.substr(comma + 1);
+    bool found = false;
+    for (int c = 0; c < kNumBehaviors; ++c) {
+      if (names[static_cast<size_t>(c)] == label) {
+        entry.label = static_cast<BehaviorLabel>(c);
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                     ": unknown label " + label);
+    }
+    out.push_back(entry);
+  }
+  return out;
+}
+
+}  // namespace ba::datagen

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "chain/ledger.h"
+#include "datagen/behavior.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+/// \file dataset.h
+/// \brief Dataset assembly utilities mirroring the paper's protocol
+/// (§IV-B): label counts (Table I), stratified subsampling of ~10k
+/// addresses and the stratified 80/20 train/test split, plus the
+/// active-address time series of Fig 1.
+
+namespace ba::datagen {
+
+/// Per-class address counts, indexed by BehaviorLabel.
+std::array<int64_t, kNumBehaviors> CountByLabel(
+    const std::vector<LabeledAddress>& addresses);
+
+/// \brief Random stratified sample preserving class proportions.
+/// Returns min(target_total, available) addresses; per-class counts are
+/// proportional to the input distribution (at least 1 per non-empty
+/// class).
+std::vector<LabeledAddress> StratifiedSample(
+    const std::vector<LabeledAddress>& addresses, int64_t target_total,
+    Rng* rng);
+
+/// \brief A stratified train/test partition.
+struct TrainTestSplit {
+  std::vector<LabeledAddress> train;
+  std::vector<LabeledAddress> test;
+};
+
+/// \brief Stratified split: each class independently shuffled and cut
+/// at `train_fraction` (the paper uses 0.8).
+TrainTestSplit StratifiedSplit(const std::vector<LabeledAddress>& addresses,
+                               double train_fraction, Rng* rng);
+
+/// \brief One point of the Fig 1 series: bucket start time and the
+/// number of distinct addresses active (as tx input or output) in it.
+struct ActivityPoint {
+  chain::Timestamp bucket_start = 0;
+  int64_t active_addresses = 0;
+};
+
+/// Unique-active-address counts per time bucket over the whole chain.
+std::vector<ActivityPoint> ActiveAddressSeries(const chain::Ledger& ledger,
+                                               int64_t bucket_seconds);
+
+/// \brief Writes "address,label_name" rows (with header) to `path` —
+/// the released-labels half of the dataset artifact.
+Status ExportLabelsCsv(const std::vector<LabeledAddress>& labels,
+                       const std::string& path);
+
+/// Reads labels written by ExportLabelsCsv.
+Result<std::vector<LabeledAddress>> ImportLabelsCsv(const std::string& path);
+
+}  // namespace ba::datagen

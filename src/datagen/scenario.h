@@ -1,0 +1,116 @@
+#pragma once
+
+#include <cstdint>
+
+#include "chain/types.h"
+
+/// \file scenario.h
+/// \brief Tunables of the behavioral economy simulated on the UTXO
+/// ledger. Defaults produce a small but realistic economy in seconds;
+/// every bench exposes the interesting knobs as CLI flags.
+
+namespace ba::datagen {
+
+/// \brief Configuration of one simulated bitcoin economy.
+///
+/// The simulation drives five actor families over `num_blocks` blocks:
+/// mining pools (coinbase → mass payouts), exchanges (deposit /
+/// withdrawal / cold sweeps), gambling houses (rapid small bets with a
+/// house edge), mixing services (split-delay-merge chains — the
+/// "underground bank" of §III) and retail users (background traffic).
+struct ScenarioConfig {
+  uint64_t seed = 42;
+
+  // Simulation length.
+  int num_blocks = 600;
+  chain::Timestamp genesis_time = 1'293'840'000;  // 2011-01-01
+  int64_t block_interval_seconds = 600;
+
+  // Actor population.
+  int num_mining_pools = 2;
+  int miners_per_pool = 120;
+  int num_exchanges = 3;
+  int num_gambling_houses = 2;
+  int gamblers_per_house = 40;
+  int num_services = 3;
+  /// Underground banks: Service-labeled entities that operate the full
+  /// exchange machinery (deposits, sweeps, batched withdrawals, cold
+  /// storage) — the §III "underground bank" workflow. They are what
+  /// makes Service the hardest class, as in the paper's tables: in
+  /// isolation their addresses look exactly like exchange addresses;
+  /// only their entanglement with mixing flows betrays them.
+  int num_underground_banks = 2;
+  /// Probability that a mix is commissioned by an underground bank
+  /// (laundering its float) rather than a retail client.
+  double bank_mix_prob = 0.4;
+  int num_retail_users = 150;
+
+  // Mining dynamics.
+  int pool_payout_interval_blocks = 12;
+  /// Fraction of a pool's miners paid in one payout transaction. The
+  /// paper notes real payouts reach thousands of outputs; scaled here.
+  double pool_payout_fraction = 0.6;
+  /// Probability per block that a paid miner deposits to an exchange.
+  double miner_deposit_prob = 0.08;
+
+  // Exchange dynamics.
+  int exchange_sweep_interval_blocks = 18;
+  /// Deposits arriving per exchange per block (Poisson mean).
+  double exchange_deposits_per_block = 1.2;
+  /// Withdrawals issued per exchange per block (Poisson mean); each
+  /// withdrawal batch transaction has several outputs.
+  double exchange_withdrawals_per_block = 0.8;
+  int exchange_withdrawal_batch = 4;
+  int exchange_cold_sweep_interval_blocks = 60;
+
+  // Gambling dynamics.
+  /// Bets placed per house per block (Poisson mean).
+  double bets_per_block = 3.0;
+  double bet_win_prob = 0.47;
+  double bet_payout_multiplier = 2.0;
+
+  // Service (mixer) dynamics.
+  double mixes_per_block = 0.9;
+  int mix_min_hops = 2;
+  int mix_max_hops = 4;
+  int mix_max_splits = 5;
+  /// Probability a mix gets a freshly generated entry address instead
+  /// of a rotating pool address.
+  double mix_fresh_entry_prob = 0.5;
+
+  // Retail background traffic.
+  double retail_payments_per_block = 4.0;
+
+  // Value scales (satoshis). Transaction amounts are log-normal around
+  // these medians, giving the heavy-tailed value distributions SFE
+  // exploits.
+  // Medians deliberately close together: between-class separation in
+  // raw amounts is weak, within-class (per-actor) variance is wide —
+  // classification has to come from structure and order, as the paper
+  // argues, not from value magnitude alone.
+  chain::Amount retail_payment_median = 20'000'000;      // 0.2 BTC
+  chain::Amount bet_median = 15'000'000;                 // 0.15 BTC
+  chain::Amount mix_median = 40'000'000;                 // 0.4 BTC
+  chain::Amount deposit_median = 30'000'000;             // 0.3 BTC
+  double amount_sigma = 1.0;
+  /// Log-std of the per-actor amount multiplier (within-class spread).
+  double actor_scale_sigma = 1.0;
+  /// Probability a bet comes from a walk-in (unlabeled retail) user
+  /// rather than a regular gambler.
+  double walk_in_bet_prob = 0.3;
+  /// Probability a mix payout is deposited straight to the client's
+  /// exchange deposit address ("mix then deposit").
+  double mix_to_exchange_prob = 0.3;
+
+  /// \brief Behavioral noise in [0, 1): probability that an actor
+  /// performs an action borrowed from another class's repertoire
+  /// (services consolidating like exchanges, exchanges fanning out like
+  /// pools, ...). Raises class confusion — Service degrades first, as
+  /// in the paper's Tables III/IV.
+  double behavior_noise = 0.12;
+
+  /// Fee charged per transaction (flat, satoshis).
+  chain::Amount fee = 20'000;
+};
+
+}  // namespace ba::datagen

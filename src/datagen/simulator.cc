@@ -1,0 +1,818 @@
+#include "datagen/simulator.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/logging.h"
+
+namespace ba::datagen {
+
+using chain::Amount;
+using chain::AddressId;
+using chain::ChangePolicy;
+using chain::TxOut;
+
+Simulator::Simulator(const ScenarioConfig& config)
+    : config_(config),
+      rng_(config.seed),
+      ledger_(chain::LedgerOptions{
+          .block_subsidy = 625'000'000,
+          .coinbase_maturity = 0,
+          .block_interval_seconds = config.block_interval_seconds}) {
+  SetupActors();
+}
+
+void Simulator::SetupActors() {
+  pools_.reserve(static_cast<size_t>(config_.num_mining_pools));
+  for (int p = 0; p < config_.num_mining_pools; ++p) {
+    MiningPool pool{.wallet = chain::Wallet(&ledger_)};
+    pool.reward_address = pool.wallet.CreateAddress();
+    pool.payout_interval = std::max(
+        2, config_.pool_payout_interval_blocks +
+               static_cast<int>(rng_.UniformInt(-4, 4)));
+    pool.payout_fraction =
+        std::clamp(config_.pool_payout_fraction * rng_.Uniform(0.5, 1.4),
+                   0.1, 1.0);
+    pools_.push_back(std::move(pool));
+  }
+
+  exchanges_.reserve(static_cast<size_t>(config_.num_exchanges +
+                                          config_.num_underground_banks));
+  for (int e = 0;
+       e < config_.num_exchanges + config_.num_underground_banks; ++e) {
+    Exchange ex{chain::Wallet(&ledger_), chain::kInvalidAddress,
+                chain::Wallet(&ledger_), chain::kInvalidAddress,
+                chain::Wallet(&ledger_)};
+    ex.hot_address = ex.hot_wallet.CreateAddress();
+    ex.cold_address = ex.cold_wallet.CreateAddress();
+    ex.withdrawal_batch =
+        2 + static_cast<int>(rng_.UniformInt(
+                static_cast<uint64_t>(3 * config_.exchange_withdrawal_batch)));
+    ex.sweep_interval = std::max(
+        4, config_.exchange_sweep_interval_blocks +
+               static_cast<int>(rng_.UniformInt(-8, 8)));
+    ex.amount_scale = rng_.LogNormal(0.0, config_.actor_scale_sigma);
+    if (e >= config_.num_exchanges) {
+      // Underground bank: same machinery, smaller float, Service label.
+      ex.is_underground = true;
+      ex.amount_scale *= 0.6;
+    }
+    exchanges_.push_back(std::move(ex));
+  }
+
+  miners_.reserve(static_cast<size_t>(config_.num_mining_pools) *
+                  config_.miners_per_pool);
+  for (int p = 0; p < config_.num_mining_pools; ++p) {
+    for (int m = 0; m < config_.miners_per_pool; ++m) {
+      Miner miner{chain::Wallet(&ledger_)};
+      miner.reward_address = miner.wallet.CreateAddress();
+      miner.exchange = static_cast<int>(rng_.UniformInt(
+          static_cast<uint64_t>(config_.num_exchanges)));  // real only
+      // Exchanges assign each customer a reusable deposit address.
+      miner.deposit_address = exchanges_[static_cast<size_t>(miner.exchange)]
+                                  .deposit_wallet.CreateAddress();
+      pools_[static_cast<size_t>(p)].miner_indices.push_back(
+          static_cast<int>(miners_.size()));
+      miners_.push_back(std::move(miner));
+    }
+  }
+
+  const int num_gamblers =
+      config_.num_gambling_houses * config_.gamblers_per_house;
+  users_.reserve(
+      static_cast<size_t>(config_.num_retail_users + num_gamblers));
+  for (int u = 0; u < config_.num_retail_users + num_gamblers; ++u) {
+    User user{.wallet = chain::Wallet(&ledger_)};
+    user.primary_address = user.wallet.CreateAddress();
+    user.uses_banks = rng_.Bernoulli(0.15);
+    user.deposit_addresses.assign(
+        static_cast<size_t>(config_.num_exchanges +
+                            config_.num_underground_banks),
+        chain::kInvalidAddress);
+    users_.push_back(std::move(user));
+  }
+
+  houses_.reserve(static_cast<size_t>(config_.num_gambling_houses));
+  int gambler_cursor = config_.num_retail_users;
+  for (int h = 0; h < config_.num_gambling_houses; ++h) {
+    GamblingHouse house{.wallet = chain::Wallet(&ledger_)};
+    house.house_address = house.wallet.CreateAddress();
+    house.payout_batch = 1 + static_cast<int>(rng_.UniformInt(6));
+    house.amount_scale = rng_.LogNormal(0.0, config_.actor_scale_sigma);
+    for (int g = 0; g < config_.gamblers_per_house; ++g) {
+      User& user = users_[static_cast<size_t>(gambler_cursor)];
+      user.is_gambler = true;
+      user.gambling_address = user.wallet.CreateAddress();
+      house.gambler_indices.push_back(gambler_cursor);
+      ++gambler_cursor;
+    }
+    houses_.push_back(std::move(house));
+  }
+
+  services_.reserve(static_cast<size_t>(config_.num_services));
+  for (int s = 0; s < config_.num_services; ++s) {
+    Service service{.wallet = chain::Wallet(&ledger_)};
+    service.batch_payout_prob = rng_.Uniform(0.15, 0.65);
+    service.amount_scale = rng_.LogNormal(0.0, config_.actor_scale_sigma);
+    const int rotating = 10 + static_cast<int>(rng_.UniformInt(8));
+    for (int a = 0; a < rotating; ++a) {
+      service.mix_addresses.push_back(service.wallet.CreateAddress());
+    }
+    services_.push_back(std::move(service));
+  }
+}
+
+Status Simulator::Run() {
+  BA_CHECK(!ran_);
+  ran_ = true;
+  for (int h = 0; h < config_.num_blocks; ++h) {
+    StepBlock(h);
+    BA_RETURN_NOT_OK(ledger_.SealBlock(BlockTime(h)));
+  }
+  return ledger_.CheckConservation();
+}
+
+void Simulator::StepBlock(int height) {
+  tx_in_block_ = 0;
+  MineCoinbase(height);
+  PoolPayouts(height);
+  MinerDeposits(height);
+  ExchangeSweeps(height);
+  ExchangeWithdrawals(height);
+  ExchangeColdSweeps(height);
+  ResolveBets(height);
+  RetailPayments(height);
+  PlaceBets(height);
+  AdvanceMixes(height);
+  ServiceBatchPayouts(height);
+  StartMixes(height);
+}
+
+chain::Timestamp Simulator::BlockTime(int height) const {
+  return config_.genesis_time +
+         static_cast<chain::Timestamp>(height) *
+             config_.block_interval_seconds;
+}
+
+chain::Timestamp Simulator::NextTxTime(int height) {
+  // Spread transactions a second apart inside the block so the
+  // chronological order used by graph slicing is total.
+  return BlockTime(height) + (tx_in_block_++);
+}
+
+Amount Simulator::SampleAmount(Amount median) {
+  const double v = static_cast<double>(median) *
+                   rng_.LogNormal(0.0, config_.amount_sigma);
+  return std::max<Amount>(10'000, static_cast<Amount>(v));
+}
+
+namespace {
+Amount ScaleAmount(Amount v, double scale) {
+  return std::max<Amount>(10'000,
+                          static_cast<Amount>(static_cast<double>(v) * scale));
+}
+}  // namespace
+
+bool Simulator::TrySend(chain::Wallet* wallet, chain::Timestamp when,
+                        const std::vector<TxOut>& outs, ChangePolicy policy) {
+  auto result = wallet->Send(when, outs, config_.fee, policy);
+  if (!result.ok()) {
+    ++skipped_actions_;
+    return false;
+  }
+  return true;
+}
+
+void Simulator::MineCoinbase(int height) {
+  // Pools win blocks with slightly uneven hash power.
+  std::vector<double> power(pools_.size());
+  for (size_t p = 0; p < pools_.size(); ++p) {
+    power[p] = 1.0 + 0.3 * static_cast<double>(p);
+  }
+  const size_t winner = rng_.WeightedIndex(power);
+  auto result =
+      ledger_.ApplyCoinbase(NextTxTime(height), pools_[winner].reward_address);
+  BA_CHECK(result.ok());
+}
+
+void Simulator::PoolPayouts(int height) {
+  for (auto& pool : pools_) {
+    if (height == 0 || height % pool.payout_interval != 0) {
+      continue;
+    }
+    const Amount balance = pool.wallet.Balance();
+    if (balance < config_.fee * 10) continue;
+
+    if (rng_.Bernoulli(config_.behavior_noise)) {
+      // Noise: pay one miner directly, like a plain payment.
+      const int m = pool.miner_indices[static_cast<size_t>(
+          rng_.UniformInt(pool.miner_indices.size()))];
+      const Amount v = std::min<Amount>(balance / 4, SampleAmount(balance / 8));
+      if (v > 0) {
+        TrySend(&pool.wallet, NextTxTime(height),
+                {{miners_[static_cast<size_t>(m)].reward_address, v}},
+                ChangePolicy::kReuseSource);
+      }
+      continue;
+    }
+
+    // Mass payout: one transaction paying a large subset of miners —
+    // the huge fan-out signature of mining addresses.
+    std::vector<int> paid;
+    for (int m : pool.miner_indices) {
+      if (rng_.Bernoulli(pool.payout_fraction)) paid.push_back(m);
+    }
+    if (paid.empty()) continue;
+    const Amount distributable = balance - config_.fee;
+    const Amount base_share =
+        distributable / static_cast<Amount>(paid.size());
+    if (base_share < 10'000) continue;
+    std::vector<TxOut> outs;
+    outs.reserve(paid.size());
+    Amount used = 0;
+    for (size_t i = 0; i + 1 < paid.size(); ++i) {
+      // Hash-power jitter around the even share.
+      const Amount v = std::max<Amount>(
+          10'000,
+          static_cast<Amount>(static_cast<double>(base_share) *
+                              rng_.Uniform(0.6, 1.4)));
+      outs.push_back(
+          {miners_[static_cast<size_t>(paid[i])].reward_address, v});
+      used += v;
+      if (used + 10'000 > distributable) break;
+    }
+    const Amount rest = distributable - used;
+    if (rest >= 10'000) {
+      outs.push_back(
+          {miners_[static_cast<size_t>(paid.back())].reward_address, rest});
+    }
+    if (outs.empty()) continue;
+    TrySend(&pool.wallet, NextTxTime(height), outs,
+            ChangePolicy::kReuseSource);
+  }
+}
+
+void Simulator::MinerDeposits(int height) {
+  for (auto& miner : miners_) {
+    if (!rng_.Bernoulli(config_.miner_deposit_prob)) continue;
+    const Amount balance = miner.wallet.Balance();
+    if (balance < config_.fee * 20) continue;
+    // Miners cash out most of their accumulated rewards.
+    const Amount v = static_cast<Amount>(
+        static_cast<double>(balance - config_.fee) * rng_.Uniform(0.7, 1.0));
+    if (v < 10'000) continue;
+    TrySend(&miner.wallet, NextTxTime(height), {{miner.deposit_address, v}},
+            ChangePolicy::kReuseSource);
+  }
+}
+
+void Simulator::ExchangeSweeps(int height) {
+  for (auto& ex : exchanges_) {
+    if (height == 0 || height % ex.sweep_interval != 0) {
+      continue;
+    }
+    // Consolidate customer deposits into the hot wallet in bounded-size
+    // chunks (real exchanges cap transaction sizes) — which also makes
+    // a sweep look like a mixer merge at the flat-feature level.
+    std::vector<chain::OutPoint> inputs;
+    Amount gathered = 0;
+    const size_t chunk =
+        4 + static_cast<size_t>(rng_.UniformInt(9));  // 4..12 inputs
+    auto flush = [&]() {
+      if (inputs.empty() || gathered <= config_.fee) return;
+      chain::TxDraft draft;
+      draft.timestamp = NextTxTime(height);
+      draft.inputs = std::move(inputs);
+      draft.outputs = {{ex.hot_address, gathered - config_.fee}};
+      if (!ledger_.ApplyTransaction(draft).ok()) ++skipped_actions_;
+      inputs.clear();
+      gathered = 0;
+    };
+    for (AddressId a : ex.deposit_wallet.addresses()) {
+      for (const auto& u : ledger_.UnspentOf(a)) {
+        inputs.push_back(u.outpoint);
+        gathered += u.value;
+        if (inputs.size() >= chunk) flush();
+      }
+    }
+    flush();
+  }
+}
+
+void Simulator::ExchangeWithdrawals(int height) {
+  for (auto& ex : exchanges_) {
+    const int64_t n = rng_.Poisson(config_.exchange_withdrawals_per_block);
+    for (int64_t w = 0; w < n; ++w) {
+      const Amount hot = ex.hot_wallet.Balance();
+      if (hot < config_.fee * 50) break;
+      int batch = ex.withdrawal_batch;
+      if (rng_.Bernoulli(config_.behavior_noise)) {
+        batch *= 8;  // noise: mass fan-out resembling a pool payout
+      }
+      std::vector<TxOut> outs;
+      Amount total = 0;
+      for (int b = 0; b < batch; ++b) {
+        User& user =
+            users_[static_cast<size_t>(rng_.UniformInt(users_.size()))];
+        const Amount v =
+            ScaleAmount(SampleAmount(config_.deposit_median), ex.amount_scale);
+        if (total + v + config_.fee > hot) break;
+        outs.push_back({user.primary_address, v});
+        total += v;
+      }
+      if (outs.empty()) continue;
+      TrySend(&ex.hot_wallet, NextTxTime(height), outs,
+              ChangePolicy::kReuseSource);
+    }
+  }
+}
+
+void Simulator::ExchangeColdSweeps(int height) {
+  for (auto& ex : exchanges_) {
+    if (height == 0 ||
+        height % config_.exchange_cold_sweep_interval_blocks != 0) {
+      continue;
+    }
+    const Amount hot = ex.hot_wallet.Balance();
+    if (hot < 10 * config_.deposit_median) continue;
+    // Keep a working float in the hot wallet, vault the rest.
+    const Amount v = (hot * 7) / 10;
+    TrySend(&ex.hot_wallet, NextTxTime(height), {{ex.cold_address, v}},
+            ChangePolicy::kReuseSource);
+  }
+}
+
+void Simulator::RetailPayments(int height) {
+  const int64_t n = rng_.Poisson(config_.retail_payments_per_block);
+  for (int64_t i = 0; i < n; ++i) {
+    User& from = users_[static_cast<size_t>(rng_.UniformInt(users_.size()))];
+    const Amount balance = from.wallet.Balance();
+    if (balance < config_.fee * 10) continue;
+    const Amount v = std::min<Amount>(
+        SampleAmount(config_.retail_payment_median), balance / 2);
+    if (v < 10'000) continue;
+    if (rng_.Bernoulli(0.25)) {
+      // Deposit back to an exchange: each customer reuses the deposit
+      // address the exchange assigned them. Underground banks only see
+      // their small clientele.
+      size_t e;
+      if (from.uses_banks && config_.num_underground_banks > 0 &&
+          rng_.Bernoulli(0.4)) {
+        e = static_cast<size_t>(config_.num_exchanges) +
+            rng_.UniformInt(
+                static_cast<uint64_t>(config_.num_underground_banks));
+      } else {
+        e = rng_.UniformInt(static_cast<uint64_t>(config_.num_exchanges));
+      }
+      Exchange& ex = exchanges_[e];
+      if (from.deposit_addresses[e] == chain::kInvalidAddress) {
+        from.deposit_addresses[e] = ex.deposit_wallet.CreateAddress();
+      }
+      TrySend(&from.wallet, NextTxTime(height),
+              {{from.deposit_addresses[e], v}}, ChangePolicy::kFreshAddress);
+    } else {
+      // Plain payment; occasionally pays several parties at once, which
+      // overlaps with small withdrawal / payout batches.
+      std::vector<TxOut> outs;
+      const int payees =
+          rng_.Bernoulli(0.3) ? 2 + static_cast<int>(rng_.UniformInt(3)) : 1;
+      Amount remaining = v;
+      for (int k = 0; k < payees && remaining >= 10'000; ++k) {
+        User& to =
+            users_[static_cast<size_t>(rng_.UniformInt(users_.size()))];
+        const Amount part =
+            k + 1 == payees
+                ? remaining
+                : std::max<Amount>(10'000, remaining /
+                                               static_cast<Amount>(payees));
+        outs.push_back({to.primary_address, std::min(part, remaining)});
+        remaining -= outs.back().value;
+      }
+      TrySend(&from.wallet, NextTxTime(height), outs,
+              ChangePolicy::kFreshAddress);
+    }
+  }
+}
+
+void Simulator::PlaceBets(int height) {
+  for (size_t h = 0; h < houses_.size(); ++h) {
+    auto& house = houses_[h];
+    const int64_t n = rng_.Poisson(config_.bets_per_block);
+    for (int64_t b = 0; b < n; ++b) {
+      int g;
+      if (rng_.Bernoulli(config_.walk_in_bet_prob)) {
+        g = static_cast<int>(rng_.UniformInt(users_.size()));
+      } else {
+        g = house.gambler_indices[static_cast<size_t>(
+            rng_.UniformInt(house.gambler_indices.size()))];
+      }
+      User& gambler = users_[static_cast<size_t>(g)];
+      const Amount balance = gambler.wallet.Balance();
+      if (balance < config_.fee * 10) continue;
+      const Amount v = std::min<Amount>(
+          ScaleAmount(SampleAmount(config_.bet_median), house.amount_scale),
+          balance / 3);
+      if (v < 10'000) continue;
+      if (!TrySend(&gambler.wallet, NextTxTime(height),
+                   {{house.house_address, v}}, ChangePolicy::kReuseSource)) {
+        continue;
+      }
+      pending_bets_.push_back(
+          {static_cast<int>(h), g, v, height + 1});
+    }
+  }
+}
+
+void Simulator::ResolveBets(int height) {
+  while (!pending_bets_.empty() &&
+         pending_bets_.front().resolve_block <= height) {
+    const PendingBet bet = pending_bets_.front();
+    pending_bets_.pop_front();
+    if (!rng_.Bernoulli(config_.bet_win_prob)) continue;  // house keeps it
+    auto& house = houses_[static_cast<size_t>(bet.house)];
+    User& gambler = users_[static_cast<size_t>(bet.gambler)];
+    const Amount payout = static_cast<Amount>(
+        static_cast<double>(bet.amount) * config_.bet_payout_multiplier);
+    const AddressId payee = gambler.is_gambler ? gambler.gambling_address
+                                               : gambler.primary_address;
+    house.pending_payouts.push_back({payee, payout});
+  }
+  // Houses settle winners in batched transactions (overlapping with the
+  // exchange-withdrawal signature).
+  for (auto& house : houses_) {
+    while (!house.pending_payouts.empty()) {
+      std::vector<TxOut> outs;
+      Amount total = 0;
+      const Amount balance = house.wallet.Balance();
+      while (!house.pending_payouts.empty() &&
+             static_cast<int>(outs.size()) < house.payout_batch) {
+        const TxOut& next = house.pending_payouts.front();
+        if (total + next.value + config_.fee > balance) break;
+        outs.push_back(next);
+        total += next.value;
+        house.pending_payouts.pop_front();
+      }
+      if (outs.empty()) {
+        ++skipped_actions_;
+        break;  // insolvent for the next payout; retry next block
+      }
+      TrySend(&house.wallet, NextTxTime(height), outs,
+              ChangePolicy::kReuseSource);
+    }
+  }
+}
+
+void Simulator::StartMixes(int height) {
+  const int64_t n = rng_.Poisson(config_.mixes_per_block *
+                                 static_cast<double>(services_.size()));
+  for (int64_t i = 0; i < n; ++i) {
+    const int s =
+        static_cast<int>(rng_.UniformInt(services_.size()));
+    auto& service = services_[static_cast<size_t>(s)];
+
+    // Underground banks launder their float through the mixers; this
+    // coupling is the relational cue that separates them from real
+    // exchanges.
+    if (config_.num_underground_banks > 0 &&
+        rng_.Bernoulli(config_.bank_mix_prob)) {
+      const int b = config_.num_exchanges +
+                    static_cast<int>(rng_.UniformInt(
+                        static_cast<uint64_t>(config_.num_underground_banks)));
+      Exchange& bank = exchanges_[static_cast<size_t>(b)];
+      const Amount bank_balance = bank.hot_wallet.Balance();
+      if (bank_balance < config_.fee * 30) continue;
+      const Amount v = std::min<Amount>(
+          ScaleAmount(SampleAmount(config_.mix_median), service.amount_scale),
+          (bank_balance * 2) / 3);
+      if (v < config_.fee * 20) continue;
+      const AddressId entry =
+          rng_.Bernoulli(config_.mix_fresh_entry_prob)
+              ? service.wallet.CreateAddress()
+              : service.mix_addresses[static_cast<size_t>(
+                    rng_.UniformInt(service.mix_addresses.size()))];
+      auto sent = bank.hot_wallet.Send(NextTxTime(height), {{entry, v}},
+                                       config_.fee,
+                                       ChangePolicy::kReuseSource);
+      if (!sent.ok()) {
+        ++skipped_actions_;
+        continue;
+      }
+      PendingMix mix;
+      mix.service = s;
+      mix.client = -1;
+      mix.client_bank = b;
+      mix.hops_left = static_cast<int>(
+          rng_.UniformInt(config_.mix_min_hops, config_.mix_max_hops));
+      mix.holding = {entry};
+      mix.amount = v;
+      pending_mixes_.push_back(std::move(mix));
+      continue;
+    }
+
+    const int u =
+        static_cast<int>(rng_.UniformInt(users_.size()));
+    User& client = users_[static_cast<size_t>(u)];
+    const Amount balance = client.wallet.Balance();
+    if (balance < config_.fee * 30) continue;
+    const Amount v =
+        std::min<Amount>(SampleAmount(config_.mix_median), (balance * 2) / 3);
+    if (v < config_.fee * 20) continue;
+    // Mixers hand each client a deposit address: often a freshly
+    // generated one (unlinkable), sometimes a rotating pool address.
+    const AddressId entry =
+        rng_.Bernoulli(config_.mix_fresh_entry_prob)
+            ? service.wallet.CreateAddress()
+            : service.mix_addresses[static_cast<size_t>(
+                  rng_.UniformInt(service.mix_addresses.size()))];
+    if (!TrySend(&client.wallet, NextTxTime(height), {{entry, v}},
+                 ChangePolicy::kFreshAddress)) {
+      continue;
+    }
+    PendingMix mix;
+    mix.service = s;
+    mix.client = u;
+    mix.hops_left = static_cast<int>(
+        rng_.UniformInt(config_.mix_min_hops, config_.mix_max_hops));
+    mix.holding = {entry};
+    mix.amount = v;
+    pending_mixes_.push_back(std::move(mix));
+  }
+}
+
+void Simulator::AdvanceMixes(int height) {
+  const size_t count = pending_mixes_.size();
+  for (size_t i = 0; i < count; ++i) {
+    PendingMix mix = std::move(pending_mixes_.front());
+    pending_mixes_.pop_front();
+    auto& service = services_[static_cast<size_t>(mix.service)];
+
+    // Gather this mix's funds: spend from the holding addresses only.
+    std::vector<chain::OutPoint> inputs;
+    Amount gathered = 0;
+    for (AddressId a : mix.holding) {
+      for (const auto& u : ledger_.UnspentOf(a)) {
+        inputs.push_back(u.outpoint);
+        gathered += u.value;
+      }
+    }
+    if (inputs.empty() || gathered <= config_.fee * 2) {
+      ++skipped_actions_;
+      continue;  // drained by a concurrent mix sharing the address
+    }
+    const Amount net = std::min(gathered, mix.amount) - config_.fee;
+    const Amount extra = gathered - std::min(gathered, mix.amount);
+
+    chain::TxDraft draft;
+    draft.timestamp = NextTxTime(height);
+    draft.inputs = std::move(inputs);
+
+    if (mix.hops_left <= 1) {
+      if (mix.client_bank >= 0) {
+        // Laundered bank float returns as an ordinary-looking customer
+        // deposit of the bank.
+        Exchange& bank = exchanges_[static_cast<size_t>(mix.client_bank)];
+        const AddressId dest = bank.deposit_wallet.CreateAddress();
+        draft.outputs.push_back({dest, net + extra});
+        if (!ledger_.ApplyTransaction(draft).ok()) ++skipped_actions_;
+        continue;
+      }
+      User& client = users_[static_cast<size_t>(mix.client)];
+      AddressId dest;
+      if (rng_.Bernoulli(config_.mix_to_exchange_prob)) {
+        // "Mix then deposit": deliver straight into the client's
+        // exchange deposit address, entangling Service and Exchange
+        // neighborhoods.
+        const size_t e =
+            rng_.UniformInt(static_cast<uint64_t>(config_.num_exchanges));
+        if (client.deposit_addresses[e] == chain::kInvalidAddress) {
+          client.deposit_addresses[e] =
+              exchanges_[e].deposit_wallet.CreateAddress();
+        }
+        dest = client.deposit_addresses[e];
+      } else {
+        dest = client.wallet.CreateAddress();
+      }
+      if (rng_.Bernoulli(service.batch_payout_prob)) {
+        // Batch mode: park funds on a rotating address and owe the
+        // client; ServiceBatchPayouts settles several clients in one
+        // transaction (the underground-bank-as-exchange overlap).
+        const AddressId park = service.mix_addresses[static_cast<size_t>(
+            rng_.UniformInt(service.mix_addresses.size()))];
+        draft.outputs.push_back({park, net + extra});
+        auto result = ledger_.ApplyTransaction(draft);
+        if (!result.ok()) {
+          ++skipped_actions_;
+          continue;
+        }
+        service.pending_payouts.push_back({dest, net});
+        continue;
+      }
+      // Direct delivery to a fresh client address (unlinkable).
+      draft.outputs.push_back({dest, net});
+      if (extra > 0) {
+        // Return co-mingled funds to the service pool.
+        draft.outputs.push_back(
+            {service.mix_addresses[static_cast<size_t>(rng_.UniformInt(
+                 service.mix_addresses.size()))],
+             extra});
+      }
+      auto result = ledger_.ApplyTransaction(draft);
+      if (!result.ok()) ++skipped_actions_;
+      continue;
+    }
+
+    // Intermediate hop: split across rotating service addresses.
+    const int splits = 1 + static_cast<int>(rng_.UniformInt(
+                               static_cast<uint64_t>(config_.mix_max_splits)));
+    std::vector<AddressId> next_holding;
+    Amount remaining = net + extra;
+    for (int sp = 0; sp < splits && remaining > 10'000; ++sp) {
+      const AddressId hop = service.mix_addresses[static_cast<size_t>(
+          rng_.UniformInt(service.mix_addresses.size()))];
+      Amount part = (sp + 1 == splits)
+                        ? remaining
+                        : static_cast<Amount>(static_cast<double>(remaining) *
+                                              rng_.Uniform(0.2, 0.6));
+      part = std::min(part, remaining);
+      if (part < 10'000) continue;
+      draft.outputs.push_back({hop, part});
+      next_holding.push_back(hop);
+      remaining -= part;
+    }
+    if (draft.outputs.empty()) {
+      ++skipped_actions_;
+      continue;
+    }
+    auto result = ledger_.ApplyTransaction(draft);
+    if (!result.ok()) {
+      ++skipped_actions_;
+      continue;
+    }
+    mix.holding = std::move(next_holding);
+    mix.amount = net + extra;
+    --mix.hops_left;
+    pending_mixes_.push_back(std::move(mix));
+
+    // Noise: services occasionally consolidate their rotating pool like
+    // an exchange sweep.
+    if (rng_.Bernoulli(config_.behavior_noise * 0.2)) {
+      const AddressId sink = service.mix_addresses[0];
+      auto sweep = service.wallet.SweepTo(NextTxTime(height), sink,
+                                          config_.fee);
+      if (!sweep.ok()) ++skipped_actions_;
+    }
+  }
+}
+
+void Simulator::ServiceBatchPayouts(int height) {
+  for (auto& service : services_) {
+    if (service.pending_payouts.size() <
+        3 + static_cast<size_t>(rng_.UniformInt(3))) {
+      continue;  // wait for enough owed clients to batch
+    }
+    std::vector<TxOut> outs;
+    Amount total = 0;
+    const Amount balance = service.wallet.Balance();
+    while (!service.pending_payouts.empty() && outs.size() < 6) {
+      const TxOut& next = service.pending_payouts.front();
+      if (total + next.value + config_.fee > balance) break;
+      outs.push_back(next);
+      total += next.value;
+      service.pending_payouts.pop_front();
+    }
+    if (outs.empty()) {
+      ++skipped_actions_;
+      continue;
+    }
+    TrySend(&service.wallet, NextTxTime(height), outs,
+            ChangePolicy::kReuseSource);
+  }
+}
+
+std::vector<LabeledAddress> Simulator::CollectLabeledAddresses(
+    int min_txs) const {
+  std::vector<LabeledAddress> out;
+  std::unordered_map<AddressId, BehaviorLabel> labels;
+  auto add = [&](AddressId a, BehaviorLabel label) {
+    if (a == chain::kInvalidAddress) return;
+    labels.emplace(a, label);  // first label wins; roles are disjoint
+  };
+
+  for (const auto& ex : exchanges_) {
+    // Underground banks run the exchange machinery but are Services.
+    const BehaviorLabel label =
+        ex.is_underground ? BehaviorLabel::kService : BehaviorLabel::kExchange;
+    add(ex.hot_address, label);
+    add(ex.cold_address, label);
+    for (AddressId a : ex.deposit_wallet.addresses()) {
+      add(a, label);
+    }
+    // Change addresses spun up by hot-wallet sends keep the label.
+    for (AddressId a : ex.hot_wallet.addresses()) {
+      add(a, label);
+    }
+  }
+  for (const auto& pool : pools_) {
+    add(pool.reward_address, BehaviorLabel::kMining);
+    for (AddressId a : pool.wallet.addresses()) {
+      add(a, BehaviorLabel::kMining);
+    }
+  }
+  for (const auto& miner : miners_) {
+    add(miner.reward_address, BehaviorLabel::kMining);
+  }
+  for (const auto& house : houses_) {
+    add(house.house_address, BehaviorLabel::kGambling);
+    for (AddressId a : house.wallet.addresses()) {
+      add(a, BehaviorLabel::kGambling);
+    }
+  }
+  for (const auto& user : users_) {
+    if (user.is_gambler) {
+      add(user.gambling_address, BehaviorLabel::kGambling);
+    }
+  }
+  for (const auto& service : services_) {
+    for (AddressId a : service.wallet.addresses()) {
+      add(a, BehaviorLabel::kService);
+    }
+  }
+
+  for (const auto& [address, label] : labels) {
+    if (static_cast<int>(ledger_.TransactionsOf(address).size()) >= min_txs) {
+      out.push_back({address, label});
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const LabeledAddress& a, const LabeledAddress& b) {
+              return a.address < b.address;
+            });
+  return out;
+}
+
+}  // namespace ba::datagen
+
+namespace ba::datagen {
+
+std::vector<Simulator::EntityLabeledAddress> Simulator::CollectEntityLabels(
+    int min_txs) const {
+  std::vector<EntityLabeledAddress> out;
+  std::unordered_map<AddressId, EntityLabeledAddress> labels;
+  int entity = 0;
+  auto add = [&](AddressId a, BehaviorLabel behavior, int id) {
+    if (a == chain::kInvalidAddress) return;
+    labels.emplace(a, EntityLabeledAddress{a, behavior, id});
+  };
+
+  for (const auto& ex : exchanges_) {
+    const BehaviorLabel label =
+        ex.is_underground ? BehaviorLabel::kService : BehaviorLabel::kExchange;
+    add(ex.hot_address, label, entity);
+    add(ex.cold_address, label, entity);
+    for (AddressId a : ex.deposit_wallet.addresses()) add(a, label, entity);
+    for (AddressId a : ex.hot_wallet.addresses()) add(a, label, entity);
+    ++entity;
+  }
+  for (size_t p = 0; p < pools_.size(); ++p) {
+    add(pools_[p].reward_address, BehaviorLabel::kMining, entity);
+    for (AddressId a : pools_[p].wallet.addresses()) {
+      add(a, BehaviorLabel::kMining, entity);
+    }
+    // Miners belong to their pool's entity.
+    for (int m : pools_[p].miner_indices) {
+      add(miners_[static_cast<size_t>(m)].reward_address,
+          BehaviorLabel::kMining, entity);
+    }
+    ++entity;
+  }
+  for (size_t h = 0; h < houses_.size(); ++h) {
+    add(houses_[h].house_address, BehaviorLabel::kGambling, entity);
+    for (AddressId a : houses_[h].wallet.addresses()) {
+      add(a, BehaviorLabel::kGambling, entity);
+    }
+    for (int g : houses_[h].gambler_indices) {
+      add(users_[static_cast<size_t>(g)].gambling_address,
+          BehaviorLabel::kGambling, entity);
+    }
+    ++entity;
+  }
+  for (const auto& service : services_) {
+    for (AddressId a : service.wallet.addresses()) {
+      add(a, BehaviorLabel::kService, entity);
+    }
+    ++entity;
+  }
+
+  for (const auto& [address, entry] : labels) {
+    if (static_cast<int>(ledger_.TransactionsOf(address).size()) >= min_txs) {
+      out.push_back(entry);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const EntityLabeledAddress& a, const EntityLabeledAddress& b) {
+              return a.address < b.address;
+            });
+  return out;
+}
+
+}  // namespace ba::datagen

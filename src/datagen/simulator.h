@@ -1,0 +1,187 @@
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "chain/ledger.h"
+#include "chain/wallet.h"
+#include "datagen/behavior.h"
+#include "datagen/scenario.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+/// \file simulator.h
+/// \brief Behavioral economy simulator: drives exchange, mining,
+/// gambling, service (mixer) and retail actors over a real UTXO ledger,
+/// producing the labeled address dataset that substitutes for the
+/// paper's crawled 2M-address corpus (see DESIGN.md §1).
+
+namespace ba::datagen {
+
+/// \brief Runs one simulated economy and exposes the resulting ledger
+/// plus ground-truth behavior labels.
+class Simulator {
+ public:
+  explicit Simulator(const ScenarioConfig& config);
+
+  /// Simulates `config.num_blocks` blocks. Call once.
+  Status Run();
+
+  const chain::Ledger& ledger() const { return ledger_; }
+  chain::Ledger* mutable_ledger() { return &ledger_; }
+
+  /// \brief Ground-truth labeled addresses with at least `min_txs`
+  /// ledger transactions. Every returned address belongs to exactly one
+  /// behavior class by construction.
+  std::vector<LabeledAddress> CollectLabeledAddresses(int min_txs = 2) const;
+
+  /// \brief Entity-resolved label: which concrete actor (exchange #2,
+  /// pool #0, ...) owns the address — the ground truth for the paper's
+  /// future-work entity-identification task ("is this address
+  /// Coinbase or Binance?").
+  struct EntityLabeledAddress {
+    chain::AddressId address = chain::kInvalidAddress;
+    BehaviorLabel behavior = BehaviorLabel::kExchange;
+    /// Dense id, unique across all actors of all classes.
+    int entity_id = -1;
+  };
+
+  /// Entity-resolved labels for addresses with >= `min_txs` history.
+  std::vector<EntityLabeledAddress> CollectEntityLabels(int min_txs = 2) const;
+
+  /// Number of transactions the simulation skipped for insolvency
+  /// (diagnostic; should stay a small fraction).
+  int64_t skipped_actions() const { return skipped_actions_; }
+
+ private:
+  struct Miner {
+    chain::Wallet wallet;
+    chain::AddressId reward_address = chain::kInvalidAddress;
+    int exchange = 0;  // index of the exchange this miner cashes out at
+    chain::AddressId deposit_address = chain::kInvalidAddress;
+  };
+
+  struct MiningPool {
+    chain::Wallet wallet;
+    chain::AddressId reward_address = chain::kInvalidAddress;
+    std::vector<int> miner_indices = {};  // indices into miners_
+    // Per-pool heterogeneity: pools differ in payout cadence and the
+    // fraction of miners each payout covers.
+    int payout_interval = 12;
+    double payout_fraction = 0.6;
+  };
+
+  struct Exchange {
+    chain::Wallet hot_wallet;
+    chain::AddressId hot_address = chain::kInvalidAddress;
+    chain::Wallet cold_wallet;
+    chain::AddressId cold_address = chain::kInvalidAddress;
+    chain::Wallet deposit_wallet;  // owns all per-user deposit addresses
+    /// Underground banks run the same machinery but are labeled
+    /// Service and launder their float through the mixers.
+    bool is_underground = false;
+    // Per-exchange heterogeneity: operational parameters differ across
+    // exchanges, so the class is not identified by a single signature.
+    int withdrawal_batch = 4;
+    int sweep_interval = 18;
+    double amount_scale = 1.0;
+  };
+
+  struct GamblingHouse {
+    chain::Wallet wallet;
+    chain::AddressId house_address = chain::kInvalidAddress;
+    std::vector<int> gambler_indices = {};  // indices into users_
+    // Winnings owed, paid out in batched transactions (like an
+    // exchange's batched withdrawals — deliberate class overlap).
+    std::deque<chain::TxOut> pending_payouts = {};
+    int payout_batch = 3;
+    double amount_scale = 1.0;
+  };
+
+  struct PendingBet {
+    int house = 0;
+    int gambler = 0;  // index into users_
+    chain::Amount amount = 0;
+    int resolve_block = 0;
+  };
+
+  struct Service {
+    chain::Wallet wallet;
+    /// Rotating pool of reused mixing addresses — what gives service
+    /// addresses their rich split/merge histories.
+    std::vector<chain::AddressId> mix_addresses = {};
+    /// Owed client deliveries when the service batches payouts (an
+    /// underground bank behaving like an exchange hot wallet).
+    std::deque<chain::TxOut> pending_payouts = {};
+    double batch_payout_prob = 0.4;
+    double amount_scale = 1.0;
+  };
+
+  struct PendingMix {
+    int service = 0;
+    int client = 0;   ///< index into users_, or -1 when a bank is the client
+    int client_bank = -1;  ///< index into exchanges_ when a bank mixes
+    int hops_left = 0;
+    /// Addresses (within the service's rotating pool) currently holding
+    /// this mix's funds.
+    std::vector<chain::AddressId> holding;
+    chain::Amount amount = 0;  // remaining value net of fees
+  };
+
+  /// A retail participant; gamblers and mix clients are users too.
+  struct User {
+    chain::Wallet wallet;
+    chain::AddressId primary_address = chain::kInvalidAddress;
+    bool is_gambler = false;
+    /// Few users know the underground banks; most deposit at real
+    /// exchanges only.
+    bool uses_banks = false;
+    chain::AddressId gambling_address = chain::kInvalidAddress;
+    /// Persistent per-exchange deposit address (exchanges assign each
+    /// customer one reusable deposit address), kInvalidAddress until
+    /// first used.
+    std::vector<chain::AddressId> deposit_addresses = {};
+  };
+
+  void SetupActors();
+  void StepBlock(int height);
+
+  void MineCoinbase(int height);
+  void PoolPayouts(int height);
+  void MinerDeposits(int height);
+  void ExchangeSweeps(int height);
+  void ExchangeWithdrawals(int height);
+  void ExchangeColdSweeps(int height);
+  void RetailPayments(int height);
+  void PlaceBets(int height);
+  void ResolveBets(int height);
+  void StartMixes(int height);
+  void AdvanceMixes(int height);
+  void ServiceBatchPayouts(int height);
+
+  chain::Timestamp BlockTime(int height) const;
+  chain::Timestamp NextTxTime(int height);
+  chain::Amount SampleAmount(chain::Amount median);
+  /// Sends from `wallet`, counting a skip when funds are insufficient.
+  bool TrySend(chain::Wallet* wallet, chain::Timestamp when,
+               const std::vector<chain::TxOut>& outs,
+               chain::ChangePolicy policy);
+
+  ScenarioConfig config_;
+  Rng rng_;
+  chain::Ledger ledger_;
+  std::vector<MiningPool> pools_;
+  std::vector<Miner> miners_;
+  std::vector<Exchange> exchanges_;
+  std::vector<GamblingHouse> houses_;
+  std::vector<Service> services_;
+  std::vector<User> users_;
+  std::deque<PendingBet> pending_bets_;
+  std::deque<PendingMix> pending_mixes_;
+  int tx_in_block_ = 0;
+  int64_t skipped_actions_ = 0;
+  bool ran_ = false;
+};
+
+}  // namespace ba::datagen

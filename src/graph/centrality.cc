@@ -1,0 +1,170 @@
+#include "graph/centrality.h"
+
+#include <cmath>
+#include <deque>
+#include <queue>
+
+namespace ba::graph {
+
+std::vector<double> DegreeCentrality(const AdjacencyList& g) {
+  const int64_t n = g.num_nodes();
+  std::vector<double> out(static_cast<size_t>(n), 0.0);
+  for (int64_t v = 0; v < n; ++v) {
+    out[static_cast<size_t>(v)] =
+        static_cast<double>(g.Neighbors(v).size());
+  }
+  return out;
+}
+
+std::vector<double> ClosenessCentrality(const AdjacencyList& g) {
+  const int64_t n = g.num_nodes();
+  std::vector<double> out(static_cast<size_t>(n), 0.0);
+  if (n <= 1) return out;
+  std::vector<int64_t> dist(static_cast<size_t>(n));
+  std::deque<int64_t> queue;
+  for (int64_t s = 0; s < n; ++s) {
+    std::fill(dist.begin(), dist.end(), -1);
+    dist[static_cast<size_t>(s)] = 0;
+    queue.clear();
+    queue.push_back(s);
+    int64_t reachable = 0;  // excluding s
+    int64_t dist_sum = 0;
+    while (!queue.empty()) {
+      const int64_t u = queue.front();
+      queue.pop_front();
+      for (int64_t w : g.Neighbors(u)) {
+        if (dist[static_cast<size_t>(w)] < 0) {
+          dist[static_cast<size_t>(w)] = dist[static_cast<size_t>(u)] + 1;
+          dist_sum += dist[static_cast<size_t>(w)];
+          ++reachable;
+          queue.push_back(w);
+        }
+      }
+    }
+    if (reachable == 0 || dist_sum == 0) continue;
+    // Wasserman-Faust: (r / (n-1)) * (r / dist_sum), where r = reachable.
+    const double r = static_cast<double>(reachable);
+    out[static_cast<size_t>(s)] =
+        (r / static_cast<double>(n - 1)) * (r / static_cast<double>(dist_sum));
+  }
+  return out;
+}
+
+std::vector<double> BetweennessCentrality(const AdjacencyList& g) {
+  const int64_t n = g.num_nodes();
+  std::vector<double> bc(static_cast<size_t>(n), 0.0);
+  std::vector<int64_t> dist(static_cast<size_t>(n));
+  std::vector<double> sigma(static_cast<size_t>(n));
+  std::vector<double> delta(static_cast<size_t>(n));
+  std::vector<std::vector<int64_t>> preds(static_cast<size_t>(n));
+  std::vector<int64_t> order;
+  order.reserve(static_cast<size_t>(n));
+  std::deque<int64_t> queue;
+
+  for (int64_t s = 0; s < n; ++s) {
+    std::fill(dist.begin(), dist.end(), -1);
+    std::fill(sigma.begin(), sigma.end(), 0.0);
+    std::fill(delta.begin(), delta.end(), 0.0);
+    for (auto& p : preds) p.clear();
+    order.clear();
+    queue.clear();
+
+    dist[static_cast<size_t>(s)] = 0;
+    sigma[static_cast<size_t>(s)] = 1.0;
+    queue.push_back(s);
+    while (!queue.empty()) {
+      const int64_t u = queue.front();
+      queue.pop_front();
+      order.push_back(u);
+      for (int64_t w : g.Neighbors(u)) {
+        if (w == u) continue;
+        auto& dw = dist[static_cast<size_t>(w)];
+        if (dw < 0) {
+          dw = dist[static_cast<size_t>(u)] + 1;
+          queue.push_back(w);
+        }
+        if (dw == dist[static_cast<size_t>(u)] + 1) {
+          sigma[static_cast<size_t>(w)] += sigma[static_cast<size_t>(u)];
+          preds[static_cast<size_t>(w)].push_back(u);
+        }
+      }
+    }
+    // Dependency accumulation in reverse BFS order.
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+      const int64_t w = *it;
+      for (int64_t u : preds[static_cast<size_t>(w)]) {
+        delta[static_cast<size_t>(u)] +=
+            sigma[static_cast<size_t>(u)] / sigma[static_cast<size_t>(w)] *
+            (1.0 + delta[static_cast<size_t>(w)]);
+      }
+      if (w != s) bc[static_cast<size_t>(w)] += delta[static_cast<size_t>(w)];
+    }
+  }
+  // Undirected graphs count each pair twice.
+  for (auto& v : bc) v *= 0.5;
+  return bc;
+}
+
+std::vector<double> PageRank(const AdjacencyList& g, double alpha,
+                             int max_iters, double tol) {
+  const int64_t n = g.num_nodes();
+  if (n == 0) return {};
+  const double uniform = 1.0 / static_cast<double>(n);
+  std::vector<double> rank(static_cast<size_t>(n), uniform);
+  std::vector<double> next(static_cast<size_t>(n));
+  for (int iter = 0; iter < max_iters; ++iter) {
+    double dangling = 0.0;
+    for (int64_t v = 0; v < n; ++v) {
+      if (g.Neighbors(v).empty()) dangling += rank[static_cast<size_t>(v)];
+    }
+    std::fill(next.begin(), next.end(),
+              (1.0 - alpha) * uniform + alpha * dangling * uniform);
+    for (int64_t v = 0; v < n; ++v) {
+      const auto& nbrs = g.Neighbors(v);
+      if (nbrs.empty()) continue;
+      const double share = alpha * rank[static_cast<size_t>(v)] /
+                           static_cast<double>(nbrs.size());
+      for (int64_t w : nbrs) next[static_cast<size_t>(w)] += share;
+    }
+    double change = 0.0;
+    for (int64_t v = 0; v < n; ++v) {
+      change += std::abs(next[static_cast<size_t>(v)] -
+                         rank[static_cast<size_t>(v)]);
+    }
+    rank.swap(next);
+    if (change < tol) break;
+  }
+  return rank;
+}
+
+SparseMatrix NormalizedAdjacency(const AdjacencyList& g) {
+  const int64_t n = g.num_nodes();
+  std::vector<Triplet> triplets;
+  for (int64_t u = 0; u < n; ++u) {
+    triplets.push_back({u, u, 1.0f});  // self-loop (A + I)
+    for (int64_t w : g.Neighbors(u)) {
+      triplets.push_back({u, w, 1.0f});
+    }
+  }
+  SparseMatrix a_plus_i = SparseMatrix::FromTriplets(n, n, std::move(triplets));
+  std::vector<double> inv_sqrt_deg(static_cast<size_t>(n), 0.0);
+  for (int64_t u = 0; u < n; ++u) {
+    const double d = a_plus_i.RowSum(u);
+    inv_sqrt_deg[static_cast<size_t>(u)] = d > 0 ? 1.0 / std::sqrt(d) : 0.0;
+  }
+  std::vector<Triplet> scaled;
+  scaled.reserve(static_cast<size_t>(a_plus_i.nnz()));
+  for (int64_t u = 0; u < n; ++u) {
+    const auto idx = a_plus_i.RowIndices(u);
+    const auto vals = a_plus_i.RowValues(u);
+    for (size_t k = 0; k < idx.size(); ++k) {
+      scaled.push_back(
+          {u, idx[k],
+           static_cast<float>(vals[k] * inv_sqrt_deg[static_cast<size_t>(u)] *
+                              inv_sqrt_deg[static_cast<size_t>(idx[k])])});
+    }
+  }
+  return SparseMatrix::FromTriplets(n, n, std::move(scaled));
+}
+
+}  // namespace ba::graph

@@ -1,0 +1,116 @@
+#include "graph/sparse_matrix.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace ba::graph {
+
+SparseMatrix SparseMatrix::FromTriplets(int64_t rows, int64_t cols,
+                                        std::vector<Triplet> triplets) {
+  SparseMatrix m(rows, cols);
+  for (const auto& t : triplets) {
+    BA_CHECK_GE(t.row, 0);
+    BA_CHECK_LT(t.row, rows);
+    BA_CHECK_GE(t.col, 0);
+    BA_CHECK_LT(t.col, cols);
+  }
+  std::sort(triplets.begin(), triplets.end(),
+            [](const Triplet& a, const Triplet& b) {
+              return a.row != b.row ? a.row < b.row : a.col < b.col;
+            });
+  // Merge duplicates and fill CSR arrays.
+  m.col_idx_.reserve(triplets.size());
+  m.values_.reserve(triplets.size());
+  size_t i = 0;
+  for (int64_t r = 0; r < rows; ++r) {
+    m.row_ptr_[static_cast<size_t>(r)] =
+        static_cast<int64_t>(m.col_idx_.size());
+    while (i < triplets.size() && triplets[i].row == r) {
+      const int64_t c = triplets[i].col;
+      float v = 0.0f;
+      while (i < triplets.size() && triplets[i].row == r &&
+             triplets[i].col == c) {
+        v += triplets[i].value;
+        ++i;
+      }
+      m.col_idx_.push_back(c);
+      m.values_.push_back(v);
+    }
+  }
+  m.row_ptr_[static_cast<size_t>(rows)] =
+      static_cast<int64_t>(m.col_idx_.size());
+  return m;
+}
+
+float SparseMatrix::At(int64_t r, int64_t c) const {
+  const auto idx = RowIndices(r);
+  const auto it = std::lower_bound(idx.begin(), idx.end(), c);
+  if (it == idx.end() || *it != c) return 0.0f;
+  return values_[static_cast<size_t>(row_ptr_[r] + (it - idx.begin()))];
+}
+
+void SparseMatrix::MultiplyDense(const float* x, int64_t x_cols,
+                                 float* y) const {
+  std::memset(y, 0, sizeof(float) * static_cast<size_t>(rows_ * x_cols));
+  for (int64_t r = 0; r < rows_; ++r) {
+    float* y_row = y + r * x_cols;
+    for (int64_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      const float v = values_[static_cast<size_t>(k)];
+      const float* x_row = x + col_idx_[static_cast<size_t>(k)] * x_cols;
+      for (int64_t c = 0; c < x_cols; ++c) y_row[c] += v * x_row[c];
+    }
+  }
+}
+
+SparseMatrix SparseMatrix::Transpose() const {
+  std::vector<Triplet> triplets;
+  triplets.reserve(static_cast<size_t>(nnz()));
+  for (int64_t r = 0; r < rows_; ++r) {
+    const auto idx = RowIndices(r);
+    const auto vals = RowValues(r);
+    for (size_t k = 0; k < idx.size(); ++k) {
+      triplets.push_back({idx[k], r, vals[k]});
+    }
+  }
+  return FromTriplets(cols_, rows_, std::move(triplets));
+}
+
+SparseMatrix SparseMatrix::Multiply(const SparseMatrix& other) const {
+  BA_CHECK_EQ(cols_, other.rows_);
+  std::vector<Triplet> triplets;
+  // Row-by-row expansion with a dense accumulator over other.cols().
+  std::vector<float> acc(static_cast<size_t>(other.cols_), 0.0f);
+  std::vector<int64_t> touched;
+  for (int64_t r = 0; r < rows_; ++r) {
+    touched.clear();
+    const auto idx = RowIndices(r);
+    const auto vals = RowValues(r);
+    for (size_t k = 0; k < idx.size(); ++k) {
+      const int64_t mid = idx[k];
+      const float v = vals[k];
+      const auto oidx = other.RowIndices(mid);
+      const auto ovals = other.RowValues(mid);
+      for (size_t j = 0; j < oidx.size(); ++j) {
+        const size_t c = static_cast<size_t>(oidx[j]);
+        if (acc[c] == 0.0f) touched.push_back(oidx[j]);
+        acc[c] += v * ovals[j];
+      }
+    }
+    for (int64_t c : touched) {
+      const size_t ci = static_cast<size_t>(c);
+      if (acc[ci] != 0.0f) {
+        triplets.push_back({r, c, acc[ci]});
+      }
+      acc[ci] = 0.0f;
+    }
+  }
+  return FromTriplets(rows_, other.cols_, std::move(triplets));
+}
+
+float SparseMatrix::RowSum(int64_t r) const {
+  float s = 0.0f;
+  for (float v : RowValues(r)) s += v;
+  return s;
+}
+
+}  // namespace ba::graph

@@ -1,0 +1,83 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/logging.h"
+
+/// \file sparse_matrix.h
+/// \brief Compressed-sparse-row matrix used for adjacency structure:
+/// the similarity computation S = A·Aᵀ of multi-transaction compression
+/// (Eq. 3) and the propagated features ÃᵏX of GFN feature augmentation
+/// (Eq. 12-13).
+
+namespace ba::graph {
+
+/// \brief One (row, col, value) entry used to build a SparseMatrix.
+struct Triplet {
+  int64_t row = 0;
+  int64_t col = 0;
+  float value = 0.0f;
+};
+
+/// \brief Immutable CSR float matrix.
+class SparseMatrix {
+ public:
+  /// Empty matrix of the given shape.
+  SparseMatrix(int64_t rows, int64_t cols)
+      : rows_(rows), cols_(cols), row_ptr_(static_cast<size_t>(rows) + 1, 0) {
+    BA_CHECK_GE(rows, 0);
+    BA_CHECK_GE(cols, 0);
+  }
+
+  /// \brief Builds from triplets; duplicate (row, col) entries are
+  /// summed. Triplets may be in any order.
+  static SparseMatrix FromTriplets(int64_t rows, int64_t cols,
+                                   std::vector<Triplet> triplets);
+
+  int64_t rows() const { return rows_; }
+  int64_t cols() const { return cols_; }
+  int64_t nnz() const { return static_cast<int64_t>(values_.size()); }
+
+  /// Column indices of row `r`, sorted ascending.
+  std::span<const int64_t> RowIndices(int64_t r) const {
+    BA_CHECK_LT(r, rows_);
+    return {col_idx_.data() + row_ptr_[r],
+            static_cast<size_t>(row_ptr_[r + 1] - row_ptr_[r])};
+  }
+
+  /// Values of row `r`, aligned with RowIndices(r).
+  std::span<const float> RowValues(int64_t r) const {
+    BA_CHECK_LT(r, rows_);
+    return {values_.data() + row_ptr_[r],
+            static_cast<size_t>(row_ptr_[r + 1] - row_ptr_[r])};
+  }
+
+  /// Value at (r, c); zero when the entry is absent. O(log nnz(row)).
+  float At(int64_t r, int64_t c) const;
+
+  /// \brief Dense product `Y = this * X`, where X is row-major
+  /// (cols() x x_cols) and Y is row-major (rows() x x_cols).
+  void MultiplyDense(const float* x, int64_t x_cols, float* y) const;
+
+  /// Transposed copy.
+  SparseMatrix Transpose() const;
+
+  /// \brief Sparse product `this * other`. Used by the similarity
+  /// computation S = A·Aᵀ; sizes in this project keep the result small
+  /// because compression runs per 100-transaction slice.
+  SparseMatrix Multiply(const SparseMatrix& other) const;
+
+  /// Sum of values in row `r`.
+  float RowSum(int64_t r) const;
+
+ private:
+  int64_t rows_ = 0;
+  int64_t cols_ = 0;
+  std::vector<int64_t> row_ptr_;
+  std::vector<int64_t> col_idx_;
+  std::vector<float> values_;
+};
+
+}  // namespace ba::graph

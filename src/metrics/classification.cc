@@ -1,0 +1,131 @@
+#include "metrics/classification.h"
+
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace ba::metrics {
+
+ConfusionMatrix::ConfusionMatrix(int num_classes,
+                                 const std::vector<int>& truth,
+                                 const std::vector<int>& predicted)
+    : ConfusionMatrix(num_classes) {
+  BA_CHECK_EQ(truth.size(), predicted.size());
+  for (size_t i = 0; i < truth.size(); ++i) Add(truth[i], predicted[i]);
+}
+
+void ConfusionMatrix::Add(int true_label, int predicted_label) {
+  BA_CHECK_GE(true_label, 0);
+  BA_CHECK_LT(true_label, num_classes_);
+  BA_CHECK_GE(predicted_label, 0);
+  BA_CHECK_LT(predicted_label, num_classes_);
+  ++counts_[static_cast<size_t>(true_label) * num_classes_ + predicted_label];
+}
+
+void ConfusionMatrix::Merge(const ConfusionMatrix& other) {
+  BA_CHECK_EQ(num_classes_, other.num_classes_);
+  for (size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+}
+
+int64_t ConfusionMatrix::At(int true_label, int predicted_label) const {
+  BA_CHECK_LT(true_label, num_classes_);
+  BA_CHECK_LT(predicted_label, num_classes_);
+  return counts_[static_cast<size_t>(true_label) * num_classes_ +
+                 predicted_label];
+}
+
+int64_t ConfusionMatrix::TotalCount() const {
+  int64_t total = 0;
+  for (int64_t c : counts_) total += c;
+  return total;
+}
+
+double ConfusionMatrix::Accuracy() const {
+  const int64_t total = TotalCount();
+  if (total == 0) return 0.0;
+  int64_t correct = 0;
+  for (int c = 0; c < num_classes_; ++c) correct += At(c, c);
+  return static_cast<double>(correct) / static_cast<double>(total);
+}
+
+ClassReport ConfusionMatrix::Report(int label) const {
+  ClassReport r;
+  int64_t tp = At(label, label);
+  int64_t fp = 0;
+  int64_t fn = 0;
+  for (int c = 0; c < num_classes_; ++c) {
+    if (c == label) continue;
+    fp += At(c, label);
+    fn += At(label, c);
+  }
+  r.support = tp + fn;
+  r.precision = (tp + fp) > 0
+                    ? static_cast<double>(tp) / static_cast<double>(tp + fp)
+                    : 0.0;
+  r.recall = (tp + fn) > 0
+                 ? static_cast<double>(tp) / static_cast<double>(tp + fn)
+                 : 0.0;
+  r.f1 = (r.precision + r.recall) > 0.0
+             ? 2.0 * r.precision * r.recall / (r.precision + r.recall)
+             : 0.0;
+  return r;
+}
+
+std::vector<ClassReport> ConfusionMatrix::AllReports() const {
+  std::vector<ClassReport> out;
+  out.reserve(static_cast<size_t>(num_classes_));
+  for (int c = 0; c < num_classes_; ++c) out.push_back(Report(c));
+  return out;
+}
+
+ClassReport ConfusionMatrix::MacroAverage() const {
+  ClassReport avg;
+  for (const auto& r : AllReports()) {
+    avg.precision += r.precision;
+    avg.recall += r.recall;
+    avg.f1 += r.f1;
+    avg.support += r.support;
+  }
+  if (num_classes_ > 0) {
+    avg.precision /= num_classes_;
+    avg.recall /= num_classes_;
+    avg.f1 /= num_classes_;
+  }
+  return avg;
+}
+
+ClassReport ConfusionMatrix::WeightedAverage() const {
+  ClassReport avg;
+  int64_t total = 0;
+  for (const auto& r : AllReports()) {
+    avg.precision += r.precision * static_cast<double>(r.support);
+    avg.recall += r.recall * static_cast<double>(r.support);
+    avg.f1 += r.f1 * static_cast<double>(r.support);
+    total += r.support;
+    avg.support += r.support;
+  }
+  if (total > 0) {
+    avg.precision /= static_cast<double>(total);
+    avg.recall /= static_cast<double>(total);
+    avg.f1 /= static_cast<double>(total);
+  }
+  return avg;
+}
+
+std::string ConfusionMatrix::ToString(
+    const std::vector<std::string>& class_names) const {
+  std::ostringstream os;
+  os << "confusion (rows = truth, cols = predicted):\n";
+  for (int t = 0; t < num_classes_; ++t) {
+    if (static_cast<size_t>(t) < class_names.size()) {
+      os << class_names[static_cast<size_t>(t)] << ":";
+    } else {
+      os << t << ":";
+    }
+    for (int p = 0; p < num_classes_; ++p) os << "\t" << At(t, p);
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace ba::metrics

@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+/// \file classification.h
+/// \brief Evaluation metrics of §IV-A.b: per-class precision, recall
+/// and F1-score (Eq. 23-25), plus macro and support-weighted averages —
+/// the "Weighted Avg" rows of Tables III and IV.
+
+namespace ba::metrics {
+
+/// \brief Per-class and aggregate classification scores.
+struct ClassReport {
+  int64_t support = 0;  ///< number of true instances of the class
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+};
+
+/// \brief Square count matrix: entry (t, p) counts instances of true
+/// class t predicted as class p.
+class ConfusionMatrix {
+ public:
+  explicit ConfusionMatrix(int num_classes)
+      : num_classes_(num_classes),
+        counts_(static_cast<size_t>(num_classes) * num_classes, 0) {}
+
+  /// Builds directly from parallel label vectors.
+  ConfusionMatrix(int num_classes, const std::vector<int>& truth,
+                  const std::vector<int>& predicted);
+
+  void Add(int true_label, int predicted_label);
+
+  /// Adds every count of `other` (same class count required) — used to
+  /// pool results across trials/seeds.
+  void Merge(const ConfusionMatrix& other);
+
+  int64_t At(int true_label, int predicted_label) const;
+
+  int num_classes() const { return num_classes_; }
+
+  int64_t TotalCount() const;
+
+  /// Fraction of instances on the diagonal.
+  double Accuracy() const;
+
+  /// Precision/recall/F1 for one class (one-vs-rest). Classes with no
+  /// predictions (or no instances) get precision (recall) of 0.
+  ClassReport Report(int label) const;
+
+  /// Reports for every class, index-aligned with labels.
+  std::vector<ClassReport> AllReports() const;
+
+  /// Unweighted mean of per-class scores.
+  ClassReport MacroAverage() const;
+
+  /// Support-weighted mean of per-class scores — the paper's
+  /// "Weighted Avg".
+  ClassReport WeightedAverage() const;
+
+  /// Multi-line plain-text rendering for debugging.
+  std::string ToString(const std::vector<std::string>& class_names = {}) const;
+
+ private:
+  int num_classes_;
+  std::vector<int64_t> counts_;
+};
+
+}  // namespace ba::metrics

@@ -1,0 +1,55 @@
+#include "ml/bitscope.h"
+
+#include <algorithm>
+
+namespace ba::ml {
+
+void BitScope::Fit(const MlDataset& train) {
+  train.Check();
+  num_classes_ = train.num_classes;
+  layers_.clear();
+  uint64_t seed = options_.seed;
+  for (int k : options_.resolutions) {
+    Layer layer{KMeans(KMeans::Options{k, options_.max_iters, seed++}), {}};
+    layer.clusters.Fit(train.x);
+    layer.cluster_votes.assign(
+        static_cast<size_t>(layer.clusters.k()),
+        std::vector<double>(static_cast<size_t>(num_classes_), 0.0));
+    for (int64_t i = 0; i < train.size(); ++i) {
+      const int c = layer.clusters.Assign(train.x[static_cast<size_t>(i)]);
+      layer.cluster_votes[static_cast<size_t>(c)][static_cast<size_t>(
+          train.y[static_cast<size_t>(i)])] += 1.0;
+    }
+    // Normalize to per-cluster class distributions (uniform when the
+    // cluster received no training members).
+    for (auto& votes : layer.cluster_votes) {
+      double total = 0.0;
+      for (double v : votes) total += v;
+      if (total <= 0.0) {
+        std::fill(votes.begin(), votes.end(),
+                  1.0 / static_cast<double>(num_classes_));
+      } else {
+        for (double& v : votes) v /= total;
+      }
+    }
+    layers_.push_back(std::move(layer));
+  }
+}
+
+int BitScope::Predict(const std::vector<float>& row) const {
+  std::vector<double> votes(static_cast<size_t>(num_classes_), 0.0);
+  // Finer resolutions carry more weight.
+  double weight = 1.0;
+  for (const auto& layer : layers_) {
+    const int c = layer.clusters.Assign(row);
+    const auto& dist = layer.cluster_votes[static_cast<size_t>(c)];
+    for (int y = 0; y < num_classes_; ++y) {
+      votes[static_cast<size_t>(y)] += weight * dist[static_cast<size_t>(y)];
+    }
+    weight *= 1.5;
+  }
+  return static_cast<int>(std::max_element(votes.begin(), votes.end()) -
+                          votes.begin());
+}
+
+}  // namespace ba::ml

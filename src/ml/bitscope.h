@@ -1,0 +1,51 @@
+#pragma once
+
+#include <vector>
+
+#include "ml/kmeans.h"
+#include "ml/model.h"
+
+/// \file bitscope.h
+/// \brief BitScope comparator [84] (Table IV): multi-resolution
+/// clustering for bitcoin address de-anonymization.
+///
+/// The original is closed-source; per its description ("a layered
+/// approach exploiting domain-specific structures … multi-resolution
+/// clustering"), this reconstruction clusters hand features at several
+/// granularities, labels each cluster by the majority class of its
+/// training members, and predicts by resolution-weighted cluster
+/// voting. It is deliberately a clustering pipeline, not an end-to-end
+/// learner — the class of method the paper outperforms.
+
+namespace ba::ml {
+
+/// \brief Multi-resolution cluster-vote classifier.
+class BitScope : public MlModel {
+ public:
+  struct Options {
+    /// Cluster counts per resolution layer (coarse → fine).
+    std::vector<int> resolutions = {8, 24, 64};
+    int max_iters = 40;
+    uint64_t seed = 1;
+  };
+
+  BitScope() : BitScope(Options()) {}
+  explicit BitScope(Options options) : options_(options) {}
+
+  std::string Name() const override { return "BitScope"; }
+  void Fit(const MlDataset& train) override;
+  int Predict(const std::vector<float>& row) const override;
+
+ private:
+  struct Layer {
+    KMeans clusters;
+    /// Per-cluster class-vote distribution from the training split.
+    std::vector<std::vector<double>> cluster_votes;
+  };
+
+  Options options_;
+  int num_classes_ = 0;
+  std::vector<Layer> layers_;
+};
+
+}  // namespace ba::ml

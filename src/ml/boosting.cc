@@ -1,0 +1,148 @@
+#include "ml/boosting.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace ba::ml {
+
+namespace {
+
+/// Row-wise softmax of an (n x k) score matrix.
+void SoftmaxRows(std::vector<std::vector<double>>* scores) {
+  for (auto& row : *scores) {
+    const double max_s = *std::max_element(row.begin(), row.end());
+    double total = 0.0;
+    for (auto& s : row) {
+      s = std::exp(s - max_s);
+      total += s;
+    }
+    for (auto& s : row) s /= total;
+  }
+}
+
+}  // namespace
+
+void Gbdt::Fit(const MlDataset& train) {
+  train.Check();
+  num_classes_ = train.num_classes;
+  rounds_.clear();
+  const int64_t n = train.size();
+  std::vector<int64_t> all(static_cast<size_t>(n));
+  std::iota(all.begin(), all.end(), 0);
+
+  std::vector<std::vector<double>> scores(
+      static_cast<size_t>(n),
+      std::vector<double>(static_cast<size_t>(num_classes_), 0.0));
+  std::vector<double> targets(static_cast<size_t>(n));
+
+  for (int round = 0; round < options_.num_rounds; ++round) {
+    auto probs = scores;
+    SoftmaxRows(&probs);
+    std::vector<RegressionTree> round_trees;
+    round_trees.reserve(static_cast<size_t>(num_classes_));
+    for (int c = 0; c < num_classes_; ++c) {
+      for (int64_t i = 0; i < n; ++i) {
+        const double y =
+            train.y[static_cast<size_t>(i)] == c ? 1.0 : 0.0;
+        // Negative gradient of softmax cross-entropy.
+        targets[static_cast<size_t>(i)] =
+            y - probs[static_cast<size_t>(i)][static_cast<size_t>(c)];
+      }
+      RegressionTree::Options topt;
+      topt.max_depth = options_.max_depth;
+      topt.min_samples_leaf = options_.min_samples_leaf;
+      RegressionTree tree(topt);
+      tree.FitFirstOrder(train.x, targets, all);
+      for (int64_t i = 0; i < n; ++i) {
+        scores[static_cast<size_t>(i)][static_cast<size_t>(c)] +=
+            options_.learning_rate *
+            tree.Predict(train.x[static_cast<size_t>(i)]);
+      }
+      round_trees.push_back(std::move(tree));
+    }
+    rounds_.push_back(std::move(round_trees));
+  }
+}
+
+std::vector<double> Gbdt::Scores(const std::vector<float>& row) const {
+  std::vector<double> scores(static_cast<size_t>(num_classes_), 0.0);
+  for (const auto& round : rounds_) {
+    for (int c = 0; c < num_classes_; ++c) {
+      scores[static_cast<size_t>(c)] +=
+          options_.learning_rate * round[static_cast<size_t>(c)].Predict(row);
+    }
+  }
+  return scores;
+}
+
+int Gbdt::Predict(const std::vector<float>& row) const {
+  const auto scores = Scores(row);
+  return static_cast<int>(std::max_element(scores.begin(), scores.end()) -
+                          scores.begin());
+}
+
+void XgBoost::Fit(const MlDataset& train) {
+  train.Check();
+  num_classes_ = train.num_classes;
+  rounds_.clear();
+  const int64_t n = train.size();
+  std::vector<int64_t> all(static_cast<size_t>(n));
+  std::iota(all.begin(), all.end(), 0);
+
+  std::vector<std::vector<double>> scores(
+      static_cast<size_t>(n),
+      std::vector<double>(static_cast<size_t>(num_classes_), 0.0));
+  std::vector<double> grad(static_cast<size_t>(n));
+  std::vector<double> hess(static_cast<size_t>(n));
+
+  for (int round = 0; round < options_.num_rounds; ++round) {
+    auto probs = scores;
+    SoftmaxRows(&probs);
+    std::vector<RegressionTree> round_trees;
+    round_trees.reserve(static_cast<size_t>(num_classes_));
+    for (int c = 0; c < num_classes_; ++c) {
+      for (int64_t i = 0; i < n; ++i) {
+        const double p =
+            probs[static_cast<size_t>(i)][static_cast<size_t>(c)];
+        const double y =
+            train.y[static_cast<size_t>(i)] == c ? 1.0 : 0.0;
+        grad[static_cast<size_t>(i)] = p - y;
+        hess[static_cast<size_t>(i)] = std::max(p * (1.0 - p), 1e-6);
+      }
+      RegressionTree::Options topt;
+      topt.max_depth = options_.max_depth;
+      topt.min_samples_leaf = options_.min_samples_leaf;
+      topt.lambda = options_.lambda;
+      topt.min_gain = options_.min_gain;
+      RegressionTree tree(topt);
+      tree.FitSecondOrder(train.x, grad, hess, all);
+      for (int64_t i = 0; i < n; ++i) {
+        scores[static_cast<size_t>(i)][static_cast<size_t>(c)] +=
+            options_.learning_rate *
+            tree.Predict(train.x[static_cast<size_t>(i)]);
+      }
+      round_trees.push_back(std::move(tree));
+    }
+    rounds_.push_back(std::move(round_trees));
+  }
+}
+
+std::vector<double> XgBoost::Scores(const std::vector<float>& row) const {
+  std::vector<double> scores(static_cast<size_t>(num_classes_), 0.0);
+  for (const auto& round : rounds_) {
+    for (int c = 0; c < num_classes_; ++c) {
+      scores[static_cast<size_t>(c)] +=
+          options_.learning_rate * round[static_cast<size_t>(c)].Predict(row);
+    }
+  }
+  return scores;
+}
+
+int XgBoost::Predict(const std::vector<float>& row) const {
+  const auto scores = Scores(row);
+  return static_cast<int>(std::max_element(scores.begin(), scores.end()) -
+                          scores.begin());
+}
+
+}  // namespace ba::ml

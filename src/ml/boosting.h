@@ -1,0 +1,67 @@
+#pragma once
+
+#include <vector>
+
+#include "ml/decision_tree.h"
+
+/// \file boosting.h
+/// \brief Gradient-boosted trees: classic first-order GBDT [31] and the
+/// second-order regularized XGBoost objective [32] — the two strongest
+/// classical baselines in Table II.
+///
+/// Both use a one-tree-per-class multiclass softmax objective: at each
+/// round, K regression trees fit the per-class (negative) gradients of
+/// the softmax cross-entropy.
+
+namespace ba::ml {
+
+/// \brief Shared boosting configuration.
+struct BoostingOptions {
+  int num_rounds = 40;
+  int max_depth = 3;
+  int min_samples_leaf = 2;
+  float learning_rate = 0.2f;
+  /// L2 on leaf weights (XGBoost mode only).
+  double lambda = 1.0;
+  /// Minimum split gain γ (XGBoost mode only).
+  double min_gain = 0.0;
+};
+
+/// \brief Classic GBDT: trees fit negative gradients, leaf values are
+/// mean residuals scaled by the learning rate.
+class Gbdt : public MlModel {
+ public:
+  explicit Gbdt(BoostingOptions options = {}) : options_(options) {}
+
+  std::string Name() const override { return "GBDT"; }
+  void Fit(const MlDataset& train) override;
+  int Predict(const std::vector<float>& row) const override;
+
+  /// Per-class raw scores (pre-softmax) for one row.
+  std::vector<double> Scores(const std::vector<float>& row) const;
+
+ private:
+  BoostingOptions options_;
+  int num_classes_ = 0;
+  std::vector<std::vector<RegressionTree>> rounds_;  // [round][class]
+};
+
+/// \brief XGBoost-style boosting: second-order leaf weights -G/(H+λ)
+/// and gain-based splits.
+class XgBoost : public MlModel {
+ public:
+  explicit XgBoost(BoostingOptions options = {}) : options_(options) {}
+
+  std::string Name() const override { return "XGBoost"; }
+  void Fit(const MlDataset& train) override;
+  int Predict(const std::vector<float>& row) const override;
+
+  std::vector<double> Scores(const std::vector<float>& row) const;
+
+ private:
+  BoostingOptions options_;
+  int num_classes_ = 0;
+  std::vector<std::vector<RegressionTree>> rounds_;
+};
+
+}  // namespace ba::ml

@@ -1,0 +1,44 @@
+#include "ml/dataset.h"
+
+#include <cmath>
+
+namespace ba::ml {
+
+void StandardScaler::Fit(const std::vector<std::vector<float>>& x) {
+  BA_CHECK(!x.empty());
+  const size_t dim = x[0].size();
+  std::vector<double> sum(dim, 0.0);
+  std::vector<double> sq(dim, 0.0);
+  for (const auto& row : x) {
+    BA_CHECK_EQ(row.size(), dim);
+    for (size_t j = 0; j < dim; ++j) {
+      sum[j] += row[j];
+      sq[j] += static_cast<double>(row[j]) * row[j];
+    }
+  }
+  const double n = static_cast<double>(x.size());
+  mean_.resize(dim);
+  stddev_.resize(dim);
+  for (size_t j = 0; j < dim; ++j) {
+    const double m = sum[j] / n;
+    const double var = std::max(sq[j] / n - m * m, 1e-12);
+    mean_[j] = static_cast<float>(m);
+    stddev_[j] = static_cast<float>(std::sqrt(var));
+  }
+}
+
+void StandardScaler::Transform(std::vector<std::vector<float>>* x) const {
+  for (auto& row : *x) row = TransformRow(row);
+}
+
+std::vector<float> StandardScaler::TransformRow(
+    const std::vector<float>& row) const {
+  BA_CHECK_EQ(row.size(), mean_.size());
+  std::vector<float> out(row.size());
+  for (size_t j = 0; j < row.size(); ++j) {
+    out[j] = (row[j] - mean_[j]) / stddev_[j];
+  }
+  return out;
+}
+
+}  // namespace ba::ml

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/logging.h"
+
+/// \file dataset.h
+/// \brief Flat-feature dataset handling for the classical ML baselines
+/// of Table II and the Table IV comparators.
+
+namespace ba::ml {
+
+/// \brief A dense feature matrix with integer class labels.
+struct MlDataset {
+  std::vector<std::vector<float>> x;
+  std::vector<int> y;
+  int num_classes = 0;
+
+  int64_t size() const { return static_cast<int64_t>(x.size()); }
+  int64_t num_features() const {
+    return x.empty() ? 0 : static_cast<int64_t>(x[0].size());
+  }
+
+  void Check() const {
+    BA_CHECK_EQ(x.size(), y.size());
+    for (const auto& row : x) {
+      BA_CHECK_EQ(row.size(), x[0].size());
+    }
+    for (int label : y) {
+      BA_CHECK_GE(label, 0);
+      BA_CHECK_LT(label, num_classes);
+    }
+  }
+};
+
+/// \brief Per-feature standardization (zero mean, unit variance), fit
+/// on the training split only.
+class StandardScaler {
+ public:
+  /// Computes feature means and standard deviations.
+  void Fit(const std::vector<std::vector<float>>& x);
+
+  /// Standardizes rows in place. Requires Fit first.
+  void Transform(std::vector<std::vector<float>>* x) const;
+
+  std::vector<float> TransformRow(const std::vector<float>& row) const;
+
+  const std::vector<float>& mean() const { return mean_; }
+  const std::vector<float>& stddev() const { return stddev_; }
+
+ private:
+  std::vector<float> mean_;
+  std::vector<float> stddev_;
+};
+
+}  // namespace ba::ml

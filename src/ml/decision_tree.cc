@@ -1,0 +1,382 @@
+#include "ml/decision_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace ba::ml {
+
+namespace {
+
+/// Gini impurity of a class-count histogram with `total` samples.
+double Gini(const std::vector<int64_t>& counts, int64_t total) {
+  if (total == 0) return 0.0;
+  double g = 1.0;
+  for (int64_t c : counts) {
+    const double p = static_cast<double>(c) / static_cast<double>(total);
+    g -= p * p;
+  }
+  return g;
+}
+
+}  // namespace
+
+void DecisionTree::Fit(const MlDataset& train) {
+  std::vector<int64_t> indices(static_cast<size_t>(train.size()));
+  std::iota(indices.begin(), indices.end(), 0);
+  FitIndices(train, indices);
+}
+
+void DecisionTree::FitIndices(const MlDataset& train,
+                              const std::vector<int64_t>& indices) {
+  train.Check();
+  BA_CHECK(!indices.empty());
+  num_classes_ = train.num_classes;
+  nodes_.clear();
+  Rng rng(options_.seed);
+  std::vector<int64_t> work = indices;
+  BuildNode(train, &work, 0, static_cast<int64_t>(work.size()), 0, &rng);
+}
+
+int DecisionTree::BuildNode(const MlDataset& train,
+                            std::vector<int64_t>* indices, int64_t begin,
+                            int64_t end, int depth, Rng* rng) {
+  const int node_id = static_cast<int>(nodes_.size());
+  nodes_.emplace_back();
+
+  // Class histogram of this node.
+  std::vector<int64_t> counts(static_cast<size_t>(num_classes_), 0);
+  for (int64_t i = begin; i < end; ++i) {
+    ++counts[static_cast<size_t>(
+        train.y[static_cast<size_t>((*indices)[static_cast<size_t>(i)])])];
+  }
+  const int64_t total = end - begin;
+  {
+    Node& node = nodes_[static_cast<size_t>(node_id)];
+    node.label = static_cast<int>(
+        std::max_element(counts.begin(), counts.end()) - counts.begin());
+    node.distribution.resize(static_cast<size_t>(num_classes_));
+    for (int c = 0; c < num_classes_; ++c) {
+      node.distribution[static_cast<size_t>(c)] =
+          static_cast<double>(counts[static_cast<size_t>(c)]) /
+          static_cast<double>(total);
+    }
+  }
+
+  const bool pure =
+      *std::max_element(counts.begin(), counts.end()) == total;
+  if (pure || depth >= options_.max_depth ||
+      total < options_.min_samples_split) {
+    return node_id;
+  }
+
+  // Candidate features (random subset if max_features is set).
+  const int64_t dim = train.num_features();
+  std::vector<int64_t> features(static_cast<size_t>(dim));
+  std::iota(features.begin(), features.end(), 0);
+  int64_t feature_budget = dim;
+  if (options_.max_features > 0 && options_.max_features < dim) {
+    rng->Shuffle(&features);
+    feature_budget = options_.max_features;
+  }
+
+  // Exact greedy split search.
+  double best_impurity = 1e300;
+  int best_feature = -1;
+  float best_threshold = 0.0f;
+  const double parent_gini = Gini(counts, total);
+  std::vector<std::pair<float, int>> sorted_vals(
+      static_cast<size_t>(total));
+  std::vector<int64_t> left_counts(static_cast<size_t>(num_classes_));
+
+  for (int64_t fi = 0; fi < feature_budget; ++fi) {
+    const int64_t f = features[static_cast<size_t>(fi)];
+    for (int64_t i = begin; i < end; ++i) {
+      const int64_t row = (*indices)[static_cast<size_t>(i)];
+      sorted_vals[static_cast<size_t>(i - begin)] = {
+          train.x[static_cast<size_t>(row)][static_cast<size_t>(f)],
+          train.y[static_cast<size_t>(row)]};
+    }
+    std::sort(sorted_vals.begin(), sorted_vals.end());
+    std::fill(left_counts.begin(), left_counts.end(), 0);
+    for (int64_t i = 0; i + 1 < total; ++i) {
+      ++left_counts[static_cast<size_t>(sorted_vals[static_cast<size_t>(i)]
+                                            .second)];
+      if (sorted_vals[static_cast<size_t>(i)].first ==
+          sorted_vals[static_cast<size_t>(i + 1)].first) {
+        continue;  // cannot split between equal values
+      }
+      const int64_t n_left = i + 1;
+      const int64_t n_right = total - n_left;
+      if (n_left < options_.min_samples_leaf ||
+          n_right < options_.min_samples_leaf) {
+        continue;
+      }
+      std::vector<int64_t> right_counts(counts);
+      for (int c = 0; c < num_classes_; ++c) {
+        right_counts[static_cast<size_t>(c)] -=
+            left_counts[static_cast<size_t>(c)];
+      }
+      const double impurity =
+          (static_cast<double>(n_left) * Gini(left_counts, n_left) +
+           static_cast<double>(n_right) * Gini(right_counts, n_right)) /
+          static_cast<double>(total);
+      if (impurity < best_impurity) {
+        best_impurity = impurity;
+        best_feature = static_cast<int>(f);
+        best_threshold =
+            (sorted_vals[static_cast<size_t>(i)].first +
+             sorted_vals[static_cast<size_t>(i + 1)].first) /
+            2.0f;
+      }
+    }
+  }
+
+  if (best_feature < 0 || best_impurity >= parent_gini - 1e-12) {
+    return node_id;  // no useful split
+  }
+
+  // Partition indices in place.
+  const auto mid_it = std::partition(
+      indices->begin() + begin, indices->begin() + end, [&](int64_t row) {
+        return train.x[static_cast<size_t>(row)]
+                   [static_cast<size_t>(best_feature)] <= best_threshold;
+      });
+  const int64_t mid = mid_it - indices->begin();
+  if (mid == begin || mid == end) return node_id;  // degenerate partition
+
+  const int left = BuildNode(train, indices, begin, mid, depth + 1, rng);
+  const int right = BuildNode(train, indices, mid, end, depth + 1, rng);
+  Node& node = nodes_[static_cast<size_t>(node_id)];
+  node.feature = best_feature;
+  node.threshold = best_threshold;
+  node.left = left;
+  node.right = right;
+  return node_id;
+}
+
+int DecisionTree::LeafIndex(const std::vector<float>& row) const {
+  BA_CHECK(!nodes_.empty());
+  int i = 0;
+  while (nodes_[static_cast<size_t>(i)].feature >= 0) {
+    const Node& node = nodes_[static_cast<size_t>(i)];
+    i = row[static_cast<size_t>(node.feature)] <= node.threshold ? node.left
+                                                                 : node.right;
+  }
+  return i;
+}
+
+int DecisionTree::Predict(const std::vector<float>& row) const {
+  return nodes_[static_cast<size_t>(LeafIndex(row))].label;
+}
+
+const std::vector<double>& DecisionTree::PredictDistribution(
+    const std::vector<float>& row) const {
+  return nodes_[static_cast<size_t>(LeafIndex(row))].distribution;
+}
+
+void RegressionTree::FitFirstOrder(const std::vector<std::vector<float>>& x,
+                                   const std::vector<double>& targets,
+                                   const std::vector<int64_t>& indices) {
+  BA_CHECK(!indices.empty());
+  nodes_.clear();
+  std::vector<int64_t> work = indices;
+  BuildFirst(x, targets, &work, 0, static_cast<int64_t>(work.size()), 0);
+}
+
+int RegressionTree::BuildFirst(const std::vector<std::vector<float>>& x,
+                               const std::vector<double>& targets,
+                               std::vector<int64_t>* indices, int64_t begin,
+                               int64_t end, int depth) {
+  const int node_id = static_cast<int>(nodes_.size());
+  nodes_.emplace_back();
+  const int64_t total = end - begin;
+
+  double sum = 0.0;
+  for (int64_t i = begin; i < end; ++i) {
+    sum += targets[static_cast<size_t>((*indices)[static_cast<size_t>(i)])];
+  }
+  nodes_[static_cast<size_t>(node_id)].value =
+      sum / static_cast<double>(total);
+
+  if (depth >= options_.max_depth ||
+      total < 2 * options_.min_samples_leaf) {
+    return node_id;
+  }
+
+  // Variance-reduction split: maximize sum_l²/n_l + sum_r²/n_r.
+  const int64_t dim = static_cast<int64_t>(x[0].size());
+  double best_score = -1e300;
+  int best_feature = -1;
+  float best_threshold = 0.0f;
+  std::vector<std::pair<float, double>> sorted_vals(
+      static_cast<size_t>(total));
+  for (int64_t f = 0; f < dim; ++f) {
+    for (int64_t i = begin; i < end; ++i) {
+      const int64_t row = (*indices)[static_cast<size_t>(i)];
+      sorted_vals[static_cast<size_t>(i - begin)] = {
+          x[static_cast<size_t>(row)][static_cast<size_t>(f)],
+          targets[static_cast<size_t>(row)]};
+    }
+    std::sort(sorted_vals.begin(), sorted_vals.end());
+    double left_sum = 0.0;
+    for (int64_t i = 0; i + 1 < total; ++i) {
+      left_sum += sorted_vals[static_cast<size_t>(i)].second;
+      if (sorted_vals[static_cast<size_t>(i)].first ==
+          sorted_vals[static_cast<size_t>(i + 1)].first) {
+        continue;
+      }
+      const int64_t n_left = i + 1;
+      const int64_t n_right = total - n_left;
+      if (n_left < options_.min_samples_leaf ||
+          n_right < options_.min_samples_leaf) {
+        continue;
+      }
+      const double right_sum = sum - left_sum;
+      const double score =
+          left_sum * left_sum / static_cast<double>(n_left) +
+          right_sum * right_sum / static_cast<double>(n_right);
+      if (score > best_score) {
+        best_score = score;
+        best_feature = static_cast<int>(f);
+        best_threshold = (sorted_vals[static_cast<size_t>(i)].first +
+                          sorted_vals[static_cast<size_t>(i + 1)].first) /
+                         2.0f;
+      }
+    }
+  }
+  const double parent_score = sum * sum / static_cast<double>(total);
+  if (best_feature < 0 || best_score <= parent_score + 1e-12) {
+    return node_id;
+  }
+
+  const auto mid_it = std::partition(
+      indices->begin() + begin, indices->begin() + end, [&](int64_t row) {
+        return x[static_cast<size_t>(row)][static_cast<size_t>(best_feature)] <=
+               best_threshold;
+      });
+  const int64_t mid = mid_it - indices->begin();
+  if (mid == begin || mid == end) return node_id;
+
+  const int left = BuildFirst(x, targets, indices, begin, mid, depth + 1);
+  const int right = BuildFirst(x, targets, indices, mid, end, depth + 1);
+  Node& node = nodes_[static_cast<size_t>(node_id)];
+  node.feature = best_feature;
+  node.threshold = best_threshold;
+  node.left = left;
+  node.right = right;
+  return node_id;
+}
+
+void RegressionTree::FitSecondOrder(const std::vector<std::vector<float>>& x,
+                                    const std::vector<double>& grad,
+                                    const std::vector<double>& hess,
+                                    const std::vector<int64_t>& indices) {
+  BA_CHECK(!indices.empty());
+  nodes_.clear();
+  std::vector<int64_t> work = indices;
+  BuildSecond(x, grad, hess, &work, 0, static_cast<int64_t>(work.size()), 0);
+}
+
+int RegressionTree::BuildSecond(const std::vector<std::vector<float>>& x,
+                                const std::vector<double>& grad,
+                                const std::vector<double>& hess,
+                                std::vector<int64_t>* indices, int64_t begin,
+                                int64_t end, int depth) {
+  const int node_id = static_cast<int>(nodes_.size());
+  nodes_.emplace_back();
+  const int64_t total = end - begin;
+
+  double g_sum = 0.0, h_sum = 0.0;
+  for (int64_t i = begin; i < end; ++i) {
+    const int64_t row = (*indices)[static_cast<size_t>(i)];
+    g_sum += grad[static_cast<size_t>(row)];
+    h_sum += hess[static_cast<size_t>(row)];
+  }
+  nodes_[static_cast<size_t>(node_id)].value =
+      -g_sum / (h_sum + options_.lambda);
+
+  if (depth >= options_.max_depth ||
+      total < 2 * options_.min_samples_leaf) {
+    return node_id;
+  }
+
+  const double parent_obj = g_sum * g_sum / (h_sum + options_.lambda);
+  const int64_t dim = static_cast<int64_t>(x[0].size());
+  double best_gain = options_.min_gain;
+  int best_feature = -1;
+  float best_threshold = 0.0f;
+  struct Entry {
+    float value;
+    double g;
+    double h;
+    bool operator<(const Entry& o) const { return value < o.value; }
+  };
+  std::vector<Entry> sorted_vals(static_cast<size_t>(total));
+  for (int64_t f = 0; f < dim; ++f) {
+    for (int64_t i = begin; i < end; ++i) {
+      const int64_t row = (*indices)[static_cast<size_t>(i)];
+      sorted_vals[static_cast<size_t>(i - begin)] = {
+          x[static_cast<size_t>(row)][static_cast<size_t>(f)],
+          grad[static_cast<size_t>(row)], hess[static_cast<size_t>(row)]};
+    }
+    std::sort(sorted_vals.begin(), sorted_vals.end());
+    double gl = 0.0, hl = 0.0;
+    for (int64_t i = 0; i + 1 < total; ++i) {
+      gl += sorted_vals[static_cast<size_t>(i)].g;
+      hl += sorted_vals[static_cast<size_t>(i)].h;
+      if (sorted_vals[static_cast<size_t>(i)].value ==
+          sorted_vals[static_cast<size_t>(i + 1)].value) {
+        continue;
+      }
+      const int64_t n_left = i + 1;
+      const int64_t n_right = total - n_left;
+      if (n_left < options_.min_samples_leaf ||
+          n_right < options_.min_samples_leaf) {
+        continue;
+      }
+      const double gr = g_sum - gl;
+      const double hr = h_sum - hl;
+      const double gain = gl * gl / (hl + options_.lambda) +
+                          gr * gr / (hr + options_.lambda) - parent_obj;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = static_cast<int>(f);
+        best_threshold = (sorted_vals[static_cast<size_t>(i)].value +
+                          sorted_vals[static_cast<size_t>(i + 1)].value) /
+                         2.0f;
+      }
+    }
+  }
+  if (best_feature < 0) return node_id;
+
+  const auto mid_it = std::partition(
+      indices->begin() + begin, indices->begin() + end, [&](int64_t row) {
+        return x[static_cast<size_t>(row)][static_cast<size_t>(best_feature)] <=
+               best_threshold;
+      });
+  const int64_t mid = mid_it - indices->begin();
+  if (mid == begin || mid == end) return node_id;
+
+  const int left = BuildSecond(x, grad, hess, indices, begin, mid, depth + 1);
+  const int right = BuildSecond(x, grad, hess, indices, mid, end, depth + 1);
+  Node& node = nodes_[static_cast<size_t>(node_id)];
+  node.feature = best_feature;
+  node.threshold = best_threshold;
+  node.left = left;
+  node.right = right;
+  return node_id;
+}
+
+double RegressionTree::Predict(const std::vector<float>& row) const {
+  BA_CHECK(!nodes_.empty());
+  int i = 0;
+  while (nodes_[static_cast<size_t>(i)].feature >= 0) {
+    const Node& node = nodes_[static_cast<size_t>(i)];
+    i = row[static_cast<size_t>(node.feature)] <= node.threshold ? node.left
+                                                                 : node.right;
+  }
+  return nodes_[static_cast<size_t>(i)].value;
+}
+
+}  // namespace ba::ml

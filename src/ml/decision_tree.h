@@ -1,0 +1,123 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/model.h"
+#include "util/rng.h"
+
+/// \file decision_tree.h
+/// \brief CART decision tree (Table II baseline) and the axis-aligned
+/// regression tree underlying GBDT / XGBoost.
+
+namespace ba::ml {
+
+/// \brief Gini-impurity CART classifier with exact greedy splits.
+class DecisionTree : public MlModel {
+ public:
+  struct Options {
+    int max_depth = 12;
+    int min_samples_split = 4;
+    int min_samples_leaf = 2;
+    /// Features examined per split; -1 = all (random forests pass
+    /// sqrt(d)).
+    int max_features = -1;
+    uint64_t seed = 1;
+  };
+
+  DecisionTree() : DecisionTree(Options()) {}
+  explicit DecisionTree(Options options) : options_(options) {}
+
+  std::string Name() const override { return "Decision Tree"; }
+
+  void Fit(const MlDataset& train) override;
+
+  /// Fits on a subset of rows (bootstrap support for forests).
+  void FitIndices(const MlDataset& train,
+                  const std::vector<int64_t>& indices);
+
+  int Predict(const std::vector<float>& row) const override;
+
+  /// Class-frequency distribution at the row's leaf.
+  const std::vector<double>& PredictDistribution(
+      const std::vector<float>& row) const;
+
+  int64_t num_nodes() const { return static_cast<int64_t>(nodes_.size()); }
+
+ private:
+  struct Node {
+    int feature = -1;  // -1 = leaf
+    float threshold = 0.0f;
+    int left = -1;
+    int right = -1;
+    int label = 0;
+    std::vector<double> distribution;  // normalized class frequencies
+  };
+
+  int BuildNode(const MlDataset& train, std::vector<int64_t>* indices,
+                int64_t begin, int64_t end, int depth, Rng* rng);
+  int LeafIndex(const std::vector<float>& row) const;
+
+  Options options_;
+  int num_classes_ = 0;
+  std::vector<Node> nodes_;
+};
+
+/// \brief Regression tree for gradient boosting. Supports first-order
+/// leaves (mean residual — classic GBDT) and second-order leaves
+/// (-G/(H+λ) with gain-based splits — the XGBoost objective).
+class RegressionTree {
+ public:
+  struct Options {
+    int max_depth = 3;
+    int min_samples_leaf = 2;
+    /// L2 regularization λ on leaf weights (second-order mode).
+    double lambda = 1.0;
+    /// Minimum split gain γ (second-order mode).
+    double min_gain = 0.0;
+  };
+
+  RegressionTree() : RegressionTree(Options()) {}
+  explicit RegressionTree(Options options) : options_(options) {}
+
+  /// Classic GBDT: fits `targets` (negative gradients) by variance
+  /// reduction; leaf value = mean target.
+  void FitFirstOrder(const std::vector<std::vector<float>>& x,
+                     const std::vector<double>& targets,
+                     const std::vector<int64_t>& indices);
+
+  /// XGBoost-style: per-row gradient/hessian; leaf weight -G/(H+λ),
+  /// split score G²/(H+λ) gain.
+  void FitSecondOrder(const std::vector<std::vector<float>>& x,
+                      const std::vector<double>& grad,
+                      const std::vector<double>& hess,
+                      const std::vector<int64_t>& indices);
+
+  double Predict(const std::vector<float>& row) const;
+
+  int64_t num_nodes() const { return static_cast<int64_t>(nodes_.size()); }
+
+ private:
+  struct Node {
+    int feature = -1;
+    float threshold = 0.0f;
+    int left = -1;
+    int right = -1;
+    double value = 0.0;
+  };
+
+  int BuildFirst(const std::vector<std::vector<float>>& x,
+                 const std::vector<double>& targets,
+                 std::vector<int64_t>* indices, int64_t begin, int64_t end,
+                 int depth);
+  int BuildSecond(const std::vector<std::vector<float>>& x,
+                  const std::vector<double>& grad,
+                  const std::vector<double>& hess,
+                  std::vector<int64_t>* indices, int64_t begin, int64_t end,
+                  int depth);
+
+  Options options_;
+  std::vector<Node> nodes_;
+};
+
+}  // namespace ba::ml

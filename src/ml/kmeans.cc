@@ -1,0 +1,95 @@
+#include "ml/kmeans.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace ba::ml {
+
+double KMeans::Distance2(const std::vector<float>& a,
+                         const std::vector<float>& b) {
+  double d = 0.0;
+  for (size_t j = 0; j < a.size(); ++j) {
+    const double diff = a[j] - b[j];
+    d += diff * diff;
+  }
+  return d;
+}
+
+void KMeans::Fit(const std::vector<std::vector<float>>& x) {
+  BA_CHECK(!x.empty());
+  const int k = std::min<int>(options_.k, static_cast<int>(x.size()));
+  Rng rng(options_.seed);
+
+  // k-means++ seeding.
+  centroids_.clear();
+  centroids_.push_back(x[rng.UniformInt(x.size())]);
+  std::vector<double> min_dist(x.size(),
+                               std::numeric_limits<double>::infinity());
+  while (static_cast<int>(centroids_.size()) < k) {
+    double total = 0.0;
+    for (size_t i = 0; i < x.size(); ++i) {
+      min_dist[i] =
+          std::min(min_dist[i], Distance2(x[i], centroids_.back()));
+      total += min_dist[i];
+    }
+    if (total <= 0.0) break;  // all points coincide with centroids
+    double u = rng.Uniform() * total;
+    size_t pick = x.size() - 1;
+    for (size_t i = 0; i < x.size(); ++i) {
+      u -= min_dist[i];
+      if (u <= 0.0) {
+        pick = i;
+        break;
+      }
+    }
+    centroids_.push_back(x[pick]);
+  }
+
+  // Lloyd iterations.
+  std::vector<int> assignment(x.size(), -1);
+  for (int iter = 0; iter < options_.max_iters; ++iter) {
+    bool changed = false;
+    for (size_t i = 0; i < x.size(); ++i) {
+      const int a = Assign(x[i]);
+      if (a != assignment[i]) {
+        assignment[i] = a;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+    // Recompute centroids; empty clusters keep their position.
+    std::vector<std::vector<double>> sums(
+        centroids_.size(), std::vector<double>(x[0].size(), 0.0));
+    std::vector<int64_t> counts(centroids_.size(), 0);
+    for (size_t i = 0; i < x.size(); ++i) {
+      const size_t a = static_cast<size_t>(assignment[i]);
+      ++counts[a];
+      for (size_t j = 0; j < x[i].size(); ++j) sums[a][j] += x[i][j];
+    }
+    for (size_t c = 0; c < centroids_.size(); ++c) {
+      if (counts[c] == 0) continue;
+      for (size_t j = 0; j < centroids_[c].size(); ++j) {
+        centroids_[c][j] =
+            static_cast<float>(sums[c][j] / static_cast<double>(counts[c]));
+      }
+    }
+  }
+}
+
+int KMeans::Assign(const std::vector<float>& row) const {
+  BA_CHECK(!centroids_.empty());
+  int best = 0;
+  double best_d = Distance2(row, centroids_[0]);
+  for (size_t c = 1; c < centroids_.size(); ++c) {
+    const double d = Distance2(row, centroids_[c]);
+    if (d < best_d) {
+      best_d = d;
+      best = static_cast<int>(c);
+    }
+  }
+  return best;
+}
+
+}  // namespace ba::ml

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <vector>
+
+#include "util/rng.h"
+
+/// \file kmeans.h
+/// \brief Lloyd's k-means with k-means++ seeding — the clustering core
+/// of the BitScope comparator.
+
+namespace ba::ml {
+
+/// \brief K-means clustering over dense float rows.
+class KMeans {
+ public:
+  struct Options {
+    int k = 8;
+    int max_iters = 50;
+    uint64_t seed = 1;
+  };
+
+  KMeans() : KMeans(Options()) {}
+  explicit KMeans(Options options) : options_(options) {}
+
+  /// Runs k-means++ init then Lloyd iterations until assignment
+  /// convergence or max_iters.
+  void Fit(const std::vector<std::vector<float>>& x);
+
+  /// Index of the nearest centroid.
+  int Assign(const std::vector<float>& row) const;
+
+  const std::vector<std::vector<float>>& centroids() const {
+    return centroids_;
+  }
+
+  int k() const { return options_.k; }
+
+ private:
+  static double Distance2(const std::vector<float>& a,
+                          const std::vector<float>& b);
+
+  Options options_;
+  std::vector<std::vector<float>> centroids_;
+};
+
+}  // namespace ba::ml

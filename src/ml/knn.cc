@@ -1,0 +1,39 @@
+#include "ml/knn.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ba::ml {
+
+void Knn::Fit(const MlDataset& train) {
+  train.Check();
+  BA_CHECK_GT(train.size(), 0);
+  train_ = train;
+}
+
+int Knn::Predict(const std::vector<float>& row) const {
+  const int64_t n = train_.size();
+  const int k = std::min<int>(k_, static_cast<int>(n));
+  std::vector<std::pair<double, int>> dist_label(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    const auto& x = train_.x[static_cast<size_t>(i)];
+    double d = 0.0;
+    for (size_t j = 0; j < row.size(); ++j) {
+      const double diff = x[j] - row[j];
+      d += diff * diff;
+    }
+    dist_label[static_cast<size_t>(i)] = {d, train_.y[static_cast<size_t>(i)]};
+  }
+  std::partial_sort(dist_label.begin(), dist_label.begin() + k,
+                    dist_label.end());
+  // Distance-weighted vote (1 / (eps + d)).
+  std::vector<double> votes(static_cast<size_t>(train_.num_classes), 0.0);
+  for (int i = 0; i < k; ++i) {
+    votes[static_cast<size_t>(dist_label[static_cast<size_t>(i)].second)] +=
+        1.0 / (1e-9 + std::sqrt(dist_label[static_cast<size_t>(i)].first));
+  }
+  return static_cast<int>(std::max_element(votes.begin(), votes.end()) -
+                          votes.begin());
+}
+
+}  // namespace ba::ml

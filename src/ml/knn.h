@@ -1,0 +1,27 @@
+#pragma once
+
+#include <vector>
+
+#include "ml/model.h"
+
+/// \file knn.h
+/// \brief k-nearest-neighbors baseline (Table II): brute-force
+/// Euclidean search with majority vote, distance-weighted ties.
+
+namespace ba::ml {
+
+/// \brief KNN classifier on standardized features.
+class Knn : public MlModel {
+ public:
+  explicit Knn(int k = 5) : k_(k) {}
+
+  std::string Name() const override { return "KNN"; }
+  void Fit(const MlDataset& train) override;
+  int Predict(const std::vector<float>& row) const override;
+
+ private:
+  int k_;
+  MlDataset train_;
+};
+
+}  // namespace ba::ml

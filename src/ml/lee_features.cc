@@ -1,0 +1,104 @@
+#include "ml/lee_features.h"
+
+#include <cmath>
+#include <unordered_set>
+
+#include "core/sfe.h"
+#include "util/logging.h"
+
+namespace ba::ml {
+
+namespace {
+
+constexpr double kSatoshisPerCoin = 100'000'000.0;
+
+/// Eight summary statistics of one facet — the first eight SFE entries,
+/// log-compressed for scale stability.
+void AppendStats(const std::vector<double>& values,
+                 std::vector<float>* out) {
+  const auto sfe = core::ComputeCompressedSfe(values);
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<float>(sfe[static_cast<size_t>(i)]));
+  }
+}
+
+}  // namespace
+
+std::vector<float> LeeFeatures(const chain::Ledger& ledger,
+                               chain::AddressId address) {
+  const auto& txids = ledger.TransactionsOf(address);
+
+  std::vector<double> received, sent, time_gaps, input_counts, output_counts,
+      counterparties, fees, balances, hours, block_gaps;
+
+  double balance = 0.0;
+  chain::Timestamp prev_time = 0;
+  uint64_t prev_height = 0;
+  bool first = true;
+  for (chain::TxId id : txids) {
+    const chain::Transaction& tx = ledger.tx(id);
+    double in_v = 0.0, out_v = 0.0;
+    std::unordered_set<chain::AddressId> others;
+    for (const auto& in : tx.inputs) {
+      if (in.address == address) {
+        in_v += static_cast<double>(in.value) / kSatoshisPerCoin;
+      } else {
+        others.insert(in.address);
+      }
+    }
+    for (const auto& out : tx.outputs) {
+      if (out.address == address) {
+        out_v += static_cast<double>(out.value) / kSatoshisPerCoin;
+      } else {
+        others.insert(out.address);
+      }
+    }
+    if (out_v > 0.0) received.push_back(out_v);
+    if (in_v > 0.0) sent.push_back(in_v);
+    balance += out_v - in_v;
+    balances.push_back(balance);
+    input_counts.push_back(static_cast<double>(tx.inputs.size()));
+    output_counts.push_back(static_cast<double>(tx.outputs.size()));
+    counterparties.push_back(static_cast<double>(others.size()));
+    fees.push_back(static_cast<double>(tx.Fee()) / kSatoshisPerCoin);
+    hours.push_back(
+        static_cast<double>((tx.timestamp / 3600) % 24));
+    if (!first) {
+      time_gaps.push_back(
+          static_cast<double>(tx.timestamp - prev_time) / 3600.0);
+      block_gaps.push_back(
+          static_cast<double>(tx.block_height - prev_height));
+    }
+    prev_time = tx.timestamp;
+    prev_height = tx.block_height;
+    first = false;
+  }
+
+  std::vector<float> out;
+  out.reserve(static_cast<size_t>(kLeeFeatureDim));
+  AppendStats(received, &out);
+  AppendStats(sent, &out);
+  AppendStats(time_gaps, &out);
+  AppendStats(input_counts, &out);
+  AppendStats(output_counts, &out);
+  AppendStats(counterparties, &out);
+  AppendStats(fees, &out);
+  AppendStats(balances, &out);
+  AppendStats(hours, &out);
+  AppendStats(block_gaps, &out);
+  BA_CHECK_EQ(static_cast<int64_t>(out.size()), kLeeFeatureDim);
+  return out;
+}
+
+std::vector<std::vector<float>> LeeFeatureMatrix(
+    const chain::Ledger& ledger,
+    const std::vector<chain::AddressId>& addresses) {
+  std::vector<std::vector<float>> out;
+  out.reserve(addresses.size());
+  for (chain::AddressId a : addresses) {
+    out.push_back(LeeFeatures(ledger, a));
+  }
+  return out;
+}
+
+}  // namespace ba::ml

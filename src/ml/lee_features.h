@@ -1,0 +1,35 @@
+#pragma once
+
+#include <vector>
+
+#include "chain/ledger.h"
+
+/// \file lee_features.h
+/// \brief The Lee et al. [20] comparator's feature engineering
+/// (Table IV): 80 hand-crafted transaction-history summary features per
+/// address, fed to Random Forest or an ANN.
+///
+/// Following the paper's description ("extracts 80 features from the
+/// bitcoin transactions"), ten history facets are each summarized by
+/// eight statistics (count, sum, mean, min, max, range, mid-range, 75th
+/// percentile): received amounts, sent amounts, inter-transaction time
+/// gaps, input counts, output counts, distinct counterparties per
+/// transaction, fees, running balance, hour-of-day, and block gaps.
+/// Crucially — and this is the information loss BAClassifier exploits —
+/// no topology and no temporal ordering survives the summarization.
+
+namespace ba::ml {
+
+/// Number of Lee et al. features (10 facets x 8 statistics).
+inline constexpr int64_t kLeeFeatureDim = 80;
+
+/// \brief Extracts the 80-dimensional summary for one address.
+std::vector<float> LeeFeatures(const chain::Ledger& ledger,
+                               chain::AddressId address);
+
+/// Extracts features for a list of addresses (rows align with input).
+std::vector<std::vector<float>> LeeFeatureMatrix(
+    const chain::Ledger& ledger,
+    const std::vector<chain::AddressId>& addresses);
+
+}  // namespace ba::ml

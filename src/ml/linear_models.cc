@@ -1,0 +1,150 @@
+#include "ml/linear_models.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ba::ml {
+
+void LogisticRegression::Fit(const MlDataset& train) {
+  train.Check();
+  num_classes_ = train.num_classes;
+  dim_ = train.num_features();
+  weights_.assign(static_cast<size_t>(num_classes_ * dim_), 0.0f);
+  bias_.assign(static_cast<size_t>(num_classes_), 0.0f);
+
+  const int64_t n = train.size();
+  std::vector<double> probs(static_cast<size_t>(num_classes_));
+  std::vector<double> grad_w(weights_.size());
+  std::vector<double> grad_b(bias_.size());
+
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    std::fill(grad_w.begin(), grad_w.end(), 0.0);
+    std::fill(grad_b.begin(), grad_b.end(), 0.0);
+    for (int64_t i = 0; i < n; ++i) {
+      const auto& row = train.x[static_cast<size_t>(i)];
+      // Softmax over class scores.
+      double max_s = -1e30;
+      for (int c = 0; c < num_classes_; ++c) {
+        double s = bias_[static_cast<size_t>(c)];
+        const float* w = weights_.data() + c * dim_;
+        for (int64_t j = 0; j < dim_; ++j) s += w[j] * row[static_cast<size_t>(j)];
+        probs[static_cast<size_t>(c)] = s;
+        max_s = std::max(max_s, s);
+      }
+      double total = 0.0;
+      for (int c = 0; c < num_classes_; ++c) {
+        probs[static_cast<size_t>(c)] =
+            std::exp(probs[static_cast<size_t>(c)] - max_s);
+        total += probs[static_cast<size_t>(c)];
+      }
+      for (int c = 0; c < num_classes_; ++c) {
+        const double p = probs[static_cast<size_t>(c)] / total;
+        const double err =
+            p - (c == train.y[static_cast<size_t>(i)] ? 1.0 : 0.0);
+        grad_b[static_cast<size_t>(c)] += err;
+        double* gw = grad_w.data() + c * dim_;
+        for (int64_t j = 0; j < dim_; ++j) {
+          gw[j] += err * row[static_cast<size_t>(j)];
+        }
+      }
+    }
+    const float lr = options_.learning_rate;
+    for (size_t k = 0; k < weights_.size(); ++k) {
+      weights_[k] -= lr * static_cast<float>(grad_w[k] / static_cast<double>(n) +
+                                             options_.l2 * weights_[k]);
+    }
+    for (size_t k = 0; k < bias_.size(); ++k) {
+      bias_[k] -= lr * static_cast<float>(grad_b[k] / static_cast<double>(n));
+    }
+  }
+}
+
+std::vector<double> LogisticRegression::PredictProba(
+    const std::vector<float>& row) const {
+  std::vector<double> probs(static_cast<size_t>(num_classes_));
+  double max_s = -1e30;
+  for (int c = 0; c < num_classes_; ++c) {
+    double s = bias_[static_cast<size_t>(c)];
+    const float* w = weights_.data() + c * dim_;
+    for (int64_t j = 0; j < dim_; ++j) s += w[j] * row[static_cast<size_t>(j)];
+    probs[static_cast<size_t>(c)] = s;
+    max_s = std::max(max_s, s);
+  }
+  double total = 0.0;
+  for (auto& p : probs) {
+    p = std::exp(p - max_s);
+    total += p;
+  }
+  for (auto& p : probs) p /= total;
+  return probs;
+}
+
+int LogisticRegression::Predict(const std::vector<float>& row) const {
+  const auto probs = PredictProba(row);
+  return static_cast<int>(std::max_element(probs.begin(), probs.end()) -
+                          probs.begin());
+}
+
+void LinearSvm::Fit(const MlDataset& train) {
+  train.Check();
+  num_classes_ = train.num_classes;
+  dim_ = train.num_features();
+  weights_.assign(static_cast<size_t>(num_classes_ * dim_), 0.0f);
+  bias_.assign(static_cast<size_t>(num_classes_), 0.0f);
+
+  Rng rng(options_.seed);
+  const int64_t n = train.size();
+  std::vector<size_t> order(static_cast<size_t>(n));
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    const float lr =
+        options_.learning_rate / (1.0f + 0.1f * static_cast<float>(epoch));
+    for (size_t i : order) {
+      const auto& row = train.x[i];
+      for (int c = 0; c < num_classes_; ++c) {
+        const float target = train.y[i] == c ? 1.0f : -1.0f;
+        float* w = weights_.data() + c * dim_;
+        double score = bias_[static_cast<size_t>(c)];
+        for (int64_t j = 0; j < dim_; ++j) {
+          score += w[j] * row[static_cast<size_t>(j)];
+        }
+        // Subgradient of hinge + L2.
+        if (target * score < 1.0) {
+          for (int64_t j = 0; j < dim_; ++j) {
+            w[j] += lr * (target * row[static_cast<size_t>(j)] -
+                          options_.l2 * w[j]);
+          }
+          bias_[static_cast<size_t>(c)] += lr * target;
+        } else {
+          for (int64_t j = 0; j < dim_; ++j) {
+            w[j] -= lr * options_.l2 * w[j];
+          }
+        }
+      }
+    }
+  }
+}
+
+double LinearSvm::Margin(int cls, const std::vector<float>& row) const {
+  const float* w = weights_.data() + cls * dim_;
+  double score = bias_[static_cast<size_t>(cls)];
+  for (int64_t j = 0; j < dim_; ++j) score += w[j] * row[static_cast<size_t>(j)];
+  return score;
+}
+
+int LinearSvm::Predict(const std::vector<float>& row) const {
+  int best = 0;
+  double best_margin = Margin(0, row);
+  for (int c = 1; c < num_classes_; ++c) {
+    const double m = Margin(c, row);
+    if (m > best_margin) {
+      best_margin = m;
+      best = c;
+    }
+  }
+  return best;
+}
+
+}  // namespace ba::ml

@@ -1,0 +1,71 @@
+#pragma once
+
+#include <vector>
+
+#include "ml/model.h"
+#include "util/rng.h"
+
+/// \file linear_models.h
+/// \brief Linear baselines of Table II: multinomial logistic regression
+/// and a one-vs-rest linear SVM trained with hinge-loss SGD.
+
+namespace ba::ml {
+
+/// \brief Multinomial (softmax) logistic regression, full-batch
+/// gradient descent with L2 regularization.
+class LogisticRegression : public MlModel {
+ public:
+  struct Options {
+    int epochs = 200;
+    float learning_rate = 0.1f;
+    float l2 = 1e-4f;
+    uint64_t seed = 1;
+  };
+
+  LogisticRegression() : LogisticRegression(Options()) {}
+  explicit LogisticRegression(Options options) : options_(options) {}
+
+  std::string Name() const override { return "LR"; }
+  void Fit(const MlDataset& train) override;
+  int Predict(const std::vector<float>& row) const override;
+
+  /// Class probabilities for one row (softmax).
+  std::vector<double> PredictProba(const std::vector<float>& row) const;
+
+ private:
+  Options options_;
+  int num_classes_ = 0;
+  int64_t dim_ = 0;
+  std::vector<float> weights_;  // (classes x dim), row-major
+  std::vector<float> bias_;     // (classes)
+};
+
+/// \brief One-vs-rest linear SVM: hinge loss + L2, SGD with epoch decay.
+class LinearSvm : public MlModel {
+ public:
+  struct Options {
+    int epochs = 60;
+    float learning_rate = 0.01f;
+    float l2 = 1e-4f;
+    uint64_t seed = 1;
+  };
+
+  LinearSvm() : LinearSvm(Options()) {}
+  explicit LinearSvm(Options options) : options_(options) {}
+
+  std::string Name() const override { return "SVM"; }
+  void Fit(const MlDataset& train) override;
+  int Predict(const std::vector<float>& row) const override;
+
+  /// Raw margin of one binary classifier.
+  double Margin(int cls, const std::vector<float>& row) const;
+
+ private:
+  Options options_;
+  int num_classes_ = 0;
+  int64_t dim_ = 0;
+  std::vector<float> weights_;  // (classes x dim)
+  std::vector<float> bias_;
+};
+
+}  // namespace ba::ml

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "ml/model.h"
+#include "nn/linear.h"
+#include "tensor/optimizer.h"
+
+/// \file mlp_classifier.h
+/// \brief Plain MLP over flat features — both the "MLP" baseline of
+/// Table II and the "ANN" half of the Lee et al. comparator (Table IV).
+
+namespace ba::ml {
+
+/// \brief Batch-trained feed-forward classifier on flat features.
+class MlpClassifier : public MlModel {
+ public:
+  struct Options {
+    std::vector<int64_t> hidden = {64, 32};
+    int epochs = 80;
+    int batch_size = 32;
+    float learning_rate = 1e-3f;
+    uint64_t seed = 1;
+    std::string name = "MLP";
+  };
+
+  MlpClassifier() : MlpClassifier(Options()) {}
+  explicit MlpClassifier(Options options) : options_(options) {}
+
+  std::string Name() const override { return options_.name; }
+  void Fit(const MlDataset& train) override;
+  int Predict(const std::vector<float>& row) const override;
+
+ private:
+  Options options_;
+  int num_classes_ = 0;
+  int64_t dim_ = 0;
+  std::unique_ptr<Rng> rng_;
+  std::unique_ptr<nn::Mlp> mlp_;
+};
+
+}  // namespace ba::ml

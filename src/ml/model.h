@@ -1,0 +1,51 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "metrics/classification.h"
+#include "ml/dataset.h"
+
+/// \file model.h
+/// \brief Common interface of the classical ML classifiers compared in
+/// Table II (LR, MLP, SVM, Bernoulli/Gaussian NB, KNN, Decision Tree,
+/// GBDT, XGBoost) and the Table IV comparators.
+
+namespace ba::ml {
+
+/// \brief A trainable flat-feature classifier.
+class MlModel {
+ public:
+  virtual ~MlModel() = default;
+
+  /// Model name as it appears in the paper's tables.
+  virtual std::string Name() const = 0;
+
+  /// Fits on the training split. Inputs are expected pre-standardized
+  /// where the model benefits from it (the harness handles scaling).
+  virtual void Fit(const MlDataset& train) = 0;
+
+  /// Predicted class of one row.
+  virtual int Predict(const std::vector<float>& row) const = 0;
+
+  /// Predicted classes of a whole matrix.
+  std::vector<int> PredictAll(
+      const std::vector<std::vector<float>>& x) const {
+    std::vector<int> out;
+    out.reserve(x.size());
+    for (const auto& row : x) out.push_back(Predict(row));
+    return out;
+  }
+
+  /// Confusion matrix on a labeled split.
+  metrics::ConfusionMatrix Evaluate(const MlDataset& test) const {
+    metrics::ConfusionMatrix cm(test.num_classes);
+    for (int64_t i = 0; i < test.size(); ++i) {
+      cm.Add(test.y[static_cast<size_t>(i)],
+             Predict(test.x[static_cast<size_t>(i)]));
+    }
+    return cm;
+  }
+};
+
+}  // namespace ba::ml

@@ -1,0 +1,143 @@
+#include "ml/naive_bayes.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ba::ml {
+
+void BernoulliNb::Fit(const MlDataset& train) {
+  train.Check();
+  num_classes_ = train.num_classes;
+  dim_ = train.num_features();
+  const int64_t n = train.size();
+
+  // Per-feature median as the binarization threshold.
+  thresholds_.resize(static_cast<size_t>(dim_));
+  std::vector<float> column(static_cast<size_t>(n));
+  for (int64_t j = 0; j < dim_; ++j) {
+    for (int64_t i = 0; i < n; ++i) {
+      column[static_cast<size_t>(i)] =
+          train.x[static_cast<size_t>(i)][static_cast<size_t>(j)];
+    }
+    std::nth_element(column.begin(), column.begin() + n / 2, column.end());
+    thresholds_[static_cast<size_t>(j)] = column[static_cast<size_t>(n / 2)];
+  }
+
+  std::vector<int64_t> class_count(static_cast<size_t>(num_classes_), 0);
+  std::vector<int64_t> ones(static_cast<size_t>(num_classes_ * dim_), 0);
+  for (int64_t i = 0; i < n; ++i) {
+    const int c = train.y[static_cast<size_t>(i)];
+    ++class_count[static_cast<size_t>(c)];
+    for (int64_t j = 0; j < dim_; ++j) {
+      if (train.x[static_cast<size_t>(i)][static_cast<size_t>(j)] >
+          thresholds_[static_cast<size_t>(j)]) {
+        ++ones[static_cast<size_t>(c * dim_ + j)];
+      }
+    }
+  }
+
+  log_prior_.resize(static_cast<size_t>(num_classes_));
+  log_p_one_.resize(static_cast<size_t>(num_classes_ * dim_));
+  log_p_zero_.resize(static_cast<size_t>(num_classes_ * dim_));
+  for (int c = 0; c < num_classes_; ++c) {
+    log_prior_[static_cast<size_t>(c)] =
+        std::log((static_cast<double>(class_count[static_cast<size_t>(c)]) +
+                  1.0) /
+                 (static_cast<double>(n) + num_classes_));
+    for (int64_t j = 0; j < dim_; ++j) {
+      const double p =
+          (static_cast<double>(ones[static_cast<size_t>(c * dim_ + j)]) +
+           1.0) /
+          (static_cast<double>(class_count[static_cast<size_t>(c)]) + 2.0);
+      log_p_one_[static_cast<size_t>(c * dim_ + j)] = std::log(p);
+      log_p_zero_[static_cast<size_t>(c * dim_ + j)] = std::log(1.0 - p);
+    }
+  }
+}
+
+int BernoulliNb::Predict(const std::vector<float>& row) const {
+  int best = 0;
+  double best_score = -1e300;
+  for (int c = 0; c < num_classes_; ++c) {
+    double score = log_prior_[static_cast<size_t>(c)];
+    for (int64_t j = 0; j < dim_; ++j) {
+      const bool one =
+          row[static_cast<size_t>(j)] > thresholds_[static_cast<size_t>(j)];
+      score += one ? log_p_one_[static_cast<size_t>(c * dim_ + j)]
+                   : log_p_zero_[static_cast<size_t>(c * dim_ + j)];
+    }
+    if (score > best_score) {
+      best_score = score;
+      best = c;
+    }
+  }
+  return best;
+}
+
+void GaussianNb::Fit(const MlDataset& train) {
+  train.Check();
+  num_classes_ = train.num_classes;
+  dim_ = train.num_features();
+  const int64_t n = train.size();
+
+  std::vector<int64_t> count(static_cast<size_t>(num_classes_), 0);
+  mean_.assign(static_cast<size_t>(num_classes_ * dim_), 0.0);
+  var_.assign(static_cast<size_t>(num_classes_ * dim_), 0.0);
+  for (int64_t i = 0; i < n; ++i) {
+    const int c = train.y[static_cast<size_t>(i)];
+    ++count[static_cast<size_t>(c)];
+    for (int64_t j = 0; j < dim_; ++j) {
+      mean_[static_cast<size_t>(c * dim_ + j)] +=
+          train.x[static_cast<size_t>(i)][static_cast<size_t>(j)];
+    }
+  }
+  for (int c = 0; c < num_classes_; ++c) {
+    const double cnt =
+        std::max<double>(1.0, static_cast<double>(count[static_cast<size_t>(c)]));
+    for (int64_t j = 0; j < dim_; ++j) {
+      mean_[static_cast<size_t>(c * dim_ + j)] /= cnt;
+    }
+  }
+  for (int64_t i = 0; i < n; ++i) {
+    const int c = train.y[static_cast<size_t>(i)];
+    for (int64_t j = 0; j < dim_; ++j) {
+      const double d =
+          train.x[static_cast<size_t>(i)][static_cast<size_t>(j)] -
+          mean_[static_cast<size_t>(c * dim_ + j)];
+      var_[static_cast<size_t>(c * dim_ + j)] += d * d;
+    }
+  }
+  log_prior_.resize(static_cast<size_t>(num_classes_));
+  for (int c = 0; c < num_classes_; ++c) {
+    const double cnt =
+        std::max<double>(1.0, static_cast<double>(count[static_cast<size_t>(c)]));
+    log_prior_[static_cast<size_t>(c)] = std::log(
+        (static_cast<double>(count[static_cast<size_t>(c)]) + 1.0) /
+        (static_cast<double>(n) + num_classes_));
+    for (int64_t j = 0; j < dim_; ++j) {
+      var_[static_cast<size_t>(c * dim_ + j)] =
+          var_[static_cast<size_t>(c * dim_ + j)] / cnt + 1e-6;
+    }
+  }
+}
+
+int GaussianNb::Predict(const std::vector<float>& row) const {
+  int best = 0;
+  double best_score = -1e300;
+  for (int c = 0; c < num_classes_; ++c) {
+    double score = log_prior_[static_cast<size_t>(c)];
+    for (int64_t j = 0; j < dim_; ++j) {
+      const double v = var_[static_cast<size_t>(c * dim_ + j)];
+      const double d =
+          row[static_cast<size_t>(j)] - mean_[static_cast<size_t>(c * dim_ + j)];
+      score += -0.5 * (std::log(2.0 * M_PI * v) + d * d / v);
+    }
+    if (score > best_score) {
+      best_score = score;
+      best = c;
+    }
+  }
+  return best;
+}
+
+}  // namespace ba::ml

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <vector>
+
+#include "ml/model.h"
+
+/// \file naive_bayes.h
+/// \brief Bernoulli and Gaussian naive Bayes — Table II baselines.
+
+namespace ba::ml {
+
+/// \brief Bernoulli NB over features binarized at the per-feature
+/// training median (continuous inputs ⇒ median split), with Laplace
+/// smoothing.
+class BernoulliNb : public MlModel {
+ public:
+  std::string Name() const override { return "Bernoulli NB"; }
+  void Fit(const MlDataset& train) override;
+  int Predict(const std::vector<float>& row) const override;
+
+ private:
+  int num_classes_ = 0;
+  std::vector<float> thresholds_;      // per-feature binarization point
+  std::vector<double> log_prior_;      // per class
+  std::vector<double> log_p_one_;      // (classes x dim) log P(x_j=1|c)
+  std::vector<double> log_p_zero_;     // (classes x dim) log P(x_j=0|c)
+  int64_t dim_ = 0;
+};
+
+/// \brief Gaussian NB: per-(class, feature) normal likelihoods with
+/// variance smoothing.
+class GaussianNb : public MlModel {
+ public:
+  std::string Name() const override { return "Gaussian NB"; }
+  void Fit(const MlDataset& train) override;
+  int Predict(const std::vector<float>& row) const override;
+
+ private:
+  int num_classes_ = 0;
+  int64_t dim_ = 0;
+  std::vector<double> log_prior_;
+  std::vector<double> mean_;  // (classes x dim)
+  std::vector<double> var_;   // (classes x dim)
+};
+
+}  // namespace ba::ml

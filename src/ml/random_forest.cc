@@ -1,0 +1,51 @@
+#include "ml/random_forest.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ba::ml {
+
+void RandomForest::Fit(const MlDataset& train) {
+  train.Check();
+  num_classes_ = train.num_classes;
+  trees_.clear();
+  trees_.reserve(static_cast<size_t>(options_.num_trees));
+  Rng rng(options_.seed);
+  const int64_t n = train.size();
+  const int max_features =
+      options_.max_features > 0
+          ? options_.max_features
+          : std::max<int>(1, static_cast<int>(std::sqrt(
+                                 static_cast<double>(train.num_features()))));
+
+  for (int t = 0; t < options_.num_trees; ++t) {
+    std::vector<int64_t> bootstrap(static_cast<size_t>(n));
+    for (int64_t i = 0; i < n; ++i) {
+      bootstrap[static_cast<size_t>(i)] =
+          static_cast<int64_t>(rng.UniformInt(static_cast<uint64_t>(n)));
+    }
+    DecisionTree::Options topt;
+    topt.max_depth = options_.max_depth;
+    topt.min_samples_leaf = options_.min_samples_leaf;
+    topt.min_samples_split = 2 * options_.min_samples_leaf;
+    topt.max_features = max_features;
+    topt.seed = rng.Next();
+    DecisionTree tree(topt);
+    tree.FitIndices(train, bootstrap);
+    trees_.push_back(std::move(tree));
+  }
+}
+
+int RandomForest::Predict(const std::vector<float>& row) const {
+  std::vector<double> votes(static_cast<size_t>(num_classes_), 0.0);
+  for (const auto& tree : trees_) {
+    const auto& dist = tree.PredictDistribution(row);
+    for (int c = 0; c < num_classes_; ++c) {
+      votes[static_cast<size_t>(c)] += dist[static_cast<size_t>(c)];
+    }
+  }
+  return static_cast<int>(std::max_element(votes.begin(), votes.end()) -
+                          votes.begin());
+}
+
+}  // namespace ba::ml

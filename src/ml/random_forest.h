@@ -1,0 +1,40 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "ml/decision_tree.h"
+
+/// \file random_forest.h
+/// \brief Bagged random forest — the stronger half of the Lee et al.
+/// comparator in Table IV ("Lee et al. with Random Forest").
+
+namespace ba::ml {
+
+/// \brief Random forest: bootstrap bagging + per-split feature
+/// subsampling, soft (distribution-averaged) voting.
+class RandomForest : public MlModel {
+ public:
+  struct Options {
+    int num_trees = 50;
+    int max_depth = 12;
+    int min_samples_leaf = 2;
+    /// Per-split feature budget; -1 = floor(sqrt(d)).
+    int max_features = -1;
+    uint64_t seed = 1;
+  };
+
+  RandomForest() : RandomForest(Options()) {}
+  explicit RandomForest(Options options) : options_(options) {}
+
+  std::string Name() const override { return "Random Forest"; }
+  void Fit(const MlDataset& train) override;
+  int Predict(const std::vector<float>& row) const override;
+
+ private:
+  Options options_;
+  int num_classes_ = 0;
+  std::vector<DecisionTree> trees_;
+};
+
+}  // namespace ba::ml

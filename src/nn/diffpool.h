@@ -1,0 +1,76 @@
+#pragma once
+
+#include <vector>
+
+#include "nn/gcn.h"
+#include "nn/module.h"
+
+/// \file diffpool.h
+/// \brief DiffPool (Ying et al. [65]) graph encoder — the hierarchical
+/// pooling baseline of Table II and Fig 5.
+///
+/// Single pooling level: a GCN produces node embeddings Z and a second
+/// GCN produces a soft cluster assignment S (row-softmax). The coarse
+/// graph is X' = Sᵀ·Z, A' = Sᵀ·Ã·S; a dense message-passing layer over
+/// A' is followed by SUM readout and an MLP head.
+
+namespace ba::nn {
+
+/// \brief One-level DiffPool encoder for graph classification.
+class DiffPoolEncoder : public Module {
+ public:
+  struct Options {
+    int64_t input_dim = 0;
+    int64_t hidden_dim = 64;
+    int64_t embed_dim = 32;
+    int64_t num_classes = 4;
+    /// Number of clusters after pooling.
+    int64_t num_clusters = 8;
+  };
+
+  DiffPoolEncoder(const Options& options, Rng* rng)
+      : embed_gnn_(options.input_dim, options.hidden_dim, rng),
+        assign_gnn_(options.input_dim, options.num_clusters, rng,
+                    /*apply_relu=*/false),
+        coarse_linear_(options.hidden_dim, options.embed_dim, rng),
+        head_({options.embed_dim, options.hidden_dim, options.num_classes},
+              rng),
+        options_(options) {}
+
+  /// Graph embedding (1, embed_dim) after pooling + coarse convolution.
+  Var Embed(const SparseMatrixPtr& norm_adj, const Var& node_features) const {
+    using namespace tensor;  // NOLINT(build/namespaces)
+    const Var z = embed_gnn_.Forward(norm_adj, node_features);  // (n, h)
+    const Var s = Softmax(assign_gnn_.Forward(norm_adj, node_features),
+                          /*axis=*/1);                          // (n, k)
+    const Var st = Transpose(s);                                // (k, n)
+    const Var x_coarse = MatMul(st, z);                         // (k, h)
+    // A' = Sᵀ·Ã·S, computed as Sᵀ·(Ã·S) to keep the sparse product.
+    const Var a_coarse = MatMul(st, SpMM(norm_adj, s));         // (k, k)
+    // Dense message passing on the coarse graph.
+    const Var h = Relu(MatMul(a_coarse, coarse_linear_.Forward(x_coarse)));
+    return SumRows(h);
+  }
+
+  /// Class logits (1, num_classes).
+  Var Forward(const SparseMatrixPtr& norm_adj,
+              const Var& node_features) const {
+    return head_.Forward(Embed(norm_adj, node_features));
+  }
+
+  int64_t embed_dim() const { return options_.embed_dim; }
+
+  std::vector<Var> Parameters() const override {
+    return CollectParameters(
+        {&embed_gnn_, &assign_gnn_, &coarse_linear_, &head_});
+  }
+
+ private:
+  GcnLayer embed_gnn_;
+  GcnLayer assign_gnn_;
+  Linear coarse_linear_;
+  Mlp head_;
+  Options options_;
+};
+
+}  // namespace ba::nn

@@ -1,0 +1,135 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "graph/sparse_matrix.h"
+#include "nn/linear.h"
+#include "nn/module.h"
+
+/// \file gat.h
+/// \brief Graph attention network (Veličković et al., cited as [56] in
+/// the paper's background) — an *extension* encoder beyond the paper's
+/// three evaluated models, exercising attention-based message passing
+/// on the address graphs.
+///
+/// Single-head GAT layer: e_ij = LeakyReLU(a₁ᵀWh_i + a₂ᵀWh_j) for
+/// edges (i,j), α = softmax over each node's neighborhood (masked), and
+/// H' = α·(XW). Dense masked attention — adequate at address-graph
+/// scale (tens to hundreds of nodes per slice).
+
+namespace ba::nn {
+
+/// \brief One dense masked graph-attention layer.
+class GatLayer : public Module {
+ public:
+  GatLayer(int64_t in_features, int64_t out_features, Rng* rng,
+           bool apply_elu = true)
+      : proj_(in_features, out_features, rng),
+        attn_src_(tensor::Param(
+            tensor::Tensor::XavierUniform(out_features, 1, rng))),
+        attn_dst_(tensor::Param(
+            tensor::Tensor::XavierUniform(out_features, 1, rng))),
+        apply_elu_(apply_elu) {}
+
+  /// `mask` is a dense (n, n) tensor with 1 on edges (self-loops
+  /// included) and 0 elsewhere; build it once per graph with EdgeMask.
+  tensor::Var Forward(const tensor::Var& mask, const tensor::Var& x) const {
+    using namespace tensor;  // NOLINT(build/namespaces)
+    const int64_t n = x->value.dim(0);
+    const Var h = proj_.Forward(x);                 // (n, out)
+    const Var src = MatMul(h, attn_src_);           // (n, 1)
+    const Var dst = MatMul(h, attn_dst_);           // (n, 1)
+    // scores_ij = src_i + dst_j, expanded via rank-1 products.
+    const Var ones_row = Constant(Tensor::Ones({1, n}));
+    const Var ones_col = Constant(Tensor::Ones({n, 1}));
+    Var scores = Add(MatMul(src, ones_row),
+                     MatMul(ones_col, Transpose(dst)));  // (n, n)
+    // LeakyReLU(0.2): x -> max(x, 0.2x) = relu(x) - 0.2*relu(-x).
+    scores = Sub(Relu(scores), Scale(Relu(Scale(scores, -1.0f)), 0.2f));
+    // Mask non-edges with a large negative constant before softmax.
+    const Var neg = Scale(Sub(mask, Constant(Tensor::Ones({n, n}))), 1e4f);
+    const Var alpha = Softmax(Add(scores, neg), /*axis=*/1);
+    // Zero out residual probability mass on non-edges, then aggregate.
+    Var out = MatMul(Mul(alpha, mask), h);
+    if (apply_elu_) {
+      // ELU ≈ relu(x) - relu(tanh(-x)) is awkward; use the standard
+      // smooth alternative available in this op set: tanh-gated relu is
+      // unnecessary — plain ReLU keeps the layer well-behaved here.
+      out = Relu(out);
+    }
+    return out;
+  }
+
+  std::vector<tensor::Var> Parameters() const override {
+    auto out = proj_.Parameters();
+    out.push_back(attn_src_);
+    out.push_back(attn_dst_);
+    return out;
+  }
+
+ private:
+  Linear proj_;
+  tensor::Var attn_src_;
+  tensor::Var attn_dst_;
+  bool apply_elu_;
+};
+
+/// Builds the dense (n, n) edge mask (with self-loops) for GatLayer
+/// from a normalized/unnormalized sparse adjacency.
+inline tensor::Tensor EdgeMask(const graph::SparseMatrix& adj) {
+  const int64_t n = adj.rows();
+  tensor::Tensor mask({n, n});
+  for (int64_t i = 0; i < n; ++i) {
+    mask.at(i, i) = 1.0f;
+    for (int64_t j : adj.RowIndices(i)) mask.at(i, j) = 1.0f;
+  }
+  return mask;
+}
+
+/// \brief Graph-classification GAT: two attention layers, SUM readout,
+/// MLP head — mirrors GcnEncoder's shape for fair comparison.
+class GatEncoder : public Module {
+ public:
+  struct Options {
+    int64_t input_dim = 0;
+    int64_t hidden_dim = 64;
+    int64_t embed_dim = 32;
+    int num_classes = 4;
+  };
+
+  GatEncoder(const Options& options, Rng* rng)
+      : layer1_(options.input_dim, options.hidden_dim, rng),
+        layer2_(options.hidden_dim, options.embed_dim, rng),
+        head_({options.embed_dim, options.hidden_dim,
+               static_cast<int64_t>(options.num_classes)},
+              rng),
+        options_(options) {}
+
+  tensor::Var Embed(const graph::SparseMatrix& adj,
+                    const tensor::Var& node_features) const {
+    const tensor::Var mask = tensor::Constant(EdgeMask(adj));
+    tensor::Var h = layer1_.Forward(mask, node_features);
+    h = layer2_.Forward(mask, h);
+    return tensor::SumRows(h);
+  }
+
+  tensor::Var Forward(const graph::SparseMatrix& adj,
+                      const tensor::Var& node_features) const {
+    return head_.Forward(Embed(adj, node_features));
+  }
+
+  int64_t embed_dim() const { return options_.embed_dim; }
+
+  std::vector<tensor::Var> Parameters() const override {
+    return CollectParameters({&layer1_, &layer2_, &head_});
+  }
+
+ private:
+  GatLayer layer1_;
+  GatLayer layer2_;
+  Mlp head_;
+  Options options_;
+};
+
+}  // namespace ba::nn

@@ -1,0 +1,85 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "graph/sparse_matrix.h"
+#include "nn/linear.h"
+#include "nn/module.h"
+
+/// \file gcn.h
+/// \brief Graph convolutional network (Kipf & Welling) — the GCN
+/// baseline of Table II and Fig 5, and the message-passing layer reused
+/// inside DiffPool.
+
+namespace ba::nn {
+
+using SparseMatrixPtr = std::shared_ptr<const graph::SparseMatrix>;
+
+/// \brief One graph convolution: H' = act(Ã·H·W + b).
+class GcnLayer : public Module {
+ public:
+  GcnLayer(int64_t in_features, int64_t out_features, Rng* rng,
+           bool apply_relu = true)
+      : linear_(in_features, out_features, rng), apply_relu_(apply_relu) {}
+
+  /// Propagates node features through the (constant) normalized
+  /// adjacency Ã of Eq. 12.
+  Var Forward(const SparseMatrixPtr& norm_adj, const Var& x) const {
+    Var h = tensor::SpMM(norm_adj, linear_.Forward(x));
+    return apply_relu_ ? tensor::Relu(h) : h;
+  }
+
+  std::vector<Var> Parameters() const override { return linear_.Parameters(); }
+
+ private:
+  Linear linear_;
+  bool apply_relu_;
+};
+
+/// \brief Graph-classification GCN: two convolutions, SUM readout,
+/// MLP head. Exposes the pre-head graph embedding for the
+/// address-classification stage.
+class GcnEncoder : public Module {
+ public:
+  struct Options {
+    int64_t input_dim = 0;
+    int64_t hidden_dim = 64;
+    int64_t embed_dim = 32;
+    int64_t num_classes = 4;
+  };
+
+  GcnEncoder(const Options& options, Rng* rng)
+      : conv1_(options.input_dim, options.hidden_dim, rng),
+        conv2_(options.hidden_dim, options.embed_dim, rng),
+        head_({options.embed_dim, options.hidden_dim, options.num_classes},
+              rng),
+        options_(options) {}
+
+  /// Graph embedding (1, embed_dim): conv → conv → SUM readout.
+  Var Embed(const SparseMatrixPtr& norm_adj, const Var& node_features) const {
+    Var h = conv1_.Forward(norm_adj, node_features);
+    h = conv2_.Forward(norm_adj, h);
+    return tensor::SumRows(h);
+  }
+
+  /// Class logits (1, num_classes).
+  Var Forward(const SparseMatrixPtr& norm_adj,
+              const Var& node_features) const {
+    return head_.Forward(Embed(norm_adj, node_features));
+  }
+
+  int64_t embed_dim() const { return options_.embed_dim; }
+
+  std::vector<Var> Parameters() const override {
+    return CollectParameters({&conv1_, &conv2_, &head_});
+  }
+
+ private:
+  GcnLayer conv1_;
+  GcnLayer conv2_;
+  Mlp head_;
+  Options options_;
+};
+
+}  // namespace ba::nn

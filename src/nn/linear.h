@@ -1,0 +1,97 @@
+#pragma once
+
+#include <vector>
+
+#include "nn/module.h"
+#include "util/rng.h"
+
+/// \file linear.h
+/// \brief Affine layer and multi-layer perceptron — the building blocks
+/// of the GFN classifier head (Eq. 14) and the final MLP of Eq. 22.
+
+namespace ba::nn {
+
+/// \brief y = x·W + b with Xavier-initialized W.
+class Linear : public Module {
+ public:
+  Linear(int64_t in_features, int64_t out_features, Rng* rng)
+      : weight_(tensor::Param(
+            tensor::Tensor::XavierUniform(in_features, out_features, rng))),
+        bias_(tensor::Param(tensor::Tensor({1, out_features}))) {}
+
+  Var Forward(const Var& x) const {
+    return tensor::Add(tensor::MatMul(x, weight_), bias_);
+  }
+
+  std::vector<Var> Parameters() const override { return {weight_, bias_}; }
+
+  int64_t in_features() const { return weight_->value.dim(0); }
+  int64_t out_features() const { return weight_->value.dim(1); }
+
+ private:
+  Var weight_;
+  Var bias_;
+};
+
+/// \brief Nonlinearity selector for Mlp hidden layers.
+enum class Activation { kRelu, kTanh, kSigmoid };
+
+inline Var Activate(const Var& x, Activation act) {
+  switch (act) {
+    case Activation::kRelu:
+      return tensor::Relu(x);
+    case Activation::kTanh:
+      return tensor::Tanh(x);
+    case Activation::kSigmoid:
+      return tensor::Sigmoid(x);
+  }
+  return x;
+}
+
+/// \brief Feed-forward stack: Linear(+activation) per hidden layer,
+/// plain Linear output layer, optional inverted dropout between layers.
+class Mlp : public Module {
+ public:
+  /// `dims` = {in, hidden..., out}; at least {in, out}.
+  Mlp(const std::vector<int64_t>& dims, Rng* rng,
+      Activation activation = Activation::kRelu, float dropout = 0.0f)
+      : activation_(activation), dropout_(dropout) {
+    BA_CHECK_GE(dims.size(), 2u);
+    for (size_t i = 0; i + 1 < dims.size(); ++i) {
+      layers_.emplace_back(dims[i], dims[i + 1], rng);
+    }
+  }
+
+  /// Forward pass; `rng` and `training` control dropout.
+  Var Forward(const Var& x, Rng* rng = nullptr, bool training = false) const {
+    Var h = x;
+    for (size_t i = 0; i < layers_.size(); ++i) {
+      h = layers_[i].Forward(h);
+      if (i + 1 < layers_.size()) {
+        h = Activate(h, activation_);
+        if (dropout_ > 0.0f && training && rng != nullptr) {
+          h = tensor::Dropout(h, dropout_, rng, training);
+        }
+      }
+    }
+    return h;
+  }
+
+  std::vector<Var> Parameters() const override {
+    std::vector<Var> out;
+    for (const auto& l : layers_) {
+      auto p = l.Parameters();
+      out.insert(out.end(), p.begin(), p.end());
+    }
+    return out;
+  }
+
+  size_t num_layers() const { return layers_.size(); }
+
+ private:
+  std::vector<Linear> layers_;
+  Activation activation_;
+  float dropout_;
+};
+
+}  // namespace ba::nn

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <vector>
+
+#include "tensor/autograd.h"
+
+/// \file module.h
+/// \brief Base protocol for neural modules: expose trainable parameters
+/// so optimizers can collect them across composed models.
+
+namespace ba::nn {
+
+using tensor::Var;
+
+/// \brief A trainable component with a parameter list.
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  /// All trainable parameter nodes of this module (and submodules).
+  virtual std::vector<Var> Parameters() const = 0;
+
+  /// Total scalar parameter count.
+  int64_t NumParameters() const {
+    int64_t n = 0;
+    for (const auto& p : Parameters()) n += p->value.numel();
+    return n;
+  }
+};
+
+/// Concatenates the parameter lists of several modules.
+inline std::vector<Var> CollectParameters(
+    std::initializer_list<const Module*> modules) {
+  std::vector<Var> out;
+  for (const Module* m : modules) {
+    auto p = m->Parameters();
+    out.insert(out.end(), p.begin(), p.end());
+  }
+  return out;
+}
+
+}  // namespace ba::nn

@@ -1,0 +1,87 @@
+#include "tensor/serialize.h"
+
+#include <cstring>
+#include <fstream>
+
+namespace ba::tensor {
+
+namespace {
+
+constexpr char kMagic[4] = {'B', 'A', 'T', 'N'};
+constexpr uint32_t kVersion = 1;
+
+template <typename T>
+void WritePod(std::ofstream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(std::ifstream& in, T* value) {
+  in.read(reinterpret_cast<char*>(value), sizeof(T));
+  return in.good();
+}
+
+}  // namespace
+
+Status SaveParameters(const std::vector<Var>& params,
+                      const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::Internal("cannot open for write: " + path);
+  out.write(kMagic, sizeof(kMagic));
+  WritePod(out, kVersion);
+  WritePod(out, static_cast<uint64_t>(params.size()));
+  for (const auto& p : params) {
+    const Tensor& t = p->value;
+    WritePod(out, static_cast<uint32_t>(t.rank()));
+    for (int64_t d = 0; d < t.rank(); ++d) WritePod(out, t.dim(d));
+    out.write(reinterpret_cast<const char*>(t.data()),
+              static_cast<std::streamsize>(t.numel() * sizeof(float)));
+  }
+  if (!out.good()) return Status::Internal("write failed: " + path);
+  return Status::OK();
+}
+
+Status LoadParameters(const std::vector<Var>& params,
+                      const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open: " + path);
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in.good() || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("not a BATN checkpoint: " + path);
+  }
+  uint32_t version = 0;
+  uint64_t count = 0;
+  if (!ReadPod(in, &version) || version != kVersion) {
+    return Status::InvalidArgument("unsupported checkpoint version");
+  }
+  if (!ReadPod(in, &count) || count != params.size()) {
+    return Status::InvalidArgument(
+        "checkpoint holds " + std::to_string(count) + " tensors, model has " +
+        std::to_string(params.size()));
+  }
+  for (size_t i = 0; i < params.size(); ++i) {
+    Tensor& t = params[i]->value;
+    uint32_t rank = 0;
+    if (!ReadPod(in, &rank) || rank != static_cast<uint32_t>(t.rank())) {
+      return Status::InvalidArgument("tensor " + std::to_string(i) +
+                                     ": rank mismatch");
+    }
+    for (int64_t d = 0; d < t.rank(); ++d) {
+      int64_t dim = 0;
+      if (!ReadPod(in, &dim) || dim != t.dim(d)) {
+        return Status::InvalidArgument("tensor " + std::to_string(i) +
+                                       ": shape mismatch");
+      }
+    }
+    in.read(reinterpret_cast<char*>(t.data()),
+            static_cast<std::streamsize>(t.numel() * sizeof(float)));
+    if (!in.good()) {
+      return Status::InvalidArgument("tensor " + std::to_string(i) +
+                                     ": truncated payload");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace ba::tensor

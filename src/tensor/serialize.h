@@ -1,0 +1,30 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tensor/autograd.h"
+#include "util/status.h"
+
+/// \file serialize.h
+/// \brief Binary parameter checkpointing: save the tensors of a trained
+/// model and load them back into a freshly constructed model of the
+/// same architecture.
+///
+/// Format: "BATN" magic + version, tensor count, then per tensor the
+/// rank, dimensions and raw float32 payload. Shapes are verified on
+/// load, so architecture mismatches fail loudly instead of corrupting
+/// weights.
+
+namespace ba::tensor {
+
+/// \brief Writes the values of `params` to `path`.
+Status SaveParameters(const std::vector<Var>& params,
+                      const std::string& path);
+
+/// \brief Loads parameters saved by SaveParameters into `params`
+/// (in-place). Fails unless count and every shape match exactly.
+Status LoadParameters(const std::vector<Var>& params,
+                      const std::string& path);
+
+}  // namespace ba::tensor

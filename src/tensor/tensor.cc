@@ -1,0 +1,115 @@
+#include "tensor/tensor.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace ba::tensor {
+
+Tensor Tensor::RandomUniform(std::vector<int64_t> shape, Rng* rng, float lo,
+                             float hi) {
+  Tensor t(std::move(shape));
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    t.data()[i] = static_cast<float>(rng->Uniform(lo, hi));
+  }
+  return t;
+}
+
+Tensor Tensor::RandomNormal(std::vector<int64_t> shape, Rng* rng, float mean,
+                            float stddev) {
+  Tensor t(std::move(shape));
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    t.data()[i] = static_cast<float>(rng->Gaussian(mean, stddev));
+  }
+  return t;
+}
+
+Tensor Tensor::XavierUniform(int64_t fan_in, int64_t fan_out, Rng* rng) {
+  const float bound =
+      std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  return RandomUniform({fan_in, fan_out}, rng, -bound, bound);
+}
+
+std::string Tensor::ToString(int64_t max_elems) const {
+  std::ostringstream os;
+  os << "Tensor([";
+  for (size_t i = 0; i < shape_.size(); ++i) {
+    if (i) os << ", ";
+    os << shape_[i];
+  }
+  os << "]) [";
+  const int64_t n = std::min<int64_t>(numel(), max_elems);
+  for (int64_t i = 0; i < n; ++i) {
+    if (i) os << ", ";
+    os << data_[static_cast<size_t>(i)];
+  }
+  if (numel() > n) os << ", ...";
+  os << "]";
+  return os.str();
+}
+
+Tensor MatMulValue(const Tensor& a, const Tensor& b) {
+  BA_CHECK_EQ(a.rank(), 2);
+  BA_CHECK_EQ(b.rank(), 2);
+  BA_CHECK_EQ(a.dim(1), b.dim(0));
+  const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  Tensor c({m, n});
+  const float* ad = a.data();
+  const float* bd = b.data();
+  float* cd = c.data();
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t p = 0; p < k; ++p) {
+      const float av = ad[i * k + p];
+      if (av == 0.0f) continue;
+      const float* brow = bd + p * n;
+      float* crow = cd + i * n;
+      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+Tensor MatMulTransposeAValue(const Tensor& a, const Tensor& b) {
+  BA_CHECK_EQ(a.rank(), 2);
+  BA_CHECK_EQ(b.rank(), 2);
+  BA_CHECK_EQ(a.dim(0), b.dim(0));
+  const int64_t k = a.dim(0), m = a.dim(1), n = b.dim(1);
+  Tensor c({m, n});
+  const float* ad = a.data();
+  const float* bd = b.data();
+  float* cd = c.data();
+  for (int64_t p = 0; p < k; ++p) {
+    const float* arow = ad + p * m;
+    const float* brow = bd + p * n;
+    for (int64_t i = 0; i < m; ++i) {
+      const float av = arow[i];
+      if (av == 0.0f) continue;
+      float* crow = cd + i * n;
+      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+Tensor MatMulTransposeBValue(const Tensor& a, const Tensor& b) {
+  BA_CHECK_EQ(a.rank(), 2);
+  BA_CHECK_EQ(b.rank(), 2);
+  BA_CHECK_EQ(a.dim(1), b.dim(1));
+  const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
+  Tensor c({m, n});
+  const float* ad = a.data();
+  const float* bd = b.data();
+  float* cd = c.data();
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = ad + i * k;
+    float* crow = cd + i * n;
+    for (int64_t j = 0; j < n; ++j) {
+      const float* brow = bd + j * k;
+      float acc = 0.0f;
+      for (int64_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+      crow[j] = acc;
+    }
+  }
+  return c;
+}
+
+}  // namespace ba::tensor

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+/// \file cli.h
+/// \brief Minimal `--flag value` / `--flag=value` parser for the bench
+/// and example binaries, so every experiment can be rescaled from the
+/// command line (e.g. `--addresses 20000 --seed 7`).
+
+namespace ba {
+
+/// \brief Parses argv into a flag map with typed getters and defaults.
+class CliFlags {
+ public:
+  CliFlags(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) continue;
+      arg = arg.substr(2);
+      const auto eq = arg.find('=');
+      if (eq != std::string::npos) {
+        flags_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        flags_[arg] = argv[++i];
+      } else {
+        flags_[arg] = "true";
+      }
+    }
+  }
+
+  bool Has(const std::string& name) const { return flags_.count(name) > 0; }
+
+  std::string GetString(const std::string& name,
+                        const std::string& fallback) const {
+    auto it = flags_.find(name);
+    return it == flags_.end() ? fallback : it->second;
+  }
+
+  int64_t GetInt(const std::string& name, int64_t fallback) const {
+    auto it = flags_.find(name);
+    return it == flags_.end() ? fallback : std::stoll(it->second);
+  }
+
+  double GetDouble(const std::string& name, double fallback) const {
+    auto it = flags_.find(name);
+    return it == flags_.end() ? fallback : std::stod(it->second);
+  }
+
+  bool GetBool(const std::string& name, bool fallback) const {
+    auto it = flags_.find(name);
+    if (it == flags_.end()) return fallback;
+    return it->second == "true" || it->second == "1" || it->second == "yes";
+  }
+
+ private:
+  std::map<std::string, std::string> flags_;
+};
+
+}  // namespace ba

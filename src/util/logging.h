@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+/// \file logging.h
+/// \brief Invariant-check macros and a minimal leveled logger.
+///
+/// BA_CHECK* abort the process on violated invariants — they guard
+/// against programmer error, not expected runtime failures (those use
+/// Status/Result from status.h).
+
+namespace ba::internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const std::string& message) {
+  std::fprintf(stderr, "[FATAL] %s:%d  %s\n", file, line, message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace ba::internal
+
+/// Aborts with a message when `cond` is false.
+#define BA_CHECK(cond)                                                      \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      ::ba::internal::CheckFailed(__FILE__, __LINE__,                       \
+                                  "check failed: " #cond);                  \
+    }                                                                       \
+  } while (false)
+
+#define BA_CHECK_OP(a, b, op)                                               \
+  do {                                                                      \
+    auto _ba_a = (a);                                                       \
+    auto _ba_b = (b);                                                       \
+    if (!(_ba_a op _ba_b)) {                                                \
+      std::ostringstream _ba_os;                                            \
+      _ba_os << "check failed: " #a " " #op " " #b " (" << _ba_a << " vs "  \
+             << _ba_b << ")";                                               \
+      ::ba::internal::CheckFailed(__FILE__, __LINE__, _ba_os.str());        \
+    }                                                                       \
+  } while (false)
+
+#define BA_CHECK_EQ(a, b) BA_CHECK_OP(a, b, ==)
+#define BA_CHECK_NE(a, b) BA_CHECK_OP(a, b, !=)
+#define BA_CHECK_LT(a, b) BA_CHECK_OP(a, b, <)
+#define BA_CHECK_LE(a, b) BA_CHECK_OP(a, b, <=)
+#define BA_CHECK_GT(a, b) BA_CHECK_OP(a, b, >)
+#define BA_CHECK_GE(a, b) BA_CHECK_OP(a, b, >=)
+
+/// Aborts when a Status expression is not OK.
+#define BA_CHECK_OK(expr)                                                   \
+  do {                                                                      \
+    ::ba::Status _ba_st = (expr);                                           \
+    if (!_ba_st.ok()) {                                                     \
+      ::ba::internal::CheckFailed(__FILE__, __LINE__,                       \
+                                  "status not OK: " + _ba_st.ToString());   \
+    }                                                                       \
+  } while (false)

@@ -1,0 +1,203 @@
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "util/logging.h"
+
+/// \file rng.h
+/// \brief Deterministic, seedable pseudo-random number generation.
+///
+/// Every stochastic component in this project takes an explicit seed so
+/// experiments are exactly reproducible. The generator is
+/// xoshiro256** seeded through splitmix64, which has good statistical
+/// quality and is much faster than std::mt19937_64.
+
+namespace ba {
+
+/// \brief xoshiro256** PRNG with convenience sampling helpers.
+class Rng {
+ public:
+  /// Seeds the generator deterministically from a single 64-bit value.
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL) { Seed(seed); }
+
+  /// Re-seeds the full 256-bit state via splitmix64 expansion.
+  void Seed(uint64_t seed) {
+    uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9E3779B97F4A7C15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      s = z ^ (z >> 31);
+    }
+    gaussian_cached_ = false;
+  }
+
+  /// Next raw 64-bit output.
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double Uniform() { return static_cast<double>(Next() >> 11) * 0x1.0p-53; }
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) { return lo + (hi - lo) * Uniform(); }
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  uint64_t UniformInt(uint64_t n) {
+    BA_CHECK_GT(n, 0u);
+    // Lemire's nearly-divisionless bounded sampling.
+    __uint128_t m = static_cast<__uint128_t>(Next()) * n;
+    uint64_t lo = static_cast<uint64_t>(m);
+    if (lo < n) {
+      uint64_t threshold = (~n + 1) % n;
+      while (lo < threshold) {
+        m = static_cast<__uint128_t>(Next()) * n;
+        lo = static_cast<uint64_t>(m);
+      }
+    }
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    BA_CHECK_LE(lo, hi);
+    return lo + static_cast<int64_t>(
+                    UniformInt(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  /// Bernoulli draw with success probability p.
+  bool Bernoulli(double p) { return Uniform() < p; }
+
+  /// Standard normal via Box-Muller (cached pair).
+  double Gaussian() {
+    if (gaussian_cached_) {
+      gaussian_cached_ = false;
+      return gaussian_cache_;
+    }
+    double u1 = 0.0;
+    while (u1 <= 1e-300) u1 = Uniform();
+    const double u2 = Uniform();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * M_PI * u2;
+    gaussian_cache_ = r * std::sin(theta);
+    gaussian_cached_ = true;
+    return r * std::cos(theta);
+  }
+
+  /// Normal with the given mean and standard deviation.
+  double Gaussian(double mean, double stddev) {
+    return mean + stddev * Gaussian();
+  }
+
+  /// Log-normal draw: exp(N(mu, sigma)). Heavy-tailed, always positive —
+  /// the natural model for transaction amounts.
+  double LogNormal(double mu, double sigma) {
+    return std::exp(Gaussian(mu, sigma));
+  }
+
+  /// Exponential with rate lambda (mean 1/lambda).
+  double Exponential(double lambda) {
+    BA_CHECK_GT(lambda, 0.0);
+    double u = 0.0;
+    while (u <= 1e-300) u = Uniform();
+    return -std::log(u) / lambda;
+  }
+
+  /// Poisson draw (Knuth for small mean, normal approximation for large).
+  int64_t Poisson(double mean) {
+    BA_CHECK_GE(mean, 0.0);
+    if (mean <= 0.0) return 0;
+    if (mean > 60.0) {
+      const double v = Gaussian(mean, std::sqrt(mean));
+      return v < 0 ? 0 : static_cast<int64_t>(std::llround(v));
+    }
+    const double limit = std::exp(-mean);
+    double prod = Uniform();
+    int64_t n = 0;
+    while (prod > limit) {
+      prod *= Uniform();
+      ++n;
+    }
+    return n;
+  }
+
+  /// Zipf-like draw over [0, n): pmf(k) proportional to 1/(k+1)^s.
+  /// Used for heavy-tailed counterparty popularity.
+  uint64_t Zipf(uint64_t n, double s) {
+    BA_CHECK_GT(n, 0u);
+    // Rejection-inversion (Hörmann) would be faster; for bench sizes a
+    // simple inverse-CDF over a cached table is adequate and exact.
+    if (zipf_table_n_ != n || zipf_table_s_ != s) {
+      zipf_cdf_.resize(n);
+      double acc = 0.0;
+      for (uint64_t k = 0; k < n; ++k) {
+        acc += 1.0 / std::pow(static_cast<double>(k + 1), s);
+        zipf_cdf_[k] = acc;
+      }
+      for (auto& v : zipf_cdf_) v /= acc;
+      zipf_table_n_ = n;
+      zipf_table_s_ = s;
+    }
+    const double u = Uniform();
+    auto it = std::lower_bound(zipf_cdf_.begin(), zipf_cdf_.end(), u);
+    if (it == zipf_cdf_.end()) return n - 1;
+    return static_cast<uint64_t>(it - zipf_cdf_.begin());
+  }
+
+  /// In-place Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      const size_t j = static_cast<size_t>(UniformInt(i));
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+  /// Samples an index according to non-negative weights. Requires a
+  /// positive total weight.
+  size_t WeightedIndex(const std::vector<double>& weights) {
+    double total = 0.0;
+    for (double w : weights) {
+      BA_CHECK_GE(w, 0.0);
+      total += w;
+    }
+    BA_CHECK_GT(total, 0.0);
+    double u = Uniform() * total;
+    for (size_t i = 0; i < weights.size(); ++i) {
+      u -= weights[i];
+      if (u <= 0.0) return i;
+    }
+    return weights.size() - 1;
+  }
+
+  /// Derives an independent child generator; useful for giving each
+  /// parallel task its own stream.
+  Rng Fork() { return Rng(Next() ^ 0xD1B54A32D192ED03ULL); }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4] = {};
+  bool gaussian_cached_ = false;
+  double gaussian_cache_ = 0.0;
+  uint64_t zipf_table_n_ = 0;
+  double zipf_table_s_ = 0.0;
+  std::vector<double> zipf_cdf_;
+};
+
+}  // namespace ba

@@ -1,0 +1,145 @@
+#pragma once
+
+#include <string>
+#include <utility>
+#include <variant>
+
+/// \file status.h
+/// \brief Arrow-style error handling: `Status` for fallible void
+/// operations and `Result<T>` for fallible value-returning operations.
+///
+/// Library code in this project does not throw exceptions on expected
+/// failure paths (bad input, capacity limits, validation errors); it
+/// returns `Status` / `Result<T>` instead. Programmer errors (broken
+/// invariants) abort via the BA_CHECK macros in logging.h.
+
+namespace ba {
+
+/// \brief Machine-readable category of a failure.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kFailedPrecondition,
+  kInternal,
+  kUnimplemented,
+};
+
+/// \brief Returns a short human-readable name for a status code.
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief Outcome of a fallible operation that produces no value.
+///
+/// A default-constructed Status is OK. Failure statuses carry a code
+/// and a message. Statuses are cheap to copy in the OK case.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// \brief Renders "OK" or "<code>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// \brief Outcome of a fallible operation that produces a `T` on success.
+///
+/// Holds either a value or a non-OK Status. Accessing the value of a
+/// failed Result aborts (programmer error); call ok() first or use
+/// ValueOr().
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a success value.
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from a failure status. Must not be OK.
+  Result(Status status) : repr_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// \brief The failure status, or OK if this result holds a value.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(repr_);
+  }
+
+  /// \brief The held value. Aborts if !ok().
+  const T& value() const& { return std::get<T>(repr_); }
+  T& value() & { return std::get<T>(repr_); }
+  T&& value() && { return std::get<T>(std::move(repr_)); }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// \brief Returns the value, or `fallback` when this result failed.
+  T ValueOr(T fallback) const {
+    if (ok()) return value();
+    return fallback;
+  }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+}  // namespace ba
+
+/// Propagates a non-OK Status from the current function.
+#define BA_RETURN_NOT_OK(expr)                \
+  do {                                        \
+    ::ba::Status _ba_status = (expr);         \
+    if (!_ba_status.ok()) return _ba_status;  \
+  } while (false)
+
+#define BA_CONCAT_IMPL(x, y) x##y
+#define BA_CONCAT(x, y) BA_CONCAT_IMPL(x, y)
+
+/// Assigns the value of a Result<T> expression to `lhs`, propagating a
+/// non-OK status. `lhs` may include a declaration, e.g.
+/// `BA_ASSIGN_OR_RETURN(auto tx, ledger.GetTransaction(id));`
+#define BA_ASSIGN_OR_RETURN(lhs, rexpr)                         \
+  auto BA_CONCAT(_ba_result_, __LINE__) = (rexpr);              \
+  if (!BA_CONCAT(_ba_result_, __LINE__).ok())                   \
+    return BA_CONCAT(_ba_result_, __LINE__).status();           \
+  lhs = std::move(BA_CONCAT(_ba_result_, __LINE__)).value()

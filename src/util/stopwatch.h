@@ -1,0 +1,77 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+/// \file stopwatch.h
+/// \brief Wall-clock timing helpers used by the per-stage
+/// instrumentation behind Table V and the Fig 5/6 learning-curve
+/// harnesses.
+
+namespace ba {
+
+/// \brief Accumulating wall-clock stopwatch.
+///
+/// Supports repeated Start/Stop cycles; Elapsed* report the total
+/// accumulated time plus any currently-running interval.
+class Stopwatch {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Starts (or restarts) the current interval.
+  void Start() {
+    start_ = Clock::now();
+    running_ = true;
+  }
+
+  /// Stops the current interval and folds it into the accumulated total.
+  void Stop() {
+    if (!running_) return;
+    accumulated_ += Clock::now() - start_;
+    running_ = false;
+  }
+
+  /// Clears the accumulated total and stops the watch.
+  void Reset() {
+    accumulated_ = Clock::duration::zero();
+    running_ = false;
+  }
+
+  /// Accumulated time in nanoseconds.
+  int64_t ElapsedNanos() const {
+    auto total = accumulated_;
+    if (running_) total += Clock::now() - start_;
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(total)
+        .count();
+  }
+
+  /// Accumulated time in seconds.
+  double ElapsedSeconds() const {
+    return static_cast<double>(ElapsedNanos()) * 1e-9;
+  }
+
+  /// Accumulated time in milliseconds.
+  double ElapsedMillis() const {
+    return static_cast<double>(ElapsedNanos()) * 1e-6;
+  }
+
+ private:
+  Clock::time_point start_{};
+  Clock::duration accumulated_ = Clock::duration::zero();
+  bool running_ = false;
+};
+
+/// \brief RAII guard that accumulates its lifetime into a Stopwatch.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Stopwatch* watch) : watch_(watch) { watch_->Start(); }
+  ~ScopedTimer() { watch_->Stop(); }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Stopwatch* watch_;
+};
+
+}  // namespace ba

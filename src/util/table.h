@@ -1,0 +1,102 @@
+#pragma once
+
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+/// \file table.h
+/// \brief Plain-text table rendering for the benchmark harnesses, which
+/// must print the same rows the paper's tables report.
+
+namespace ba {
+
+/// \brief Column-aligned plain-text table builder.
+///
+/// Usage:
+/// \code
+///   TablePrinter t({"Model", "Precision", "Recall", "F1-score"});
+///   t.AddRow({"GFN (ours)", "0.9815", "0.9725", "0.9769"});
+///   t.Print(std::cout);
+/// \endcode
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  void AddRow(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  /// Adds a horizontal separator at the current position.
+  void AddSeparator() { separators_.push_back(rows_.size()); }
+
+  /// Renders the table with a title banner.
+  void Print(std::ostream& os, const std::string& title = "") const {
+    std::vector<size_t> widths(header_.size());
+    for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+    for (const auto& row : rows_) {
+      for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+        widths[c] = std::max(widths[c], row[c].size());
+      }
+    }
+    size_t total = 1;
+    for (size_t w : widths) total += w + 3;
+
+    if (!title.empty()) {
+      os << "\n" << title << "\n";
+    }
+    const std::string rule(total, '-');
+    os << rule << "\n";
+    PrintRow(os, header_, widths);
+    os << rule << "\n";
+    size_t sep_idx = 0;
+    for (size_t r = 0; r < rows_.size(); ++r) {
+      while (sep_idx < separators_.size() && separators_[sep_idx] == r) {
+        os << rule << "\n";
+        ++sep_idx;
+      }
+      PrintRow(os, rows_[r], widths);
+    }
+    os << rule << "\n";
+  }
+
+  /// Formats a double with fixed precision — the paper reports 4 digits.
+  static std::string Num(double v, int precision = 4) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return os.str();
+  }
+
+  /// Formats an integer with thousands separators, matching Table I.
+  static std::string Count(int64_t v) {
+    std::string digits = std::to_string(v < 0 ? -v : v);
+    std::string out;
+    int run = 0;
+    for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+      if (run != 0 && run % 3 == 0) out.push_back(',');
+      out.push_back(*it);
+      ++run;
+    }
+    if (v < 0) out.push_back('-');
+    std::reverse(out.begin(), out.end());
+    return out;
+  }
+
+ private:
+  static void PrintRow(std::ostream& os, const std::vector<std::string>& row,
+                       const std::vector<size_t>& widths) {
+    os << "|";
+    for (size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      os << " " << std::left << std::setw(static_cast<int>(widths[c])) << cell
+         << " |";
+    }
+    os << "\n";
+  }
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<size_t> separators_;
+};
+
+}  // namespace ba

@@ -1,0 +1,80 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace ba {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  BA_CHECK_GE(num_threads, 1u);
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  task_available_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    BA_CHECK(!shutdown_);
+    tasks_.push(std::move(task));
+    ++in_flight_;
+  }
+  task_available_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::ParallelFor(size_t n,
+                             const std::function<void(size_t)>& body) {
+  if (n == 0) return;
+  const size_t chunks = std::min(n, workers_.size() * 4);
+  const size_t chunk_size = (n + chunks - 1) / chunks;
+  for (size_t c = 0; c < chunks; ++c) {
+    const size_t begin = c * chunk_size;
+    const size_t end = std::min(n, begin + chunk_size);
+    if (begin >= end) break;
+    Submit([begin, end, &body] {
+      for (size_t i = begin; i < end; ++i) body(i);
+    });
+  }
+  Wait();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      task_available_.wait(lock,
+                           [this] { return shutdown_ || !tasks_.empty(); });
+      if (tasks_.empty()) {
+        if (shutdown_) return;
+        continue;
+      }
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      --in_flight_;
+      if (in_flight_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+}  // namespace ba

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+/// \file thread_pool.h
+/// \brief Fixed-size worker pool used to parallelize address-graph
+/// construction, which the paper notes is a CPU-bound,
+/// embarrassingly-parallel task (§IV-E.1).
+
+namespace ba {
+
+/// \brief A simple fixed-size thread pool with a ParallelFor helper.
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers (>= 1).
+  explicit ThreadPool(size_t num_threads);
+
+  /// Joins all workers; pending tasks are completed first.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for asynchronous execution.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void Wait();
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Runs `body(i)` for i in [0, n), distributing contiguous chunks
+  /// over the pool, and blocks until all iterations complete. The body
+  /// must be safe to invoke concurrently for distinct indices.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& body);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  size_t in_flight_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace ba

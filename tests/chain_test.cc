@@ -1,0 +1,352 @@
+// Unit tests for the UTXO ledger and wallet substrate (src/chain),
+// including the validation rules and the change mechanism of §II-A.
+
+#include <gtest/gtest.h>
+
+#include "chain/ledger.h"
+#include "chain/types.h"
+#include "chain/wallet.h"
+#include "util/rng.h"
+
+namespace ba::chain {
+namespace {
+
+constexpr Amount kSubsidy = 625'000'000;
+
+Ledger MakeLedger(uint64_t maturity = 0) {
+  LedgerOptions opts;
+  opts.block_subsidy = kSubsidy;
+  opts.coinbase_maturity = maturity;
+  return Ledger(opts);
+}
+
+TEST(TypesTest, FormatAddressDeterministicAndDistinct) {
+  EXPECT_EQ(FormatAddress(1), FormatAddress(1));
+  EXPECT_NE(FormatAddress(1), FormatAddress(2));
+  const std::string s = FormatAddress(12345);
+  EXPECT_EQ(s.size(), 27u);
+  EXPECT_EQ(s[0], '1');
+}
+
+TEST(TypesTest, OutPointKeyRoundTrips) {
+  OutPoint a{7, 13};
+  OutPoint b{7, 14};
+  EXPECT_NE(a.Key(), b.Key());
+  EXPECT_EQ(a.Key() >> 20, 7u);
+  EXPECT_EQ(a.Key() & 0xFFFFF, 13u);
+}
+
+TEST(TransactionTest, FeeIsInMinusOut) {
+  Transaction tx;
+  tx.inputs.push_back({OutPoint{0, 0}, 1, 1000});
+  tx.inputs.push_back({OutPoint{0, 1}, 2, 500});
+  tx.outputs.push_back({3, 1200});
+  EXPECT_EQ(tx.InputValue(), 1500);
+  EXPECT_EQ(tx.OutputValue(), 1200);
+  EXPECT_EQ(tx.Fee(), 300);
+}
+
+TEST(LedgerTest, CoinbaseMintsSubsidy) {
+  Ledger ledger = MakeLedger();
+  const AddressId a = ledger.NewAddress();
+  ASSERT_TRUE(ledger.ApplyCoinbase(100, a).ok());
+  ASSERT_TRUE(ledger.SealBlock(100).ok());
+  EXPECT_EQ(ledger.BalanceOf(a), kSubsidy);
+  EXPECT_EQ(ledger.total_minted(), kSubsidy);
+  EXPECT_TRUE(ledger.CheckConservation().ok());
+}
+
+TEST(LedgerTest, SecondCoinbaseInSameBlockRejected) {
+  Ledger ledger = MakeLedger();
+  const AddressId a = ledger.NewAddress();
+  ASSERT_TRUE(ledger.ApplyCoinbase(100, a).ok());
+  EXPECT_EQ(ledger.ApplyCoinbase(100, a).status().code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(LedgerTest, SplitCoinbasePayoutsConserveSubsidy) {
+  Ledger ledger = MakeLedger();
+  const AddressId a = ledger.NewAddress();
+  const AddressId b = ledger.NewAddress();
+  const AddressId c = ledger.NewAddress();
+  ASSERT_TRUE(
+      ledger.ApplyCoinbase(1, {a, b, c}, {0.5, 0.3, 0.2}).ok());
+  ASSERT_TRUE(ledger.SealBlock(1).ok());
+  EXPECT_EQ(ledger.BalanceOf(a) + ledger.BalanceOf(b) + ledger.BalanceOf(c),
+            kSubsidy);
+  EXPECT_NEAR(static_cast<double>(ledger.BalanceOf(a)),
+              0.5 * kSubsidy, 2.0);
+}
+
+TEST(LedgerTest, CoinbaseToUnknownAddressFails) {
+  Ledger ledger = MakeLedger();
+  EXPECT_EQ(ledger.ApplyCoinbase(1, 99).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(LedgerTest, SpendRequiresExistingUnspentOutput) {
+  Ledger ledger = MakeLedger();
+  const AddressId a = ledger.NewAddress();
+  const AddressId b = ledger.NewAddress();
+  auto cb = ledger.ApplyCoinbase(1, a);
+  ASSERT_TRUE(cb.ok());
+  ASSERT_TRUE(ledger.SealBlock(1).ok());
+
+  TxDraft draft;
+  draft.timestamp = 2;
+  draft.inputs = {OutPoint{cb.value(), 0}};
+  draft.outputs = {{b, kSubsidy}};
+  ASSERT_TRUE(ledger.ApplyTransaction(draft).ok());
+  // Double spend of the same outpoint must fail.
+  EXPECT_EQ(ledger.ApplyTransaction(draft).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(LedgerTest, DuplicateInputWithinDraftRejected) {
+  Ledger ledger = MakeLedger();
+  const AddressId a = ledger.NewAddress();
+  auto cb = ledger.ApplyCoinbase(1, a);
+  ASSERT_TRUE(cb.ok());
+  TxDraft draft;
+  draft.timestamp = 1;
+  draft.inputs = {OutPoint{cb.value(), 0}, OutPoint{cb.value(), 0}};
+  draft.outputs = {{a, kSubsidy}};
+  EXPECT_EQ(ledger.ApplyTransaction(draft).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(LedgerTest, OutputsCannotExceedInputs) {
+  Ledger ledger = MakeLedger();
+  const AddressId a = ledger.NewAddress();
+  auto cb = ledger.ApplyCoinbase(1, a);
+  ASSERT_TRUE(cb.ok());
+  TxDraft draft;
+  draft.timestamp = 1;
+  draft.inputs = {OutPoint{cb.value(), 0}};
+  draft.outputs = {{a, kSubsidy + 1}};
+  EXPECT_EQ(ledger.ApplyTransaction(draft).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(LedgerTest, NonPositiveOutputRejected) {
+  Ledger ledger = MakeLedger();
+  const AddressId a = ledger.NewAddress();
+  auto cb = ledger.ApplyCoinbase(1, a);
+  ASSERT_TRUE(cb.ok());
+  TxDraft draft;
+  draft.timestamp = 1;
+  draft.inputs = {OutPoint{cb.value(), 0}};
+  draft.outputs = {{a, 0}};
+  EXPECT_FALSE(ledger.ApplyTransaction(draft).ok());
+}
+
+TEST(LedgerTest, EmptyDraftRejected) {
+  Ledger ledger = MakeLedger();
+  TxDraft draft;
+  draft.timestamp = 1;
+  EXPECT_FALSE(ledger.ApplyTransaction(draft).ok());
+}
+
+TEST(LedgerTest, CoinbaseMaturityEnforced) {
+  Ledger ledger = MakeLedger(/*maturity=*/2);
+  const AddressId a = ledger.NewAddress();
+  const AddressId b = ledger.NewAddress();
+  auto cb = ledger.ApplyCoinbase(1, a);
+  ASSERT_TRUE(cb.ok());
+  ASSERT_TRUE(ledger.SealBlock(1).ok());
+
+  TxDraft draft;
+  draft.timestamp = 2;
+  draft.inputs = {OutPoint{cb.value(), 0}};
+  draft.outputs = {{b, kSubsidy}};
+  // Height 1 < confirmed(0) + maturity(2): immature.
+  EXPECT_EQ(ledger.ApplyTransaction(draft).status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(ledger.BalanceOf(a), 0);  // immature balance hidden
+  ASSERT_TRUE(ledger.SealBlock(3).ok());
+  EXPECT_EQ(ledger.BalanceOf(a), kSubsidy);
+  EXPECT_TRUE(ledger.ApplyTransaction(draft).ok());
+}
+
+TEST(LedgerTest, FeesAreBurnedAndTracked) {
+  Ledger ledger = MakeLedger();
+  const AddressId a = ledger.NewAddress();
+  const AddressId b = ledger.NewAddress();
+  auto cb = ledger.ApplyCoinbase(1, a);
+  ASSERT_TRUE(cb.ok());
+  ASSERT_TRUE(ledger.SealBlock(1).ok());
+  TxDraft draft;
+  draft.timestamp = 2;
+  draft.inputs = {OutPoint{cb.value(), 0}};
+  draft.outputs = {{b, kSubsidy - 5000}};
+  ASSERT_TRUE(ledger.ApplyTransaction(draft).ok());
+  EXPECT_EQ(ledger.total_fees(), 5000);
+  EXPECT_TRUE(ledger.CheckConservation().ok());
+}
+
+TEST(LedgerTest, BlockTimestampsMustBeMonotone) {
+  Ledger ledger = MakeLedger();
+  ASSERT_TRUE(ledger.SealBlock(100).ok());
+  EXPECT_FALSE(ledger.SealBlock(99).ok());
+  EXPECT_TRUE(ledger.SealBlock(100).ok());
+}
+
+TEST(LedgerTest, AddressIndexListsTouchingTransactionsOnce) {
+  Ledger ledger = MakeLedger();
+  const AddressId a = ledger.NewAddress();
+  auto cb = ledger.ApplyCoinbase(1, a);
+  ASSERT_TRUE(cb.ok());
+  ASSERT_TRUE(ledger.SealBlock(1).ok());
+  // Self-payment: a appears as input and output, but indexed once.
+  TxDraft draft;
+  draft.timestamp = 2;
+  draft.inputs = {OutPoint{cb.value(), 0}};
+  draft.outputs = {{a, kSubsidy / 2}, {a, kSubsidy / 2}};
+  ASSERT_TRUE(ledger.ApplyTransaction(draft).ok());
+  EXPECT_EQ(ledger.TransactionsOf(a).size(), 2u);
+}
+
+TEST(WalletTest, ChangeGoesToFreshAddressByDefault) {
+  Ledger ledger = MakeLedger();
+  Wallet wallet(&ledger);
+  const AddressId a = wallet.CreateAddress();
+  ASSERT_TRUE(ledger.ApplyCoinbase(1, a).ok());
+  ASSERT_TRUE(ledger.SealBlock(1).ok());
+
+  Wallet payee(&ledger);
+  const AddressId dest = payee.CreateAddress();
+  const size_t addresses_before = wallet.addresses().size();
+  auto tx = wallet.Send(2, {{dest, kSubsidy / 4}}, 1000,
+                        ChangePolicy::kFreshAddress);
+  ASSERT_TRUE(tx.ok());
+  // A fresh change address was created and holds the remainder.
+  EXPECT_EQ(wallet.addresses().size(), addresses_before + 1);
+  const AddressId change = wallet.last_change_address();
+  EXPECT_NE(change, a);
+  EXPECT_EQ(ledger.BalanceOf(change), kSubsidy - kSubsidy / 4 - 1000);
+  // Original address is fully drained (the "zero off" of §II-A).
+  EXPECT_EQ(ledger.BalanceOf(a), 0);
+}
+
+TEST(WalletTest, ReuseSourceChangePolicyKeepsAddressStable) {
+  Ledger ledger = MakeLedger();
+  Wallet wallet(&ledger);
+  const AddressId a = wallet.CreateAddress();
+  ASSERT_TRUE(ledger.ApplyCoinbase(1, a).ok());
+  ASSERT_TRUE(ledger.SealBlock(1).ok());
+
+  Wallet payee(&ledger);
+  const AddressId dest = payee.CreateAddress();
+  ASSERT_TRUE(
+      wallet.Send(2, {{dest, kSubsidy / 4}}, 0, ChangePolicy::kReuseSource)
+          .ok());
+  EXPECT_EQ(wallet.addresses().size(), 1u);
+  EXPECT_EQ(ledger.BalanceOf(a), kSubsidy - kSubsidy / 4);
+}
+
+TEST(WalletTest, InsufficientFundsFailsCleanly) {
+  Ledger ledger = MakeLedger();
+  Wallet wallet(&ledger);
+  wallet.CreateAddress();
+  Wallet payee(&ledger);
+  const AddressId dest = payee.CreateAddress();
+  auto r = wallet.Send(1, {{dest, 1000}}, 0);
+  EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(WalletTest, SendSpansMultipleUtxos) {
+  Ledger ledger = MakeLedger();
+  Wallet wallet(&ledger);
+  const AddressId a = wallet.CreateAddress();
+  ASSERT_TRUE(ledger.ApplyCoinbase(1, a).ok());
+  ASSERT_TRUE(ledger.SealBlock(1).ok());
+  ASSERT_TRUE(ledger.ApplyCoinbase(2, a).ok());
+  ASSERT_TRUE(ledger.SealBlock(2).ok());
+  Wallet payee(&ledger);
+  const AddressId dest = payee.CreateAddress();
+  // Needs both coinbase outputs.
+  ASSERT_TRUE(
+      wallet
+          .Send(3, {{dest, kSubsidy + kSubsidy / 2}}, 0,
+                ChangePolicy::kReuseSource)
+          .ok());
+  EXPECT_EQ(ledger.BalanceOf(dest), kSubsidy + kSubsidy / 2);
+  EXPECT_TRUE(ledger.CheckConservation().ok());
+}
+
+TEST(WalletTest, SweepMovesEntireBalanceMinusFee) {
+  Ledger ledger = MakeLedger();
+  Wallet wallet(&ledger);
+  const AddressId a = wallet.CreateAddress();
+  const AddressId b = wallet.CreateAddress();
+  ASSERT_TRUE(ledger.ApplyCoinbase(1, a).ok());
+  ASSERT_TRUE(ledger.SealBlock(1).ok());
+  ASSERT_TRUE(ledger.ApplyCoinbase(2, b).ok());
+  ASSERT_TRUE(ledger.SealBlock(2).ok());
+
+  Wallet vault(&ledger);
+  const AddressId cold = vault.CreateAddress();
+  ASSERT_TRUE(wallet.SweepTo(3, cold, 700).ok());
+  EXPECT_EQ(wallet.Balance(), 0);
+  EXPECT_EQ(ledger.BalanceOf(cold), 2 * kSubsidy - 700);
+}
+
+TEST(WalletTest, OldestFirstSelectionSpendsEarliestUtxo) {
+  Ledger ledger = MakeLedger();
+  Wallet wallet(&ledger);
+  const AddressId a = wallet.CreateAddress();
+  auto cb1 = ledger.ApplyCoinbase(1, a);
+  ASSERT_TRUE(cb1.ok());
+  ASSERT_TRUE(ledger.SealBlock(1).ok());
+  auto cb2 = ledger.ApplyCoinbase(2, a);
+  ASSERT_TRUE(cb2.ok());
+  ASSERT_TRUE(ledger.SealBlock(2).ok());
+
+  Wallet payee(&ledger);
+  const AddressId dest = payee.CreateAddress();
+  auto tx = wallet.Send(3, {{dest, kSubsidy / 10}}, 0,
+                        ChangePolicy::kReuseSource,
+                        CoinSelection::kOldestFirst);
+  ASSERT_TRUE(tx.ok());
+  EXPECT_EQ(ledger.tx(tx.value()).inputs[0].prevout.txid, cb1.value());
+}
+
+// Property: a randomized workload of valid sends never breaks
+// conservation and never creates money.
+TEST(LedgerPropertyTest, RandomWorkloadConservesValue) {
+  Rng rng(2024);
+  Ledger ledger = MakeLedger();
+  std::vector<Wallet> wallets;
+  for (int i = 0; i < 6; ++i) {
+    wallets.emplace_back(&ledger);
+    wallets.back().CreateAddress();
+  }
+  for (int block = 0; block < 40; ++block) {
+    const size_t miner = rng.UniformInt(wallets.size());
+    ASSERT_TRUE(
+        ledger.ApplyCoinbase(block * 600, wallets[miner].addresses()[0]).ok());
+    for (int t = 0; t < 5; ++t) {
+      Wallet& from = wallets[rng.UniformInt(wallets.size())];
+      Wallet& to = wallets[rng.UniformInt(wallets.size())];
+      const Amount balance = from.Balance();
+      if (balance < 10'000) continue;
+      const Amount v = 1 + static_cast<Amount>(rng.UniformInt(
+                               static_cast<uint64_t>(balance / 2)));
+      auto r = from.Send(block * 600 + t, {{to.addresses()[0], v}}, 100,
+                         rng.Bernoulli(0.5) ? ChangePolicy::kFreshAddress
+                                            : ChangePolicy::kReuseSource);
+      // May fail only for insufficient funds (fee inclusive).
+      if (!r.ok()) {
+        EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
+      }
+    }
+    ASSERT_TRUE(ledger.SealBlock(block * 600).ok());
+    ASSERT_TRUE(ledger.CheckConservation().ok());
+  }
+  Amount wallet_total = 0;
+  for (auto& w : wallets) wallet_total += w.Balance();
+  EXPECT_EQ(wallet_total, ledger.total_minted() - ledger.total_fees());
+}
+
+}  // namespace
+}  // namespace ba::chain

@@ -1,0 +1,252 @@
+// Tests for the behavioral economy simulator and dataset assembly
+// (src/datagen): the substitution for the paper's crawled corpus.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_map>
+
+#include "datagen/dataset.h"
+#include "datagen/simulator.h"
+
+namespace ba::datagen {
+namespace {
+
+ScenarioConfig SmallConfig(uint64_t seed = 42) {
+  ScenarioConfig config;
+  config.seed = seed;
+  config.num_blocks = 120;
+  config.num_mining_pools = 2;
+  config.miners_per_pool = 25;
+  config.num_exchanges = 2;
+  config.num_gambling_houses = 2;
+  config.gamblers_per_house = 10;
+  config.num_services = 2;
+  config.num_retail_users = 40;
+  return config;
+}
+
+class SimulatorTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    simulator_ = new Simulator(SmallConfig());
+    ASSERT_TRUE(simulator_->Run().ok());
+  }
+  static void TearDownTestSuite() {
+    delete simulator_;
+    simulator_ = nullptr;
+  }
+  static Simulator* simulator_;
+};
+
+Simulator* SimulatorTest::simulator_ = nullptr;
+
+TEST_F(SimulatorTest, ProducesExpectedBlockCount) {
+  EXPECT_EQ(simulator_->ledger().height(), 120u);
+  EXPECT_GT(simulator_->ledger().num_transactions(), 120u);
+}
+
+TEST_F(SimulatorTest, ConservationHoldsAfterFullRun) {
+  EXPECT_TRUE(simulator_->ledger().CheckConservation().ok());
+}
+
+TEST_F(SimulatorTest, AllFourBehaviorsPresent) {
+  const auto labeled = simulator_->CollectLabeledAddresses(/*min_txs=*/2);
+  const auto counts = CountByLabel(labeled);
+  for (int c = 0; c < kNumBehaviors; ++c) {
+    EXPECT_GT(counts[static_cast<size_t>(c)], 0)
+        << "missing class " << BehaviorName(static_cast<BehaviorLabel>(c));
+  }
+}
+
+TEST_F(SimulatorTest, LabelsAreDisjointAndHaveHistory) {
+  const auto labeled = simulator_->CollectLabeledAddresses(2);
+  std::set<chain::AddressId> seen;
+  for (const auto& a : labeled) {
+    EXPECT_TRUE(seen.insert(a.address).second) << "duplicate label";
+    EXPECT_GE(simulator_->ledger().TransactionsOf(a.address).size(), 2u);
+  }
+}
+
+TEST_F(SimulatorTest, MiningAddressesSeeLargeFanOutTransactions) {
+  const auto labeled = simulator_->CollectLabeledAddresses(2);
+  size_t max_outputs = 0;
+  for (const auto& a : labeled) {
+    if (a.label != BehaviorLabel::kMining) continue;
+    for (chain::TxId id : simulator_->ledger().TransactionsOf(a.address)) {
+      max_outputs =
+          std::max(max_outputs, simulator_->ledger().tx(id).outputs.size());
+    }
+  }
+  // Pool payouts fan out to a large fraction of 25 miners.
+  EXPECT_GE(max_outputs, 10u);
+}
+
+TEST_F(SimulatorTest, SkippedActionsAreMinority) {
+  EXPECT_LT(simulator_->skipped_actions(),
+            static_cast<int64_t>(simulator_->ledger().num_transactions()));
+}
+
+TEST(SimulatorDeterminismTest, SameSeedSameEconomy) {
+  Simulator a(SmallConfig(7));
+  Simulator b(SmallConfig(7));
+  ASSERT_TRUE(a.Run().ok());
+  ASSERT_TRUE(b.Run().ok());
+  EXPECT_EQ(a.ledger().num_transactions(), b.ledger().num_transactions());
+  EXPECT_EQ(a.ledger().total_minted(), b.ledger().total_minted());
+  EXPECT_EQ(a.ledger().total_fees(), b.ledger().total_fees());
+  const auto la = a.CollectLabeledAddresses(2);
+  const auto lb = b.CollectLabeledAddresses(2);
+  ASSERT_EQ(la.size(), lb.size());
+  for (size_t i = 0; i < la.size(); ++i) {
+    EXPECT_EQ(la[i].address, lb[i].address);
+    EXPECT_EQ(la[i].label, lb[i].label);
+  }
+}
+
+TEST(SimulatorDeterminismTest, DifferentSeedsDiffer) {
+  Simulator a(SmallConfig(1));
+  Simulator b(SmallConfig(2));
+  ASSERT_TRUE(a.Run().ok());
+  ASSERT_TRUE(b.Run().ok());
+  EXPECT_NE(a.ledger().num_transactions(), b.ledger().num_transactions());
+}
+
+TEST_F(SimulatorTest, EntityLabelsConsistentWithBehaviorLabels) {
+  const auto behavior = simulator_->CollectLabeledAddresses(2);
+  const auto entity = simulator_->CollectEntityLabels(2);
+  ASSERT_EQ(behavior.size(), entity.size());
+  std::unordered_map<chain::AddressId, BehaviorLabel> by_addr;
+  for (const auto& a : behavior) by_addr[a.address] = a.label;
+  std::unordered_map<int, BehaviorLabel> entity_behavior;
+  for (const auto& e : entity) {
+    ASSERT_GE(e.entity_id, 0);
+    // Behavior labels agree between the two views.
+    auto it = by_addr.find(e.address);
+    ASSERT_NE(it, by_addr.end());
+    EXPECT_EQ(it->second, e.behavior);
+    // All addresses of one entity share one behavior.
+    auto [eit, inserted] = entity_behavior.emplace(e.entity_id, e.behavior);
+    EXPECT_EQ(eit->second, e.behavior);
+  }
+  // Several distinct entities exist.
+  EXPECT_GE(entity_behavior.size(), 6u);
+}
+
+TEST(SimulatorBankTest, UndergroundBanksAreLabeledService) {
+  ScenarioConfig config = SmallConfig(99);
+  config.num_underground_banks = 2;
+  config.bank_mix_prob = 0.5;
+  Simulator sim(config);
+  ASSERT_TRUE(sim.Run().ok());
+  // With banks, the Service class must gain exchange-machinery
+  // addresses; entity view shows Service entities beyond the mixers.
+  const auto entity = sim.CollectEntityLabels(2);
+  std::set<int> service_entities;
+  for (const auto& e : entity) {
+    if (e.behavior == BehaviorLabel::kService) {
+      service_entities.insert(e.entity_id);
+    }
+  }
+  EXPECT_GT(service_entities.size(),
+            static_cast<size_t>(config.num_services));
+}
+
+TEST(SimulatorBankTest, NoBanksMeansNoExtraServiceEntities) {
+  ScenarioConfig config = SmallConfig(99);
+  config.num_underground_banks = 0;
+  Simulator sim(config);
+  ASSERT_TRUE(sim.Run().ok());
+  const auto entity = sim.CollectEntityLabels(2);
+  std::set<int> service_entities;
+  for (const auto& e : entity) {
+    if (e.behavior == BehaviorLabel::kService) {
+      service_entities.insert(e.entity_id);
+    }
+  }
+  EXPECT_LE(service_entities.size(),
+            static_cast<size_t>(config.num_services));
+}
+
+TEST(DatasetTest, CountByLabelCounts) {
+  std::vector<LabeledAddress> v{{1, BehaviorLabel::kExchange},
+                                {2, BehaviorLabel::kExchange},
+                                {3, BehaviorLabel::kService}};
+  const auto counts = CountByLabel(v);
+  EXPECT_EQ(counts[0], 2);
+  EXPECT_EQ(counts[3], 1);
+  EXPECT_EQ(counts[1], 0);
+}
+
+TEST(DatasetTest, StratifiedSamplePreservesProportions) {
+  Rng rng(5);
+  std::vector<LabeledAddress> pool;
+  for (int i = 0; i < 600; ++i) pool.push_back({static_cast<chain::AddressId>(i), BehaviorLabel::kExchange});
+  for (int i = 600; i < 900; ++i) pool.push_back({static_cast<chain::AddressId>(i), BehaviorLabel::kGambling});
+  for (int i = 900; i < 1000; ++i) pool.push_back({static_cast<chain::AddressId>(i), BehaviorLabel::kMining});
+  const auto sample = StratifiedSample(pool, 100, &rng);
+  const auto counts = CountByLabel(sample);
+  EXPECT_NEAR(static_cast<double>(counts[0]), 60.0, 1.0);
+  EXPECT_NEAR(static_cast<double>(counts[2]), 30.0, 1.0);
+  EXPECT_NEAR(static_cast<double>(counts[1]), 10.0, 1.0);
+}
+
+TEST(DatasetTest, StratifiedSampleReturnsAllWhenSmall) {
+  Rng rng(5);
+  std::vector<LabeledAddress> pool{{1, BehaviorLabel::kMining}};
+  EXPECT_EQ(StratifiedSample(pool, 100, &rng).size(), 1u);
+}
+
+TEST(DatasetTest, StratifiedSplitFractionsAndDisjointness) {
+  Rng rng(9);
+  std::vector<LabeledAddress> pool;
+  for (int i = 0; i < 200; ++i) {
+    pool.push_back({static_cast<chain::AddressId>(i),
+                    static_cast<BehaviorLabel>(i % 4)});
+  }
+  const auto split = StratifiedSplit(pool, 0.8, &rng);
+  EXPECT_EQ(split.train.size() + split.test.size(), 200u);
+  EXPECT_NEAR(static_cast<double>(split.train.size()), 160.0, 4.0);
+  std::set<chain::AddressId> train_set;
+  for (const auto& a : split.train) train_set.insert(a.address);
+  for (const auto& a : split.test) {
+    EXPECT_EQ(train_set.count(a.address), 0u);
+  }
+  // Each class appears on both sides.
+  const auto train_counts = CountByLabel(split.train);
+  const auto test_counts = CountByLabel(split.test);
+  for (int c = 0; c < kNumBehaviors; ++c) {
+    EXPECT_GT(train_counts[static_cast<size_t>(c)], 0);
+    EXPECT_GT(test_counts[static_cast<size_t>(c)], 0);
+  }
+}
+
+TEST(DatasetTest, StratifiedSplitKeepsTinyClassesOnBothSides) {
+  Rng rng(11);
+  std::vector<LabeledAddress> pool{{1, BehaviorLabel::kMining},
+                                   {2, BehaviorLabel::kMining}};
+  const auto split = StratifiedSplit(pool, 0.8, &rng);
+  EXPECT_EQ(split.train.size(), 1u);
+  EXPECT_EQ(split.test.size(), 1u);
+}
+
+TEST(DatasetTest, ActiveAddressSeriesCoversChainAndCountsUniques) {
+  Simulator sim(SmallConfig(13));
+  ASSERT_TRUE(sim.Run().ok());
+  const auto series =
+      ActiveAddressSeries(sim.ledger(), /*bucket_seconds=*/600 * 24);
+  ASSERT_FALSE(series.empty());
+  int64_t total_active = 0;
+  for (size_t i = 0; i < series.size(); ++i) {
+    EXPECT_GT(series[i].active_addresses, 0);
+    if (i > 0) {
+      EXPECT_GT(series[i].bucket_start, series[i - 1].bucket_start);
+    }
+    total_active += series[i].active_addresses;
+  }
+  // At least as many active-address observations as blocks with txs.
+  EXPECT_GT(total_active, static_cast<int64_t>(series.size()));
+}
+
+}  // namespace
+}  // namespace ba::datagen

@@ -1,0 +1,280 @@
+// Unit and property tests for src/graph: CSR sparse matrix and the
+// centrality measures used by graph structure augmentation (Eq. 8-11).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/centrality.h"
+#include "graph/sparse_matrix.h"
+#include "util/rng.h"
+
+namespace ba::graph {
+namespace {
+
+TEST(SparseMatrixTest, FromTripletsSumsDuplicates) {
+  auto m = SparseMatrix::FromTriplets(
+      2, 3, {{0, 1, 1.0f}, {0, 1, 2.5f}, {1, 2, -1.0f}});
+  EXPECT_EQ(m.nnz(), 2);
+  EXPECT_FLOAT_EQ(m.At(0, 1), 3.5f);
+  EXPECT_FLOAT_EQ(m.At(1, 2), -1.0f);
+  EXPECT_FLOAT_EQ(m.At(0, 0), 0.0f);
+}
+
+TEST(SparseMatrixTest, RowAccessSortedByColumn) {
+  auto m = SparseMatrix::FromTriplets(
+      1, 5, {{0, 4, 4.0f}, {0, 0, 1.0f}, {0, 2, 2.0f}});
+  const auto idx = m.RowIndices(0);
+  ASSERT_EQ(idx.size(), 3u);
+  EXPECT_EQ(idx[0], 0);
+  EXPECT_EQ(idx[1], 2);
+  EXPECT_EQ(idx[2], 4);
+  const auto vals = m.RowValues(0);
+  EXPECT_FLOAT_EQ(vals[1], 2.0f);
+}
+
+TEST(SparseMatrixTest, MultiplyDenseMatchesManual) {
+  // [[1, 0], [2, 3]] * [[1, 2], [3, 4]] = [[1, 2], [11, 16]]
+  auto m = SparseMatrix::FromTriplets(2, 2,
+                                      {{0, 0, 1.0f}, {1, 0, 2.0f}, {1, 1, 3.0f}});
+  const float x[] = {1.0f, 2.0f, 3.0f, 4.0f};
+  float y[4] = {};
+  m.MultiplyDense(x, 2, y);
+  EXPECT_FLOAT_EQ(y[0], 1.0f);
+  EXPECT_FLOAT_EQ(y[1], 2.0f);
+  EXPECT_FLOAT_EQ(y[2], 11.0f);
+  EXPECT_FLOAT_EQ(y[3], 16.0f);
+}
+
+TEST(SparseMatrixTest, TransposeSwapsIndices) {
+  auto m = SparseMatrix::FromTriplets(2, 3, {{0, 2, 5.0f}, {1, 0, 7.0f}});
+  auto t = m.Transpose();
+  EXPECT_EQ(t.rows(), 3);
+  EXPECT_EQ(t.cols(), 2);
+  EXPECT_FLOAT_EQ(t.At(2, 0), 5.0f);
+  EXPECT_FLOAT_EQ(t.At(0, 1), 7.0f);
+}
+
+TEST(SparseMatrixTest, SparseMultiplyMatchesDense) {
+  Rng rng(5);
+  const int64_t n = 12;
+  std::vector<Triplet> ta, tb;
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      if (rng.Bernoulli(0.3)) {
+        ta.push_back({i, j, static_cast<float>(rng.UniformInt(1, 5))});
+      }
+      if (rng.Bernoulli(0.3)) {
+        tb.push_back({i, j, static_cast<float>(rng.UniformInt(1, 5))});
+      }
+    }
+  }
+  auto a = SparseMatrix::FromTriplets(n, n, ta);
+  auto b = SparseMatrix::FromTriplets(n, n, tb);
+  auto c = a.Multiply(b);
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      double expected = 0.0;
+      for (int64_t k = 0; k < n; ++k) {
+        expected += static_cast<double>(a.At(i, k)) * b.At(k, j);
+      }
+      EXPECT_NEAR(c.At(i, j), expected, 1e-4) << i << "," << j;
+    }
+  }
+}
+
+TEST(SparseMatrixTest, SimilarityPatternOfEq3) {
+  // A: 3 addresses x 3 transactions; addr0 & addr1 share both txs,
+  // addr2 shares one with addr0.
+  auto a = SparseMatrix::FromTriplets(3, 3,
+                                      {{0, 0, 1.0f},
+                                       {0, 1, 1.0f},
+                                       {1, 0, 1.0f},
+                                       {1, 1, 1.0f},
+                                       {2, 1, 1.0f},
+                                       {2, 2, 1.0f}});
+  auto s = a.Multiply(a.Transpose());
+  EXPECT_FLOAT_EQ(s.At(0, 0), 2.0f);  // degree of addr0
+  EXPECT_FLOAT_EQ(s.At(0, 1), 2.0f);  // 2 common txs
+  EXPECT_FLOAT_EQ(s.At(0, 2), 1.0f);
+  EXPECT_FLOAT_EQ(s.At(1, 2), 1.0f);
+  EXPECT_FLOAT_EQ(s.At(2, 2), 2.0f);
+}
+
+AdjacencyList PathGraph(int64_t n) {
+  AdjacencyList g(n);
+  for (int64_t i = 0; i + 1 < n; ++i) g.AddEdge(i, i + 1);
+  return g;
+}
+
+AdjacencyList StarGraph(int64_t leaves) {
+  AdjacencyList g(leaves + 1);
+  for (int64_t i = 1; i <= leaves; ++i) g.AddEdge(0, i);
+  return g;
+}
+
+TEST(CentralityTest, DegreeOnStar) {
+  const auto d = DegreeCentrality(StarGraph(5));
+  EXPECT_DOUBLE_EQ(d[0], 5.0);
+  for (int i = 1; i <= 5; ++i) EXPECT_DOUBLE_EQ(d[i], 1.0);
+}
+
+TEST(CentralityTest, ClosenessOnPath) {
+  // Path 0-1-2: center has distance sum 2, ends 3.
+  const auto c = ClosenessCentrality(PathGraph(3));
+  EXPECT_DOUBLE_EQ(c[1], 1.0);        // (2)/(2) -> 2/2=1
+  EXPECT_DOUBLE_EQ(c[0], 2.0 / 3.0);  // 2/(1+2)
+  EXPECT_DOUBLE_EQ(c[2], 2.0 / 3.0);
+}
+
+TEST(CentralityTest, ClosenessHandlesDisconnected) {
+  AdjacencyList g(4);
+  g.AddEdge(0, 1);  // component {0,1}; 2 and 3 isolated
+  const auto c = ClosenessCentrality(g);
+  EXPECT_GT(c[0], 0.0);
+  EXPECT_DOUBLE_EQ(c[2], 0.0);
+  EXPECT_DOUBLE_EQ(c[3], 0.0);
+  // Wasserman-Faust: only 1 of 3 others reachable.
+  EXPECT_DOUBLE_EQ(c[0], (1.0 / 3.0) * 1.0);
+}
+
+TEST(CentralityTest, BetweennessOnPath) {
+  // Path 0-1-2-3-4: betweenness of node i counts pairs routed via it.
+  const auto b = BetweennessCentrality(PathGraph(5));
+  EXPECT_DOUBLE_EQ(b[0], 0.0);
+  EXPECT_DOUBLE_EQ(b[4], 0.0);
+  EXPECT_DOUBLE_EQ(b[1], 3.0);  // pairs (0,2),(0,3),(0,4)
+  EXPECT_DOUBLE_EQ(b[2], 4.0);  // (0,3),(0,4),(1,3),(1,4)
+}
+
+TEST(CentralityTest, BetweennessOnStarCenter) {
+  const int64_t leaves = 6;
+  const auto b = BetweennessCentrality(StarGraph(leaves));
+  // Center mediates all leaf pairs: C(6,2) = 15.
+  EXPECT_DOUBLE_EQ(b[0], 15.0);
+  for (int64_t i = 1; i <= leaves; ++i) EXPECT_DOUBLE_EQ(b[i], 0.0);
+}
+
+TEST(CentralityTest, BetweennessCountsMultipleShortestPaths) {
+  // 4-cycle: two shortest paths between opposite corners; each middle
+  // node gets 1/2 per opposite pair.
+  AdjacencyList g(4);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 3);
+  g.AddEdge(3, 0);
+  const auto b = BetweennessCentrality(g);
+  for (int i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(b[i], 0.5);
+}
+
+TEST(CentralityTest, PageRankSumsToOne) {
+  Rng rng(3);
+  AdjacencyList g(30);
+  for (int i = 0; i < 60; ++i) {
+    g.AddEdge(static_cast<int64_t>(rng.UniformInt(30)),
+              static_cast<int64_t>(rng.UniformInt(30)));
+  }
+  const auto pr = PageRank(g);
+  double total = 0.0;
+  for (double v : pr) {
+    EXPECT_GT(v, 0.0);
+    total += v;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-8);
+}
+
+TEST(CentralityTest, PageRankUniformOnRegularGraph) {
+  // Cycle: every node identical by symmetry.
+  AdjacencyList g(8);
+  for (int64_t i = 0; i < 8; ++i) g.AddEdge(i, (i + 1) % 8);
+  const auto pr = PageRank(g);
+  for (double v : pr) EXPECT_NEAR(v, 1.0 / 8.0, 1e-9);
+}
+
+TEST(CentralityTest, PageRankHubDominates) {
+  const auto pr = PageRank(StarGraph(9));
+  for (size_t i = 1; i < pr.size(); ++i) EXPECT_GT(pr[0], pr[i]);
+}
+
+TEST(CentralityTest, PageRankHandlesDanglingNodes) {
+  AdjacencyList g(3);
+  g.AddEdge(0, 1);  // node 2 isolated (dangling)
+  const auto pr = PageRank(g);
+  double total = 0.0;
+  for (double v : pr) total += v;
+  EXPECT_NEAR(total, 1.0, 1e-8);
+}
+
+TEST(NormalizedAdjacencyTest, SymmetricWithSelfLoops) {
+  AdjacencyList g(3);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  const auto norm = NormalizedAdjacency(g);
+  EXPECT_EQ(norm.rows(), 3);
+  for (int64_t i = 0; i < 3; ++i) {
+    EXPECT_GT(norm.At(i, i), 0.0f);  // self loops present
+    for (int64_t j = 0; j < 3; ++j) {
+      EXPECT_FLOAT_EQ(norm.At(i, j), norm.At(j, i));
+    }
+  }
+  // Exact entries: Ã_ij = 1 / sqrt(d̃_i · d̃_j) with d̃ = degree + 1.
+  // Path 0-1-2: d̃ = {2, 3, 2}.
+  EXPECT_NEAR(norm.At(0, 0), 1.0f / 2.0f, 1e-6f);
+  EXPECT_NEAR(norm.At(1, 1), 1.0f / 3.0f, 1e-6f);
+  EXPECT_NEAR(norm.At(0, 1), 1.0f / std::sqrt(6.0f), 1e-6f);
+  EXPECT_FLOAT_EQ(norm.At(0, 2), 0.0f);
+}
+
+TEST(NormalizedAdjacencyTest, UniformDegreeRowSumsToOne) {
+  AdjacencyList g(4);  // 4-cycle: all degrees 2 (+self loop -> 3)
+  for (int64_t i = 0; i < 4; ++i) g.AddEdge(i, (i + 1) % 4);
+  const auto norm = NormalizedAdjacency(g);
+  for (int64_t i = 0; i < 4; ++i) EXPECT_NEAR(norm.RowSum(i), 1.0f, 1e-5f);
+}
+
+// Property suite over random graphs.
+class CentralityPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CentralityPropertyTest, InvariantsHold) {
+  Rng rng(GetParam());
+  const int64_t n = 5 + static_cast<int64_t>(rng.UniformInt(40));
+  AdjacencyList g(n);
+  const int64_t edges = n + static_cast<int64_t>(rng.UniformInt(
+                                static_cast<uint64_t>(2 * n)));
+  for (int64_t e = 0; e < edges; ++e) {
+    int64_t u = static_cast<int64_t>(rng.UniformInt(static_cast<uint64_t>(n)));
+    int64_t v = static_cast<int64_t>(rng.UniformInt(static_cast<uint64_t>(n)));
+    if (u != v) g.AddEdge(u, v);
+  }
+  const auto degree = DegreeCentrality(g);
+  const auto closeness = ClosenessCentrality(g);
+  const auto betweenness = BetweennessCentrality(g);
+  const auto pagerank = PageRank(g);
+
+  double pr_total = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    EXPECT_GE(degree[static_cast<size_t>(i)], 0.0);
+    EXPECT_GE(closeness[static_cast<size_t>(i)], 0.0);
+    EXPECT_LE(closeness[static_cast<size_t>(i)], 1.0 + 1e-9);
+    EXPECT_GE(betweenness[static_cast<size_t>(i)], -1e-9);
+    pr_total += pagerank[static_cast<size_t>(i)];
+    // Degree-zero nodes have zero closeness and betweenness.
+    if (degree[static_cast<size_t>(i)] == 0.0) {
+      EXPECT_DOUBLE_EQ(closeness[static_cast<size_t>(i)], 0.0);
+      EXPECT_DOUBLE_EQ(betweenness[static_cast<size_t>(i)], 0.0);
+    }
+  }
+  EXPECT_NEAR(pr_total, 1.0, 1e-7);
+  // Total betweenness is bounded by the number of ordered pairs / 2.
+  double b_total = 0.0;
+  for (double b : betweenness) b_total += b;
+  EXPECT_LE(b_total,
+            static_cast<double>(n) * static_cast<double>(n - 1) / 2.0 *
+                static_cast<double>(n));
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomGraphs, CentralityPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace ba::graph

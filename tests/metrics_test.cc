@@ -1,0 +1,122 @@
+// Tests for the evaluation metrics of Eq. 23-25: confusion matrix,
+// per-class precision/recall/F1 and macro / weighted averages.
+
+#include <gtest/gtest.h>
+
+#include "metrics/classification.h"
+
+namespace ba::metrics {
+namespace {
+
+TEST(ConfusionMatrixTest, CountsAndAccuracy) {
+  ConfusionMatrix cm(3);
+  cm.Add(0, 0);
+  cm.Add(0, 1);
+  cm.Add(1, 1);
+  cm.Add(2, 2);
+  EXPECT_EQ(cm.At(0, 0), 1);
+  EXPECT_EQ(cm.At(0, 1), 1);
+  EXPECT_EQ(cm.TotalCount(), 4);
+  EXPECT_DOUBLE_EQ(cm.Accuracy(), 0.75);
+}
+
+TEST(ConfusionMatrixTest, VectorConstructor) {
+  ConfusionMatrix cm(2, {0, 0, 1, 1}, {0, 1, 1, 1});
+  EXPECT_EQ(cm.At(0, 0), 1);
+  EXPECT_EQ(cm.At(0, 1), 1);
+  EXPECT_EQ(cm.At(1, 1), 2);
+}
+
+TEST(ConfusionMatrixTest, HandComputedPrecisionRecallF1) {
+  // class 0: tp=8, fp=2, fn=4 -> P=0.8, R=2/3, F1=8/11... compute:
+  ConfusionMatrix cm(2);
+  for (int i = 0; i < 8; ++i) cm.Add(0, 0);
+  for (int i = 0; i < 4; ++i) cm.Add(0, 1);
+  for (int i = 0; i < 2; ++i) cm.Add(1, 0);
+  for (int i = 0; i < 6; ++i) cm.Add(1, 1);
+  const ClassReport r = cm.Report(0);
+  EXPECT_DOUBLE_EQ(r.precision, 0.8);
+  EXPECT_DOUBLE_EQ(r.recall, 8.0 / 12.0);
+  const double expected_f1 =
+      2.0 * 0.8 * (8.0 / 12.0) / (0.8 + 8.0 / 12.0);
+  EXPECT_DOUBLE_EQ(r.f1, expected_f1);
+  EXPECT_EQ(r.support, 12);
+}
+
+TEST(ConfusionMatrixTest, PerfectClassifier) {
+  ConfusionMatrix cm(4);
+  for (int c = 0; c < 4; ++c) {
+    for (int i = 0; i < 5; ++i) cm.Add(c, c);
+  }
+  for (int c = 0; c < 4; ++c) {
+    const ClassReport r = cm.Report(c);
+    EXPECT_DOUBLE_EQ(r.precision, 1.0);
+    EXPECT_DOUBLE_EQ(r.recall, 1.0);
+    EXPECT_DOUBLE_EQ(r.f1, 1.0);
+  }
+  EXPECT_DOUBLE_EQ(cm.WeightedAverage().f1, 1.0);
+  EXPECT_DOUBLE_EQ(cm.MacroAverage().f1, 1.0);
+}
+
+TEST(ConfusionMatrixTest, ClassNeverPredictedHasZeroPrecision) {
+  ConfusionMatrix cm(2);
+  cm.Add(0, 0);
+  cm.Add(1, 0);  // class 1 exists but is never predicted
+  const ClassReport r = cm.Report(1);
+  EXPECT_DOUBLE_EQ(r.precision, 0.0);
+  EXPECT_DOUBLE_EQ(r.recall, 0.0);
+  EXPECT_DOUBLE_EQ(r.f1, 0.0);
+}
+
+TEST(ConfusionMatrixTest, AbsentClassHasZeroSupport) {
+  ConfusionMatrix cm(3);
+  cm.Add(0, 0);
+  const ClassReport r = cm.Report(2);
+  EXPECT_EQ(r.support, 0);
+  EXPECT_DOUBLE_EQ(r.recall, 0.0);
+}
+
+TEST(ConfusionMatrixTest, WeightedAverageWeighsBySupport) {
+  // class 0: 90 samples all correct; class 1: 10 samples all wrong.
+  ConfusionMatrix cm(2);
+  for (int i = 0; i < 90; ++i) cm.Add(0, 0);
+  for (int i = 0; i < 10; ++i) cm.Add(1, 0);
+  const ClassReport w = cm.WeightedAverage();
+  const ClassReport m = cm.MacroAverage();
+  // Weighted recall = 0.9 * 1.0 + 0.1 * 0.0 = 0.9; macro = 0.5.
+  EXPECT_DOUBLE_EQ(w.recall, 0.9);
+  EXPECT_DOUBLE_EQ(m.recall, 0.5);
+  EXPECT_GT(w.f1, m.f1);
+}
+
+TEST(ConfusionMatrixTest, ToStringContainsNames) {
+  ConfusionMatrix cm(2);
+  cm.Add(0, 1);
+  const std::string s = cm.ToString({"Exchange", "Mining"});
+  EXPECT_NE(s.find("Exchange"), std::string::npos);
+  EXPECT_NE(s.find("Mining"), std::string::npos);
+}
+
+TEST(ConfusionMatrixTest, MergePoolsCounts) {
+  ConfusionMatrix a(2), b(2);
+  a.Add(0, 0);
+  a.Add(1, 0);
+  b.Add(0, 0);
+  b.Add(1, 1);
+  a.Merge(b);
+  EXPECT_EQ(a.At(0, 0), 2);
+  EXPECT_EQ(a.At(1, 0), 1);
+  EXPECT_EQ(a.At(1, 1), 1);
+  EXPECT_EQ(a.TotalCount(), 4);
+  EXPECT_DOUBLE_EQ(a.Accuracy(), 0.75);
+}
+
+TEST(ConfusionMatrixTest, EmptyMatrixIsSafe) {
+  ConfusionMatrix cm(3);
+  EXPECT_DOUBLE_EQ(cm.Accuracy(), 0.0);
+  EXPECT_DOUBLE_EQ(cm.WeightedAverage().f1, 0.0);
+  EXPECT_DOUBLE_EQ(cm.MacroAverage().precision, 0.0);
+}
+
+}  // namespace
+}  // namespace ba::metrics

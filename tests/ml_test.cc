@@ -1,0 +1,339 @@
+// Tests for the classical ML baselines: each model must learn simple
+// separable structure; trees/forests/boosting get sharper checks.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <set>
+
+#include "ml/bitscope.h"
+#include "ml/boosting.h"
+#include "ml/dataset.h"
+#include "ml/decision_tree.h"
+#include "ml/kmeans.h"
+#include "ml/knn.h"
+#include "ml/lee_features.h"
+#include "ml/linear_models.h"
+#include "ml/mlp_classifier.h"
+#include "ml/naive_bayes.h"
+#include "ml/random_forest.h"
+#include "chain/ledger.h"
+#include "util/rng.h"
+
+namespace ba::ml {
+namespace {
+
+/// Three well-separated Gaussian blobs in 4-D.
+MlDataset MakeBlobs(int per_class, uint64_t seed, double spread = 0.5) {
+  Rng rng(seed);
+  MlDataset d;
+  d.num_classes = 3;
+  const double centers[3][4] = {{3, 0, 0, 1},
+                                {-3, 2, 1, -1},
+                                {0, -3, -2, 2}};
+  for (int c = 0; c < 3; ++c) {
+    for (int i = 0; i < per_class; ++i) {
+      std::vector<float> row(4);
+      for (int j = 0; j < 4; ++j) {
+        row[static_cast<size_t>(j)] =
+            static_cast<float>(rng.Gaussian(centers[c][j], spread));
+      }
+      d.x.push_back(std::move(row));
+      d.y.push_back(c);
+    }
+  }
+  return d;
+}
+
+double AccuracyOn(const MlModel& model, const MlDataset& test) {
+  return model.Evaluate(test).Accuracy();
+}
+
+TEST(StandardScalerTest, ZeroMeanUnitVariance) {
+  MlDataset d = MakeBlobs(50, 1);
+  StandardScaler scaler;
+  scaler.Fit(d.x);
+  scaler.Transform(&d.x);
+  for (size_t j = 0; j < d.x[0].size(); ++j) {
+    double sum = 0.0, sq = 0.0;
+    for (const auto& row : d.x) {
+      sum += row[j];
+      sq += static_cast<double>(row[j]) * row[j];
+    }
+    const double n = static_cast<double>(d.x.size());
+    EXPECT_NEAR(sum / n, 0.0, 1e-4);
+    EXPECT_NEAR(sq / n, 1.0, 1e-3);
+  }
+}
+
+TEST(StandardScalerTest, ConstantFeatureDoesNotDivideByZero) {
+  std::vector<std::vector<float>> x{{1.0f, 5.0f}, {2.0f, 5.0f}};
+  StandardScaler scaler;
+  scaler.Fit(x);
+  const auto row = scaler.TransformRow({1.5f, 5.0f});
+  EXPECT_TRUE(std::isfinite(row[1]));
+  EXPECT_NEAR(row[1], 0.0f, 1e-3f);
+}
+
+template <typename Model>
+void ExpectLearnsBlobs(Model&& model, double min_accuracy) {
+  MlDataset train = MakeBlobs(60, 10);
+  MlDataset test = MakeBlobs(30, 11);
+  StandardScaler scaler;
+  scaler.Fit(train.x);
+  scaler.Transform(&train.x);
+  scaler.Transform(&test.x);
+  model.Fit(train);
+  EXPECT_GE(AccuracyOn(model, test), min_accuracy) << model.Name();
+}
+
+TEST(LogisticRegressionTest, LearnsBlobs) {
+  ExpectLearnsBlobs(LogisticRegression(), 0.95);
+}
+
+TEST(LinearSvmTest, LearnsBlobs) { ExpectLearnsBlobs(LinearSvm(), 0.95); }
+
+TEST(BernoulliNbTest, LearnsBlobs) { ExpectLearnsBlobs(BernoulliNb(), 0.8); }
+
+TEST(GaussianNbTest, LearnsBlobs) { ExpectLearnsBlobs(GaussianNb(), 0.95); }
+
+TEST(KnnTest, LearnsBlobs) { ExpectLearnsBlobs(Knn(5), 0.95); }
+
+TEST(DecisionTreeTest, LearnsBlobs) {
+  ExpectLearnsBlobs(DecisionTree(), 0.9);
+}
+
+TEST(RandomForestTest, LearnsBlobs) {
+  RandomForest::Options opts;
+  opts.num_trees = 20;
+  ExpectLearnsBlobs(RandomForest(opts), 0.95);
+}
+
+TEST(GbdtTest, LearnsBlobs) {
+  BoostingOptions opts;
+  opts.num_rounds = 15;
+  ExpectLearnsBlobs(Gbdt(opts), 0.95);
+}
+
+TEST(XgBoostTest, LearnsBlobs) {
+  BoostingOptions opts;
+  opts.num_rounds = 15;
+  ExpectLearnsBlobs(XgBoost(opts), 0.95);
+}
+
+TEST(MlpClassifierTest, LearnsBlobs) {
+  MlpClassifier::Options opts;
+  opts.epochs = 40;
+  ExpectLearnsBlobs(MlpClassifier(opts), 0.95);
+}
+
+TEST(BitScopeTest, LearnsBlobs) {
+  BitScope::Options opts;
+  opts.resolutions = {3, 9};
+  ExpectLearnsBlobs(BitScope(opts), 0.9);
+}
+
+TEST(KnnTest, PerfectOnTrainingPoints) {
+  MlDataset train = MakeBlobs(20, 3);
+  Knn knn(1);
+  knn.Fit(train);
+  EXPECT_DOUBLE_EQ(AccuracyOn(knn, train), 1.0);
+}
+
+TEST(DecisionTreeTest, AxisAlignedSplitExact) {
+  // 1-D threshold problem: x <= 0 -> class 0, else class 1.
+  MlDataset d;
+  d.num_classes = 2;
+  for (int i = -10; i <= 10; ++i) {
+    if (i == 0) continue;
+    d.x.push_back({static_cast<float>(i)});
+    d.y.push_back(i < 0 ? 0 : 1);
+  }
+  DecisionTree tree;
+  tree.Fit(d);
+  EXPECT_EQ(tree.Predict({-3.5f}), 0);
+  EXPECT_EQ(tree.Predict({0.5f}), 1);
+  EXPECT_LE(tree.num_nodes(), 3);  // root + 2 leaves suffice
+}
+
+TEST(DecisionTreeTest, RespectsMaxDepth) {
+  Rng rng(7);
+  MlDataset d;
+  d.num_classes = 2;
+  for (int i = 0; i < 200; ++i) {
+    d.x.push_back({static_cast<float>(rng.Uniform()),
+                   static_cast<float>(rng.Uniform())});
+    d.y.push_back(static_cast<int>(rng.UniformInt(2)));  // pure noise
+  }
+  DecisionTree::Options opts;
+  opts.max_depth = 2;
+  DecisionTree tree(opts);
+  tree.Fit(d);
+  EXPECT_LE(tree.num_nodes(), 7);  // depth-2 binary tree
+}
+
+TEST(DecisionTreeTest, DistributionSumsToOne) {
+  MlDataset train = MakeBlobs(30, 4);
+  DecisionTree tree;
+  tree.Fit(train);
+  const auto& dist = tree.PredictDistribution(train.x[0]);
+  double total = 0.0;
+  for (double p : dist) total += p;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(RegressionTreeTest, FitsPiecewiseConstant) {
+  std::vector<std::vector<float>> x;
+  std::vector<double> y;
+  std::vector<int64_t> idx;
+  for (int i = 0; i < 100; ++i) {
+    x.push_back({static_cast<float>(i)});
+    y.push_back(i < 50 ? -2.0 : 3.0);
+    idx.push_back(i);
+  }
+  RegressionTree::Options opts;
+  opts.max_depth = 2;
+  RegressionTree tree(opts);
+  tree.FitFirstOrder(x, y, idx);
+  EXPECT_NEAR(tree.Predict({10.0f}), -2.0, 1e-9);
+  EXPECT_NEAR(tree.Predict({90.0f}), 3.0, 1e-9);
+}
+
+TEST(RegressionTreeTest, SecondOrderLeafIsRegularizedNewtonStep) {
+  // All rows identical -> single leaf with value -G/(H+lambda).
+  std::vector<std::vector<float>> x(10, {1.0f});
+  std::vector<double> g(10, 2.0);
+  std::vector<double> h(10, 1.0);
+  std::vector<int64_t> idx;
+  for (int i = 0; i < 10; ++i) idx.push_back(i);
+  RegressionTree::Options opts;
+  opts.lambda = 5.0;
+  RegressionTree tree(opts);
+  tree.FitSecondOrder(x, g, h, idx);
+  EXPECT_NEAR(tree.Predict({1.0f}), -20.0 / (10.0 + 5.0), 1e-9);
+}
+
+TEST(BoostingTest, MoreRoundsReduceTrainingError) {
+  MlDataset train = MakeBlobs(40, 5, /*spread=*/1.8);  // overlapping
+  BoostingOptions few;
+  few.num_rounds = 2;
+  BoostingOptions many;
+  many.num_rounds = 30;
+  Gbdt g_few(few), g_many(many);
+  g_few.Fit(train);
+  g_many.Fit(train);
+  EXPECT_GE(AccuracyOn(g_many, train), AccuracyOn(g_few, train));
+}
+
+TEST(KMeansTest, RecoversSeparatedClusters) {
+  Rng rng(8);
+  std::vector<std::vector<float>> x;
+  for (int c = 0; c < 3; ++c) {
+    for (int i = 0; i < 40; ++i) {
+      x.push_back({static_cast<float>(rng.Gaussian(c * 10.0, 0.5)),
+                   static_cast<float>(rng.Gaussian(-c * 10.0, 0.5))});
+    }
+  }
+  KMeans km(KMeans::Options{3, 50, 1});
+  km.Fit(x);
+  // All members of one blob share an assignment; blobs get distinct ids.
+  std::set<int> ids;
+  for (int c = 0; c < 3; ++c) {
+    const int id = km.Assign(x[static_cast<size_t>(c * 40)]);
+    for (int i = 1; i < 40; ++i) {
+      EXPECT_EQ(km.Assign(x[static_cast<size_t>(c * 40 + i)]), id);
+    }
+    ids.insert(id);
+  }
+  EXPECT_EQ(ids.size(), 3u);
+}
+
+TEST(KMeansTest, HandlesFewerPointsThanK) {
+  KMeans km(KMeans::Options{10, 10, 1});
+  std::vector<std::vector<float>> x{{0.0f}, {1.0f}};
+  km.Fit(x);
+  EXPECT_LE(km.centroids().size(), 10u);
+  EXPECT_GE(km.centroids().size(), 1u);
+}
+
+TEST(LeeFeaturesTest, DimensionAndDeterminism) {
+  chain::Ledger ledger;
+  const chain::AddressId a = ledger.NewAddress();
+  const chain::AddressId b = ledger.NewAddress();
+  auto cb = ledger.ApplyCoinbase(1, a);
+  ASSERT_TRUE(cb.ok());
+  ASSERT_TRUE(ledger.SealBlock(1).ok());
+  chain::TxDraft draft;
+  draft.timestamp = 700;
+  draft.inputs = {chain::OutPoint{cb.value(), 0}};
+  draft.outputs = {{b, 100'000'000}};
+  ASSERT_TRUE(ledger.ApplyTransaction(draft).ok());
+  ASSERT_TRUE(ledger.SealBlock(700).ok());
+
+  const auto f1 = LeeFeatures(ledger, a);
+  const auto f2 = LeeFeatures(ledger, a);
+  EXPECT_EQ(static_cast<int64_t>(f1.size()), kLeeFeatureDim);
+  EXPECT_EQ(f1, f2);
+  for (float v : f1) EXPECT_TRUE(std::isfinite(v));
+  // A different address has different features.
+  EXPECT_NE(LeeFeatures(ledger, b), f1);
+}
+
+TEST(LeeFeaturesTest, EmptyHistoryIsZero) {
+  chain::Ledger ledger;
+  const chain::AddressId a = ledger.NewAddress();
+  const auto f = LeeFeatures(ledger, a);
+  for (float v : f) EXPECT_FLOAT_EQ(v, 0.0f);
+}
+
+// Parameterized: every Table II model family must beat chance even on
+// noisy blobs.
+class AllModelsPropertyTest : public ::testing::TestWithParam<int> {};
+
+std::unique_ptr<MlModel> MakeModel(int which) {
+  switch (which) {
+    case 0: return std::make_unique<LogisticRegression>();
+    case 1: return std::make_unique<LinearSvm>();
+    case 2: return std::make_unique<BernoulliNb>();
+    case 3: return std::make_unique<GaussianNb>();
+    case 4: return std::make_unique<Knn>(5);
+    case 5: return std::make_unique<DecisionTree>();
+    case 6: return std::make_unique<RandomForest>(
+                RandomForest::Options{.num_trees = 15});
+    case 7: {
+      BoostingOptions o;
+      o.num_rounds = 10;
+      return std::make_unique<Gbdt>(o);
+    }
+    case 8: {
+      BoostingOptions o;
+      o.num_rounds = 10;
+      return std::make_unique<XgBoost>(o);
+    }
+    case 9: {
+      MlpClassifier::Options o;
+      o.epochs = 30;
+      return std::make_unique<MlpClassifier>(o);
+    }
+    default: return std::make_unique<BitScope>();
+  }
+}
+
+TEST_P(AllModelsPropertyTest, BeatsChanceOnNoisyBlobs) {
+  MlDataset train = MakeBlobs(50, 21, /*spread=*/1.5);
+  MlDataset test = MakeBlobs(40, 22, /*spread=*/1.5);
+  StandardScaler scaler;
+  scaler.Fit(train.x);
+  scaler.Transform(&train.x);
+  scaler.Transform(&test.x);
+  auto model = MakeModel(GetParam());
+  model->Fit(train);
+  EXPECT_GT(AccuracyOn(*model, test), 0.55) << model->Name();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, AllModelsPropertyTest,
+                         ::testing::Range(0, 11));
+
+}  // namespace
+}  // namespace ba::ml

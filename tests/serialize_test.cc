@@ -1,0 +1,127 @@
+// Tests for parameter checkpointing (src/tensor/serialize) and the
+// BaClassifier save/load round trip.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "core/classifier.h"
+#include "datagen/dataset.h"
+#include "datagen/simulator.h"
+#include "nn/linear.h"
+#include "tensor/serialize.h"
+
+namespace ba::tensor {
+namespace {
+
+class TempFile {
+ public:
+  explicit TempFile(const std::string& name)
+      : path_("/tmp/ba_ckpt_" + name + "_" + std::to_string(::getpid())) {}
+  ~TempFile() { std::remove(path_.c_str()); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+TEST(SerializeTest, TensorRoundTrip) {
+  Rng rng(1);
+  std::vector<Var> params{Param(Tensor::RandomNormal({3, 4}, &rng)),
+                          Param(Tensor::RandomNormal({1, 7}, &rng)),
+                          Param(Tensor::Scalar(2.5f))};
+  TempFile file("roundtrip");
+  ASSERT_TRUE(SaveParameters(params, file.path()).ok());
+
+  std::vector<Var> restored{Param(Tensor({3, 4})), Param(Tensor({1, 7})),
+                            Param(Tensor())};
+  ASSERT_TRUE(LoadParameters(restored, file.path()).ok());
+  for (size_t p = 0; p < params.size(); ++p) {
+    ASSERT_TRUE(params[p]->value.SameShape(restored[p]->value));
+    for (int64_t i = 0; i < params[p]->value.numel(); ++i) {
+      EXPECT_FLOAT_EQ(params[p]->value.data()[i],
+                      restored[p]->value.data()[i]);
+    }
+  }
+}
+
+TEST(SerializeTest, ShapeMismatchRejected) {
+  Rng rng(2);
+  std::vector<Var> params{Param(Tensor::RandomNormal({3, 4}, &rng))};
+  TempFile file("shape_mismatch");
+  ASSERT_TRUE(SaveParameters(params, file.path()).ok());
+  std::vector<Var> wrong_shape{Param(Tensor({4, 3}))};
+  EXPECT_FALSE(LoadParameters(wrong_shape, file.path()).ok());
+  std::vector<Var> wrong_count{Param(Tensor({3, 4})), Param(Tensor({1, 1}))};
+  EXPECT_FALSE(LoadParameters(wrong_count, file.path()).ok());
+}
+
+TEST(SerializeTest, GarbageFileRejected) {
+  TempFile file("garbage");
+  {
+    std::ofstream out(file.path());
+    out << "this is not a checkpoint";
+  }
+  std::vector<Var> params{Param(Tensor({2, 2}))};
+  EXPECT_FALSE(LoadParameters(params, file.path()).ok());
+  EXPECT_EQ(LoadParameters(params, "/no/such/file.batn").code(),
+            StatusCode::kNotFound);
+}
+
+TEST(SerializeTest, ModuleWeightsSurviveRoundTrip) {
+  Rng rng(3);
+  nn::Linear layer(5, 3, &rng);
+  const Var x = Constant(Tensor::RandomNormal({2, 5}, &rng));
+  const Tensor before = layer.Forward(x)->value;
+
+  TempFile file("linear");
+  ASSERT_TRUE(SaveParameters(layer.Parameters(), file.path()).ok());
+  Rng rng2(99);  // different init
+  nn::Linear restored(5, 3, &rng2);
+  ASSERT_TRUE(LoadParameters(restored.Parameters(), file.path()).ok());
+  const Tensor after = restored.Forward(x)->value;
+  for (int64_t i = 0; i < before.numel(); ++i) {
+    EXPECT_FLOAT_EQ(before.data()[i], after.data()[i]);
+  }
+}
+
+TEST(SerializeTest, BaClassifierSaveLoadPredictionsIdentical) {
+  datagen::ScenarioConfig config;
+  config.seed = 23;
+  config.num_blocks = 100;
+  config.num_retail_users = 30;
+  config.miners_per_pool = 12;
+  config.gamblers_per_house = 6;
+  datagen::Simulator simulator(config);
+  ASSERT_TRUE(simulator.Run().ok());
+  auto labeled = simulator.CollectLabeledAddresses(3);
+  Rng rng(1);
+  const auto split = datagen::StratifiedSplit(labeled, 0.8, &rng);
+
+  core::BaClassifier::Options opts;
+  opts.graph_model.epochs = 4;
+  opts.aggregator.epochs = 8;
+  core::BaClassifier original(opts);
+  ASSERT_TRUE(original.Train(simulator.ledger(), split.train).ok());
+
+  TempFile file("baclassifier");
+  ASSERT_TRUE(original.Save(file.path()).ok());
+
+  core::BaClassifier restored(opts);
+  ASSERT_TRUE(restored.Load(file.path()).ok());
+  const auto p1 = original.Predict(simulator.ledger(), split.test);
+  const auto p2 = restored.Predict(simulator.ledger(), split.test);
+  EXPECT_EQ(p1, p2);
+}
+
+TEST(SerializeTest, UntrainedClassifierCannotSave) {
+  core::BaClassifier::Options opts;
+  core::BaClassifier clf(opts);
+  EXPECT_EQ(clf.Save("/tmp/never_written.batn").code(),
+            StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace ba::tensor

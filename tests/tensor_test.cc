@@ -1,0 +1,123 @@
+// Unit tests for the dense tensor value type and raw matrix kernels.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace ba::tensor {
+namespace {
+
+TEST(TensorTest, DefaultIsScalarZero) {
+  Tensor t;
+  EXPECT_EQ(t.rank(), 0);
+  EXPECT_EQ(t.numel(), 1);
+  EXPECT_FLOAT_EQ(t.item(), 0.0f);
+}
+
+TEST(TensorTest, ShapeAndElementAccess) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.rank(), 2);
+  EXPECT_EQ(t.dim(0), 2);
+  EXPECT_EQ(t.dim(1), 3);
+  EXPECT_EQ(t.numel(), 6);
+  t.at(1, 2) = 5.0f;
+  EXPECT_FLOAT_EQ(t.at(1, 2), 5.0f);
+  EXPECT_FLOAT_EQ(t.at(0, 0), 0.0f);
+}
+
+TEST(TensorTest, FactoryHelpers) {
+  EXPECT_FLOAT_EQ(Tensor::Ones({2, 2}).Sum(), 4.0);
+  EXPECT_FLOAT_EQ(Tensor::Full({3}, 2.5f).Sum(), 7.5);
+  EXPECT_FLOAT_EQ(Tensor::Scalar(1.5f).item(), 1.5f);
+}
+
+TEST(TensorTest, ExplicitDataCtorChecksSize) {
+  Tensor t({2, 2}, {1.0f, 2.0f, 3.0f, 4.0f});
+  EXPECT_FLOAT_EQ(t.at(1, 0), 3.0f);
+}
+
+TEST(TensorTest, AddAndScaleInPlace) {
+  Tensor a = Tensor::Ones({2, 2});
+  Tensor b = Tensor::Full({2, 2}, 3.0f);
+  a.AddInPlace(b);
+  EXPECT_FLOAT_EQ(a.at(0, 0), 4.0f);
+  a.ScaleInPlace(0.5f);
+  EXPECT_FLOAT_EQ(a.at(1, 1), 2.0f);
+}
+
+TEST(TensorTest, ReshapedPreservesData) {
+  Tensor t({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor r = t.Reshaped({3, 2});
+  EXPECT_EQ(r.dim(0), 3);
+  EXPECT_FLOAT_EQ(r.at(2, 1), 6.0f);
+}
+
+TEST(TensorTest, AbsMax) {
+  Tensor t({3}, {1.0f, -7.0f, 3.0f});
+  EXPECT_FLOAT_EQ(t.AbsMax(), 7.0f);
+}
+
+TEST(TensorTest, RandomGeneratorsRespectShapeAndRange) {
+  Rng rng(1);
+  Tensor u = Tensor::RandomUniform({50, 4}, &rng, -2.0f, 2.0f);
+  EXPECT_EQ(u.numel(), 200);
+  for (int64_t i = 0; i < u.numel(); ++i) {
+    EXPECT_GE(u.data()[i], -2.0f);
+    EXPECT_LT(u.data()[i], 2.0f);
+  }
+  Tensor x = Tensor::XavierUniform(100, 50, &rng);
+  const float bound = std::sqrt(6.0f / 150.0f);
+  EXPECT_LE(x.AbsMax(), bound);
+}
+
+TEST(MatMulTest, MatchesManualComputation) {
+  Tensor a({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor b({3, 2}, {7, 8, 9, 10, 11, 12});
+  Tensor c = MatMulValue(a, b);
+  EXPECT_FLOAT_EQ(c.at(0, 0), 58.0f);
+  EXPECT_FLOAT_EQ(c.at(0, 1), 64.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 0), 139.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 1), 154.0f);
+}
+
+TEST(MatMulTest, TransposedVariantsAgree) {
+  Rng rng(4);
+  Tensor a = Tensor::RandomNormal({5, 7}, &rng);
+  Tensor b = Tensor::RandomNormal({5, 3}, &rng);
+  // AᵀB via explicit transpose equals MatMulTransposeAValue.
+  Tensor at({7, 5});
+  for (int64_t i = 0; i < 5; ++i) {
+    for (int64_t j = 0; j < 7; ++j) at.at(j, i) = a.at(i, j);
+  }
+  Tensor expected = MatMulValue(at, b);
+  Tensor got = MatMulTransposeAValue(a, b);
+  ASSERT_TRUE(expected.SameShape(got));
+  for (int64_t i = 0; i < expected.numel(); ++i) {
+    EXPECT_NEAR(expected.data()[i], got.data()[i], 1e-4f);
+  }
+
+  Tensor c = Tensor::RandomNormal({4, 7}, &rng);
+  // A·Cᵀ via explicit transpose equals MatMulTransposeBValue.
+  Tensor ct({7, 4});
+  for (int64_t i = 0; i < 4; ++i) {
+    for (int64_t j = 0; j < 7; ++j) ct.at(j, i) = c.at(i, j);
+  }
+  Tensor expected2 = MatMulValue(a, ct);
+  Tensor got2 = MatMulTransposeBValue(a, c);
+  for (int64_t i = 0; i < expected2.numel(); ++i) {
+    EXPECT_NEAR(expected2.data()[i], got2.data()[i], 1e-4f);
+  }
+}
+
+TEST(TensorTest, ToStringTruncates) {
+  Tensor t({1, 20});
+  const std::string s = t.ToString(4);
+  EXPECT_NE(s.find("..."), std::string::npos);
+  EXPECT_NE(s.find("[1, 20]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ba::tensor

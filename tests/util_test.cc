@@ -1,0 +1,279 @@
+// Unit tests for src/util: Status/Result, Rng, Stopwatch, ThreadPool,
+// TablePrinter, CliFlags.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "util/cli.h"
+#include "util/rng.h"
+#include "util/status.h"
+#include "util/stopwatch.h"
+#include "util/table.h"
+#include "util/thread_pool.h"
+
+namespace ba {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad input");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad input");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad input");
+}
+
+TEST(StatusTest, FactoriesProduceDistinctCodes) {
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
+}
+
+Status FailIfNegative(int v) {
+  if (v < 0) return Status::InvalidArgument("negative");
+  return Status::OK();
+}
+
+Status Propagates(int v) {
+  BA_RETURN_NOT_OK(FailIfNegative(v));
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnNotOkPropagates) {
+  EXPECT_TRUE(Propagates(1).ok());
+  EXPECT_FALSE(Propagates(-1).ok());
+}
+
+Result<int> ParsePositive(int v) {
+  if (v <= 0) return Status::OutOfRange("not positive");
+  return v;
+}
+
+TEST(ResultTest, HoldsValueOrStatus) {
+  Result<int> good = ParsePositive(5);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(good.value(), 5);
+  EXPECT_EQ(*good, 5);
+
+  Result<int> bad = ParsePositive(0);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(bad.ValueOr(-7), -7);
+}
+
+Result<int> Doubled(int v) {
+  BA_ASSIGN_OR_RETURN(int x, ParsePositive(v));
+  return 2 * x;
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  ASSERT_TRUE(Doubled(3).ok());
+  EXPECT_EQ(Doubled(3).value(), 6);
+  EXPECT_FALSE(Doubled(-3).ok());
+}
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.Next() == b.Next());
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    const double v = rng.Uniform(-3.0, 5.0);
+    EXPECT_GE(v, -3.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(RngTest, UniformIntBounds) {
+  Rng rng(11);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 3000; ++i) {
+    const uint64_t v = rng.UniformInt(10);
+    EXPECT_LT(v, 10u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u);  // all values hit
+  for (int i = 0; i < 100; ++i) {
+    const int64_t v = rng.UniformInt(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(42);
+  double sum = 0.0, sq = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.Gaussian();
+    sum += g;
+    sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(RngTest, PoissonMeanMatches) {
+  Rng rng(5);
+  for (double mean : {0.5, 3.0, 20.0, 100.0}) {
+    double total = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) total += static_cast<double>(rng.Poisson(mean));
+    EXPECT_NEAR(total / n, mean, mean * 0.08 + 0.05) << "mean=" << mean;
+  }
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(9);
+  double total = 0.0;
+  const int n = 30000;
+  for (int i = 0; i < n; ++i) total += rng.Exponential(2.0);
+  EXPECT_NEAR(total / n, 0.5, 0.02);
+}
+
+TEST(RngTest, ZipfFavorsSmallIndices) {
+  Rng rng(3);
+  int first = 0, last = 0;
+  for (int i = 0; i < 5000; ++i) {
+    const uint64_t v = rng.Zipf(100, 1.2);
+    EXPECT_LT(v, 100u);
+    if (v == 0) ++first;
+    if (v == 99) ++last;
+  }
+  EXPECT_GT(first, 20 * std::max(last, 1));
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(17);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(RngTest, WeightedIndexRespectsWeights) {
+  Rng rng(23);
+  std::vector<double> w{0.0, 1.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 10000; ++i) ++counts[rng.WeightedIndex(w)];
+  EXPECT_EQ(counts[0], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[1], 3.0, 0.3);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(99);
+  Rng child = a.Fork();
+  EXPECT_NE(a.Next(), child.Next());
+}
+
+TEST(StopwatchTest, AccumulatesAcrossIntervals) {
+  Stopwatch w;
+  w.Start();
+  w.Stop();
+  const int64_t first = w.ElapsedNanos();
+  EXPECT_GE(first, 0);
+  w.Start();
+  w.Stop();
+  EXPECT_GE(w.ElapsedNanos(), first);
+  w.Reset();
+  EXPECT_EQ(w.ElapsedNanos(), 0);
+}
+
+TEST(StopwatchTest, ScopedTimerAccumulates) {
+  Stopwatch w;
+  {
+    ScopedTimer t(&w);
+    volatile int sink = 0;
+    for (int i = 0; i < 100000; ++i) sink = sink + i;
+  }
+  EXPECT_GT(w.ElapsedNanos(), 0);
+}
+
+TEST(ThreadPoolTest, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversRange) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(257);
+  pool.ParallelFor(257, [&hits](size_t i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, WaitWithNoTasksReturns) {
+  ThreadPool pool(2);
+  pool.Wait();  // must not deadlock
+  SUCCEED();
+}
+
+TEST(TablePrinterTest, RendersAlignedRows) {
+  TablePrinter t({"Model", "F1"});
+  t.AddRow({"GFN", "0.9769"});
+  t.AddRow({"GCN", "0.9514"});
+  std::ostringstream os;
+  t.Print(os, "Table II");
+  const std::string out = os.str();
+  EXPECT_NE(out.find("Table II"), std::string::npos);
+  EXPECT_NE(out.find("GFN"), std::string::npos);
+  EXPECT_NE(out.find("0.9514"), std::string::npos);
+}
+
+TEST(TablePrinterTest, NumFormatsFixedPrecision) {
+  EXPECT_EQ(TablePrinter::Num(0.97693, 4), "0.9769");
+  EXPECT_EQ(TablePrinter::Num(1.0, 2), "1.00");
+}
+
+TEST(TablePrinterTest, CountAddsThousandsSeparators) {
+  EXPECT_EQ(TablePrinter::Count(912322), "912,322");
+  EXPECT_EQ(TablePrinter::Count(133), "133");
+  EXPECT_EQ(TablePrinter::Count(2138657), "2,138,657");
+  EXPECT_EQ(TablePrinter::Count(-1500), "-1,500");
+}
+
+TEST(CliFlagsTest, ParsesFormsAndDefaults) {
+  const char* argv[] = {"prog",     "--addresses", "500",  "--seed=9",
+                        "--verbose", "--rate",      "0.25"};
+  CliFlags flags(7, const_cast<char**>(argv));
+  EXPECT_EQ(flags.GetInt("addresses", 0), 500);
+  EXPECT_EQ(flags.GetInt("seed", 0), 9);
+  EXPECT_TRUE(flags.GetBool("verbose", false));
+  EXPECT_DOUBLE_EQ(flags.GetDouble("rate", 0.0), 0.25);
+  EXPECT_EQ(flags.GetInt("missing", 42), 42);
+  EXPECT_EQ(flags.GetString("missing", "dflt"), "dflt");
+}
+
+}  // namespace
+}  // namespace ba
