@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_compression.cc" "bench/CMakeFiles/bench_ablation_compression.dir/bench_ablation_compression.cc.o" "gcc" "bench/CMakeFiles/bench_ablation_compression.dir/bench_ablation_compression.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ba_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/ba_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/ba_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/ba_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/ba_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/ba_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/chain/CMakeFiles/ba_chain.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/ba_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ba_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_khops.dir/bench_ablation_khops.cc.o"
+  "CMakeFiles/bench_ablation_khops.dir/bench_ablation_khops.cc.o.d"
+  "bench_ablation_khops"
+  "bench_ablation_khops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_khops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

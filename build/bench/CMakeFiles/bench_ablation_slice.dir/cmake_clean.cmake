@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_slice.dir/bench_ablation_slice.cc.o"
+  "CMakeFiles/bench_ablation_slice.dir/bench_ablation_slice.cc.o.d"
+  "bench_ablation_slice"
+  "bench_ablation_slice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_slice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_active_addresses.dir/bench_fig1_active_addresses.cc.o"
+  "CMakeFiles/bench_fig1_active_addresses.dir/bench_fig1_active_addresses.cc.o.d"
+  "bench_fig1_active_addresses"
+  "bench_fig1_active_addresses.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_active_addresses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_gnn_learning.dir/bench_fig5_gnn_learning.cc.o"
+  "CMakeFiles/bench_fig5_gnn_learning.dir/bench_fig5_gnn_learning.cc.o.d"
+  "bench_fig5_gnn_learning"
+  "bench_fig5_gnn_learning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_gnn_learning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_clf_learning.dir/bench_fig6_clf_learning.cc.o"
+  "CMakeFiles/bench_fig6_clf_learning.dir/bench_fig6_clf_learning.cc.o.d"
+  "bench_fig6_clf_learning"
+  "bench_fig6_clf_learning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_clf_learning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_future_entity.dir/bench_future_entity.cc.o"
+  "CMakeFiles/bench_future_entity.dir/bench_future_entity.cc.o.d"
+  "bench_future_entity"
+  "bench_future_entity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_future_entity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_future_neighbor_labels.dir/bench_future_neighbor_labels.cc.o"
+  "CMakeFiles/bench_future_neighbor_labels.dir/bench_future_neighbor_labels.cc.o.d"
+  "bench_future_neighbor_labels"
+  "bench_future_neighbor_labels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_future_neighbor_labels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

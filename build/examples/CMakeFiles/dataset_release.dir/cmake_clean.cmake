@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dataset_release.dir/dataset_release.cpp.o"
+  "CMakeFiles/dataset_release.dir/dataset_release.cpp.o.d"
+  "dataset_release"
+  "dataset_release.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dataset_release.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

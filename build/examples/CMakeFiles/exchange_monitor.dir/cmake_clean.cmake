@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exchange_monitor.dir/exchange_monitor.cpp.o"
+  "CMakeFiles/exchange_monitor.dir/exchange_monitor.cpp.o.d"
+  "exchange_monitor"
+  "exchange_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exchange_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

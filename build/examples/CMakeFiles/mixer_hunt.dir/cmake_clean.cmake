@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mixer_hunt.dir/mixer_hunt.cpp.o"
+  "CMakeFiles/mixer_hunt.dir/mixer_hunt.cpp.o.d"
+  "mixer_hunt"
+  "mixer_hunt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mixer_hunt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

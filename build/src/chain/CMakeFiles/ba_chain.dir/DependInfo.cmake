@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/chain/clustering.cc" "src/chain/CMakeFiles/ba_chain.dir/clustering.cc.o" "gcc" "src/chain/CMakeFiles/ba_chain.dir/clustering.cc.o.d"
+  "/root/repo/src/chain/io.cc" "src/chain/CMakeFiles/ba_chain.dir/io.cc.o" "gcc" "src/chain/CMakeFiles/ba_chain.dir/io.cc.o.d"
+  "/root/repo/src/chain/ledger.cc" "src/chain/CMakeFiles/ba_chain.dir/ledger.cc.o" "gcc" "src/chain/CMakeFiles/ba_chain.dir/ledger.cc.o.d"
+  "/root/repo/src/chain/types.cc" "src/chain/CMakeFiles/ba_chain.dir/types.cc.o" "gcc" "src/chain/CMakeFiles/ba_chain.dir/types.cc.o.d"
+  "/root/repo/src/chain/wallet.cc" "src/chain/CMakeFiles/ba_chain.dir/wallet.cc.o" "gcc" "src/chain/CMakeFiles/ba_chain.dir/wallet.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ba_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

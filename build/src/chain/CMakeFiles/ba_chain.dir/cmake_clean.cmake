@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ba_chain.dir/clustering.cc.o"
+  "CMakeFiles/ba_chain.dir/clustering.cc.o.d"
+  "CMakeFiles/ba_chain.dir/io.cc.o"
+  "CMakeFiles/ba_chain.dir/io.cc.o.d"
+  "CMakeFiles/ba_chain.dir/ledger.cc.o"
+  "CMakeFiles/ba_chain.dir/ledger.cc.o.d"
+  "CMakeFiles/ba_chain.dir/types.cc.o"
+  "CMakeFiles/ba_chain.dir/types.cc.o.d"
+  "CMakeFiles/ba_chain.dir/wallet.cc.o"
+  "CMakeFiles/ba_chain.dir/wallet.cc.o.d"
+  "libba_chain.a"
+  "libba_chain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ba_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

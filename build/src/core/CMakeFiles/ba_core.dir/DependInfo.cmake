@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/aggregator.cc" "src/core/CMakeFiles/ba_core.dir/aggregator.cc.o" "gcc" "src/core/CMakeFiles/ba_core.dir/aggregator.cc.o.d"
+  "/root/repo/src/core/classifier.cc" "src/core/CMakeFiles/ba_core.dir/classifier.cc.o" "gcc" "src/core/CMakeFiles/ba_core.dir/classifier.cc.o.d"
+  "/root/repo/src/core/flat_features.cc" "src/core/CMakeFiles/ba_core.dir/flat_features.cc.o" "gcc" "src/core/CMakeFiles/ba_core.dir/flat_features.cc.o.d"
+  "/root/repo/src/core/gfn_features.cc" "src/core/CMakeFiles/ba_core.dir/gfn_features.cc.o" "gcc" "src/core/CMakeFiles/ba_core.dir/gfn_features.cc.o.d"
+  "/root/repo/src/core/graph_builder.cc" "src/core/CMakeFiles/ba_core.dir/graph_builder.cc.o" "gcc" "src/core/CMakeFiles/ba_core.dir/graph_builder.cc.o.d"
+  "/root/repo/src/core/graph_dataset.cc" "src/core/CMakeFiles/ba_core.dir/graph_dataset.cc.o" "gcc" "src/core/CMakeFiles/ba_core.dir/graph_dataset.cc.o.d"
+  "/root/repo/src/core/graph_model.cc" "src/core/CMakeFiles/ba_core.dir/graph_model.cc.o" "gcc" "src/core/CMakeFiles/ba_core.dir/graph_model.cc.o.d"
+  "/root/repo/src/core/sfe.cc" "src/core/CMakeFiles/ba_core.dir/sfe.cc.o" "gcc" "src/core/CMakeFiles/ba_core.dir/sfe.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/chain/CMakeFiles/ba_chain.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/ba_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/ba_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/ba_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/ba_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/ba_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ba_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

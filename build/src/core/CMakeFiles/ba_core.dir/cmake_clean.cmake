@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ba_core.dir/aggregator.cc.o"
+  "CMakeFiles/ba_core.dir/aggregator.cc.o.d"
+  "CMakeFiles/ba_core.dir/classifier.cc.o"
+  "CMakeFiles/ba_core.dir/classifier.cc.o.d"
+  "CMakeFiles/ba_core.dir/flat_features.cc.o"
+  "CMakeFiles/ba_core.dir/flat_features.cc.o.d"
+  "CMakeFiles/ba_core.dir/gfn_features.cc.o"
+  "CMakeFiles/ba_core.dir/gfn_features.cc.o.d"
+  "CMakeFiles/ba_core.dir/graph_builder.cc.o"
+  "CMakeFiles/ba_core.dir/graph_builder.cc.o.d"
+  "CMakeFiles/ba_core.dir/graph_dataset.cc.o"
+  "CMakeFiles/ba_core.dir/graph_dataset.cc.o.d"
+  "CMakeFiles/ba_core.dir/graph_model.cc.o"
+  "CMakeFiles/ba_core.dir/graph_model.cc.o.d"
+  "CMakeFiles/ba_core.dir/sfe.cc.o"
+  "CMakeFiles/ba_core.dir/sfe.cc.o.d"
+  "libba_core.a"
+  "libba_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ba_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ba_datagen.dir/dataset.cc.o"
+  "CMakeFiles/ba_datagen.dir/dataset.cc.o.d"
+  "CMakeFiles/ba_datagen.dir/simulator.cc.o"
+  "CMakeFiles/ba_datagen.dir/simulator.cc.o.d"
+  "libba_datagen.a"
+  "libba_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ba_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ba_graph.dir/centrality.cc.o"
+  "CMakeFiles/ba_graph.dir/centrality.cc.o.d"
+  "CMakeFiles/ba_graph.dir/sparse_matrix.cc.o"
+  "CMakeFiles/ba_graph.dir/sparse_matrix.cc.o.d"
+  "libba_graph.a"
+  "libba_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ba_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

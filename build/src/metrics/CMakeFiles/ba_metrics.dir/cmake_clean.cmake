@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ba_metrics.dir/classification.cc.o"
+  "CMakeFiles/ba_metrics.dir/classification.cc.o.d"
+  "libba_metrics.a"
+  "libba_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ba_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/bitscope.cc" "src/ml/CMakeFiles/ba_ml.dir/bitscope.cc.o" "gcc" "src/ml/CMakeFiles/ba_ml.dir/bitscope.cc.o.d"
+  "/root/repo/src/ml/boosting.cc" "src/ml/CMakeFiles/ba_ml.dir/boosting.cc.o" "gcc" "src/ml/CMakeFiles/ba_ml.dir/boosting.cc.o.d"
+  "/root/repo/src/ml/dataset.cc" "src/ml/CMakeFiles/ba_ml.dir/dataset.cc.o" "gcc" "src/ml/CMakeFiles/ba_ml.dir/dataset.cc.o.d"
+  "/root/repo/src/ml/decision_tree.cc" "src/ml/CMakeFiles/ba_ml.dir/decision_tree.cc.o" "gcc" "src/ml/CMakeFiles/ba_ml.dir/decision_tree.cc.o.d"
+  "/root/repo/src/ml/kmeans.cc" "src/ml/CMakeFiles/ba_ml.dir/kmeans.cc.o" "gcc" "src/ml/CMakeFiles/ba_ml.dir/kmeans.cc.o.d"
+  "/root/repo/src/ml/knn.cc" "src/ml/CMakeFiles/ba_ml.dir/knn.cc.o" "gcc" "src/ml/CMakeFiles/ba_ml.dir/knn.cc.o.d"
+  "/root/repo/src/ml/lee_features.cc" "src/ml/CMakeFiles/ba_ml.dir/lee_features.cc.o" "gcc" "src/ml/CMakeFiles/ba_ml.dir/lee_features.cc.o.d"
+  "/root/repo/src/ml/linear_models.cc" "src/ml/CMakeFiles/ba_ml.dir/linear_models.cc.o" "gcc" "src/ml/CMakeFiles/ba_ml.dir/linear_models.cc.o.d"
+  "/root/repo/src/ml/mlp_classifier.cc" "src/ml/CMakeFiles/ba_ml.dir/mlp_classifier.cc.o" "gcc" "src/ml/CMakeFiles/ba_ml.dir/mlp_classifier.cc.o.d"
+  "/root/repo/src/ml/naive_bayes.cc" "src/ml/CMakeFiles/ba_ml.dir/naive_bayes.cc.o" "gcc" "src/ml/CMakeFiles/ba_ml.dir/naive_bayes.cc.o.d"
+  "/root/repo/src/ml/random_forest.cc" "src/ml/CMakeFiles/ba_ml.dir/random_forest.cc.o" "gcc" "src/ml/CMakeFiles/ba_ml.dir/random_forest.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ba_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/ba_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/ba_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/ba_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/chain/CMakeFiles/ba_chain.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ba_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/ba_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/ba_datagen.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ba_ml.dir/bitscope.cc.o"
+  "CMakeFiles/ba_ml.dir/bitscope.cc.o.d"
+  "CMakeFiles/ba_ml.dir/boosting.cc.o"
+  "CMakeFiles/ba_ml.dir/boosting.cc.o.d"
+  "CMakeFiles/ba_ml.dir/dataset.cc.o"
+  "CMakeFiles/ba_ml.dir/dataset.cc.o.d"
+  "CMakeFiles/ba_ml.dir/decision_tree.cc.o"
+  "CMakeFiles/ba_ml.dir/decision_tree.cc.o.d"
+  "CMakeFiles/ba_ml.dir/kmeans.cc.o"
+  "CMakeFiles/ba_ml.dir/kmeans.cc.o.d"
+  "CMakeFiles/ba_ml.dir/knn.cc.o"
+  "CMakeFiles/ba_ml.dir/knn.cc.o.d"
+  "CMakeFiles/ba_ml.dir/lee_features.cc.o"
+  "CMakeFiles/ba_ml.dir/lee_features.cc.o.d"
+  "CMakeFiles/ba_ml.dir/linear_models.cc.o"
+  "CMakeFiles/ba_ml.dir/linear_models.cc.o.d"
+  "CMakeFiles/ba_ml.dir/mlp_classifier.cc.o"
+  "CMakeFiles/ba_ml.dir/mlp_classifier.cc.o.d"
+  "CMakeFiles/ba_ml.dir/naive_bayes.cc.o"
+  "CMakeFiles/ba_ml.dir/naive_bayes.cc.o.d"
+  "CMakeFiles/ba_ml.dir/random_forest.cc.o"
+  "CMakeFiles/ba_ml.dir/random_forest.cc.o.d"
+  "libba_ml.a"
+  "libba_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ba_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

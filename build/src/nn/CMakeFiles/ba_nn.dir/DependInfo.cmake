@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/lstm.cc" "src/nn/CMakeFiles/ba_nn.dir/lstm.cc.o" "gcc" "src/nn/CMakeFiles/ba_nn.dir/lstm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/ba_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/ba_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ba_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

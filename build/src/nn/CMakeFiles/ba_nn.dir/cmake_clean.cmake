@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ba_nn.dir/lstm.cc.o"
+  "CMakeFiles/ba_nn.dir/lstm.cc.o.d"
+  "libba_nn.a"
+  "libba_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ba_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ba_tensor.dir/autograd.cc.o"
+  "CMakeFiles/ba_tensor.dir/autograd.cc.o.d"
+  "CMakeFiles/ba_tensor.dir/serialize.cc.o"
+  "CMakeFiles/ba_tensor.dir/serialize.cc.o.d"
+  "CMakeFiles/ba_tensor.dir/tensor.cc.o"
+  "CMakeFiles/ba_tensor.dir/tensor.cc.o.d"
+  "libba_tensor.a"
+  "libba_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ba_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

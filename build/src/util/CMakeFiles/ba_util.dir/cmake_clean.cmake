@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ba_util.dir/status.cc.o"
+  "CMakeFiles/ba_util.dir/status.cc.o.d"
+  "CMakeFiles/ba_util.dir/thread_pool.cc.o"
+  "CMakeFiles/ba_util.dir/thread_pool.cc.o.d"
+  "libba_util.a"
+  "libba_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ba_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clustering_io_test.dir/clustering_io_test.cc.o"
+  "CMakeFiles/clustering_io_test.dir/clustering_io_test.cc.o.d"
+  "clustering_io_test"
+  "clustering_io_test.pdb"
+  "clustering_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clustering_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

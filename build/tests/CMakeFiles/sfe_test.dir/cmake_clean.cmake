@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfe_test.dir/sfe_test.cc.o"
+  "CMakeFiles/sfe_test.dir/sfe_test.cc.o.d"
+  "sfe_test"
+  "sfe_test.pdb"
+  "sfe_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfe_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
