@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Builds the tier-1 targets under AddressSanitizer + UBSan and runs the
+# full test suite. This is the crash-safety gate: fault-injection and
+# corruption tests must pass with zero sanitizer findings.
+#
+# Usage: scripts/check.sh [build-dir]   (default: build-sanitize)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-sanitize}"
+
+cmake -B "$BUILD_DIR" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DBA_SANITIZE=ON \
+  -DBA_BUILD_BENCHMARKS=OFF \
+  -DBA_BUILD_EXAMPLES=OFF
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"

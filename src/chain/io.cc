@@ -1,13 +1,26 @@
 #include "chain/io.h"
 
+#include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "util/fs.h"
+
 namespace ba::chain {
 
 namespace {
+
+constexpr char kHeaderV1[] = "# ba-ledger v1,";
+constexpr char kHeaderV2[] = "# ba-ledger v2,";
+constexpr char kCrcTrailerPrefix[] = "# crc32,";
+
+std::string CrcHex(uint32_t crc) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%08x", crc);
+  return buf;
+}
 
 std::string JoinOutputs(const std::vector<TxOut>& outs) {
   std::ostringstream os;
@@ -48,24 +61,32 @@ bool ParsePairs(const std::string& text,
 }  // namespace
 
 Status ExportLedgerCsv(const Ledger& ledger, const std::string& path) {
-  std::ofstream out(path);
-  if (!out) return Status::Internal("cannot open for write: " + path);
-  out << "# ba-ledger v1," << ledger.options().block_subsidy << ","
-      << ledger.num_addresses() << "\n";
+  util::AtomicFileWriter out(path);
+  BA_RETURN_NOT_OK(out.Open());
+  {
+    std::ostringstream header;
+    header << kHeaderV2 << ledger.options().block_subsidy << ","
+           << ledger.num_addresses() << "\n";
+    BA_RETURN_NOT_OK(out.Append(header.str()));
+  }
   for (const auto& block : ledger.blocks()) {
-    out << "B," << block.height << "," << block.timestamp << "\n";
+    std::ostringstream os;
+    os << "B," << block.height << "," << block.timestamp << "\n";
     for (TxId id : block.transactions) {
       const Transaction& tx = ledger.tx(id);
       if (tx.coinbase) {
-        out << "C," << tx.timestamp << "," << JoinOutputs(tx.outputs) << "\n";
+        os << "C," << tx.timestamp << "," << JoinOutputs(tx.outputs) << "\n";
       } else {
-        out << "T," << tx.timestamp << "," << JoinInputs(tx.inputs) << ","
-            << JoinOutputs(tx.outputs) << "\n";
+        os << "T," << tx.timestamp << "," << JoinInputs(tx.inputs) << ","
+           << JoinOutputs(tx.outputs) << "\n";
       }
     }
+    BA_RETURN_NOT_OK(out.Append(os.str()));
   }
-  if (!out.good()) return Status::Internal("write failed: " + path);
-  return Status::OK();
+  // Integrity trailer: CRC32 of every byte above this line.
+  BA_RETURN_NOT_OK(
+      out.Append(kCrcTrailerPrefix + CrcHex(out.crc()) + "\n"));
+  return out.Commit();
 }
 
 Result<Ledger> ImportLedgerCsv(const std::string& path) {
@@ -73,13 +94,20 @@ Result<Ledger> ImportLedgerCsv(const std::string& path) {
   if (!in) return Status::NotFound("cannot open: " + path);
 
   std::string header;
-  if (!std::getline(in, header) || header.rfind("# ba-ledger v1,", 0) != 0) {
-    return Status::InvalidArgument("missing ba-ledger v1 header");
+  if (!std::getline(in, header)) {
+    return Status::InvalidArgument("line 1: empty file (missing header)");
   }
+  const bool v2 = header.rfind(kHeaderV2, 0) == 0;
+  if (!v2 && header.rfind(kHeaderV1, 0) != 0) {
+    return Status::InvalidArgument("line 1: missing ba-ledger header");
+  }
+  // Running CRC over every byte of the file before the trailer line,
+  // exactly as the exporter wrote them (trailing '\n' included).
+  uint32_t crc = util::Crc32(header + "\n");
   Amount subsidy = 0;
   size_t num_addresses = 0;
   {
-    std::stringstream ss(header.substr(std::string("# ba-ledger v1,").size()));
+    std::stringstream ss(header.substr(sizeof(kHeaderV1) - 1));
     std::string field;
     try {
       if (!std::getline(ss, field, ',')) throw std::invalid_argument("");
@@ -87,8 +115,20 @@ Result<Ledger> ImportLedgerCsv(const std::string& path) {
       if (!std::getline(ss, field, ',')) throw std::invalid_argument("");
       num_addresses = std::stoull(field);
     } catch (const std::exception&) {
-      return Status::InvalidArgument("malformed header: " + header);
+      return Status::InvalidArgument("line 1: malformed header: " + header);
     }
+  }
+  // Validate header values before acting on them: a corrupted subsidy
+  // or address count must fail here, not abort in the Ledger ctor or
+  // drive an enormous allocation.
+  if (subsidy <= 0) {
+    return Status::InvalidArgument("line 1: invalid block subsidy " +
+                                   std::to_string(subsidy));
+  }
+  constexpr size_t kMaxAddresses = size_t{1} << 26;  // ~67M, corpus is ~2M
+  if (num_addresses > kMaxAddresses) {
+    return Status::InvalidArgument("line 1: implausible address count " +
+                                   std::to_string(num_addresses));
   }
 
   LedgerOptions options;
@@ -99,6 +139,7 @@ Result<Ledger> ImportLedgerCsv(const std::string& path) {
   std::string line;
   Timestamp block_time = 0;
   bool in_block = false;
+  bool saw_trailer = false;
   int line_no = 1;
   auto fail = [&line_no](const std::string& why) {
     return Status::InvalidArgument("line " + std::to_string(line_no) + ": " +
@@ -106,6 +147,19 @@ Result<Ledger> ImportLedgerCsv(const std::string& path) {
   };
   while (std::getline(in, line)) {
     ++line_no;
+    if (saw_trailer) return fail("content after crc32 trailer");
+    if (line.rfind(kCrcTrailerPrefix, 0) == 0) {
+      const std::string stored = line.substr(sizeof(kCrcTrailerPrefix) - 1);
+      const std::string computed = CrcHex(crc);
+      if (stored != computed) {
+        return fail("crc32 mismatch over lines 1-" +
+                    std::to_string(line_no - 1) + " (stored " + stored +
+                    ", computed " + computed + "): file corrupted");
+      }
+      saw_trailer = true;
+      continue;
+    }
+    crc = util::Crc32(line + "\n", crc);
     if (line.empty()) continue;
     std::stringstream ss(line);
     std::string kind;
@@ -142,7 +196,7 @@ Result<Ledger> ImportLedgerCsv(const std::string& path) {
         return fail("bad coinbase timestamp");
       }
       auto result = ledger.ApplyCoinbase(ts, addresses, weights);
-      if (!result.ok()) return result.status();
+      if (!result.ok()) return fail(result.status().message());
     } else if (kind == "T") {
       std::string ts_s, ins_s, outs_s;
       if (!std::getline(ss, ts_s, ',') || !std::getline(ss, ins_s, ',') ||
@@ -166,12 +220,17 @@ Result<Ledger> ImportLedgerCsv(const std::string& path) {
         draft.outputs.push_back({static_cast<AddressId>(addr), value});
       }
       auto result = ledger.ApplyTransaction(draft);
-      if (!result.ok()) return result.status();
+      if (!result.ok()) return fail(result.status().message());
     } else if (kind[0] == '#') {
       continue;  // comment
     } else {
       return fail("unknown record kind: " + kind);
     }
+  }
+  if (v2 && !saw_trailer) {
+    return Status::InvalidArgument(
+        "line " + std::to_string(line_no) +
+        ": truncated file (missing crc32 trailer)");
   }
   if (in_block) BA_RETURN_NOT_OK(ledger.SealBlock(block_time));
   BA_RETURN_NOT_OK(ledger.CheckConservation());

@@ -11,13 +11,17 @@
 /// import: a ledger round-trips through disk into an identical,
 /// conservation-checked ledger.
 ///
-/// Format:
-///   # ba-ledger v1,<block_subsidy>
+/// Format (v2):
+///   # ba-ledger v2,<block_subsidy>,<num_addresses>
 ///   B,<height>,<timestamp>
 ///   C,<timestamp>,<addr>:<value>[|<addr>:<value>...]       (coinbase)
 ///   T,<timestamp>,<txid>:<vout>[|...],<addr>:<value>[|...]  (spend)
+///   # crc32,<8-hex>                                        (trailer)
 /// Addresses are dense ids; every id below the header's address count
-/// exists.
+/// exists. Files are written atomically (tmp + rename); the trailing
+/// CRC32 covers every byte above it and is verified on import, so a
+/// truncated or bit-flipped release fails with a line-numbered error
+/// instead of loading silently. v1 files (no trailer) still import.
 
 namespace ba::chain {
 

@@ -1,0 +1,295 @@
+#include "core/checkpoint.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/fs.h"
+
+namespace ba::core {
+
+namespace {
+
+constexpr char kMagic[4] = {'B', 'A', 'C', 'K'};
+constexpr uint32_t kVersion = 1;
+
+// Plausibility bounds for header values read from disk — a corrupted
+// count must fail with a message, never drive a huge allocation.
+constexpr uint64_t kMaxTensors = 1u << 20;
+constexpr uint32_t kMaxRank = 8;
+constexpr int64_t kMaxDim = int64_t{1} << 32;
+
+template <typename T>
+Status WritePod(util::AtomicFileWriter* out, const T& value) {
+  return out->Write(&value, sizeof(T));
+}
+
+Status WriteTensor(util::AtomicFileWriter* out, const tensor::Tensor& t) {
+  BA_RETURN_NOT_OK(WritePod(out, static_cast<uint32_t>(t.rank())));
+  for (int64_t d = 0; d < t.rank(); ++d) {
+    BA_RETURN_NOT_OK(WritePod(out, t.dim(d)));
+  }
+  return out->Write(t.data(),
+                    static_cast<size_t>(t.numel()) * sizeof(float));
+}
+
+/// Reads one tensor (shape header + payload) with full validation.
+Status ReadTensor(util::BufferReader* r, const std::string& what,
+                  tensor::Tensor* out) {
+  uint32_t rank = 0;
+  if (!r->ReadPod(&rank)) {
+    return Status::InvalidArgument(what + ": truncated tensor header");
+  }
+  if (rank > kMaxRank) {
+    return Status::InvalidArgument(what + ": implausible rank " +
+                                   std::to_string(rank));
+  }
+  std::vector<int64_t> shape(rank);
+  int64_t numel = 1;
+  for (uint32_t d = 0; d < rank; ++d) {
+    if (!r->ReadPod(&shape[d])) {
+      return Status::InvalidArgument(what + ": truncated tensor header");
+    }
+    if (shape[d] < 0 || shape[d] > kMaxDim) {
+      return Status::InvalidArgument(what + ": implausible dim " +
+                                     std::to_string(shape[d]));
+    }
+    numel *= shape[d];
+    if (numel > kMaxDim) {
+      return Status::InvalidArgument(what + ": implausible element count");
+    }
+  }
+  // Reject before allocating anything the remaining bytes cannot back.
+  const size_t payload = static_cast<size_t>(numel) * sizeof(float);
+  if (payload > r->remaining()) {
+    return Status::InvalidArgument(what + ": truncated payload (" +
+                                   std::to_string(payload) + " bytes needed, " +
+                                   std::to_string(r->remaining()) + " left)");
+  }
+  tensor::Tensor t(std::move(shape));
+  if (!r->ReadBytes(t.data(), payload)) {
+    return Status::InvalidArgument(what + ": truncated payload");
+  }
+  *out = std::move(t);
+  return Status::OK();
+}
+
+Status ReadMoments(util::BufferReader* r, const std::string& what,
+                   uint64_t param_count,
+                   std::vector<std::pair<uint64_t, tensor::Tensor>>* out) {
+  uint64_t entries = 0;
+  if (!r->ReadPod(&entries)) {
+    return Status::InvalidArgument(what + ": truncated entry count");
+  }
+  if (entries > param_count) {
+    return Status::InvalidArgument(what + ": implausible entry count " +
+                                   std::to_string(entries));
+  }
+  out->reserve(entries);
+  for (uint64_t e = 0; e < entries; ++e) {
+    uint64_t index = 0;
+    if (!r->ReadPod(&index)) {
+      return Status::InvalidArgument(what + ": truncated entry index");
+    }
+    if (index >= param_count) {
+      return Status::InvalidArgument(what + ": entry index " +
+                                     std::to_string(index) +
+                                     " out of range");
+    }
+    tensor::Tensor t;
+    BA_RETURN_NOT_OK(
+        ReadTensor(r, what + " entry " + std::to_string(e), &t));
+    out->emplace_back(index, std::move(t));
+  }
+  return Status::OK();
+}
+
+Status WriteMoments(
+    util::AtomicFileWriter* out,
+    const std::vector<std::pair<uint64_t, tensor::Tensor>>& moments) {
+  BA_RETURN_NOT_OK(WritePod(out, static_cast<uint64_t>(moments.size())));
+  for (const auto& [index, t] : moments) {
+    BA_RETURN_NOT_OK(WritePod(out, index));
+    BA_RETURN_NOT_OK(WriteTensor(out, t));
+  }
+  return Status::OK();
+}
+
+std::vector<std::pair<uint64_t, tensor::Tensor>> SortedMoments(
+    const std::unordered_map<size_t, tensor::Tensor>& moments) {
+  std::vector<std::pair<uint64_t, tensor::Tensor>> out;
+  out.reserve(moments.size());
+  for (const auto& [index, t] : moments) {
+    out.emplace_back(static_cast<uint64_t>(index), t);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
+}
+
+}  // namespace
+
+TrainingCheckpoint CaptureTrainingCheckpoint(
+    const std::vector<tensor::Var>& params, const tensor::Adam& optimizer,
+    const Rng& rng, int epoch) {
+  TrainingCheckpoint ckpt;
+  ckpt.epoch = epoch;
+  ckpt.rng = rng.SaveState();
+  ckpt.adam_step = optimizer.step();
+  ckpt.params.reserve(params.size());
+  for (const auto& p : params) ckpt.params.push_back(p->value);
+  ckpt.adam_m = SortedMoments(optimizer.moments_m());
+  ckpt.adam_v = SortedMoments(optimizer.moments_v());
+  return ckpt;
+}
+
+Status SaveTrainingCheckpoint(const TrainingCheckpoint& ckpt,
+                              const std::string& path) {
+  util::AtomicFileWriter out(path);
+  BA_RETURN_NOT_OK(out.Open());
+  BA_RETURN_NOT_OK(out.Write(kMagic, sizeof(kMagic)));
+  BA_RETURN_NOT_OK(WritePod(&out, kVersion));
+  BA_RETURN_NOT_OK(WritePod(&out, static_cast<int32_t>(ckpt.epoch)));
+  for (uint64_t s : ckpt.rng.s) BA_RETURN_NOT_OK(WritePod(&out, s));
+  BA_RETURN_NOT_OK(
+      WritePod(&out, static_cast<uint8_t>(ckpt.rng.gaussian_cached)));
+  BA_RETURN_NOT_OK(WritePod(&out, ckpt.rng.gaussian_cache));
+  BA_RETURN_NOT_OK(WritePod(&out, static_cast<int32_t>(ckpt.adam_step)));
+  BA_RETURN_NOT_OK(WritePod(&out, static_cast<uint64_t>(ckpt.params.size())));
+  for (const auto& t : ckpt.params) BA_RETURN_NOT_OK(WriteTensor(&out, t));
+  BA_RETURN_NOT_OK(WriteMoments(&out, ckpt.adam_m));
+  BA_RETURN_NOT_OK(WriteMoments(&out, ckpt.adam_v));
+  // Integrity trailer: CRC32 of every preceding byte.
+  const uint32_t crc = out.crc();
+  BA_RETURN_NOT_OK(WritePod(&out, crc));
+  return out.Commit();
+}
+
+Result<TrainingCheckpoint> LoadTrainingCheckpoint(const std::string& path) {
+  BA_ASSIGN_OR_RETURN(const std::string buf, util::ReadFileToString(path));
+  util::BufferReader r(buf);
+
+  char magic[4];
+  if (!r.ReadBytes(magic, sizeof(magic)) ||
+      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("not a BACK training checkpoint: " + path);
+  }
+  uint32_t version = 0;
+  if (!r.ReadPod(&version) || version != kVersion) {
+    return Status::InvalidArgument("unsupported training checkpoint version: " +
+                                   path);
+  }
+  if (buf.size() < r.position() + sizeof(uint32_t)) {
+    return Status::InvalidArgument("truncated checkpoint (no crc32): " + path);
+  }
+  uint32_t stored = 0;
+  std::memcpy(&stored, buf.data() + buf.size() - sizeof(uint32_t),
+              sizeof(uint32_t));
+  const uint32_t computed =
+      util::Crc32(buf.data(), buf.size() - sizeof(uint32_t));
+  if (stored != computed) {
+    return Status::InvalidArgument(
+        "crc32 mismatch (stored " + std::to_string(stored) + ", computed " +
+        std::to_string(computed) + "): corrupted checkpoint " + path);
+  }
+  r.Truncate(buf.size() - sizeof(uint32_t));
+
+  TrainingCheckpoint ckpt;
+  int32_t epoch = 0;
+  if (!r.ReadPod(&epoch) || epoch < 0) {
+    return Status::InvalidArgument("truncated or invalid epoch: " + path);
+  }
+  ckpt.epoch = epoch;
+  for (uint64_t& s : ckpt.rng.s) {
+    if (!r.ReadPod(&s)) {
+      return Status::InvalidArgument("truncated rng state: " + path);
+    }
+  }
+  uint8_t gaussian_cached = 0;
+  if (!r.ReadPod(&gaussian_cached) ||
+      !r.ReadPod(&ckpt.rng.gaussian_cache)) {
+    return Status::InvalidArgument("truncated rng state: " + path);
+  }
+  ckpt.rng.gaussian_cached = gaussian_cached != 0;
+  int32_t adam_step = 0;
+  if (!r.ReadPod(&adam_step) || adam_step < 0) {
+    return Status::InvalidArgument("truncated or invalid adam step: " + path);
+  }
+  ckpt.adam_step = adam_step;
+
+  uint64_t param_count = 0;
+  if (!r.ReadPod(&param_count)) {
+    return Status::InvalidArgument("truncated parameter count: " + path);
+  }
+  if (param_count > kMaxTensors) {
+    return Status::InvalidArgument("implausible parameter count " +
+                                   std::to_string(param_count) + ": " + path);
+  }
+  ckpt.params.reserve(param_count);
+  for (uint64_t i = 0; i < param_count; ++i) {
+    tensor::Tensor t;
+    BA_RETURN_NOT_OK(ReadTensor(&r, "param " + std::to_string(i), &t));
+    ckpt.params.push_back(std::move(t));
+  }
+  BA_RETURN_NOT_OK(ReadMoments(&r, "adam m", param_count, &ckpt.adam_m));
+  BA_RETURN_NOT_OK(ReadMoments(&r, "adam v", param_count, &ckpt.adam_v));
+  if (r.remaining() != 0) {
+    return Status::InvalidArgument(
+        "trailing garbage (" + std::to_string(r.remaining()) +
+        " bytes) after checkpoint body: " + path);
+  }
+  return ckpt;
+}
+
+Status RestoreTrainingCheckpoint(const TrainingCheckpoint& ckpt,
+                                 const std::vector<tensor::Var>& params,
+                                 tensor::Adam* optimizer, Rng* rng,
+                                 int* epoch) {
+  if (ckpt.params.size() != params.size()) {
+    return Status::InvalidArgument(
+        "checkpoint holds " + std::to_string(ckpt.params.size()) +
+        " parameters, model has " + std::to_string(params.size()));
+  }
+  for (size_t i = 0; i < params.size(); ++i) {
+    if (!ckpt.params[i].SameShape(params[i]->value)) {
+      return Status::InvalidArgument("param " + std::to_string(i) +
+                                     ": shape mismatch");
+    }
+  }
+  auto validate_moments =
+      [&](const std::vector<std::pair<uint64_t, tensor::Tensor>>& moments,
+          const char* what) -> Status {
+    for (const auto& [index, t] : moments) {
+      if (index >= params.size()) {
+        return Status::InvalidArgument(std::string(what) + ": index " +
+                                       std::to_string(index) +
+                                       " out of range");
+      }
+      if (!t.SameShape(params[index]->value)) {
+        return Status::InvalidArgument(std::string(what) + " " +
+                                       std::to_string(index) +
+                                       ": shape mismatch");
+      }
+    }
+    return Status::OK();
+  };
+  BA_RETURN_NOT_OK(validate_moments(ckpt.adam_m, "adam m"));
+  BA_RETURN_NOT_OK(validate_moments(ckpt.adam_v, "adam v"));
+
+  for (size_t i = 0; i < params.size(); ++i) {
+    params[i]->value = ckpt.params[i];
+  }
+  std::unordered_map<size_t, tensor::Tensor> m, v;
+  for (const auto& [index, t] : ckpt.adam_m) m.emplace(index, t);
+  for (const auto& [index, t] : ckpt.adam_v) v.emplace(index, t);
+  optimizer->SetMoments(std::move(m), std::move(v));
+  optimizer->set_step(ckpt.adam_step);
+  rng->RestoreState(ckpt.rng);
+  *epoch = ckpt.epoch;
+  return Status::OK();
+}
+
+std::string CheckpointPath(const std::string& checkpoint_dir) {
+  return checkpoint_dir + "/graph_model.ckpt";
+}
+
+}  // namespace ba::core

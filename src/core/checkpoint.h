@@ -1,0 +1,67 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tensor/autograd.h"
+#include "tensor/optimizer.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+/// \file checkpoint.h
+/// \brief Crash-safe training checkpoints: model parameters + Adam
+/// optimizer state (moments and step) + epoch counter + RNG state in
+/// one atomically-written, CRC32-protected file ("BACK" format).
+///
+/// A training run killed after epoch k and resumed from its checkpoint
+/// reproduces the uninterrupted run's parameters bit-exactly, because
+/// the checkpoint captures *everything* the remaining epochs depend on:
+/// weights, both Adam moment accumulators and the bias-correction step,
+/// and the full RNG stream position (shuffles and dropout masks resume
+/// where they left off).
+///
+/// Files are written through `util::AtomicFileWriter`, so a save killed
+/// mid-flight leaves the previous checkpoint intact; loads verify the
+/// CRC trailer and every shape, returning a descriptive non-OK Status
+/// for truncation, bad magic, bit-flips or architecture mismatches.
+
+namespace ba::core {
+
+/// \brief In-memory image of one training checkpoint.
+struct TrainingCheckpoint {
+  int epoch = 0;       ///< completed epochs
+  RngState rng;        ///< trainer RNG position
+  int adam_step = 0;   ///< Adam bias-correction counter
+  /// Parameter values, in `GraphModel::Parameters()` order.
+  std::vector<tensor::Tensor> params;
+  /// Sparse Adam moments: (parameter index, tensor) pairs.
+  std::vector<std::pair<uint64_t, tensor::Tensor>> adam_m;
+  std::vector<std::pair<uint64_t, tensor::Tensor>> adam_v;
+};
+
+/// \brief Captures the live training state into a checkpoint image.
+TrainingCheckpoint CaptureTrainingCheckpoint(
+    const std::vector<tensor::Var>& params, const tensor::Adam& optimizer,
+    const Rng& rng, int epoch);
+
+/// \brief Writes `ckpt` to `path` atomically with a CRC32 trailer.
+Status SaveTrainingCheckpoint(const TrainingCheckpoint& ckpt,
+                              const std::string& path);
+
+/// \brief Reads a checkpoint written by SaveTrainingCheckpoint.
+/// Returns a descriptive non-OK Status (never aborts) on truncation,
+/// corruption or malformed content.
+Result<TrainingCheckpoint> LoadTrainingCheckpoint(const std::string& path);
+
+/// \brief Installs a loaded checkpoint into live training state.
+/// Shapes are validated against `params`; on mismatch nothing is
+/// modified and a descriptive error is returned.
+Status RestoreTrainingCheckpoint(const TrainingCheckpoint& ckpt,
+                                 const std::vector<tensor::Var>& params,
+                                 tensor::Adam* optimizer, Rng* rng,
+                                 int* epoch);
+
+/// \brief Canonical checkpoint file inside a checkpoint directory.
+std::string CheckpointPath(const std::string& checkpoint_dir);
+
+}  // namespace ba::core

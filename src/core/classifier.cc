@@ -78,7 +78,7 @@ Status BaClassifier::TrainOnSamples(
     return Status::InvalidArgument("no training samples with history");
   }
   graph_model_ = std::make_unique<GraphModel>(options_.graph_model);
-  graph_model_->Train(train);
+  BA_RETURN_NOT_OK(graph_model_->Train(train));
 
   std::vector<EmbeddingSequence> sequences =
       BuildEmbeddingSequences(*graph_model_, train);

@@ -49,13 +49,14 @@ std::vector<AddressSample> GraphDatasetBuilder::Build(
     ThreadPool pool(workers);
     std::atomic<size_t> next{0};
     for (size_t w = 0; w < workers; ++w) {
-      pool.Submit([&, w] {
+      const bool accepted = pool.Submit([&, w] {
         for (;;) {
           const size_t i = next.fetch_add(1);
           if (i >= n) break;
           build_one(constructors[w].get(), i);
         }
       });
+      BA_CHECK(accepted);  // freshly constructed pool cannot be shut down
     }
     pool.Wait();
     for (const auto& c : constructors) {

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "core/checkpoint.h"
+#include "util/fs.h"
 #include "util/stopwatch.h"
 
 namespace ba::core {
@@ -141,9 +143,9 @@ tensor::Tensor GraphModel::Embed(const GraphTensors& gt) const {
   return tensor::Tensor();
 }
 
-void GraphModel::Train(const std::vector<AddressSample>& train,
-                       const std::vector<AddressSample>* eval,
-                       std::vector<EpochStat>* history) {
+Status GraphModel::Train(const std::vector<AddressSample>& train,
+                         const std::vector<AddressSample>* eval,
+                         std::vector<EpochStat>* history) {
   // Flatten to (graph, label) pairs — each slice is one example.
   struct Example {
     const GraphTensors* tensors;
@@ -156,10 +158,28 @@ void GraphModel::Train(const std::vector<AddressSample>& train,
   }
   BA_CHECK(!examples.empty());
 
+  // Resume from an existing checkpoint when checkpointing is enabled.
+  const bool checkpointing = !options_.checkpoint_dir.empty();
+  const std::string ckpt_path = CheckpointPath(options_.checkpoint_dir);
+  int start_epoch = 0;
+  if (checkpointing && util::FileExists(ckpt_path)) {
+    BA_ASSIGN_OR_RETURN(const TrainingCheckpoint ckpt,
+                        LoadTrainingCheckpoint(ckpt_path));
+    BA_RETURN_NOT_OK(RestoreTrainingCheckpoint(ckpt, Parameters(),
+                                               optimizer_.get(), &rng_,
+                                               &start_epoch));
+  }
+
+  // Each epoch visits examples through a fresh permutation drawn from
+  // the RNG, so the visit order is a function of the RNG position at
+  // the epoch boundary alone — the property that makes kill/resume
+  // reproduce an uninterrupted run bit-exactly.
+  std::vector<size_t> order(examples.size());
   Stopwatch train_watch;
-  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+  for (int epoch = start_epoch; epoch < options_.epochs; ++epoch) {
     train_watch.Start();
-    rng_.Shuffle(&examples);
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+    rng_.Shuffle(&order);
     double epoch_loss = 0.0;
     size_t i = 0;
     while (i < examples.size()) {
@@ -169,10 +189,10 @@ void GraphModel::Train(const std::vector<AddressSample>& train,
       std::vector<tensor::Var> losses;
       losses.reserve(batch_end - i);
       for (; i < batch_end; ++i) {
-        const tensor::Var logits =
-            LogitsImpl(*examples[i].tensors, /*training=*/true);
-        losses.push_back(tensor::SoftmaxCrossEntropy(
-            logits, std::vector<int>{examples[i].label}));
+        const Example& ex = examples[order[i]];
+        const tensor::Var logits = LogitsImpl(*ex.tensors, /*training=*/true);
+        losses.push_back(
+            tensor::SoftmaxCrossEntropy(logits, std::vector<int>{ex.label}));
       }
       tensor::Var batch_loss = losses[0];
       for (size_t k = 1; k < losses.size(); ++k) {
@@ -195,7 +215,18 @@ void GraphModel::Train(const std::vector<AddressSample>& train,
       if (eval != nullptr) stat.eval_f1 = GraphLevelWeightedF1(*this, *eval);
       history->push_back(stat);
     }
+
+    if (checkpointing) {
+      const int done = epoch + 1;
+      const int every = std::max(options_.checkpoint_every, 1);
+      if (done % every == 0 || done == options_.epochs) {
+        BA_RETURN_NOT_OK(SaveTrainingCheckpoint(
+            CaptureTrainingCheckpoint(Parameters(), *optimizer_, rng_, done),
+            ckpt_path));
+      }
+    }
   }
+  return Status::OK();
 }
 
 metrics::ConfusionMatrix GraphModel::EvaluateGraphLevel(

@@ -52,6 +52,14 @@ struct GraphModelOptions {
   float learning_rate = 1e-3f;
   float weight_decay = 0.0f;
   uint64_t seed = 1;
+  /// When non-empty, Train() writes a crash-safe checkpoint (weights +
+  /// Adam state + RNG) into this directory and resumes from it if one
+  /// exists — a run killed at epoch k and restarted reproduces the
+  /// uninterrupted run's parameters bit-exactly.
+  std::string checkpoint_dir;
+  /// Checkpoint cadence in epochs (only with checkpoint_dir set); the
+  /// final epoch is always checkpointed.
+  int checkpoint_every = 1;
 };
 
 /// \brief Trains a graph encoder and serves logits / embeddings.
@@ -62,9 +70,15 @@ class GraphModel {
   /// \brief Trains on every graph of `train`. When `eval` is non-null,
   /// graph-level weighted F1 is computed after each epoch (recorded in
   /// `history`, also non-null in that case).
-  void Train(const std::vector<AddressSample>& train,
-             const std::vector<AddressSample>* eval = nullptr,
-             std::vector<EpochStat>* history = nullptr);
+  ///
+  /// With `options().checkpoint_dir` set, training checkpoints after
+  /// every `checkpoint_every` epochs and resumes from an existing
+  /// checkpoint (see checkpoint.h). Returns non-OK when a checkpoint
+  /// cannot be written, or when an existing one is corrupted or does
+  /// not match this architecture; without checkpointing, always OK.
+  Status Train(const std::vector<AddressSample>& train,
+               const std::vector<AddressSample>* eval = nullptr,
+               std::vector<EpochStat>* history = nullptr);
 
   /// Class logits for one graph (inference mode), shape (1, classes).
   tensor::Var Logits(const GraphTensors& gt) const;

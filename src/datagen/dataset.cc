@@ -1,11 +1,13 @@
 #include "datagen/dataset.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <fstream>
 #include <map>
 #include <sstream>
 #include <unordered_set>
 
+#include "util/fs.h"
 #include "util/logging.h"
 
 namespace ba::datagen {
@@ -103,16 +105,31 @@ std::vector<ActivityPoint> ActiveAddressSeries(const chain::Ledger& ledger,
 
 namespace ba::datagen {
 
+namespace {
+
+constexpr char kCrcTrailerPrefix[] = "# crc32,";
+
+std::string CrcHex(uint32_t crc) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%08x", crc);
+  return buf;
+}
+
+}  // namespace
+
 Status ExportLabelsCsv(const std::vector<LabeledAddress>& labels,
                        const std::string& path) {
-  std::ofstream out(path);
-  if (!out) return Status::Internal("cannot open for write: " + path);
-  out << "address,label\n";
+  util::AtomicFileWriter out(path);
+  BA_RETURN_NOT_OK(out.Open());
+  BA_RETURN_NOT_OK(out.Append("address,label\n"));
+  std::ostringstream body;
   for (const auto& a : labels) {
-    out << a.address << "," << BehaviorName(a.label) << "\n";
+    body << a.address << "," << BehaviorName(a.label) << "\n";
   }
-  if (!out.good()) return Status::Internal("write failed: " + path);
-  return Status::OK();
+  BA_RETURN_NOT_OK(out.Append(body.str()));
+  // Integrity trailer over every byte above this line.
+  BA_RETURN_NOT_OK(out.Append(kCrcTrailerPrefix + CrcHex(out.crc()) + "\n"));
+  return out.Commit();
 }
 
 Result<std::vector<LabeledAddress>> ImportLabelsCsv(const std::string& path) {
@@ -120,13 +137,31 @@ Result<std::vector<LabeledAddress>> ImportLabelsCsv(const std::string& path) {
   if (!in) return Status::NotFound("cannot open: " + path);
   std::string line;
   if (!std::getline(in, line) || line != "address,label") {
-    return Status::InvalidArgument("missing labels header");
+    return Status::InvalidArgument("line 1: missing labels header");
   }
+  uint32_t crc = util::Crc32(line + "\n");
   const auto names = BehaviorNames();
   std::vector<LabeledAddress> out;
   int line_no = 1;
+  bool saw_trailer = false;
   while (std::getline(in, line)) {
     ++line_no;
+    if (saw_trailer) {
+      return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                     ": content after crc32 trailer");
+    }
+    if (line.rfind(kCrcTrailerPrefix, 0) == 0) {
+      const std::string stored = line.substr(sizeof(kCrcTrailerPrefix) - 1);
+      const std::string computed = CrcHex(crc);
+      if (stored != computed) {
+        return Status::InvalidArgument(
+            "line " + std::to_string(line_no) + ": crc32 mismatch (stored " +
+            stored + ", computed " + computed + "): file corrupted");
+      }
+      saw_trailer = true;
+      continue;
+    }
+    crc = util::Crc32(line + "\n", crc);
     if (line.empty()) continue;
     const auto comma = line.find(',');
     if (comma == std::string::npos) {

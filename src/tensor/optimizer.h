@@ -115,6 +115,23 @@ class Adam : public Optimizer {
   float lr() const { return lr_; }
   void set_lr(float lr) { lr_ = lr; }
 
+  /// \name Checkpointing access
+  /// The bias-correction step counter and first/second moment tensors
+  /// (keyed by parameter index; absent = parameter never updated).
+  /// Restoring them plus the parameter values reproduces the update
+  /// stream bit-exactly across a kill/resume boundary.
+  ///@{
+  int step() const { return t_; }
+  void set_step(int t) { t_ = t; }
+  const std::unordered_map<size_t, Tensor>& moments_m() const { return m_; }
+  const std::unordered_map<size_t, Tensor>& moments_v() const { return v_; }
+  void SetMoments(std::unordered_map<size_t, Tensor> m,
+                  std::unordered_map<size_t, Tensor> v) {
+    m_ = std::move(m);
+    v_ = std::move(v);
+  }
+  ///@}
+
  private:
   float lr_;
   float beta1_;

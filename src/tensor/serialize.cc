@@ -1,61 +1,46 @@
 #include "tensor/serialize.h"
 
 #include <cstring>
-#include <fstream>
+
+#include "util/fs.h"
 
 namespace ba::tensor {
 
 namespace {
 
 constexpr char kMagic[4] = {'B', 'A', 'T', 'N'};
-constexpr uint32_t kVersion = 1;
+constexpr uint32_t kVersionV1 = 1;
+constexpr uint32_t kVersionV2 = 2;
+
+// Plausibility bounds checked before any header value is trusted. A
+// corrupted header must produce a descriptive error, never a huge
+// allocation or an out-of-bounds read.
+constexpr uint64_t kMaxTensors = 1u << 20;
+constexpr uint32_t kMaxRank = 8;
+constexpr int64_t kMaxDim = int64_t{1} << 32;
 
 template <typename T>
-void WritePod(std::ofstream& out, const T& value) {
-  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+Status WritePod(util::AtomicFileWriter* out, const T& value) {
+  return out->Write(&value, sizeof(T));
 }
 
-template <typename T>
-bool ReadPod(std::ifstream& in, T* value) {
-  in.read(reinterpret_cast<char*>(value), sizeof(T));
-  return in.good();
-}
+std::string TensorLabel(size_t i) { return "tensor " + std::to_string(i); }
 
-}  // namespace
-
-Status SaveParameters(const std::vector<Var>& params,
-                      const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) return Status::Internal("cannot open for write: " + path);
-  out.write(kMagic, sizeof(kMagic));
-  WritePod(out, kVersion);
-  WritePod(out, static_cast<uint64_t>(params.size()));
-  for (const auto& p : params) {
-    const Tensor& t = p->value;
-    WritePod(out, static_cast<uint32_t>(t.rank()));
-    for (int64_t d = 0; d < t.rank(); ++d) WritePod(out, t.dim(d));
-    out.write(reinterpret_cast<const char*>(t.data()),
-              static_cast<std::streamsize>(t.numel() * sizeof(float)));
-  }
-  if (!out.good()) return Status::Internal("write failed: " + path);
-  return Status::OK();
-}
-
-Status LoadParameters(const std::vector<Var>& params,
-                      const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::NotFound("cannot open: " + path);
-  char magic[4];
-  in.read(magic, sizeof(magic));
-  if (!in.good() || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
-    return Status::InvalidArgument("not a BATN checkpoint: " + path);
-  }
-  uint32_t version = 0;
+/// Parses the per-tensor records of a checkpoint body into `params`,
+/// validating every header field against the expected shapes before it
+/// is used.
+Status ParseTensors(util::BufferReader* r, const std::vector<Var>& params,
+                    const std::string& path) {
   uint64_t count = 0;
-  if (!ReadPod(in, &version) || version != kVersion) {
-    return Status::InvalidArgument("unsupported checkpoint version");
+  if (!r->ReadPod(&count)) {
+    return Status::InvalidArgument("truncated header (no tensor count): " +
+                                   path);
   }
-  if (!ReadPod(in, &count) || count != params.size()) {
+  if (count > kMaxTensors) {
+    return Status::InvalidArgument("implausible tensor count " +
+                                   std::to_string(count) + ": " + path);
+  }
+  if (count != params.size()) {
     return Status::InvalidArgument(
         "checkpoint holds " + std::to_string(count) + " tensors, model has " +
         std::to_string(params.size()));
@@ -63,23 +48,104 @@ Status LoadParameters(const std::vector<Var>& params,
   for (size_t i = 0; i < params.size(); ++i) {
     Tensor& t = params[i]->value;
     uint32_t rank = 0;
-    if (!ReadPod(in, &rank) || rank != static_cast<uint32_t>(t.rank())) {
-      return Status::InvalidArgument("tensor " + std::to_string(i) +
-                                     ": rank mismatch");
+    if (!r->ReadPod(&rank)) {
+      return Status::InvalidArgument(TensorLabel(i) + ": truncated header");
+    }
+    if (rank > kMaxRank) {
+      return Status::InvalidArgument(TensorLabel(i) + ": implausible rank " +
+                                     std::to_string(rank));
+    }
+    if (rank != static_cast<uint32_t>(t.rank())) {
+      return Status::InvalidArgument(TensorLabel(i) + ": rank mismatch (" +
+                                     std::to_string(rank) + " vs " +
+                                     std::to_string(t.rank()) + ")");
     }
     for (int64_t d = 0; d < t.rank(); ++d) {
       int64_t dim = 0;
-      if (!ReadPod(in, &dim) || dim != t.dim(d)) {
-        return Status::InvalidArgument("tensor " + std::to_string(i) +
-                                       ": shape mismatch");
+      if (!r->ReadPod(&dim)) {
+        return Status::InvalidArgument(TensorLabel(i) + ": truncated header");
+      }
+      if (dim < 0 || dim > kMaxDim) {
+        return Status::InvalidArgument(TensorLabel(i) + ": implausible dim " +
+                                       std::to_string(dim));
+      }
+      if (dim != t.dim(d)) {
+        return Status::InvalidArgument(TensorLabel(i) + ": shape mismatch");
       }
     }
-    in.read(reinterpret_cast<char*>(t.data()),
-            static_cast<std::streamsize>(t.numel() * sizeof(float)));
-    if (!in.good()) {
-      return Status::InvalidArgument("tensor " + std::to_string(i) +
-                                     ": truncated payload");
+    const size_t payload = static_cast<size_t>(t.numel()) * sizeof(float);
+    if (!r->ReadBytes(t.data(), payload)) {
+      return Status::InvalidArgument(TensorLabel(i) + ": truncated payload");
     }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status SaveParameters(const std::vector<Var>& params,
+                      const std::string& path) {
+  util::AtomicFileWriter out(path);
+  BA_RETURN_NOT_OK(out.Open());
+  BA_RETURN_NOT_OK(out.Write(kMagic, sizeof(kMagic)));
+  BA_RETURN_NOT_OK(WritePod(&out, kVersionV2));
+  BA_RETURN_NOT_OK(WritePod(&out, static_cast<uint64_t>(params.size())));
+  for (const auto& p : params) {
+    const Tensor& t = p->value;
+    BA_RETURN_NOT_OK(WritePod(&out, static_cast<uint32_t>(t.rank())));
+    for (int64_t d = 0; d < t.rank(); ++d) {
+      BA_RETURN_NOT_OK(WritePod(&out, t.dim(d)));
+    }
+    BA_RETURN_NOT_OK(out.Write(
+        t.data(), static_cast<size_t>(t.numel()) * sizeof(float)));
+  }
+  // Integrity trailer: CRC32 of every preceding byte.
+  const uint32_t crc = out.crc();
+  BA_RETURN_NOT_OK(WritePod(&out, crc));
+  return out.Commit();
+}
+
+Status LoadParameters(const std::vector<Var>& params,
+                      const std::string& path) {
+  BA_ASSIGN_OR_RETURN(const std::string buf, util::ReadFileToString(path));
+  util::BufferReader r(buf);
+
+  char magic[4];
+  if (!r.ReadBytes(magic, sizeof(magic)) ||
+      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("not a BATN checkpoint: " + path);
+  }
+  uint32_t version = 0;
+  if (!r.ReadPod(&version)) {
+    return Status::InvalidArgument("truncated header (no version): " + path);
+  }
+  if (version != kVersionV1 && version != kVersionV2) {
+    return Status::InvalidArgument("unsupported checkpoint version " +
+                                   std::to_string(version) + ": " + path);
+  }
+  if (version == kVersionV2) {
+    // The final 4 bytes are the CRC32 of everything before them.
+    if (buf.size() < r.position() + sizeof(uint32_t)) {
+      return Status::InvalidArgument("truncated checkpoint (no crc32): " +
+                                     path);
+    }
+    uint32_t stored = 0;
+    std::memcpy(&stored, buf.data() + buf.size() - sizeof(uint32_t),
+                sizeof(uint32_t));
+    const uint32_t computed =
+        util::Crc32(buf.data(), buf.size() - sizeof(uint32_t));
+    if (stored != computed) {
+      return Status::InvalidArgument(
+          "crc32 mismatch (stored " + std::to_string(stored) + ", computed " +
+          std::to_string(computed) + "): corrupted checkpoint " + path);
+    }
+    r.Truncate(buf.size() - sizeof(uint32_t));
+  }
+  BA_RETURN_NOT_OK(ParseTensors(&r, params, path));
+  if (r.remaining() != 0) {
+    return Status::InvalidArgument(
+        "trailing garbage (" + std::to_string(r.remaining()) +
+        " bytes) after checkpoint body: " + path);
   }
   return Status::OK();
 }

@@ -11,10 +11,13 @@
 /// model and load them back into a freshly constructed model of the
 /// same architecture.
 ///
-/// Format: "BATN" magic + version, tensor count, then per tensor the
-/// rank, dimensions and raw float32 payload. Shapes are verified on
-/// load, so architecture mismatches fail loudly instead of corrupting
-/// weights.
+/// Format v2: "BATN" magic + version, tensor count, then per tensor the
+/// rank, dimensions and raw float32 payload, closed by a CRC32 trailer
+/// over every preceding byte. Files are written atomically (tmp +
+/// rename), so a killed save never leaves a torn checkpoint. On load,
+/// shapes are verified and the CRC re-checked: architecture mismatches,
+/// truncation and bit-flips all fail with a descriptive Status instead
+/// of corrupting weights. Version-1 files (no trailer) still load.
 
 namespace ba::tensor {
 

@@ -1,0 +1,176 @@
+#include "util/fs.h"
+
+#include <unistd.h>
+
+#include <array>
+#include <cstring>
+#include <fstream>
+
+namespace ba::util {
+
+namespace {
+
+std::array<uint32_t, 256> BuildCrcTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t len, uint32_t seed) {
+  static const std::array<uint32_t, 256> table = BuildCrcTable();
+  uint32_t c = seed ^ 0xFFFFFFFFu;
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < len; ++i) {
+    c = table[(c ^ bytes[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open: " + path);
+  std::string buf;
+  in.seekg(0, std::ios::end);
+  const std::streamoff size = in.tellg();
+  if (size < 0) return Status::Internal("cannot stat: " + path);
+  in.seekg(0, std::ios::beg);
+  buf.resize(static_cast<size_t>(size));
+  in.read(buf.data(), size);
+  if (!in.good() && size > 0) return Status::Internal("read failed: " + path);
+  return buf;
+}
+
+bool FileExists(const std::string& path) {
+  return ::access(path.c_str(), F_OK) == 0;
+}
+
+FaultInjector& FaultInjector::Instance() {
+  static FaultInjector* injector = new FaultInjector();
+  return *injector;
+}
+
+void FaultInjector::Arm(const std::string& point, int nth) {
+  std::lock_guard<std::mutex> lock(mu_);
+  points_[point].remaining = nth;
+}
+
+void FaultInjector::DisarmAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  points_.clear();
+}
+
+bool FaultInjector::ShouldFail(const std::string& point) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(point);
+  if (it == points_.end()) {
+    points_[point].hits = 1;
+    return false;
+  }
+  ++it->second.hits;
+  if (it->second.remaining > 0 && --it->second.remaining == 0) {
+    return true;
+  }
+  return false;
+}
+
+int FaultInjector::HitCount(const std::string& point) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(point);
+  return it == points_.end() ? 0 : it->second.hits;
+}
+
+const std::vector<std::string>& AtomicFileWriter::FaultPoints() {
+  static const std::vector<std::string>* points = new std::vector<std::string>{
+      kFaultOpen, kFaultWrite, kFaultFlush, kFaultRename};
+  return *points;
+}
+
+AtomicFileWriter::AtomicFileWriter(std::string path)
+    : path_(std::move(path)), tmp_path_(path_ + ".tmp") {}
+
+AtomicFileWriter::~AtomicFileWriter() {
+  if (!committed_) Abort();
+}
+
+Status AtomicFileWriter::Open() {
+  if (FaultInjector::Instance().ShouldFail(kFaultOpen)) {
+    return Status::Internal("fault injected at " + std::string(kFaultOpen) +
+                            ": " + tmp_path_);
+  }
+  file_ = std::fopen(tmp_path_.c_str(), "wb");
+  if (file_ == nullptr) {
+    return Status::Internal("cannot open for write: " + tmp_path_);
+  }
+  return Status::OK();
+}
+
+Status AtomicFileWriter::Write(const void* data, size_t len) {
+  if (file_ == nullptr) {
+    return Status::FailedPrecondition("writer not open: " + path_);
+  }
+  if (FaultInjector::Instance().ShouldFail(kFaultWrite)) {
+    Abort();
+    return Status::Internal("fault injected at " + std::string(kFaultWrite) +
+                            ": " + tmp_path_);
+  }
+  if (len > 0 && std::fwrite(data, 1, len, file_) != len) {
+    Abort();
+    return Status::Internal("write failed: " + tmp_path_);
+  }
+  crc_ = Crc32(data, len, crc_);
+  bytes_ += len;
+  return Status::OK();
+}
+
+Status AtomicFileWriter::Commit() {
+  if (file_ == nullptr) {
+    return Status::FailedPrecondition("writer not open: " + path_);
+  }
+  if (FaultInjector::Instance().ShouldFail(kFaultFlush)) {
+    Abort();
+    return Status::Internal("fault injected at " + std::string(kFaultFlush) +
+                            ": " + tmp_path_);
+  }
+  if (std::fflush(file_) != 0 || ::fsync(::fileno(file_)) != 0) {
+    Abort();
+    return Status::Internal("flush failed: " + tmp_path_);
+  }
+  std::fclose(file_);
+  file_ = nullptr;
+  if (FaultInjector::Instance().ShouldFail(kFaultRename)) {
+    std::remove(tmp_path_.c_str());
+    return Status::Internal("fault injected at " + std::string(kFaultRename) +
+                            ": " + tmp_path_);
+  }
+  if (std::rename(tmp_path_.c_str(), path_.c_str()) != 0) {
+    std::remove(tmp_path_.c_str());
+    return Status::Internal("rename failed: " + tmp_path_ + " -> " + path_);
+  }
+  committed_ = true;
+  return Status::OK();
+}
+
+void AtomicFileWriter::Abort() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+  if (!committed_) std::remove(tmp_path_.c_str());
+}
+
+bool BufferReader::ReadBytes(void* out, size_t len) {
+  if (len > remaining()) return false;
+  std::memcpy(out, data_ + pos_, len);
+  pos_ += len;
+  return true;
+}
+
+}  // namespace ba::util

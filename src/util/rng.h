@@ -17,6 +17,16 @@
 
 namespace ba {
 
+/// \brief Complete serializable state of an Rng — everything needed to
+/// continue a stream bit-exactly (checkpoint/resume). The Zipf CDF
+/// cache is excluded: it is a pure function of the next (n, s) request
+/// and rebuilds identically after a restore.
+struct RngState {
+  uint64_t s[4] = {};
+  bool gaussian_cached = false;
+  double gaussian_cache = 0.0;
+};
+
 /// \brief xoshiro256** PRNG with convenience sampling helpers.
 class Rng {
  public:
@@ -186,6 +196,22 @@ class Rng {
   /// Derives an independent child generator; useful for giving each
   /// parallel task its own stream.
   Rng Fork() { return Rng(Next() ^ 0xD1B54A32D192ED03ULL); }
+
+  /// Snapshots the full generator state for checkpointing.
+  RngState SaveState() const {
+    RngState st;
+    for (int i = 0; i < 4; ++i) st.s[i] = state_[i];
+    st.gaussian_cached = gaussian_cached_;
+    st.gaussian_cache = gaussian_cache_;
+    return st;
+  }
+
+  /// Restores a snapshot; the stream continues bit-exactly from it.
+  void RestoreState(const RngState& st) {
+    for (int i = 0; i < 4; ++i) state_[i] = st.s[i];
+    gaussian_cached_ = st.gaussian_cached;
+    gaussian_cache_ = st.gaussian_cache;
+  }
 
  private:
   static uint64_t Rotl(uint64_t x, int k) {

@@ -14,23 +14,28 @@ ThreadPool::ThreadPool(size_t num_threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+void ThreadPool::Shutdown() {
   {
     std::unique_lock<std::mutex> lock(mu_);
+    if (shutdown_) return;
     shutdown_ = true;
   }
   task_available_.notify_all();
   for (auto& w : workers_) w.join();
+  workers_.clear();
 }
 
-void ThreadPool::Submit(std::function<void()> task) {
+bool ThreadPool::Submit(std::function<void()> task) {
   {
     std::unique_lock<std::mutex> lock(mu_);
-    BA_CHECK(!shutdown_);
+    if (shutdown_) return false;
     tasks_.push(std::move(task));
     ++in_flight_;
   }
   task_available_.notify_one();
+  return true;
 }
 
 void ThreadPool::Wait() {
@@ -41,15 +46,19 @@ void ThreadPool::Wait() {
 void ThreadPool::ParallelFor(size_t n,
                              const std::function<void(size_t)>& body) {
   if (n == 0) return;
-  const size_t chunks = std::min(n, workers_.size() * 4);
+  const size_t chunks = std::min(n, std::max<size_t>(workers_.size(), 1) * 4);
   const size_t chunk_size = (n + chunks - 1) / chunks;
   for (size_t c = 0; c < chunks; ++c) {
     const size_t begin = c * chunk_size;
     const size_t end = std::min(n, begin + chunk_size);
     if (begin >= end) break;
-    Submit([begin, end, &body] {
+    const bool accepted = Submit([begin, end, &body] {
       for (size_t i = begin; i < end; ++i) body(i);
     });
+    if (!accepted) {
+      // Pool already shut down: degrade to inline execution.
+      for (size_t i = begin; i < end; ++i) body(i);
+    }
   }
   Wait();
 }

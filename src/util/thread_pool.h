@@ -27,8 +27,13 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues a task for asynchronous execution.
-  void Submit(std::function<void()> task);
+  /// Drains pending tasks and joins all workers. Idempotent; called by
+  /// the destructor. After Shutdown, Submit rejects new work.
+  void Shutdown();
+
+  /// Enqueues a task for asynchronous execution. Returns false (and
+  /// drops the task) when the pool has been shut down.
+  [[nodiscard]] bool Submit(std::function<void()> task);
 
   /// Blocks until every submitted task has finished.
   void Wait();
@@ -37,7 +42,8 @@ class ThreadPool {
 
   /// Runs `body(i)` for i in [0, n), distributing contiguous chunks
   /// over the pool, and blocks until all iterations complete. The body
-  /// must be safe to invoke concurrently for distinct indices.
+  /// must be safe to invoke concurrently for distinct indices. On a
+  /// shut-down pool the iterations run inline on the calling thread.
   void ParallelFor(size_t n, const std::function<void(size_t)>& body);
 
  private:

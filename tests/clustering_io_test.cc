@@ -2,6 +2,7 @@
 // and the CSV ledger / label round-trip (src/chain/io, datagen I/O).
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <cstdio>
 #include <fstream>
@@ -13,6 +14,7 @@
 #include "chain/wallet.h"
 #include "datagen/dataset.h"
 #include "datagen/simulator.h"
+#include "util/fs.h"
 
 namespace ba::chain {
 namespace {
@@ -25,12 +27,43 @@ class TempFile {
   explicit TempFile(const std::string& name)
       : path_("/tmp/ba_test_" + name + "_" +
               std::to_string(::getpid())) {}
-  ~TempFile() { std::remove(path_.c_str()); }
+  ~TempFile() {
+    std::remove(path_.c_str());
+    std::remove((path_ + ".tmp").c_str());
+  }
   const std::string& path() const { return path_; }
 
  private:
   std::string path_;
 };
+
+std::string Slurp(const std::string& path) {
+  auto r = util::ReadFileToString(path);
+  EXPECT_TRUE(r.ok());
+  return r.ValueOr("");
+}
+
+void Spew(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  out.write(content.data(), static_cast<std::streamsize>(content.size()));
+}
+
+/// A tiny two-block ledger (one coinbase, one spend) for I/O tests.
+Ledger TinyLedger() {
+  Ledger ledger(LedgerOptions{.block_subsidy = 10 * kCoin});
+  const AddressId a = ledger.NewAddress();
+  const AddressId b = ledger.NewAddress();
+  auto cb = ledger.ApplyCoinbase(1, a);
+  BA_CHECK(cb.ok());
+  BA_CHECK(ledger.SealBlock(1).ok());
+  TxDraft draft;
+  draft.timestamp = 2;
+  draft.inputs = {OutPoint{cb.value(), 0}};
+  draft.outputs = {{b, 10 * kCoin}};
+  BA_CHECK(ledger.ApplyTransaction(draft).ok());
+  BA_CHECK(ledger.SealBlock(2).ok());
+  return ledger;
+}
 
 TEST(AddressClustererTest, UnionFindBasics) {
   AddressClusterer c(5);
@@ -242,6 +275,113 @@ TEST(LedgerIoTest, ImportRejectsTamperedValues) {
   EXPECT_FALSE(ImportLedgerCsv(file.path()).ok());
 }
 
+TEST(LedgerIoTest, ExportWritesV2HeaderAndCrcTrailer) {
+  TempFile file("ledger_format");
+  ASSERT_TRUE(ExportLedgerCsv(TinyLedger(), file.path()).ok());
+  const std::string text = Slurp(file.path());
+  EXPECT_EQ(text.rfind("# ba-ledger v2,", 0), 0u);
+  // Last line is the CRC trailer.
+  const auto last_nl = text.rfind('\n', text.size() - 2);
+  EXPECT_EQ(text.compare(last_nl + 1, 8, "# crc32,"), 0);
+}
+
+TEST(LedgerIoTest, EverySingleByteFlipIsDetected) {
+  TempFile file("ledger_flip");
+  ASSERT_TRUE(ExportLedgerCsv(TinyLedger(), file.path()).ok());
+  const std::string good = Slurp(file.path());
+  ASSERT_GT(good.size(), 40u);
+  TempFile bad_file("ledger_flip_bad");
+  for (size_t i = 0; i < good.size(); ++i) {
+    std::string bad = good;
+    bad[i] = static_cast<char>(bad[i] ^ 0x01);
+    Spew(bad_file.path(), bad);
+    EXPECT_FALSE(ImportLedgerCsv(bad_file.path()).ok())
+        << "flip at byte " << i << " imported silently";
+  }
+}
+
+TEST(LedgerIoTest, MissingTrailerReportsTruncation) {
+  TempFile file("ledger_trunc");
+  ASSERT_TRUE(ExportLedgerCsv(TinyLedger(), file.path()).ok());
+  std::string text = Slurp(file.path());
+  // Drop the trailer line: a v2 file without it is a truncated file.
+  const auto last_nl = text.rfind('\n', text.size() - 2);
+  text.resize(last_nl + 1);
+  Spew(file.path(), text);
+  const auto imported = ImportLedgerCsv(file.path());
+  ASSERT_FALSE(imported.ok());
+  EXPECT_NE(imported.status().message().find("missing crc32 trailer"),
+            std::string::npos)
+      << imported.status().ToString();
+}
+
+TEST(LedgerIoTest, BadHeaderNamesLineOne) {
+  TempFile file("ledger_bad_header");
+  Spew(file.path(), "totally,not,a,ledger\nB,1,100\n");
+  const auto imported = ImportLedgerCsv(file.path());
+  ASSERT_FALSE(imported.ok());
+  EXPECT_NE(imported.status().message().find("line 1:"), std::string::npos)
+      << imported.status().ToString();
+}
+
+TEST(LedgerIoTest, GarbageLineNamesItsLineNumber) {
+  // Legacy v1 content (no trailer required) with a garbage third line.
+  TempFile file("ledger_garbage_line");
+  Spew(file.path(),
+       "# ba-ledger v1,1000000000,2\n"
+       "B,1,100\n"
+       "Z,this is not a record\n");
+  const auto imported = ImportLedgerCsv(file.path());
+  ASSERT_FALSE(imported.ok());
+  EXPECT_NE(imported.status().message().find("line 3:"), std::string::npos)
+      << imported.status().ToString();
+  EXPECT_NE(imported.status().message().find("unknown record kind"),
+            std::string::npos);
+}
+
+TEST(LedgerIoTest, ConservationViolationNamesItsLineNumber) {
+  // The spend on line 5 emits twice its input value.
+  TempFile file("ledger_conservation");
+  Spew(file.path(),
+       "# ba-ledger v1,1000000000,2\n"
+       "B,1,100\n"
+       "C,100,0:1000000000\n"
+       "B,2,200\n"
+       "T,200,0:0,1:2000000000\n");
+  const auto imported = ImportLedgerCsv(file.path());
+  ASSERT_FALSE(imported.ok());
+  EXPECT_NE(imported.status().message().find("line 5:"), std::string::npos)
+      << imported.status().ToString();
+}
+
+TEST(LedgerIoTest, LegacyV1WithoutTrailerStillImports) {
+  TempFile file("ledger_v1");
+  Spew(file.path(),
+       "# ba-ledger v1,1000000000,2\n"
+       "B,1,100\n"
+       "C,100,0:1000000000\n"
+       "B,2,200\n"
+       "T,200,0:0,1:1000000000\n");
+  const auto imported = ImportLedgerCsv(file.path());
+  ASSERT_TRUE(imported.ok()) << imported.status().ToString();
+  EXPECT_EQ(imported->num_transactions(), 2u);
+  EXPECT_EQ(imported->BalanceOf(1), 1000000000);
+}
+
+TEST(LedgerIoTest, ExportIsAtomicUnderFaultInjection) {
+  const Ledger ledger = TinyLedger();
+  TempFile file("ledger_atomic");
+  ASSERT_TRUE(ExportLedgerCsv(ledger, file.path()).ok());
+  const std::string before = Slurp(file.path());
+  for (const std::string& point : util::AtomicFileWriter::FaultPoints()) {
+    util::FaultInjector::Instance().Arm(point);
+    EXPECT_FALSE(ExportLedgerCsv(ledger, file.path()).ok());
+    util::FaultInjector::Instance().DisarmAll();
+    EXPECT_EQ(Slurp(file.path()), before) << "torn by fault at " << point;
+    ASSERT_TRUE(ImportLedgerCsv(file.path()).ok());
+  }
+}
+
 TEST(LabelsIoTest, RoundTrip) {
   std::vector<datagen::LabeledAddress> labels{
       {1, datagen::BehaviorLabel::kExchange},
@@ -266,6 +406,58 @@ TEST(LabelsIoTest, RejectsUnknownLabel) {
   }
   auto imported = datagen::ImportLabelsCsv(file.path());
   EXPECT_FALSE(imported.ok());
+}
+
+TEST(LabelsIoTest, EverySingleByteFlipIsDetected) {
+  std::vector<datagen::LabeledAddress> labels{
+      {1, datagen::BehaviorLabel::kExchange},
+      {7, datagen::BehaviorLabel::kMining}};
+  TempFile file("labels_flip");
+  ASSERT_TRUE(datagen::ExportLabelsCsv(labels, file.path()).ok());
+  const std::string good = Slurp(file.path());
+  TempFile bad_file("labels_flip_bad");
+  for (size_t i = 0; i < good.size(); ++i) {
+    std::string bad = good;
+    bad[i] = static_cast<char>(bad[i] ^ 0x01);
+    Spew(bad_file.path(), bad);
+    EXPECT_FALSE(datagen::ImportLabelsCsv(bad_file.path()).ok())
+        << "flip at byte " << i << " imported silently";
+  }
+}
+
+TEST(LabelsIoTest, ContentAfterTrailerRejected) {
+  std::vector<datagen::LabeledAddress> labels{
+      {1, datagen::BehaviorLabel::kExchange}};
+  TempFile file("labels_after_trailer");
+  ASSERT_TRUE(datagen::ExportLabelsCsv(labels, file.path()).ok());
+  std::string text = Slurp(file.path());
+  text += "9,Mining\n";
+  Spew(file.path(), text);
+  const auto imported = datagen::ImportLabelsCsv(file.path());
+  ASSERT_FALSE(imported.ok());
+  EXPECT_NE(imported.status().message().find("content after crc32 trailer"),
+            std::string::npos)
+      << imported.status().ToString();
+}
+
+TEST(LabelsIoTest, CrcMismatchNamesTrailerLine) {
+  std::vector<datagen::LabeledAddress> labels{
+      {1, datagen::BehaviorLabel::kExchange},
+      {2, datagen::BehaviorLabel::kGambling}};
+  TempFile file("labels_crc_line");
+  ASSERT_TRUE(datagen::ExportLabelsCsv(labels, file.path()).ok());
+  std::string text = Slurp(file.path());
+  // Tamper a body value without touching the trailer.
+  const auto pos = text.find("2,Gambling");
+  ASSERT_NE(pos, std::string::npos);
+  text[pos] = '3';
+  Spew(file.path(), text);
+  const auto imported = datagen::ImportLabelsCsv(file.path());
+  ASSERT_FALSE(imported.ok());
+  EXPECT_NE(imported.status().message().find("crc32 mismatch"),
+            std::string::npos)
+      << imported.status().ToString();
+  EXPECT_NE(imported.status().message().find("line 4:"), std::string::npos);
 }
 
 }  // namespace

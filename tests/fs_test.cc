@@ -1,0 +1,197 @@
+// Tests for the durability layer (src/util/fs): CRC32, atomic file
+// writes, bounds-checked buffer reads and named fault injection.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "util/fs.h"
+
+namespace ba::util {
+namespace {
+
+class TempFile {
+ public:
+  explicit TempFile(const std::string& name)
+      : path_("/tmp/ba_fs_" + name + "_" + std::to_string(::getpid())) {}
+  ~TempFile() {
+    std::remove(path_.c_str());
+    std::remove((path_ + ".tmp").c_str());
+  }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+std::string Slurp(const std::string& path) {
+  auto r = ReadFileToString(path);
+  return r.ok() ? r.value() : "<unreadable>";
+}
+
+/// Every fault-injection test must leave the global injector clean.
+class FaultGuard {
+ public:
+  FaultGuard() { FaultInjector::Instance().DisarmAll(); }
+  ~FaultGuard() { FaultInjector::Instance().DisarmAll(); }
+};
+
+TEST(Crc32Test, MatchesKnownVectors) {
+  // IEEE 802.3 check value for "123456789".
+  EXPECT_EQ(Crc32("123456789", 9), 0xCBF43926u);
+  EXPECT_EQ(Crc32("", 0), 0x00000000u);
+  EXPECT_EQ(Crc32(std::string("The quick brown fox jumps over the lazy dog")),
+            0x414FA339u);
+}
+
+TEST(Crc32Test, IncrementalEqualsOneShot) {
+  const std::string data = "incremental checksum over two chunks";
+  const uint32_t one_shot = Crc32(data);
+  const uint32_t part1 = Crc32(data.data(), 10);
+  const uint32_t chained = Crc32(data.data() + 10, data.size() - 10, part1);
+  EXPECT_EQ(one_shot, chained);
+}
+
+TEST(Crc32Test, DetectsSingleBitFlip) {
+  std::string data = "some artifact payload";
+  const uint32_t before = Crc32(data);
+  data[7] ^= 0x01;
+  EXPECT_NE(Crc32(data), before);
+}
+
+TEST(AtomicFileWriterTest, CommitWritesContentAndRemovesTmp) {
+  TempFile file("commit");
+  AtomicFileWriter w(file.path());
+  ASSERT_TRUE(w.Open().ok());
+  ASSERT_TRUE(w.Append("hello ").ok());
+  ASSERT_TRUE(w.Append("world").ok());
+  EXPECT_EQ(w.bytes_written(), 11u);
+  EXPECT_EQ(w.crc(), Crc32(std::string("hello world")));
+  ASSERT_TRUE(w.Commit().ok());
+  EXPECT_EQ(Slurp(file.path()), "hello world");
+  EXPECT_FALSE(FileExists(w.tmp_path()));
+}
+
+TEST(AtomicFileWriterTest, AbortLeavesNoFile) {
+  TempFile file("abort");
+  {
+    AtomicFileWriter w(file.path());
+    ASSERT_TRUE(w.Open().ok());
+    ASSERT_TRUE(w.Append("partial").ok());
+    // Destructor aborts an uncommitted write.
+  }
+  EXPECT_FALSE(FileExists(file.path()));
+  EXPECT_FALSE(FileExists(file.path() + ".tmp"));
+}
+
+TEST(AtomicFileWriterTest, FailedWriteNeverTearsExistingFile) {
+  TempFile file("no_tear");
+  {
+    AtomicFileWriter w(file.path());
+    ASSERT_TRUE(w.Open().ok());
+    ASSERT_TRUE(w.Append("version one").ok());
+    ASSERT_TRUE(w.Commit().ok());
+  }
+  {
+    AtomicFileWriter w(file.path());
+    ASSERT_TRUE(w.Open().ok());
+    ASSERT_TRUE(w.Append("version tw").ok());
+    // Abandon before commit: the old content must be intact.
+  }
+  EXPECT_EQ(Slurp(file.path()), "version one");
+}
+
+TEST(AtomicFileWriterTest, WriteBeforeOpenFailsCleanly) {
+  TempFile file("not_open");
+  AtomicFileWriter w(file.path());
+  EXPECT_EQ(w.Append("x").code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(w.Commit().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(FaultInjectorTest, ArmedPointFailsExactlyOnce) {
+  FaultGuard guard;
+  auto& injector = FaultInjector::Instance();
+  injector.Arm("test.point");
+  EXPECT_TRUE(injector.ShouldFail("test.point"));
+  EXPECT_FALSE(injector.ShouldFail("test.point"));
+  EXPECT_EQ(injector.HitCount("test.point"), 2);
+}
+
+TEST(FaultInjectorTest, NthHitFails) {
+  FaultGuard guard;
+  auto& injector = FaultInjector::Instance();
+  injector.Arm("test.nth", 3);
+  EXPECT_FALSE(injector.ShouldFail("test.nth"));
+  EXPECT_FALSE(injector.ShouldFail("test.nth"));
+  EXPECT_TRUE(injector.ShouldFail("test.nth"));
+  EXPECT_FALSE(injector.ShouldFail("test.nth"));
+}
+
+TEST(FaultInjectorTest, EveryFaultPointKillsASaveWithoutTearing) {
+  FaultGuard guard;
+  TempFile file("kill");
+  {
+    AtomicFileWriter w(file.path());
+    ASSERT_TRUE(w.Open().ok());
+    ASSERT_TRUE(w.Append("survivor").ok());
+    ASSERT_TRUE(w.Commit().ok());
+  }
+  for (const std::string& point : AtomicFileWriter::FaultPoints()) {
+    FaultInjector::Instance().Arm(point);
+    AtomicFileWriter w(file.path());
+    Status st = w.Open();
+    if (st.ok()) st = w.Append("replacement content");
+    if (st.ok()) st = w.Commit();
+    EXPECT_FALSE(st.ok()) << "fault point " << point << " did not fire";
+    EXPECT_NE(st.message().find(point), std::string::npos) << st.ToString();
+    // The previous artifact is fully intact and no temp file remains.
+    EXPECT_EQ(Slurp(file.path()), "survivor") << "after fault at " << point;
+    EXPECT_FALSE(FileExists(file.path() + ".tmp"));
+    FaultInjector::Instance().DisarmAll();
+  }
+}
+
+TEST(FaultInjectorTest, NthWriteKillsMidSequence) {
+  FaultGuard guard;
+  TempFile file("mid");
+  FaultInjector::Instance().Arm(AtomicFileWriter::kFaultWrite, 2);
+  AtomicFileWriter w(file.path());
+  ASSERT_TRUE(w.Open().ok());
+  EXPECT_TRUE(w.Append("first").ok());
+  EXPECT_FALSE(w.Append("second").ok());
+  EXPECT_FALSE(FileExists(file.path()));
+}
+
+TEST(BufferReaderTest, ReadsAndBoundsChecks) {
+  const std::string buf("\x01\x00\x00\x00rest", 8);
+  BufferReader r(buf);
+  uint32_t v = 0;
+  ASSERT_TRUE(r.ReadPod(&v));
+  EXPECT_EQ(v, 1u);
+  char text[4];
+  ASSERT_TRUE(r.ReadBytes(text, 4));
+  EXPECT_EQ(std::string(text, 4), "rest");
+  EXPECT_EQ(r.remaining(), 0u);
+  uint8_t byte = 0;
+  EXPECT_FALSE(r.ReadPod(&byte));  // exhausted
+}
+
+TEST(BufferReaderTest, TruncateShrinksWindow) {
+  const std::string buf = "abcdef";
+  BufferReader r(buf);
+  r.Truncate(3);
+  char out[4];
+  EXPECT_FALSE(r.ReadBytes(out, 4));
+  EXPECT_TRUE(r.ReadBytes(out, 3));
+}
+
+TEST(ReadFileToStringTest, MissingFileIsNotFound) {
+  EXPECT_EQ(ReadFileToString("/no/such/ba_file").status().code(),
+            StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace ba::util

@@ -2,8 +2,10 @@
 // BaClassifier save/load round trip.
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <string>
 
@@ -12,6 +14,7 @@
 #include "datagen/simulator.h"
 #include "nn/linear.h"
 #include "tensor/serialize.h"
+#include "util/fs.h"
 
 namespace ba::tensor {
 namespace {
@@ -20,12 +23,40 @@ class TempFile {
  public:
   explicit TempFile(const std::string& name)
       : path_("/tmp/ba_ckpt_" + name + "_" + std::to_string(::getpid())) {}
-  ~TempFile() { std::remove(path_.c_str()); }
+  ~TempFile() {
+    std::remove(path_.c_str());
+    std::remove((path_ + ".tmp").c_str());
+  }
   const std::string& path() const { return path_; }
 
  private:
   std::string path_;
 };
+
+std::string Slurp(const std::string& path) {
+  auto r = util::ReadFileToString(path);
+  EXPECT_TRUE(r.ok());
+  return r.ValueOr("");
+}
+
+void Spew(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  out.write(content.data(), static_cast<std::streamsize>(content.size()));
+}
+
+/// Bytes of a valid small v2 checkpoint (two tensors).
+std::string SmallCheckpointBytes(const std::string& tag) {
+  Rng rng(11);
+  std::vector<Var> params{Param(Tensor::RandomNormal({2, 3}, &rng)),
+                          Param(Tensor::RandomNormal({4}, &rng))};
+  TempFile file(tag);
+  EXPECT_TRUE(SaveParameters(params, file.path()).ok());
+  return Slurp(file.path());
+}
+
+std::vector<Var> SmallCheckpointParams() {
+  return {Param(Tensor({2, 3})), Param(Tensor({4}))};
+}
 
 TEST(SerializeTest, TensorRoundTrip) {
   Rng rng(1);
@@ -84,6 +115,147 @@ TEST(SerializeTest, ModuleWeightsSurviveRoundTrip) {
   const Tensor after = restored.Forward(x)->value;
   for (int64_t i = 0; i < before.numel(); ++i) {
     EXPECT_FLOAT_EQ(before.data()[i], after.data()[i]);
+  }
+}
+
+template <typename T>
+void AppendPod(std::string* out, T v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+/// Hand-written checkpoint bytes: magic + version + count, then caller-
+/// provided tensor records. Lets corruption tests forge any header.
+std::string ForgeCheckpoint(uint32_t version, uint64_t count,
+                            const std::string& body) {
+  std::string out = "BATN";
+  AppendPod(&out, version);
+  AppendPod(&out, count);
+  out += body;
+  return out;
+}
+
+/// One tensor record with the given header and `numel` float payload.
+std::string TensorRecord(uint32_t rank, const std::vector<int64_t>& dims,
+                         int64_t numel, float base) {
+  std::string out;
+  AppendPod(&out, rank);
+  for (int64_t d : dims) AppendPod(&out, d);
+  for (int64_t i = 0; i < numel; ++i) {
+    AppendPod(&out, base + 0.5f * static_cast<float>(i));
+  }
+  return out;
+}
+
+TEST(SerializeTest, LegacyV1FormatStillLoads) {
+  // A v1 file has no CRC trailer; the loader must accept it unchanged.
+  const std::string bytes =
+      ForgeCheckpoint(1, 2,
+                      TensorRecord(2, {2, 3}, 6, 1.0f) +
+                          TensorRecord(1, {4}, 4, 100.0f));
+  TempFile file("v1_compat");
+  Spew(file.path(), bytes);
+  auto params = SmallCheckpointParams();
+  const Status st = LoadParameters(params, file.path());
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_FLOAT_EQ(params[0]->value.at(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(params[0]->value.at(1, 2), 1.0f + 0.5f * 5);
+  EXPECT_FLOAT_EQ(params[1]->value[3], 100.0f + 0.5f * 3);
+}
+
+TEST(SerializeTest, EverySingleByteFlipIsRejected) {
+  const std::string good = SmallCheckpointBytes("flip_src");
+  ASSERT_GT(good.size(), 20u);
+  TempFile file("flip");
+  for (size_t i = 0; i < good.size(); ++i) {
+    std::string bad = good;
+    bad[i] = static_cast<char>(bad[i] ^ 0x01);
+    Spew(file.path(), bad);
+    auto params = SmallCheckpointParams();
+    EXPECT_FALSE(LoadParameters(params, file.path()).ok())
+        << "flip at byte " << i << " loaded silently";
+  }
+}
+
+TEST(SerializeTest, TruncationAtEveryLengthRejected) {
+  const std::string good = SmallCheckpointBytes("trunc_src");
+  TempFile file("trunc");
+  for (size_t len = 0; len < good.size(); ++len) {
+    Spew(file.path(), good.substr(0, len));
+    auto params = SmallCheckpointParams();
+    EXPECT_FALSE(LoadParameters(params, file.path()).ok())
+        << "truncation to " << len << " bytes loaded";
+  }
+}
+
+TEST(SerializeTest, CorruptHeadersRejectedWithDescriptiveErrors) {
+  // Forged v1 files (no CRC) exercise the plausibility bounds directly:
+  // a bogus header value must fail by validation, not by allocation.
+  const std::string valid_body =
+      TensorRecord(2, {2, 3}, 6, 0.0f) + TensorRecord(1, {4}, 4, 0.0f);
+  struct Case {
+    const char* name;
+    std::string bytes;
+    const char* expect;  // substring of the error message
+  };
+  const Case cases[] = {
+      {"bad magic", "XXXX" + ForgeCheckpoint(1, 2, valid_body).substr(4),
+       "not a BATN checkpoint"},
+      {"unsupported version", ForgeCheckpoint(7, 2, valid_body),
+       "unsupported checkpoint version"},
+      {"absurd tensor count",
+       ForgeCheckpoint(1, uint64_t{1} << 40, valid_body),
+       "implausible tensor count"},
+      {"tensor count mismatch", ForgeCheckpoint(1, 1, valid_body),
+       "1 tensors, model has 2"},
+      {"absurd rank",
+       ForgeCheckpoint(1, 2, TensorRecord(200, {2, 3}, 6, 0.0f)),
+       "implausible rank"},
+      {"rank mismatch",
+       ForgeCheckpoint(1, 2, TensorRecord(3, {2, 3, 1}, 6, 0.0f) +
+                                 TensorRecord(1, {4}, 4, 0.0f)),
+       "rank mismatch"},
+      {"absurd dim",
+       ForgeCheckpoint(1, 2,
+                       TensorRecord(2, {2, int64_t{1} << 40}, 6, 0.0f)),
+       "implausible dim"},
+      {"negative dim",
+       ForgeCheckpoint(1, 2, TensorRecord(2, {2, -3}, 6, 0.0f)),
+       "implausible dim"},
+      {"shape mismatch",
+       ForgeCheckpoint(1, 2, TensorRecord(2, {3, 2}, 6, 0.0f) +
+                                 TensorRecord(1, {4}, 4, 0.0f)),
+       "shape mismatch"},
+      {"truncated payload",
+       ForgeCheckpoint(1, 2, TensorRecord(2, {2, 3}, 3, 0.0f)),
+       "truncated payload"},
+      {"truncated mid-header",
+       ForgeCheckpoint(1, 2, valid_body.substr(0, 6)), "truncated header"},
+      {"trailing garbage",
+       ForgeCheckpoint(1, 2, valid_body + "extra bytes"),
+       "trailing garbage"},
+  };
+  TempFile file("forged");
+  for (const Case& c : cases) {
+    Spew(file.path(), c.bytes);
+    auto params = SmallCheckpointParams();
+    const Status st = LoadParameters(params, file.path());
+    EXPECT_FALSE(st.ok()) << c.name;
+    EXPECT_NE(st.message().find(c.expect), std::string::npos)
+        << c.name << ": got \"" << st.ToString() << "\"";
+  }
+}
+
+TEST(SerializeTest, SaveIsAtomicUnderFaultInjection) {
+  Rng rng(4);
+  std::vector<Var> params{Param(Tensor::RandomNormal({3, 3}, &rng))};
+  TempFile file("atomic");
+  ASSERT_TRUE(SaveParameters(params, file.path()).ok());
+  const std::string before = Slurp(file.path());
+  for (const std::string& point : util::AtomicFileWriter::FaultPoints()) {
+    util::FaultInjector::Instance().Arm(point);
+    EXPECT_FALSE(SaveParameters(params, file.path()).ok());
+    util::FaultInjector::Instance().DisarmAll();
+    EXPECT_EQ(Slurp(file.path()), before) << "torn by fault at " << point;
   }
 }
 

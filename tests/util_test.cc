@@ -220,7 +220,7 @@ TEST(ThreadPoolTest, RunsAllTasks) {
   ThreadPool pool(4);
   std::atomic<int> counter{0};
   for (int i = 0; i < 100; ++i) {
-    pool.Submit([&counter] { counter.fetch_add(1); });
+    EXPECT_TRUE(pool.Submit([&counter] { counter.fetch_add(1); }));
   }
   pool.Wait();
   EXPECT_EQ(counter.load(), 100);
@@ -237,6 +237,26 @@ TEST(ThreadPoolTest, WaitWithNoTasksReturns) {
   ThreadPool pool(2);
   pool.Wait();  // must not deadlock
   SUCCEED();
+}
+
+TEST(ThreadPoolTest, SubmitAfterShutdownIsRejected) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  EXPECT_TRUE(pool.Submit([&counter] { counter.fetch_add(1); }));
+  pool.Shutdown();  // drains the pending task, then joins
+  EXPECT_EQ(counter.load(), 1);
+  EXPECT_FALSE(pool.Submit([&counter] { counter.fetch_add(1); }));
+  EXPECT_EQ(counter.load(), 1);
+  pool.Shutdown();  // idempotent
+  EXPECT_FALSE(pool.Submit([] {}));
+}
+
+TEST(ThreadPoolTest, ParallelForRunsInlineAfterShutdown) {
+  ThreadPool pool(2);
+  pool.Shutdown();
+  std::vector<int> hits(10, 0);  // plain ints: iterations run inline
+  pool.ParallelFor(hits.size(), [&hits](size_t i) { hits[i] += 1; });
+  for (int h : hits) EXPECT_EQ(h, 1);
 }
 
 TEST(TablePrinterTest, RendersAlignedRows) {
