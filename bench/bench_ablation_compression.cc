@@ -70,7 +70,8 @@ int main(int argc, char** argv) {
     opts.graph_model.seed = config.seed;
     ba::core::BaClassifier clf(opts);
     BA_CHECK_OK(clf.TrainOnSamples(train));
-    const auto cm = clf.EvaluateSamples(test);
+    ba::metrics::ConfusionMatrix cm(opts.graph_model.num_classes);
+    BA_CHECK_OK(clf.EvaluateSamples(test, &cm));
 
     table.AddRow({v.name, ba::TablePrinter::Num(avg_nodes, 1),
                   ba::TablePrinter::Num(avg_nodes / baseline_nodes * 100.0, 1) +

@@ -41,7 +41,8 @@ int main(int argc, char** argv) {
     opts.graph_model.seed = config.seed;
     ba::core::BaClassifier clf(opts);
     BA_CHECK_OK(clf.TrainOnSamples(train));
-    const auto cm = clf.EvaluateSamples(test);
+    ba::metrics::ConfusionMatrix cm(opts.graph_model.num_classes);
+    BA_CHECK_OK(clf.EvaluateSamples(test, &cm));
 
     table.AddRow({std::to_string(slice), std::to_string(graphs),
                   ba::TablePrinter::Num(

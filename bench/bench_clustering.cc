@@ -99,7 +99,8 @@ int main(int argc, char** argv) {
   opts.aggregator.epochs = static_cast<int>(flags.GetInt("clf_epochs", 120));
   ba::core::BaClassifier clf(opts);
   BA_CHECK_OK(clf.TrainOnSamples(exp.train));
-  const auto cm = clf.EvaluateSamples(exp.test);
+  ba::metrics::ConfusionMatrix cm(opts.graph_model.num_classes);
+  BA_CHECK_OK(clf.EvaluateSamples(exp.test, &cm));
   std::cout << "\nBAClassifier reference: coverage 1.0000, accuracy "
             << ba::TablePrinter::Num(cm.Accuracy()) << ", weighted F1 "
             << ba::TablePrinter::Num(cm.WeightedAverage().f1) << "\n";

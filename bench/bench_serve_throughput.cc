@@ -1,0 +1,130 @@
+// Serving throughput: batched + cached InferenceEngine vs the serial
+// BaClassifier::Predict facade on a repeat-query monitoring workload
+// (every client polls every watched address each round — the BitScope
+// cadence). Reports queries/sec, latency percentiles and cache
+// effectiveness, and writes a machine-readable BENCH_serve.json.
+//
+//   ./build/bench/bench_serve_throughput [--blocks 150] [--addresses 200]
+//       [--rounds 5] [--clients 4] [--threads 2] [--out BENCH_serve.json]
+
+#include <fstream>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/classifier.h"
+#include "serve/inference_engine.h"
+
+namespace {
+
+/// Queries every address once per round through the serial facade — the
+/// pre-engine deployment story: full graph rebuild on every query.
+double SerialQps(const ba::core::BaClassifier& classifier,
+                 const ba::chain::Ledger& ledger,
+                 const std::vector<ba::datagen::LabeledAddress>& watched,
+                 int rounds) {
+  ba::Stopwatch watch;
+  watch.Start();
+  for (int r = 0; r < rounds; ++r) {
+    for (const auto& address : watched) {
+      std::vector<int> predicted;
+      BA_CHECK_OK(classifier.Predict(ledger, {address}, &predicted));
+    }
+  }
+  watch.Stop();
+  return static_cast<double>(watched.size()) * rounds /
+         watch.ElapsedSeconds();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ba::CliFlags flags(argc, argv);
+  const int rounds = static_cast<int>(flags.GetInt("rounds", 5));
+  const int clients = static_cast<int>(flags.GetInt("clients", 4));
+
+  ba::datagen::ScenarioConfig config = ba::bench::ScenarioFromFlags(flags);
+  config.num_blocks = static_cast<int>(flags.GetInt("blocks", 150));
+  ba::datagen::Simulator simulator(config);
+  BA_CHECK_OK(simulator.Run());
+  auto labeled = simulator.CollectLabeledAddresses(/*min_txs=*/3);
+  ba::Rng rng(config.seed ^ 0xBEEF);
+  labeled = ba::datagen::StratifiedSample(
+      labeled, flags.GetInt("addresses", 200), &rng);
+  const auto split = ba::datagen::StratifiedSplit(labeled, 0.8, &rng);
+
+  ba::core::BaClassifier::Options options;
+  options.dataset = ba::bench::DatasetOptionsFromFlags(flags);
+  options.dataset.construction.slice_size =
+      static_cast<int>(flags.GetInt("slice", 20));
+  options.graph_model.k_hops = options.dataset.k_hops;
+  options.graph_model.epochs = static_cast<int>(flags.GetInt("epochs", 4));
+  options.aggregator.epochs =
+      static_cast<int>(flags.GetInt("agg_epochs", 8));
+  auto created = ba::core::BaClassifier::Create(options);
+  BA_CHECK_OK(created.status());
+  const auto classifier = std::move(created).value();
+  ba::Stopwatch train_watch;
+  train_watch.Start();
+  BA_CHECK_OK(classifier->Train(simulator.ledger(), split.train));
+  train_watch.Stop();
+
+  const std::vector<ba::datagen::LabeledAddress>& watched = split.test;
+  std::cout << "[setup] watching " << watched.size() << " addresses, "
+            << rounds << " polling rounds, " << clients
+            << " clients (trained in "
+            << ba::TablePrinter::Num(train_watch.ElapsedSeconds(), 1)
+            << "s)\n";
+
+  // --- Baseline: serial facade, full rebuild per query. ---------------
+  const double serial_qps =
+      SerialQps(*classifier, simulator.ledger(), watched, rounds);
+  std::cout << "[serial] " << ba::TablePrinter::Num(serial_qps, 1)
+            << " queries/sec\n";
+
+  // --- Engine: micro-batched clients over the shared cache. -----------
+  ba::serve::InferenceEngineOptions engine_options;
+  engine_options.num_threads =
+      static_cast<int>(flags.GetInt("threads", 2));
+  auto engine = ba::serve::InferenceEngine::Create(
+      classifier.get(), &simulator.ledger(), engine_options);
+  BA_CHECK_OK(engine.status());
+
+  ba::Stopwatch watch;
+  watch.Start();
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    workers.emplace_back([&, c] {
+      // Clients split the rounds so total query count matches serial.
+      for (int r = c; r < rounds; r += clients) {
+        for (const auto& address : watched) {
+          BA_CHECK_OK(engine.value()->Classify(address.address).status());
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  watch.Stop();
+  const double engine_qps = static_cast<double>(watched.size()) * rounds /
+                            watch.ElapsedSeconds();
+  const ba::serve::InferenceMetricsSnapshot m = engine.value()->Metrics();
+  const double speedup = engine_qps / serial_qps;
+  std::cout << "[engine] " << ba::TablePrinter::Num(engine_qps, 1)
+            << " queries/sec (" << ba::TablePrinter::Num(speedup, 2)
+            << "x serial)\n\n"
+            << m.ToString();
+
+  const std::string out_path =
+      flags.GetString("out", "BENCH_serve.json");
+  std::ofstream out(out_path, std::ios::trunc);
+  out << "{\"serial_qps\":" << serial_qps
+      << ",\"engine_qps\":" << engine_qps << ",\"speedup\":" << speedup
+      << ",\"rounds\":" << rounds << ",\"clients\":" << clients
+      << ",\"watched_addresses\":" << watched.size()
+      << ",\"train_seconds\":" << train_watch.ElapsedSeconds()
+      << ",\"engine\":" << m.ToJson() << "}\n";
+  std::cout << "\nwrote " << out_path << "\n";
+  return speedup >= 3.0 ? 0 : 1;
+}

@@ -53,7 +53,8 @@ int main(int argc, char** argv) {
     watch.Start();
     BA_CHECK_OK(clf.TrainOnSamples(exp.train));
     watch.Stop();
-    const auto cm = clf.EvaluateSamples(exp.test);
+    ba::metrics::ConfusionMatrix cm(opts.graph_model.num_classes);
+    BA_CHECK_OK(clf.EvaluateSamples(exp.test, &cm));
     cm_ba.Merge(cm);
     std::cout << "[train] BAClassifier: "
               << ba::TablePrinter::Num(watch.ElapsedSeconds(), 1)

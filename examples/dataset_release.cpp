@@ -68,14 +68,16 @@ int main(int argc, char** argv) {
   options.aggregator.epochs = 40;
   ba::core::BaClassifier classifier(options);
   BA_CHECK_OK(classifier.Train(ledger, split.train));
-  const auto cm = classifier.Evaluate(ledger, split.test);
+  ba::metrics::ConfusionMatrix cm(options.graph_model.num_classes);
+  BA_CHECK_OK(classifier.Evaluate(ledger, split.test, &cm));
   std::cout << "trained on re-imported dataset: weighted F1 "
             << ba::TablePrinter::Num(cm.WeightedAverage().f1) << "\n";
 
   BA_CHECK_OK(classifier.Save(model_path));
   ba::core::BaClassifier restored(options);
   BA_CHECK_OK(restored.Load(model_path));
-  const auto cm2 = restored.Evaluate(ledger, split.test);
+  ba::metrics::ConfusionMatrix cm2(options.graph_model.num_classes);
+  BA_CHECK_OK(restored.Evaluate(ledger, split.test, &cm2));
   BA_CHECK_EQ(cm.TotalCount(), cm2.TotalCount());
   std::cout << "checkpoint " << model_path
             << " reloaded: weighted F1 "
@@ -98,7 +100,8 @@ int main(int argc, char** argv) {
   }
   ba::core::BaClassifier resumed(resume_options);
   BA_CHECK_OK(resumed.Train(ledger, split.train));
-  const auto cm3 = resumed.Evaluate(ledger, split.test);
+  ba::metrics::ConfusionMatrix cm3(options.graph_model.num_classes);
+  BA_CHECK_OK(resumed.Evaluate(ledger, split.test, &cm3));
   std::cout << "crash/resume: killed after epoch 7, resumed to 15: "
             << "weighted F1 " << ba::TablePrinter::Num(cm3.WeightedAverage().f1)
             << " (matches uninterrupted run: "

@@ -42,7 +42,9 @@ int main(int argc, char** argv) {
   BA_CHECK_OK(classifier.Train(simulator.ledger(), split.train));
 
   // Sweep: every held-out address, flag predicted Services.
-  const auto predictions = classifier.Predict(simulator.ledger(), split.test);
+  std::vector<int> predictions;
+  BA_CHECK_OK(
+      classifier.Predict(simulator.ledger(), split.test, &predictions));
   std::vector<ba::chain::AddressId> flagged;
   int64_t true_positive = 0, total_service = 0;
   for (size_t i = 0; i < split.test.size(); ++i) {

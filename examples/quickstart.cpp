@@ -39,11 +39,14 @@ int main(int argc, char** argv) {
   ba::core::BaClassifier::Options options;
   options.graph_model.epochs = 20;
   options.aggregator.epochs = 60;
-  ba::core::BaClassifier classifier(options);
-  BA_CHECK_OK(classifier.Train(simulator.ledger(), split.train));
+  auto created = ba::core::BaClassifier::Create(options);
+  BA_CHECK_OK(created.status());
+  const auto classifier = std::move(created).value();
+  BA_CHECK_OK(classifier->Train(simulator.ledger(), split.train));
 
   // --- 4. Evaluate and classify. --------------------------------------
-  const auto cm = classifier.Evaluate(simulator.ledger(), split.test);
+  ba::metrics::ConfusionMatrix cm(options.graph_model.num_classes);
+  BA_CHECK_OK(classifier->Evaluate(simulator.ledger(), split.test, &cm));
   const auto names = ba::datagen::BehaviorNames();
   ba::TablePrinter table({"Type", "Precision", "Recall", "F1-score"});
   for (int c = 0; c < ba::datagen::kNumBehaviors; ++c) {
@@ -62,7 +65,8 @@ int main(int argc, char** argv) {
   std::cout << "\nsample predictions:\n";
   for (size_t i = 0; i < 5 && i < split.test.size(); ++i) {
     const auto& addr = split.test[i];
-    const auto pred = classifier.Predict(simulator.ledger(), {addr});
+    std::vector<int> pred;
+    BA_CHECK_OK(classifier->Predict(simulator.ledger(), {addr}, &pred));
     std::cout << "  " << ba::chain::FormatAddress(addr.address)
               << "  predicted=" << names[static_cast<size_t>(pred[0])]
               << "  truth=" << ba::datagen::BehaviorName(addr.label) << "\n";

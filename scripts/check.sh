@@ -1,18 +1,44 @@
 #!/usr/bin/env bash
-# Builds the tier-1 targets under AddressSanitizer + UBSan and runs the
-# full test suite. This is the crash-safety gate: fault-injection and
-# corruption tests must pass with zero sanitizer findings.
+# Builds the tier-1 targets under a sanitizer and runs the test suite.
+# This is the crash-safety gate: fault-injection and corruption tests
+# must pass with zero sanitizer findings.
 #
-# Usage: scripts/check.sh [build-dir]   (default: build-sanitize)
+# Two configurations:
+#   address (default)  ASan + UBSan over the full suite.
+#   thread             TSan over the concurrency-sensitive tests
+#                      (serve_test drives the batched inference engine
+#                      from multiple client threads).
+#
+# Usage: scripts/check.sh [address|thread] [build-dir]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-BUILD_DIR="${1:-build-sanitize}"
+MODE="${1:-address}"
 
-cmake -B "$BUILD_DIR" -S . \
-  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-  -DBA_SANITIZE=ON \
-  -DBA_BUILD_BENCHMARKS=OFF \
-  -DBA_BUILD_EXAMPLES=OFF
-cmake --build "$BUILD_DIR" -j "$(nproc)"
-ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+case "$MODE" in
+  address)
+    BUILD_DIR="${2:-build-sanitize}"
+    cmake -B "$BUILD_DIR" -S . \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DBA_SANITIZE=address \
+      -DBA_BUILD_BENCHMARKS=OFF \
+      -DBA_BUILD_EXAMPLES=OFF
+    cmake --build "$BUILD_DIR" -j "$(nproc)"
+    ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+    ;;
+  thread)
+    BUILD_DIR="${2:-build-tsan}"
+    cmake -B "$BUILD_DIR" -S . \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DBA_SANITIZE=thread \
+      -DBA_BUILD_BENCHMARKS=OFF \
+      -DBA_BUILD_EXAMPLES=OFF
+    cmake --build "$BUILD_DIR" -j "$(nproc)" --target serve_test util_test
+    "$BUILD_DIR"/tests/serve_test
+    "$BUILD_DIR"/tests/util_test
+    ;;
+  *)
+    echo "usage: scripts/check.sh [address|thread] [build-dir]" >&2
+    exit 2
+    ;;
+esac

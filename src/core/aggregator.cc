@@ -32,6 +32,33 @@ std::vector<AggregatorKind> AllAggregators() {
           AggregatorKind::kAvg,       AggregatorKind::kMax};
 }
 
+Status AggregatorOptions::Validate() const {
+  if (embed_dim <= 0 || hidden_dim <= 0 || mlp_hidden <= 0) {
+    return Status::InvalidArgument(
+        "aggregator dims must be positive (embed_dim " +
+        std::to_string(embed_dim) + ", hidden_dim " +
+        std::to_string(hidden_dim) + ", mlp_hidden " +
+        std::to_string(mlp_hidden) + ")");
+  }
+  if (num_classes < 2) {
+    return Status::InvalidArgument(
+        "aggregator.num_classes must be >= 2 (got " +
+        std::to_string(num_classes) + ")");
+  }
+  if (epochs < 1 || batch_size < 1) {
+    return Status::InvalidArgument(
+        "aggregator.epochs and batch_size must be >= 1 (epochs " +
+        std::to_string(epochs) + ", batch_size " +
+        std::to_string(batch_size) + ")");
+  }
+  if (!(learning_rate > 0.0f)) {
+    return Status::InvalidArgument(
+        "aggregator.learning_rate must be positive (got " +
+        std::to_string(learning_rate) + ")");
+  }
+  return Status::OK();
+}
+
 AggregatorModel::AggregatorModel(const AggregatorOptions& options)
     : options_(options), rng_(options.seed) {
   int64_t pooled_dim = options_.embed_dim;

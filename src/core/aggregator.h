@@ -54,6 +54,10 @@ struct AggregatorOptions {
   int batch_size = 16;
   float learning_rate = 1e-3f;
   uint64_t seed = 7;
+
+  /// \brief Returns OK when every field is usable, or a descriptive
+  /// InvalidArgument naming the offending field and value.
+  Status Validate() const;
 };
 
 /// \brief Trainable address classifier over embedding sequences.

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/aggregator.h"
@@ -14,12 +15,23 @@
 /// classification (LSTM+MLP). This facade is the library's primary
 /// public entry point.
 ///
+/// The facade is Status-first: every fallible operation (prediction on
+/// an untrained model, invalid options, corrupt checkpoints) returns a
+/// descriptive `Status` instead of aborting, so a serving process can
+/// reject a bad request and keep running. The legacy crash-on-misuse
+/// overloads remain as deprecated shims.
+///
 /// Typical use:
 /// \code
 ///   ba::core::BaClassifier::Options opts;
-///   ba::core::BaClassifier clf(opts);
-///   BA_CHECK_OK(clf.Train(ledger, train_addresses));
-///   auto cm = clf.Evaluate(ledger, test_addresses);
+///   BA_ASSIGN_OR_RETURN(auto clf, ba::core::BaClassifier::Create(opts));
+///   BA_RETURN_NOT_OK(clf->Train(ledger, train_addresses));
+///   metrics::ConfusionMatrix cm;
+///   BA_RETURN_NOT_OK(clf->Evaluate(ledger, test_addresses, &cm));
+///   BA_RETURN_NOT_OK(clf->Save("model.bacl"));
+///   // Later, without reconstructing Options by hand:
+///   BA_ASSIGN_OR_RETURN(auto served,
+///                       ba::core::BaClassifier::FromCheckpoint("model.bacl"));
 /// \endcode
 
 namespace ba::core {
@@ -43,8 +55,31 @@ class BaClassifier {
     GraphModelOptions graph_model;       ///< stage 2 (GFN by default)
     AggregatorOptions aggregator;        ///< stage 3 (LSTM+MLP by default)
     uint64_t seed = 1;
+
+    /// \brief Validates every component and their cross-stage
+    /// consistency: `dataset.k_hops` must equal `graph_model.k_hops`
+    /// (the GFN input width depends on it). The aggregator's
+    /// `embed_dim`/`num_classes` are derived from the graph model by
+    /// construction and are not required to match beforehand.
+    Status Validate() const;
   };
 
+  /// \brief Validating factory: returns InvalidArgument (with the
+  /// offending field named) instead of constructing a misconfigured
+  /// classifier. Prefer this over the raw constructor.
+  static Result<std::unique_ptr<BaClassifier>> Create(const Options& options);
+
+  /// \brief Reconstructs a trained classifier from a checkpoint written
+  /// by Save(): the serialized Options embedded in the artifact are
+  /// decoded, validated, and used to rebuild the architecture before
+  /// the weights are installed — no hand-maintained Options needed.
+  /// Fails on legacy weights-only (BATN) checkpoints, corruption, or
+  /// invalid embedded options.
+  static Result<std::unique_ptr<BaClassifier>> FromCheckpoint(
+      const std::string& path);
+
+  /// Legacy constructor: silently normalizes derived fields (k_hops,
+  /// aggregator dims) instead of validating. Prefer Create().
   explicit BaClassifier(const Options& options);
 
   /// \brief Trains both stages on the labeled train addresses: the
@@ -56,31 +91,72 @@ class BaClassifier {
   /// Same, on pre-materialized samples (reuses dataset across models).
   Status TrainOnSamples(const std::vector<AddressSample>& train);
 
-  /// Predicted class per address (order preserved; addresses with empty
-  /// history predict class 0).
-  std::vector<int> Predict(
-      const chain::Ledger& ledger,
-      const std::vector<datagen::LabeledAddress>& addresses) const;
+  /// \brief Materializes the graph samples of `addresses` (addresses
+  /// whose history yields no graphs are dropped). Fails on invalid
+  /// dataset options; never aborts.
+  Status BuildSamples(const chain::Ledger& ledger,
+                      const std::vector<datagen::LabeledAddress>& addresses,
+                      std::vector<AddressSample>* out) const;
 
-  /// Address-level confusion matrix on a labeled test set.
-  metrics::ConfusionMatrix Evaluate(
-      const chain::Ledger& ledger,
-      const std::vector<datagen::LabeledAddress>& test) const;
+  /// \brief Predicted class per address into `*out` (order preserved;
+  /// addresses with empty history predict class 0). FailedPrecondition
+  /// when the model is untrained.
+  Status Predict(const chain::Ledger& ledger,
+                 const std::vector<datagen::LabeledAddress>& addresses,
+                 std::vector<int>* out) const;
+
+  /// \brief Predicted class of one pre-materialized sample.
+  /// FailedPrecondition when the model is untrained.
+  Status PredictSample(const AddressSample& sample, int* out) const;
+
+  /// \brief Address-level confusion matrix on a labeled test set.
+  /// FailedPrecondition when the model is untrained.
+  Status Evaluate(const chain::Ledger& ledger,
+                  const std::vector<datagen::LabeledAddress>& test,
+                  metrics::ConfusionMatrix* out) const;
 
   /// Same, on pre-materialized samples.
-  metrics::ConfusionMatrix EvaluateSamples(
-      const std::vector<AddressSample>& test) const;
+  Status EvaluateSamples(const std::vector<AddressSample>& test,
+                         metrics::ConfusionMatrix* out) const;
 
-  int PredictSample(const AddressSample& sample) const;
+  // -- Deprecated crash-on-misuse shims ---------------------------------
 
-  /// \brief Saves the trained model (encoder + aggregator weights and
-  /// the embedding scaler) to a binary checkpoint.
+  /// \deprecated Aborts on an untrained model; use the Status overload.
+  [[deprecated("use Predict(ledger, addresses, out)")]] std::vector<int>
+  Predict(const chain::Ledger& ledger,
+          const std::vector<datagen::LabeledAddress>& addresses) const;
+
+  /// \deprecated Aborts on an untrained model; use the Status overload.
+  [[deprecated("use PredictSample(sample, out)")]] int PredictSample(
+      const AddressSample& sample) const;
+
+  /// \deprecated Aborts on an untrained model; use the Status overload.
+  [[deprecated("use Evaluate(ledger, test, out)")]] metrics::ConfusionMatrix
+  Evaluate(const chain::Ledger& ledger,
+           const std::vector<datagen::LabeledAddress>& test) const;
+
+  /// \deprecated Aborts on an untrained model; use the Status overload.
+  [[deprecated(
+      "use EvaluateSamples(test, out)")]] metrics::ConfusionMatrix
+  EvaluateSamples(const std::vector<AddressSample>& test) const;
+
+  // ---------------------------------------------------------------------
+
+  /// \brief Saves the trained model to a "BACL" checkpoint: the
+  /// serialized Options followed by the weights (encoder + aggregator +
+  /// embedding scaler), atomically written and CRC32-protected.
+  /// FromCheckpoint() restores it without any hand-built Options.
   Status Save(const std::string& path) const;
 
   /// \brief Loads a checkpoint written by Save into this classifier.
   /// The classifier must have been constructed with the same Options
-  /// (architecture shapes are verified). Marks the model trained.
+  /// (architecture shapes are verified). Accepts both the BACL
+  /// container and legacy weights-only BATN files. Marks the model
+  /// trained.
   Status Load(const std::string& path);
+
+  /// True once Train/TrainOnSamples/Load has succeeded.
+  bool trained() const { return trained_; }
 
   /// The trained graph encoder (valid after Train).
   const GraphModel& graph_model() const;
@@ -88,12 +164,16 @@ class BaClassifier {
   /// The trained aggregator (valid after Train).
   const AggregatorModel& aggregator() const;
 
+  /// The embedding scaler fitted on the training set (valid after
+  /// Train) — serving paths need it to normalize fresh embeddings
+  /// exactly the way training did.
+  const EmbeddingScaler& scaler() const;
+
   const Options& options() const { return options_; }
 
  private:
-  std::vector<AddressSample> BuildSamples(
-      const chain::Ledger& ledger,
-      const std::vector<datagen::LabeledAddress>& addresses) const;
+  Status InstallParameters(const std::string& image,
+                           const std::string& context);
 
   Options options_;
   std::unique_ptr<GraphModel> graph_model_;
@@ -101,5 +181,16 @@ class BaClassifier {
   EmbeddingScaler scaler_;
   bool trained_ = false;
 };
+
+/// \brief Renders `options` as the line-oriented `key=value` text block
+/// embedded in BACL checkpoints (stable across versions; exposed for
+/// tests and tooling).
+std::string EncodeClassifierOptions(const BaClassifier::Options& options);
+
+/// \brief Parses a block produced by EncodeClassifierOptions. Unknown
+/// keys and malformed values fail with a descriptive InvalidArgument;
+/// missing keys keep their defaults.
+Status DecodeClassifierOptions(const std::string& text,
+                               BaClassifier::Options* options);
 
 }  // namespace ba::core

@@ -107,6 +107,29 @@ void ApplyMerges(AddressGraph* graph, const std::vector<int>& group_of,
 
 }  // namespace
 
+Status GraphConstructorOptions::Validate() const {
+  if (slice_size <= 0) {
+    return Status::InvalidArgument(
+        "construction.slice_size must be positive (got " +
+        std::to_string(slice_size) + ")");
+  }
+  if (similarity_threshold < 0.0) {
+    return Status::InvalidArgument(
+        "construction.similarity_threshold must be non-negative (got " +
+        std::to_string(similarity_threshold) + ")");
+  }
+  if (sigma < 0) {
+    return Status::InvalidArgument("construction.sigma must be >= 0 (got " +
+                                   std::to_string(sigma) + ")");
+  }
+  if (max_txs_per_address <= 0) {
+    return Status::InvalidArgument(
+        "construction.max_txs_per_address must be positive (got " +
+        std::to_string(max_txs_per_address) + ")");
+  }
+  return Status::OK();
+}
+
 GraphConstructor::GraphConstructor(GraphConstructorOptions options)
     : options_(options) {
   BA_CHECK_GT(options_.slice_size, 0);
@@ -115,10 +138,16 @@ GraphConstructor::GraphConstructor(GraphConstructorOptions options)
 
 std::vector<AddressGraph> GraphConstructor::BuildGraphs(
     const chain::Ledger& ledger, chain::AddressId address) {
+  return BuildGraphsFrom(ledger, address, /*start_slice=*/0);
+}
+
+std::vector<AddressGraph> GraphConstructor::BuildGraphsFrom(
+    const chain::Ledger& ledger, chain::AddressId address, int start_slice) {
   Stopwatch watch;
 
   watch.Start();
-  std::vector<AddressGraph> graphs = ExtractOriginalGraphs(ledger, address);
+  std::vector<AddressGraph> graphs =
+      ExtractOriginalGraphs(ledger, address, start_slice);
   watch.Stop();
   timings_.extract_seconds += watch.ElapsedSeconds();
 
@@ -150,6 +179,12 @@ std::vector<AddressGraph> GraphConstructor::BuildGraphs(
 
 std::vector<AddressGraph> GraphConstructor::ExtractOriginalGraphs(
     const chain::Ledger& ledger, chain::AddressId address) const {
+  return ExtractOriginalGraphs(ledger, address, /*start_slice=*/0);
+}
+
+std::vector<AddressGraph> GraphConstructor::ExtractOriginalGraphs(
+    const chain::Ledger& ledger, chain::AddressId address,
+    int start_slice) const {
   const std::vector<chain::TxId>& all_txs = ledger.TransactionsOf(address);
   std::vector<chain::TxId> txs(
       all_txs.begin(),
@@ -161,9 +196,10 @@ std::vector<AddressGraph> GraphConstructor::ExtractOriginalGraphs(
   const int slice_size = options_.slice_size;
   const int num_slices =
       static_cast<int>((txs.size() + slice_size - 1) / slice_size);
-  graphs.reserve(static_cast<size_t>(num_slices));
+  if (start_slice >= num_slices) return graphs;
+  graphs.reserve(static_cast<size_t>(num_slices - start_slice));
 
-  for (int s = 0; s < num_slices; ++s) {
+  for (int s = start_slice; s < num_slices; ++s) {
     const size_t begin = static_cast<size_t>(s) * slice_size;
     const size_t end =
         std::min(txs.size(), begin + static_cast<size_t>(slice_size));

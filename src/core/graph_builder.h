@@ -4,6 +4,7 @@
 
 #include "chain/ledger.h"
 #include "core/address_graph.h"
+#include "util/status.h"
 #include "util/stopwatch.h"
 
 /// \file graph_builder.h
@@ -43,6 +44,10 @@ struct GraphConstructorOptions {
   /// produces identical merge groups at a fraction of the cost (see
   /// bench_ablation_compression).
   bool use_sparse_similarity = false;
+
+  /// \brief Returns OK when every field is usable, or a descriptive
+  /// InvalidArgument naming the offending field and value.
+  Status Validate() const;
 };
 
 /// \brief Accumulated per-stage wall-clock seconds (Table V).
@@ -72,12 +77,26 @@ class GraphConstructor {
   std::vector<AddressGraph> BuildGraphs(const chain::Ledger& ledger,
                                         chain::AddressId address);
 
+  /// \brief Same, but only for slices with index >= `start_slice` —
+  /// the incremental path of the serving cache: slices before
+  /// `start_slice` are immutable on an append-only ledger, so a caller
+  /// holding their embeddings only rebuilds the growing tail.
+  /// `slice_index` of the returned graphs is the absolute index.
+  std::vector<AddressGraph> BuildGraphsFrom(const chain::Ledger& ledger,
+                                            chain::AddressId address,
+                                            int start_slice);
+
   // -- Individual stages (exposed for tests and the stage benches) ----
 
   /// Stage 1: slice the address's transactions and build the original
   /// heterogeneous graphs.
   std::vector<AddressGraph> ExtractOriginalGraphs(
       const chain::Ledger& ledger, chain::AddressId address) const;
+
+  /// Stage 1 starting at `start_slice` (see BuildGraphsFrom).
+  std::vector<AddressGraph> ExtractOriginalGraphs(const chain::Ledger& ledger,
+                                                  chain::AddressId address,
+                                                  int start_slice) const;
 
   /// Stage 2: merge single-transaction counterparty addresses into
   /// per-transaction hyper nodes (input and output side separately).

@@ -7,6 +7,19 @@
 
 namespace ba::core {
 
+Status GraphDatasetOptions::Validate() const {
+  BA_RETURN_NOT_OK(construction.Validate());
+  if (k_hops < 0) {
+    return Status::InvalidArgument("dataset.k_hops must be >= 0 (got " +
+                                   std::to_string(k_hops) + ")");
+  }
+  if (num_threads < 1) {
+    return Status::InvalidArgument("dataset.num_threads must be >= 1 (got " +
+                                   std::to_string(num_threads) + ")");
+  }
+  return Status::OK();
+}
+
 GraphDatasetBuilder::GraphDatasetBuilder(GraphDatasetOptions options)
     : options_(options) {
   BA_CHECK_GE(options_.num_threads, 1);

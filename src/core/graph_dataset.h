@@ -36,6 +36,10 @@ struct GraphDatasetOptions {
   /// Worker threads for graph construction (1 = serial; Table V uses 1
   /// to report single-core times).
   int num_threads = 1;
+
+  /// \brief Returns OK when every field (including `construction`) is
+  /// usable, or a descriptive InvalidArgument.
+  Status Validate() const;
 };
 
 /// \brief Builds AddressSamples from ledger history.

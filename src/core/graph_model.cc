@@ -22,6 +22,56 @@ const char* GraphEncoderName(GraphEncoderKind kind) {
   return "Unknown";
 }
 
+Status GraphModelOptions::Validate() const {
+  if (num_classes < 2) {
+    return Status::InvalidArgument(
+        "graph_model.num_classes must be >= 2 (got " +
+        std::to_string(num_classes) + ")");
+  }
+  if (k_hops < 0) {
+    return Status::InvalidArgument("graph_model.k_hops must be >= 0 (got " +
+                                   std::to_string(k_hops) + ")");
+  }
+  if (hidden_dim <= 0 || embed_dim <= 0) {
+    return Status::InvalidArgument(
+        "graph_model dims must be positive (hidden_dim " +
+        std::to_string(hidden_dim) + ", embed_dim " +
+        std::to_string(embed_dim) + ")");
+  }
+  if (diffpool_clusters <= 0) {
+    return Status::InvalidArgument(
+        "graph_model.diffpool_clusters must be positive (got " +
+        std::to_string(diffpool_clusters) + ")");
+  }
+  if (dropout < 0.0f || dropout >= 1.0f) {
+    return Status::InvalidArgument(
+        "graph_model.dropout must be in [0, 1) (got " +
+        std::to_string(dropout) + ")");
+  }
+  if (epochs < 1 || batch_size < 1) {
+    return Status::InvalidArgument(
+        "graph_model.epochs and batch_size must be >= 1 (epochs " +
+        std::to_string(epochs) + ", batch_size " +
+        std::to_string(batch_size) + ")");
+  }
+  if (!(learning_rate > 0.0f)) {
+    return Status::InvalidArgument(
+        "graph_model.learning_rate must be positive (got " +
+        std::to_string(learning_rate) + ")");
+  }
+  if (weight_decay < 0.0f) {
+    return Status::InvalidArgument(
+        "graph_model.weight_decay must be >= 0 (got " +
+        std::to_string(weight_decay) + ")");
+  }
+  if (checkpoint_every < 1) {
+    return Status::InvalidArgument(
+        "graph_model.checkpoint_every must be >= 1 (got " +
+        std::to_string(checkpoint_every) + ")");
+  }
+  return Status::OK();
+}
+
 GraphModel::GraphModel(const GraphModelOptions& options)
     : options_(options), rng_(options.seed) {
   switch (options_.encoder) {

@@ -60,6 +60,10 @@ struct GraphModelOptions {
   /// Checkpoint cadence in epochs (only with checkpoint_dir set); the
   /// final epoch is always checkpointed.
   int checkpoint_every = 1;
+
+  /// \brief Returns OK when every field is usable, or a descriptive
+  /// InvalidArgument naming the offending field and value.
+  Status Validate() const;
 };
 
 /// \brief Trains a graph encoder and serves logits / embeddings.

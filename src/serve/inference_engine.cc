@@ -1,0 +1,588 @@
+#include "serve/inference_engine.h"
+
+#include <algorithm>
+#include <cstring>
+#include <sstream>
+#include <utility>
+
+#include "core/gfn_features.h"
+#include "core/graph_builder.h"
+#include "util/fs.h"
+#include "util/stopwatch.h"
+
+namespace ba::serve {
+namespace {
+
+constexpr char kCacheMagic[4] = {'B', 'A', 'S', 'V'};
+constexpr uint32_t kCacheVersion = 1;
+/// Ceiling on per-entry slice counts accepted from a cache file, so a
+/// corrupted length can never drive a huge allocation.
+constexpr uint32_t kMaxSlicesPerEntry = 1u << 20;
+
+template <typename T>
+void AppendPod(std::string* out, const T& value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  out->append(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+}  // namespace
+
+Status InferenceEngineOptions::Validate() const {
+  if (max_batch_size < 1) {
+    return Status::InvalidArgument(
+        "InferenceEngineOptions.max_batch_size must be >= 1, got " +
+        std::to_string(max_batch_size));
+  }
+  if (num_threads < 1) {
+    return Status::InvalidArgument(
+        "InferenceEngineOptions.num_threads must be >= 1, got " +
+        std::to_string(num_threads));
+  }
+  if (cache_capacity < 1) {
+    return Status::InvalidArgument(
+        "InferenceEngineOptions.cache_capacity must be >= 1, got 0");
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<InferenceEngine>> InferenceEngine::Create(
+    const core::BaClassifier* classifier, const chain::Ledger* ledger,
+    Options options) {
+  if (classifier == nullptr) {
+    return Status::InvalidArgument("InferenceEngine: classifier is null");
+  }
+  if (ledger == nullptr) {
+    return Status::InvalidArgument("InferenceEngine: ledger is null");
+  }
+  BA_RETURN_NOT_OK(options.Validate());
+  BA_RETURN_NOT_OK(classifier->options().Validate());
+  if (!classifier->trained()) {
+    return Status::FailedPrecondition(
+        "InferenceEngine: classifier is untrained; Train() or "
+        "FromCheckpoint() first");
+  }
+  std::unique_ptr<InferenceEngine> engine(
+      new InferenceEngine(classifier, ledger, std::move(options)));
+  if (!engine->options_.cache_path.empty() &&
+      util::FileExists(engine->options_.cache_path)) {
+    BA_RETURN_NOT_OK(engine->LoadCacheFile(engine->options_.cache_path));
+  }
+  return engine;
+}
+
+InferenceEngine::InferenceEngine(const core::BaClassifier* classifier,
+                                 const chain::Ledger* ledger, Options options)
+    : classifier_(classifier),
+      ledger_(ledger),
+      options_(std::move(options)),
+      slice_size_(classifier->options().dataset.construction.slice_size),
+      k_hops_(classifier->options().dataset.k_hops),
+      embed_dim_(classifier->graph_model().embed_dim()),
+      pool_(std::make_unique<ThreadPool>(
+          static_cast<size_t>(options_.num_threads))) {}
+
+InferenceEngine::~InferenceEngine() = default;
+
+uint64_t InferenceEngine::TxCountOf(chain::AddressId address) const {
+  const size_t total = ledger_->TransactionsOf(address).size();
+  const size_t cap = static_cast<size_t>(
+      classifier_->options().dataset.construction.max_txs_per_address);
+  return static_cast<uint64_t>(std::min(total, cap));
+}
+
+Result<ClassifyResult> InferenceEngine::Classify(chain::AddressId address) {
+  if (static_cast<size_t>(address) >= ledger_->num_addresses()) {
+    return Status::InvalidArgument("InferenceEngine: unknown address id " +
+                                   std::to_string(address));
+  }
+  Stopwatch sw;
+  sw.Start();
+  Request req;
+  req.address = address;
+  {
+    std::unique_lock<std::mutex> lock(queue_mu_);
+    queue_.push_back(&req);
+    if (!leader_active_) {
+      leader_active_ = true;
+      RunLeader(&lock);
+    } else {
+      done_cv_.wait(lock, [&req] { return req.done; });
+    }
+  }
+  sw.Stop();
+  stats_.requests.Increment();
+  stats_.request_latency.Record(sw.ElapsedSeconds());
+  return req.result;
+}
+
+std::vector<Result<ClassifyResult>> InferenceEngine::ClassifyBatch(
+    const std::vector<chain::AddressId>& addresses) {
+  const size_t n = addresses.size();
+  std::vector<Request> reqs(n);
+  std::vector<bool> valid(n, false);
+  Stopwatch sw;
+  sw.Start();
+  {
+    std::unique_lock<std::mutex> lock(queue_mu_);
+    size_t enqueued = 0;
+    for (size_t i = 0; i < n; ++i) {
+      if (static_cast<size_t>(addresses[i]) >= ledger_->num_addresses()) {
+        continue;
+      }
+      valid[i] = true;
+      reqs[i].address = addresses[i];
+      queue_.push_back(&reqs[i]);
+      ++enqueued;
+    }
+    if (enqueued > 0) {
+      if (!leader_active_) {
+        leader_active_ = true;
+        RunLeader(&lock);
+      } else {
+        done_cv_.wait(lock, [&] {
+          for (size_t i = 0; i < n; ++i) {
+            if (valid[i] && !reqs[i].done) return false;
+          }
+          return true;
+        });
+      }
+    }
+  }
+  sw.Stop();
+  const double per_request = n == 0 ? 0.0 : sw.ElapsedSeconds();
+  std::vector<Result<ClassifyResult>> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (!valid[i]) {
+      out.emplace_back(
+          Status::InvalidArgument("InferenceEngine: unknown address id " +
+                                  std::to_string(addresses[i])));
+      continue;
+    }
+    stats_.requests.Increment();
+    stats_.request_latency.Record(per_request);
+    out.emplace_back(reqs[i].result);
+  }
+  return out;
+}
+
+void InferenceEngine::RunLeader(std::unique_lock<std::mutex>* lock) {
+  while (!queue_.empty()) {
+    std::vector<Request*> batch;
+    const size_t limit = static_cast<size_t>(options_.max_batch_size);
+    while (!queue_.empty() && batch.size() < limit) {
+      batch.push_back(queue_.front());
+      queue_.pop_front();
+    }
+    lock->unlock();
+    ProcessBatch(batch);
+    lock->lock();
+    for (Request* r : batch) r->done = true;
+    done_cv_.notify_all();
+  }
+  leader_active_ = false;
+}
+
+void InferenceEngine::ProcessBatch(const std::vector<Request*>& batch) {
+  Stopwatch batch_sw;
+  batch_sw.Start();
+  stats_.batches.Increment();
+
+  // Stage 1 — cache lookup (serial, one short critical section).
+  // Duplicate addresses within the batch coalesce onto one Work unit —
+  // N monitoring clients polling the same address cost one computation.
+  struct Work {
+    std::vector<Request*> reqs;
+    chain::AddressId address = chain::kInvalidAddress;
+    uint64_t tx_count = 0;
+    int reuse_slices = 0;
+    int built = 0;
+    /// Reused complete-slice embeddings; workers append the rebuilt
+    /// tail behind them.
+    std::vector<std::vector<float>> rows;
+  };
+  std::vector<Work> work;
+  work.reserve(batch.size());
+  std::unordered_map<chain::AddressId, size_t> work_index;
+  {
+    std::unique_lock<std::mutex> lock(cache_mu_);
+    for (Request* req : batch) {
+      auto dup = work_index.find(req->address);
+      if (dup != work_index.end()) {
+        work[dup->second].reqs.push_back(req);
+        stats_.coalesced.Increment();
+        continue;
+      }
+      const uint64_t n = TxCountOf(req->address);
+      if (n == 0) {
+        req->result.predicted = 0;
+        stats_.empty_history.Increment();
+        continue;
+      }
+      auto it = cache_.find(req->address);
+      if (it != cache_.end() && it->second.tx_count == n) {
+        it->second.last_used = ++lru_tick_;
+        req->result.predicted = it->second.predicted;
+        req->result.cache_hit = true;
+        req->result.slices_reused =
+            static_cast<int>(it->second.slice_embeddings.size());
+        stats_.full_hits.Increment();
+        stats_.slices_reused.Increment(it->second.slice_embeddings.size());
+        continue;
+      }
+      Work w;
+      w.reqs.push_back(req);
+      w.address = req->address;
+      w.tx_count = n;
+      // An entry computed at a shorter history can donate its complete
+      // slices — they are immutable on the append-only ledger. (An
+      // entry *ahead* of the live ledger can only mean the ledger was
+      // swapped out from under the cache; treat it as a plain miss.)
+      const int complete =
+          it == cache_.end() || it->second.tx_count > n
+              ? 0
+              : static_cast<int>(it->second.tx_count /
+                                 static_cast<uint64_t>(slice_size_));
+      if (complete > 0) {
+        w.reuse_slices = complete;
+        w.rows.assign(it->second.slice_embeddings.begin(),
+                      it->second.slice_embeddings.begin() + complete);
+        stats_.partial_hits.Increment();
+      } else {
+        stats_.misses.Increment();
+      }
+      work_index.emplace(req->address, work.size());
+      work.push_back(std::move(w));
+    }
+  }
+
+  // Stage 2 — graph construction + encoder forward for the tail slices
+  // of every miss, fanned out over the pool. The classifier's inference
+  // paths are const and share frozen weights, so workers may embed
+  // concurrently.
+  if (!work.empty()) {
+    const core::GraphModel& model = classifier_->graph_model();
+    pool_->ParallelFor(work.size(), [&](size_t i) {
+      Work& w = work[i];
+      core::GraphConstructor ctor(
+          classifier_->options().dataset.construction);
+      const std::vector<core::AddressGraph> graphs =
+          ctor.BuildGraphsFrom(*ledger_, w.address, w.reuse_slices);
+      stats_.build_seconds.AddSeconds(ctor.timings().TotalSeconds());
+      Stopwatch embed_sw;
+      embed_sw.Start();
+      for (const core::AddressGraph& g : graphs) {
+        const core::GraphTensors gt = core::PrepareGraphTensors(g, k_hops_);
+        const tensor::Tensor e = model.Embed(gt);
+        std::vector<float> row(static_cast<size_t>(embed_dim_));
+        for (int64_t j = 0; j < embed_dim_; ++j) {
+          row[static_cast<size_t>(j)] = e.at(0, j);
+        }
+        w.rows.push_back(std::move(row));
+        ++w.built;
+      }
+      embed_sw.Stop();
+      stats_.embed_seconds.AddSeconds(embed_sw.ElapsedSeconds());
+    });
+  }
+
+  // Stage 3 — scale + aggregate each full embedding sequence, publish
+  // results and refresh the cache (serial; the LSTM head is tiny next
+  // to stage 2).
+  Stopwatch agg_sw;
+  agg_sw.Start();
+  for (Work& w : work) {
+    stats_.slices_built.Increment(static_cast<uint64_t>(w.built));
+    stats_.slices_reused.Increment(static_cast<uint64_t>(w.reuse_slices));
+    int predicted = 0;
+    if (!w.rows.empty()) {
+      std::vector<core::EmbeddingSequence> seqs(1);
+      seqs[0].embeddings =
+          tensor::Tensor({static_cast<int64_t>(w.rows.size()), embed_dim_});
+      for (size_t r = 0; r < w.rows.size(); ++r) {
+        for (int64_t j = 0; j < embed_dim_; ++j) {
+          seqs[0].embeddings.at(static_cast<int64_t>(r), j) =
+              w.rows[r][static_cast<size_t>(j)];
+        }
+      }
+      classifier_->scaler().Apply(&seqs);
+      predicted = classifier_->aggregator().Predict(seqs[0].embeddings);
+    }
+    for (Request* req : w.reqs) {
+      req->result.predicted = predicted;
+      req->result.slices_reused = w.reuse_slices;
+      req->result.slices_built = w.built;
+    }
+    if (!w.rows.empty()) {
+      CacheEntry entry;
+      entry.tx_count = w.tx_count;
+      entry.slice_embeddings = std::move(w.rows);
+      entry.predicted = predicted;
+      StoreEntry(w.address, std::move(entry));
+    }
+  }
+  agg_sw.Stop();
+  stats_.aggregate_seconds.AddSeconds(agg_sw.ElapsedSeconds());
+  batch_sw.Stop();
+  stats_.batch_latency.Record(batch_sw.ElapsedSeconds());
+}
+
+void InferenceEngine::StoreEntry(chain::AddressId address, CacheEntry entry) {
+  std::unique_lock<std::mutex> lock(cache_mu_);
+  entry.last_used = ++lru_tick_;
+  cache_[address] = std::move(entry);
+  if (cache_.size() <= options_.cache_capacity) return;
+  // Evict the least-recently-used ~10% in one sweep so the scan cost
+  // amortizes over many inserts instead of paying O(size) per insert.
+  const size_t target =
+      std::max<size_t>(1, options_.cache_capacity -
+                              options_.cache_capacity / 10);
+  const size_t evict = cache_.size() - target;
+  std::vector<std::pair<uint64_t, chain::AddressId>> order;
+  order.reserve(cache_.size());
+  for (const auto& [addr, e] : cache_) {
+    order.emplace_back(e.last_used, addr);
+  }
+  std::nth_element(order.begin(),
+                   order.begin() + static_cast<ptrdiff_t>(evict),
+                   order.end());
+  for (size_t i = 0; i < evict; ++i) cache_.erase(order[i].second);
+  stats_.evictions.Increment(evict);
+}
+
+size_t InferenceEngine::CacheSize() const {
+  std::unique_lock<std::mutex> lock(cache_mu_);
+  return cache_.size();
+}
+
+void InferenceEngine::ClearCache() {
+  std::unique_lock<std::mutex> lock(cache_mu_);
+  cache_.clear();
+}
+
+Status InferenceEngine::SaveCache() const {
+  if (options_.cache_path.empty()) return Status::OK();
+  if (util::FaultInjector::Instance().ShouldFail(kFaultCacheSave)) {
+    return Status::Internal(std::string("injected fault at ") +
+                            kFaultCacheSave);
+  }
+  // Snapshot under the lock, serialize and write outside it so queries
+  // keep flowing during the (possibly slow) disk write.
+  std::vector<std::pair<chain::AddressId, CacheEntry>> entries;
+  {
+    std::unique_lock<std::mutex> lock(cache_mu_);
+    entries.assign(cache_.begin(), cache_.end());
+  }
+  std::string body;
+  body.append(kCacheMagic, sizeof(kCacheMagic));
+  AppendPod(&body, kCacheVersion);
+  AppendPod(&body, static_cast<int32_t>(slice_size_));
+  AppendPod(&body, static_cast<int32_t>(k_hops_));
+  AppendPod(&body, static_cast<int64_t>(embed_dim_));
+  AppendPod(&body, static_cast<uint64_t>(entries.size()));
+  for (const auto& [address, entry] : entries) {
+    AppendPod(&body, static_cast<uint64_t>(address));
+    AppendPod(&body, entry.tx_count);
+    AppendPod(&body, static_cast<int32_t>(entry.predicted));
+    AppendPod(&body,
+              static_cast<uint32_t>(entry.slice_embeddings.size()));
+    for (const std::vector<float>& row : entry.slice_embeddings) {
+      body.append(reinterpret_cast<const char*>(row.data()),
+                  row.size() * sizeof(float));
+    }
+  }
+  util::AtomicFileWriter out(options_.cache_path);
+  BA_RETURN_NOT_OK(out.Open());
+  BA_RETURN_NOT_OK(out.Append(body));
+  const uint32_t crc = out.crc();
+  BA_RETURN_NOT_OK(out.Write(&crc, sizeof(crc)));
+  return out.Commit();
+}
+
+Status InferenceEngine::LoadCacheFile(const std::string& path) {
+  if (util::FaultInjector::Instance().ShouldFail(kFaultCacheLoad)) {
+    return Status::Internal(std::string("injected fault at ") +
+                            kFaultCacheLoad);
+  }
+  BA_ASSIGN_OR_RETURN(const std::string buf, util::ReadFileToString(path));
+  if (buf.size() < sizeof(kCacheMagic) + sizeof(uint32_t)) {
+    return Status::InvalidArgument("truncated serve cache: " + path);
+  }
+  const uint32_t stored_crc = [&] {
+    uint32_t v = 0;
+    std::memcpy(&v, buf.data() + buf.size() - sizeof(v), sizeof(v));
+    return v;
+  }();
+  const uint32_t computed_crc =
+      util::Crc32(buf.data(), buf.size() - sizeof(uint32_t));
+  if (stored_crc != computed_crc) {
+    return Status::InvalidArgument(
+        "serve cache crc32 mismatch (stored " + std::to_string(stored_crc) +
+        ", computed " + std::to_string(computed_crc) + "): " + path);
+  }
+  util::BufferReader reader(buf);
+  reader.Truncate(buf.size() - sizeof(uint32_t));
+  char magic[4];
+  if (!reader.ReadBytes(magic, sizeof(magic)) ||
+      std::memcmp(magic, kCacheMagic, sizeof(magic)) != 0) {
+    return Status::InvalidArgument("not a serve cache (bad magic): " + path);
+  }
+  uint32_t version = 0;
+  if (!reader.ReadPod(&version) || version != kCacheVersion) {
+    return Status::InvalidArgument(
+        "unsupported serve cache version " + std::to_string(version) +
+        ": " + path);
+  }
+  int32_t slice_size = 0;
+  int32_t k_hops = 0;
+  int64_t embed_dim = 0;
+  uint64_t count = 0;
+  if (!reader.ReadPod(&slice_size) || !reader.ReadPod(&k_hops) ||
+      !reader.ReadPod(&embed_dim) || !reader.ReadPod(&count)) {
+    return Status::InvalidArgument("truncated serve cache header: " + path);
+  }
+  if (slice_size != slice_size_ || k_hops != k_hops_ ||
+      embed_dim != embed_dim_) {
+    return Status::InvalidArgument(
+        "serve cache was built under different options (slice_size=" +
+        std::to_string(slice_size) + ", k_hops=" + std::to_string(k_hops) +
+        ", embed_dim=" + std::to_string(embed_dim) + "; engine has " +
+        std::to_string(slice_size_) + ", " + std::to_string(k_hops_) +
+        ", " + std::to_string(embed_dim_) + "): " + path);
+  }
+  std::unordered_map<chain::AddressId, CacheEntry> loaded;
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t address = 0;
+    CacheEntry entry;
+    int32_t predicted = 0;
+    uint32_t num_slices = 0;
+    if (!reader.ReadPod(&address) || !reader.ReadPod(&entry.tx_count) ||
+        !reader.ReadPod(&predicted) || !reader.ReadPod(&num_slices)) {
+      return Status::InvalidArgument(
+          "truncated serve cache entry " + std::to_string(i) + ": " + path);
+    }
+    if (num_slices > kMaxSlicesPerEntry) {
+      return Status::InvalidArgument(
+          "serve cache entry " + std::to_string(i) +
+          " claims an absurd slice count " + std::to_string(num_slices) +
+          ": " + path);
+    }
+    entry.predicted = predicted;
+    entry.slice_embeddings.resize(num_slices);
+    for (uint32_t s = 0; s < num_slices; ++s) {
+      entry.slice_embeddings[s].resize(static_cast<size_t>(embed_dim_));
+      if (!reader.ReadBytes(entry.slice_embeddings[s].data(),
+                            static_cast<size_t>(embed_dim_) *
+                                sizeof(float))) {
+        return Status::InvalidArgument(
+            "truncated serve cache entry " + std::to_string(i) + ": " +
+            path);
+      }
+    }
+    loaded[static_cast<chain::AddressId>(address)] = std::move(entry);
+  }
+  if (reader.remaining() != 0) {
+    return Status::InvalidArgument(
+        "serve cache has " + std::to_string(reader.remaining()) +
+        " trailing bytes: " + path);
+  }
+  std::unique_lock<std::mutex> lock(cache_mu_);
+  for (auto& [address, entry] : loaded) {
+    entry.last_used = ++lru_tick_;
+    cache_[address] = std::move(entry);
+  }
+  return Status::OK();
+}
+
+InferenceMetricsSnapshot InferenceEngine::Metrics() const {
+  InferenceMetricsSnapshot s;
+  s.requests = stats_.requests.value();
+  s.full_hits = stats_.full_hits.value();
+  s.partial_hits = stats_.partial_hits.value();
+  s.misses = stats_.misses.value();
+  s.coalesced = stats_.coalesced.value();
+  s.empty_history = stats_.empty_history.value();
+  s.batches = stats_.batches.value();
+  s.slices_built = stats_.slices_built.value();
+  s.slices_reused = stats_.slices_reused.value();
+  s.cache_evictions = stats_.evictions.value();
+  s.cache_entries = CacheSize();
+  s.pool_backlog = pool_->in_flight();
+  const uint64_t classified =
+      s.requests >= s.empty_history ? s.requests - s.empty_history : 0;
+  // Coalesced requests avoided their own computation, so they count as
+  // hits too.
+  s.hit_rate =
+      classified == 0
+          ? 0.0
+          : static_cast<double>(s.full_hits + s.partial_hits + s.coalesced) /
+                static_cast<double>(classified);
+  s.build_seconds = stats_.build_seconds.Seconds();
+  s.embed_seconds = stats_.embed_seconds.Seconds();
+  s.aggregate_seconds = stats_.aggregate_seconds.Seconds();
+  s.request_latency = stats_.request_latency.Snapshot();
+  s.batch_latency = stats_.batch_latency.Snapshot();
+  return s;
+}
+
+std::string InferenceMetricsSnapshot::ToString() const {
+  std::ostringstream os;
+  os << "serve metrics\n"
+     << "  requests          " << requests << " (" << empty_history
+     << " empty-history)\n"
+     << "  cache             " << full_hits << " full + " << partial_hits
+     << " partial hits, " << misses << " misses, " << coalesced
+     << " coalesced (hit rate "
+     << static_cast<int>(hit_rate * 100.0 + 0.5) << "%), " << cache_entries
+     << " entries, " << cache_evictions << " evictions\n"
+     << "  slices            " << slices_built << " built, "
+     << slices_reused << " reused\n"
+     << "  batches           " << batches << " (pool backlog "
+     << pool_backlog << ")\n"
+     << "  stage seconds     build " << FormatSeconds(build_seconds)
+     << ", embed " << FormatSeconds(embed_seconds) << ", aggregate "
+     << FormatSeconds(aggregate_seconds) << "\n"
+     << "  request latency   p50 " << FormatSeconds(request_latency.p50_seconds)
+     << ", p95 " << FormatSeconds(request_latency.p95_seconds) << ", p99 "
+     << FormatSeconds(request_latency.p99_seconds) << ", max "
+     << FormatSeconds(request_latency.max_seconds) << "\n"
+     << "  batch latency     p50 " << FormatSeconds(batch_latency.p50_seconds)
+     << ", p95 " << FormatSeconds(batch_latency.p95_seconds) << ", max "
+     << FormatSeconds(batch_latency.max_seconds) << "\n";
+  return os.str();
+}
+
+namespace {
+
+void AppendHistogramJson(std::ostringstream* os, const char* name,
+                         const HistogramSnapshot& h) {
+  *os << "\"" << name << "\":{\"count\":" << h.count
+      << ",\"mean_s\":" << h.mean_seconds << ",\"p50_s\":" << h.p50_seconds
+      << ",\"p95_s\":" << h.p95_seconds << ",\"p99_s\":" << h.p99_seconds
+      << ",\"max_s\":" << h.max_seconds << "}";
+}
+
+}  // namespace
+
+std::string InferenceMetricsSnapshot::ToJson() const {
+  std::ostringstream os;
+  os << "{\"requests\":" << requests << ",\"full_hits\":" << full_hits
+     << ",\"partial_hits\":" << partial_hits << ",\"misses\":" << misses
+     << ",\"coalesced\":" << coalesced
+     << ",\"empty_history\":" << empty_history << ",\"batches\":" << batches
+     << ",\"slices_built\":" << slices_built
+     << ",\"slices_reused\":" << slices_reused
+     << ",\"cache_entries\":" << cache_entries
+     << ",\"cache_evictions\":" << cache_evictions
+     << ",\"pool_backlog\":" << pool_backlog << ",\"hit_rate\":" << hit_rate
+     << ",\"build_seconds\":" << build_seconds
+     << ",\"embed_seconds\":" << embed_seconds
+     << ",\"aggregate_seconds\":" << aggregate_seconds << ",";
+  AppendHistogramJson(&os, "request_latency", request_latency);
+  os << ",";
+  AppendHistogramJson(&os, "batch_latency", batch_latency);
+  os << "}";
+  return os.str();
+}
+
+}  // namespace ba::serve

@@ -1,0 +1,244 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "chain/ledger.h"
+#include "core/classifier.h"
+#include "serve/metrics.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+/// \file inference_engine.h
+/// \brief Concurrent serving layer over a trained BaClassifier.
+///
+/// A monitoring deployment of the paper's system (think: watch every
+/// address that touched the mempool this block) issues many small
+/// classification queries against a slowly growing ledger, with heavy
+/// repetition — the same addresses come back block after block. The
+/// engine exploits all three properties:
+///
+///  * **Micro-batching.** Concurrent Classify() callers enqueue their
+///    request; the first caller becomes the batch leader, drains up to
+///    `max_batch_size` requests, and fans the expensive graph
+///    construction + encoder forward passes out over a shared
+///    `util::ThreadPool`. Followers block until the leader fulfills
+///    their request (group commit).
+///
+///  * **Incremental caching.** Results are cached per address, keyed on
+///    the length of the address's transaction history (a proxy for
+///    ledger height that is exact for that address). Because the ledger
+///    is append-only and graph slices are fixed-size chronological
+///    chunks, every *complete* slice of a cached history is immutable:
+///    a repeat query is answered from cache outright, and a query after
+///    the address gained transactions reuses the cached per-slice
+///    embeddings and rebuilds only the tail (GraphConstructor::
+///    BuildGraphsFrom). The cache persists to disk through the
+///    crash-safe AtomicFileWriter, so a killed server restarts warm.
+///
+///  * **Observability.** Counters, per-stage wall-clock accumulators
+///    and latency histograms (p50/p95/p99) are collected into an
+///    `InferenceMetricsSnapshot`, printable or JSON-exportable.
+///
+/// Thread-safety contract: Classify/ClassifyBatch/Metrics/SaveCache may
+/// be called concurrently from any number of threads. Mutating the
+/// ledger is the one excluded operation: callers must quiesce queries,
+/// apply blocks, then resume (the cache needs no notification — the
+/// tx-count key invalidates stale entries naturally).
+
+namespace ba::serve {
+
+/// \brief Engine tunables.
+struct InferenceEngineOptions {
+  /// Requests the batch leader drains per micro-batch.
+  int max_batch_size = 32;
+  /// Worker threads for graph construction + encoder passes.
+  int num_threads = 2;
+  /// Maximum cached addresses; least-recently-used entries are evicted
+  /// beyond it.
+  size_t cache_capacity = 1 << 16;
+  /// Cache persistence file. Empty disables persistence; otherwise
+  /// Create() warm-starts from an existing file and SaveCache() writes
+  /// it atomically.
+  std::string cache_path;
+
+  /// \brief Returns OK when every field is usable, or a descriptive
+  /// InvalidArgument naming the offending field and value.
+  Status Validate() const;
+};
+
+/// \brief Outcome of one classification query.
+struct ClassifyResult {
+  int predicted = 0;
+  /// Served entirely from cache (no graph/encoder work).
+  bool cache_hit = false;
+  /// Complete-slice embeddings reused from the cache.
+  int slices_reused = 0;
+  /// Slices built and embedded for this query.
+  int slices_built = 0;
+};
+
+/// \brief Point-in-time view of every engine metric.
+struct InferenceMetricsSnapshot {
+  uint64_t requests = 0;
+  uint64_t full_hits = 0;     ///< answered from cache outright
+  uint64_t partial_hits = 0;  ///< tail rebuilt, prefix reused
+  uint64_t misses = 0;
+  /// Batch-duplicate requests folded onto another request's work.
+  uint64_t coalesced = 0;
+  uint64_t empty_history = 0;  ///< addresses with no transactions
+  uint64_t batches = 0;
+  uint64_t slices_built = 0;
+  uint64_t slices_reused = 0;
+  uint64_t cache_entries = 0;
+  uint64_t cache_evictions = 0;
+  uint64_t pool_backlog = 0;  ///< thread-pool tasks in flight now
+  /// (full + partial + coalesced) / (requests - empty_history), 0 when
+  /// undefined.
+  double hit_rate = 0.0;
+  double build_seconds = 0.0;      ///< graph construction (all workers)
+  double embed_seconds = 0.0;      ///< tensor prep + encoder forward
+  double aggregate_seconds = 0.0;  ///< scaler + LSTM head + cache write
+  HistogramSnapshot request_latency;
+  HistogramSnapshot batch_latency;
+
+  /// Multi-line human-readable rendering (monitoring loops print this).
+  std::string ToString() const;
+  /// Single JSON object (same fields; histograms flattened).
+  std::string ToJson() const;
+};
+
+/// \brief Batched, cached, instrumented classification server.
+class InferenceEngine {
+ public:
+  using Options = InferenceEngineOptions;
+
+  /// Fault points of the cache-persist path (see util::FaultInjector):
+  /// armed, SaveCache/warm-start fail before touching the filesystem —
+  /// on top of the fs.* points inside AtomicFileWriter.
+  static constexpr const char* kFaultCacheSave = "serve.cache.save";
+  static constexpr const char* kFaultCacheLoad = "serve.cache.load";
+
+  /// \brief Validating factory. Fails on null/untrained classifier,
+  /// invalid engine or classifier options, or (when `cache_path` names
+  /// an existing file) a cache file that is corrupt or was built under
+  /// different model options. `classifier` and `ledger` must outlive
+  /// the engine.
+  static Result<std::unique_ptr<InferenceEngine>> Create(
+      const core::BaClassifier* classifier, const chain::Ledger* ledger,
+      Options options);
+
+  ~InferenceEngine();
+
+  InferenceEngine(const InferenceEngine&) = delete;
+  InferenceEngine& operator=(const InferenceEngine&) = delete;
+
+  /// \brief Classifies one address (blocking). Thread-safe; concurrent
+  /// callers are micro-batched. An address with no transactions
+  /// predicts class 0 without touching the models.
+  Result<ClassifyResult> Classify(chain::AddressId address);
+
+  /// \brief Classifies many addresses through the same batching path
+  /// (the whole list is enqueued before processing starts, so a single
+  /// caller still gets batched execution). Results align with input.
+  std::vector<Result<ClassifyResult>> ClassifyBatch(
+      const std::vector<chain::AddressId>& addresses);
+
+  /// \brief Persists the cache to `options().cache_path` atomically
+  /// (no-op OK when persistence is disabled). Safe to call while
+  /// queries run.
+  Status SaveCache() const;
+
+  /// Entries currently cached.
+  size_t CacheSize() const;
+
+  /// Drops every cached entry (metrics keep counting).
+  void ClearCache();
+
+  InferenceMetricsSnapshot Metrics() const;
+
+  const Options& options() const { return options_; }
+
+ private:
+  struct CacheEntry {
+    /// Transaction-history length the entry was computed at (after the
+    /// max_txs_per_address cap).
+    uint64_t tx_count = 0;
+    /// Per-slice graph embeddings, unscaled, in chronological slice
+    /// order (embed_dim floats each). The first tx_count/slice_size of
+    /// them cover complete — hence immutable — slices.
+    std::vector<std::vector<float>> slice_embeddings;
+    int predicted = 0;
+    uint64_t last_used = 0;  ///< LRU tick
+  };
+
+  /// One in-flight request, owned by the calling thread's stack.
+  struct Request {
+    chain::AddressId address = chain::kInvalidAddress;
+    ClassifyResult result;
+    bool done = false;
+  };
+
+  InferenceEngine(const core::BaClassifier* classifier,
+                  const chain::Ledger* ledger, Options options);
+
+  /// Leader loop: drains the queue in micro-batches until empty.
+  /// Entered and left with `queue_mu_` held.
+  void RunLeader(std::unique_lock<std::mutex>* lock);
+
+  /// Executes one micro-batch (no queue lock held).
+  void ProcessBatch(const std::vector<Request*>& batch);
+
+  /// Capped chronological tx count of `address` — the cache key.
+  uint64_t TxCountOf(chain::AddressId address) const;
+
+  /// Inserts/overwrites the entry and evicts past capacity. Caller
+  /// must not hold `cache_mu_`.
+  void StoreEntry(chain::AddressId address, CacheEntry entry);
+
+  Status LoadCacheFile(const std::string& path);
+
+  const core::BaClassifier* classifier_;
+  const chain::Ledger* ledger_;
+  Options options_;
+  int slice_size_;
+  int k_hops_;
+  int64_t embed_dim_;
+  std::unique_ptr<ThreadPool> pool_;
+
+  mutable std::mutex cache_mu_;
+  std::unordered_map<chain::AddressId, CacheEntry> cache_;
+  uint64_t lru_tick_ = 0;
+
+  std::mutex queue_mu_;
+  std::condition_variable done_cv_;
+  std::deque<Request*> queue_;
+  bool leader_active_ = false;
+
+  struct Stats {
+    Counter requests;
+    Counter full_hits;
+    Counter partial_hits;
+    Counter misses;
+    Counter coalesced;
+    Counter empty_history;
+    Counter batches;
+    Counter slices_built;
+    Counter slices_reused;
+    Counter evictions;
+    TimeAccumulator build_seconds;
+    TimeAccumulator embed_seconds;
+    TimeAccumulator aggregate_seconds;
+    LatencyHistogram request_latency;
+    LatencyHistogram batch_latency;
+  };
+  mutable Stats stats_;
+};
+
+}  // namespace ba::serve

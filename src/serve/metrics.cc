@@ -1,0 +1,97 @@
+#include "serve/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace ba::serve {
+
+double LatencyHistogram::UpperBound(int i) {
+  return kFirstUpperBound * std::pow(kGrowth, i);
+}
+
+int LatencyHistogram::BucketOf(double seconds) {
+  if (seconds <= kFirstUpperBound) return 0;
+  const int i = static_cast<int>(
+                    std::ceil(std::log(seconds / kFirstUpperBound) /
+                              std::log(kGrowth)));
+  return std::min(i, kNumBuckets - 1);
+}
+
+void LatencyHistogram::Record(double seconds) {
+  seconds = std::max(seconds, 0.0);
+  buckets_[static_cast<size_t>(BucketOf(seconds))].fetch_add(
+      1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  const int64_t nanos = static_cast<int64_t>(seconds * 1e9);
+  total_nanos_.fetch_add(nanos, std::memory_order_relaxed);
+  int64_t seen = max_nanos_.load(std::memory_order_relaxed);
+  while (nanos > seen &&
+         !max_nanos_.compare_exchange_weak(seen, nanos,
+                                           std::memory_order_relaxed)) {
+  }
+}
+
+double LatencyHistogram::Percentile(double p) const {
+  uint64_t counts[kNumBuckets];
+  uint64_t total = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    counts[i] = buckets_[static_cast<size_t>(i)].load(
+        std::memory_order_relaxed);
+    total += counts[i];
+  }
+  if (total == 0) return 0.0;
+  const uint64_t target = std::max<uint64_t>(
+      1, static_cast<uint64_t>(std::ceil(p / 100.0 *
+                                         static_cast<double>(total))));
+  uint64_t cumulative = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    cumulative += counts[i];
+    if (cumulative >= target) {
+      const double upper = UpperBound(i);
+      const double lower = i == 0 ? 0.0 : UpperBound(i - 1);
+      // Geometric midpoint (arithmetic for the first bucket, whose
+      // lower bound is 0).
+      const double estimate =
+          i == 0 ? upper / 2.0 : std::sqrt(lower * upper);
+      // Never report beyond the observed maximum (the top bucket is
+      // unbounded).
+      const double max_s = static_cast<double>(max_nanos_.load(
+                               std::memory_order_relaxed)) *
+                           1e-9;
+      return std::min(estimate, max_s);
+    }
+  }
+  return static_cast<double>(
+             max_nanos_.load(std::memory_order_relaxed)) *
+         1e-9;
+}
+
+HistogramSnapshot LatencyHistogram::Snapshot() const {
+  HistogramSnapshot s;
+  s.count = Count();
+  s.total_seconds = TotalSeconds();
+  s.mean_seconds =
+      s.count == 0 ? 0.0 : s.total_seconds / static_cast<double>(s.count);
+  s.p50_seconds = Percentile(50.0);
+  s.p95_seconds = Percentile(95.0);
+  s.p99_seconds = Percentile(99.0);
+  s.max_seconds = static_cast<double>(
+                      max_nanos_.load(std::memory_order_relaxed)) *
+                  1e-9;
+  return s;
+}
+
+std::string FormatSeconds(double seconds) {
+  char buf[32];
+  if (seconds >= 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.3gs", seconds);
+  } else if (seconds >= 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.3gms", seconds * 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3gus", seconds * 1e6);
+  }
+  return buf;
+}
+
+}  // namespace ba::serve

@@ -20,8 +20,8 @@ constexpr uint32_t kMaxRank = 8;
 constexpr int64_t kMaxDim = int64_t{1} << 32;
 
 template <typename T>
-Status WritePod(util::AtomicFileWriter* out, const T& value) {
-  return out->Write(&value, sizeof(T));
+void AppendPod(std::string* out, const T& value) {
+  out->append(reinterpret_cast<const char*>(&value), sizeof(T));
 }
 
 std::string TensorLabel(size_t i) { return "tensor " + std::to_string(i); }
@@ -83,71 +83,85 @@ Status ParseTensors(util::BufferReader* r, const std::vector<Var>& params,
 
 }  // namespace
 
-Status SaveParameters(const std::vector<Var>& params,
-                      const std::string& path) {
-  util::AtomicFileWriter out(path);
-  BA_RETURN_NOT_OK(out.Open());
-  BA_RETURN_NOT_OK(out.Write(kMagic, sizeof(kMagic)));
-  BA_RETURN_NOT_OK(WritePod(&out, kVersionV2));
-  BA_RETURN_NOT_OK(WritePod(&out, static_cast<uint64_t>(params.size())));
+std::string SerializeParameters(const std::vector<Var>& params) {
+  std::string image;
+  image.append(kMagic, sizeof(kMagic));
+  AppendPod(&image, kVersionV2);
+  AppendPod(&image, static_cast<uint64_t>(params.size()));
   for (const auto& p : params) {
     const Tensor& t = p->value;
-    BA_RETURN_NOT_OK(WritePod(&out, static_cast<uint32_t>(t.rank())));
+    AppendPod(&image, static_cast<uint32_t>(t.rank()));
     for (int64_t d = 0; d < t.rank(); ++d) {
-      BA_RETURN_NOT_OK(WritePod(&out, t.dim(d)));
+      AppendPod(&image, t.dim(d));
     }
-    BA_RETURN_NOT_OK(out.Write(
-        t.data(), static_cast<size_t>(t.numel()) * sizeof(float)));
+    image.append(reinterpret_cast<const char*>(t.data()),
+                 static_cast<size_t>(t.numel()) * sizeof(float));
   }
   // Integrity trailer: CRC32 of every preceding byte.
-  const uint32_t crc = out.crc();
-  BA_RETURN_NOT_OK(WritePod(&out, crc));
+  const uint32_t crc = util::Crc32(image);
+  AppendPod(&image, crc);
+  return image;
+}
+
+Status DeserializeParameters(const std::vector<Var>& params,
+                             const std::string& image,
+                             const std::string& context) {
+  util::BufferReader r(image);
+
+  char magic[4];
+  if (!r.ReadBytes(magic, sizeof(magic)) ||
+      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("not a BATN checkpoint: " + context);
+  }
+  uint32_t version = 0;
+  if (!r.ReadPod(&version)) {
+    return Status::InvalidArgument("truncated header (no version): " +
+                                   context);
+  }
+  if (version != kVersionV1 && version != kVersionV2) {
+    return Status::InvalidArgument("unsupported checkpoint version " +
+                                   std::to_string(version) + ": " + context);
+  }
+  if (version == kVersionV2) {
+    // The final 4 bytes are the CRC32 of everything before them.
+    if (image.size() < r.position() + sizeof(uint32_t)) {
+      return Status::InvalidArgument("truncated checkpoint (no crc32): " +
+                                     context);
+    }
+    uint32_t stored = 0;
+    std::memcpy(&stored, image.data() + image.size() - sizeof(uint32_t),
+                sizeof(uint32_t));
+    const uint32_t computed =
+        util::Crc32(image.data(), image.size() - sizeof(uint32_t));
+    if (stored != computed) {
+      return Status::InvalidArgument(
+          "crc32 mismatch (stored " + std::to_string(stored) + ", computed " +
+          std::to_string(computed) + "): corrupted checkpoint " + context);
+    }
+    r.Truncate(image.size() - sizeof(uint32_t));
+  }
+  BA_RETURN_NOT_OK(ParseTensors(&r, params, context));
+  if (r.remaining() != 0) {
+    return Status::InvalidArgument(
+        "trailing garbage (" + std::to_string(r.remaining()) +
+        " bytes) after checkpoint body: " + context);
+  }
+  return Status::OK();
+}
+
+Status SaveParameters(const std::vector<Var>& params,
+                      const std::string& path) {
+  const std::string image = SerializeParameters(params);
+  util::AtomicFileWriter out(path);
+  BA_RETURN_NOT_OK(out.Open());
+  BA_RETURN_NOT_OK(out.Append(image));
   return out.Commit();
 }
 
 Status LoadParameters(const std::vector<Var>& params,
                       const std::string& path) {
   BA_ASSIGN_OR_RETURN(const std::string buf, util::ReadFileToString(path));
-  util::BufferReader r(buf);
-
-  char magic[4];
-  if (!r.ReadBytes(magic, sizeof(magic)) ||
-      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
-    return Status::InvalidArgument("not a BATN checkpoint: " + path);
-  }
-  uint32_t version = 0;
-  if (!r.ReadPod(&version)) {
-    return Status::InvalidArgument("truncated header (no version): " + path);
-  }
-  if (version != kVersionV1 && version != kVersionV2) {
-    return Status::InvalidArgument("unsupported checkpoint version " +
-                                   std::to_string(version) + ": " + path);
-  }
-  if (version == kVersionV2) {
-    // The final 4 bytes are the CRC32 of everything before them.
-    if (buf.size() < r.position() + sizeof(uint32_t)) {
-      return Status::InvalidArgument("truncated checkpoint (no crc32): " +
-                                     path);
-    }
-    uint32_t stored = 0;
-    std::memcpy(&stored, buf.data() + buf.size() - sizeof(uint32_t),
-                sizeof(uint32_t));
-    const uint32_t computed =
-        util::Crc32(buf.data(), buf.size() - sizeof(uint32_t));
-    if (stored != computed) {
-      return Status::InvalidArgument(
-          "crc32 mismatch (stored " + std::to_string(stored) + ", computed " +
-          std::to_string(computed) + "): corrupted checkpoint " + path);
-    }
-    r.Truncate(buf.size() - sizeof(uint32_t));
-  }
-  BA_RETURN_NOT_OK(ParseTensors(&r, params, path));
-  if (r.remaining() != 0) {
-    return Status::InvalidArgument(
-        "trailing garbage (" + std::to_string(r.remaining()) +
-        " bytes) after checkpoint body: " + path);
-  }
-  return Status::OK();
+  return DeserializeParameters(params, buf, path);
 }
 
 }  // namespace ba::tensor

@@ -21,6 +21,20 @@
 
 namespace ba::tensor {
 
+/// \brief Renders `params` as a self-contained BATN v2 image (magic,
+/// version, tensor records, CRC32 trailer) — the byte-exact content
+/// SaveParameters writes to disk. Container formats (e.g. the
+/// BaClassifier "BACL" checkpoint) embed this image verbatim.
+std::string SerializeParameters(const std::vector<Var>& params);
+
+/// \brief Parses a BATN image produced by SerializeParameters (or read
+/// back from a SaveParameters file) into `params` in-place. Fails with
+/// a descriptive Status unless magic, CRC, count and every shape match;
+/// `context` names the source in error messages (e.g. the file path).
+Status DeserializeParameters(const std::vector<Var>& params,
+                             const std::string& image,
+                             const std::string& context);
+
 /// \brief Writes the values of `params` to `path`.
 Status SaveParameters(const std::vector<Var>& params,
                       const std::string& path);

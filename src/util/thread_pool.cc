@@ -38,6 +38,11 @@ bool ThreadPool::Submit(std::function<void()> task) {
   return true;
 }
 
+size_t ThreadPool::in_flight() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return in_flight_;
+}
+
 void ThreadPool::Wait() {
   std::unique_lock<std::mutex> lock(mu_);
   all_done_.wait(lock, [this] { return in_flight_ == 0; });

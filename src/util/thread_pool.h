@@ -40,6 +40,10 @@ class ThreadPool {
 
   size_t num_threads() const { return workers_.size(); }
 
+  /// Tasks submitted but not yet finished (queued + running) — a
+  /// backlog gauge for serving metrics.
+  size_t in_flight() const;
+
   /// Runs `body(i)` for i in [0, n), distributing contiguous chunks
   /// over the pool, and blocks until all iterations complete. The body
   /// must be safe to invoke concurrently for distinct indices. On a
@@ -51,7 +55,7 @@ class ThreadPool {
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> tasks_;
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable task_available_;
   std::condition_variable all_done_;
   size_t in_flight_ = 0;

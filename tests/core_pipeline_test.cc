@@ -205,7 +205,8 @@ TEST_F(PipelineTest, EndToEndFacadeBeatsChance) {
   opts.aggregator.epochs = 12;
   BaClassifier clf(opts);
   ASSERT_TRUE(clf.TrainOnSamples(*train_).ok());
-  const auto cm = clf.EvaluateSamples(*test_);
+  metrics::ConfusionMatrix cm(opts.graph_model.num_classes);
+  ASSERT_TRUE(clf.EvaluateSamples(*test_, &cm).ok());
   // Four balanced-ish classes: chance ~0.3; the pipeline must clear it.
   EXPECT_GT(cm.Accuracy(), 0.5);
   EXPECT_GT(cm.WeightedAverage().f1, 0.5);
@@ -224,7 +225,10 @@ TEST_F(PipelineTest, PredictSampleIsDeterministic) {
   BaClassifier clf(opts);
   ASSERT_TRUE(clf.TrainOnSamples(*train_).ok());
   const AddressSample& s = (*test_)[0];
-  EXPECT_EQ(clf.PredictSample(s), clf.PredictSample(s));
+  int first = -1, second = -1;
+  ASSERT_TRUE(clf.PredictSample(s, &first).ok());
+  ASSERT_TRUE(clf.PredictSample(s, &second).ok());
+  EXPECT_EQ(first, second);
 }
 
 TEST_F(PipelineTest, GraphModelTrainingIsDeterministic) {

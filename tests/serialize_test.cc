@@ -283,8 +283,9 @@ TEST(SerializeTest, BaClassifierSaveLoadPredictionsIdentical) {
 
   core::BaClassifier restored(opts);
   ASSERT_TRUE(restored.Load(file.path()).ok());
-  const auto p1 = original.Predict(simulator.ledger(), split.test);
-  const auto p2 = restored.Predict(simulator.ledger(), split.test);
+  std::vector<int> p1, p2;
+  ASSERT_TRUE(original.Predict(simulator.ledger(), split.test, &p1).ok());
+  ASSERT_TRUE(restored.Predict(simulator.ledger(), split.test, &p2).ok());
   EXPECT_EQ(p1, p2);
 }
 

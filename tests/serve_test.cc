@@ -1,0 +1,401 @@
+// Serving-layer tests: the batched concurrent InferenceEngine must
+// agree with serial BaClassifier::Predict, reuse its cache correctly as
+// the ledger grows, survive killed cache saves, and report sane
+// metrics. Run under BA_SANITIZE=thread to validate the concurrency.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/classifier.h"
+#include "datagen/dataset.h"
+#include "datagen/simulator.h"
+#include "serve/inference_engine.h"
+#include "serve/metrics.h"
+#include "util/fs.h"
+
+namespace ba::serve {
+namespace {
+
+class TempFile {
+ public:
+  explicit TempFile(const std::string& name)
+      : path_("/tmp/ba_serve_" + name + "_" + std::to_string(::getpid())) {
+    std::remove(path_.c_str());
+  }
+  ~TempFile() { std::remove(path_.c_str()); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+/// Shared fixture: one small economy and one trained classifier,
+/// materialized once per suite (training dominates the suite's cost).
+class ServeTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    datagen::ScenarioConfig config;
+    config.seed = 23;
+    config.num_blocks = 100;
+    config.num_retail_users = 30;
+    config.miners_per_pool = 12;
+    config.gamblers_per_house = 6;
+    simulator_ = new datagen::Simulator(config);
+    ASSERT_TRUE(simulator_->Run().ok());
+
+    auto labeled = simulator_->CollectLabeledAddresses(3);
+    Rng rng(1);
+    const auto split = datagen::StratifiedSplit(labeled, 0.8, &rng);
+    train_ = new std::vector<datagen::LabeledAddress>(split.train);
+    test_ = new std::vector<datagen::LabeledAddress>(split.test);
+    ASSERT_GE(test_->size(), 10u);
+
+    core::BaClassifier::Options opts;
+    opts.dataset.construction.slice_size = 20;
+    opts.graph_model.epochs = 4;
+    opts.graph_model.embed_dim = 16;
+    opts.graph_model.hidden_dim = 32;
+    opts.aggregator.epochs = 8;
+    auto created = core::BaClassifier::Create(opts);
+    ASSERT_TRUE(created.ok()) << created.status().message();
+    classifier_ = created.value().release();
+    ASSERT_TRUE(classifier_->Train(simulator_->ledger(), *train_).ok());
+  }
+
+  static void TearDownTestSuite() {
+    delete classifier_;
+    delete simulator_;
+    delete train_;
+    delete test_;
+    classifier_ = nullptr;
+    simulator_ = nullptr;
+    train_ = nullptr;
+    test_ = nullptr;
+  }
+
+  static std::unique_ptr<InferenceEngine> MakeEngine(
+      InferenceEngineOptions options = {}) {
+    auto engine = InferenceEngine::Create(classifier_, &simulator_->ledger(),
+                                          options);
+    EXPECT_TRUE(engine.ok()) << engine.status().message();
+    return std::move(engine.value());
+  }
+
+  static std::vector<int> SerialTruth(
+      const std::vector<datagen::LabeledAddress>& addresses) {
+    std::vector<int> expected;
+    EXPECT_TRUE(
+        classifier_->Predict(simulator_->ledger(), addresses, &expected)
+            .ok());
+    return expected;
+  }
+
+  static datagen::Simulator* simulator_;
+  static std::vector<datagen::LabeledAddress>* train_;
+  static std::vector<datagen::LabeledAddress>* test_;
+  static core::BaClassifier* classifier_;
+};
+
+datagen::Simulator* ServeTest::simulator_ = nullptr;
+std::vector<datagen::LabeledAddress>* ServeTest::train_ = nullptr;
+std::vector<datagen::LabeledAddress>* ServeTest::test_ = nullptr;
+core::BaClassifier* ServeTest::classifier_ = nullptr;
+
+TEST_F(ServeTest, ConcurrentClassifyMatchesSerialPredict) {
+  const std::vector<int> expected = SerialTruth(*test_);
+  auto engine = MakeEngine();
+
+  // Four client threads, each querying every test address — repeats
+  // included, exactly the monitoring workload the engine batches.
+  constexpr int kClients = 4;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&] {
+      for (size_t i = 0; i < test_->size(); ++i) {
+        auto result = engine->Classify((*test_)[i].address);
+        if (!result.ok() ||
+            result.value().predicted != expected[i]) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+
+  const InferenceMetricsSnapshot m = engine->Metrics();
+  EXPECT_EQ(m.requests, kClients * test_->size());
+  EXPECT_GE(m.batches, 1u);
+  // Every request is accounted for exactly once...
+  EXPECT_EQ(m.full_hits + m.partial_hits + m.misses + m.coalesced +
+                m.empty_history,
+            m.requests);
+  // ...and each address is computed at most once across all four client
+  // passes — repeats are cache hits or batch-coalesced.
+  EXPECT_LE(m.misses + m.partial_hits, test_->size());
+  EXPECT_GE(m.full_hits + m.coalesced, (kClients - 1) * test_->size());
+}
+
+TEST_F(ServeTest, ClassifyBatchMatchesSerialPredict) {
+  const std::vector<int> expected = SerialTruth(*test_);
+  auto engine = MakeEngine();
+  std::vector<chain::AddressId> addresses;
+  for (const auto& a : *test_) addresses.push_back(a.address);
+
+  const auto results = engine->ClassifyBatch(addresses);
+  ASSERT_EQ(results.size(), expected.size());
+  for (size_t i = 0; i < results.size(); ++i) {
+    ASSERT_TRUE(results[i].ok());
+    EXPECT_EQ(results[i].value().predicted, expected[i]);
+  }
+}
+
+TEST_F(ServeTest, RepeatQueryIsAFullCacheHit) {
+  auto engine = MakeEngine();
+  const chain::AddressId address = (*test_)[0].address;
+
+  auto first = engine->Classify(address);
+  ASSERT_TRUE(first.ok());
+  EXPECT_FALSE(first.value().cache_hit);
+  EXPECT_GT(first.value().slices_built, 0);
+
+  auto second = engine->Classify(address);
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second.value().cache_hit);
+  EXPECT_EQ(second.value().slices_built, 0);
+  EXPECT_EQ(second.value().predicted, first.value().predicted);
+
+  const InferenceMetricsSnapshot m = engine->Metrics();
+  EXPECT_EQ(m.full_hits, 1u);
+  EXPECT_EQ(m.misses, 1u);
+}
+
+TEST_F(ServeTest, LedgerGrowthInvalidatesOnlyTheTail) {
+  // Give one test address extra transactions by paying it coinbases on
+  // fresh blocks; complete cached slices must survive, the tail must
+  // rebuild, and the result must equal a from-scratch classification.
+  const int slice_size =
+      classifier_->options().dataset.construction.slice_size;
+  chain::Ledger* ledger = simulator_->mutable_ledger();
+  // Busiest test address; pay it coinbases until it owns at least one
+  // complete slice, so the second query has a prefix worth reusing.
+  datagen::LabeledAddress target = (*test_)[0];
+  for (const auto& a : *test_) {
+    if (ledger->TransactionsOf(a.address).size() >
+        ledger->TransactionsOf(target.address).size()) {
+      target = a;
+    }
+  }
+  chain::Timestamp seed_t = ledger->blocks().back().timestamp;
+  while (ledger->TransactionsOf(target.address).size() <
+         static_cast<size_t>(slice_size)) {
+    seed_t += 600;
+    ASSERT_TRUE(ledger->ApplyCoinbase(seed_t, target.address).ok());
+    ASSERT_TRUE(ledger->SealBlock(seed_t).ok());
+  }
+  const uint64_t before = ledger->TransactionsOf(target.address).size();
+
+  auto engine = MakeEngine();
+  auto first = engine->Classify(target.address);
+  ASSERT_TRUE(first.ok());
+
+  chain::Timestamp t = seed_t;
+  for (int i = 0; i < 3; ++i) {
+    t += 600;
+    ASSERT_TRUE(ledger->ApplyCoinbase(t, target.address).ok());
+    ASSERT_TRUE(ledger->SealBlock(t).ok());
+  }
+  ASSERT_GT(ledger->TransactionsOf(target.address).size(), before);
+
+  auto second = engine->Classify(target.address);
+  ASSERT_TRUE(second.ok());
+  const ClassifyResult r = second.value();
+  EXPECT_FALSE(r.cache_hit);
+  EXPECT_EQ(r.slices_reused,
+            static_cast<int>(before) / slice_size);
+  EXPECT_GT(r.slices_built, 0);
+
+  // Incremental result == cold engine (no cache) == serial facade.
+  auto cold = MakeEngine();
+  auto from_scratch = cold->Classify(target.address);
+  ASSERT_TRUE(from_scratch.ok());
+  EXPECT_EQ(r.predicted, from_scratch.value().predicted);
+  EXPECT_EQ(SerialTruth({target})[0], r.predicted);
+
+  const InferenceMetricsSnapshot m = engine->Metrics();
+  EXPECT_EQ(m.partial_hits, 1u);
+  EXPECT_GT(m.slices_reused, 0u);
+}
+
+TEST_F(ServeTest, MetricsAreConsistent) {
+  auto engine = MakeEngine();
+  for (int round = 0; round < 2; ++round) {
+    for (const auto& a : *test_) {
+      ASSERT_TRUE(engine->Classify(a.address).ok());
+    }
+  }
+  const InferenceMetricsSnapshot m = engine->Metrics();
+  EXPECT_EQ(m.requests, 2 * test_->size());
+  EXPECT_EQ(m.full_hits + m.partial_hits + m.misses + m.coalesced +
+                m.empty_history,
+            m.requests);
+  EXPECT_EQ(m.request_latency.count, m.requests);
+  EXPECT_LE(m.request_latency.p50_seconds, m.request_latency.p95_seconds);
+  EXPECT_LE(m.request_latency.p95_seconds, m.request_latency.p99_seconds);
+  EXPECT_LE(m.request_latency.p99_seconds,
+            m.request_latency.max_seconds + 1e-9);
+  EXPECT_GT(m.hit_rate, 0.0);
+  EXPECT_NE(m.ToString().find("requests"), std::string::npos);
+  EXPECT_NE(m.ToJson().find("\"requests\""), std::string::npos);
+}
+
+TEST_F(ServeTest, UnknownAddressIsRejectedNotFatal) {
+  auto engine = MakeEngine();
+  auto result = engine->Classify(static_cast<chain::AddressId>(1u << 30));
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ServeTest, CachePersistsAcrossRestart) {
+  TempFile cache("warm");
+  InferenceEngineOptions options;
+  options.cache_path = cache.path();
+  {
+    auto engine = MakeEngine(options);
+    for (const auto& a : *test_) {
+      ASSERT_TRUE(engine->Classify(a.address).ok());
+    }
+    ASSERT_TRUE(engine->SaveCache().ok());
+  }
+  // "Restarted server": a fresh engine warm-starts from the file and
+  // answers every repeat query from cache.
+  auto engine = MakeEngine(options);
+  EXPECT_GT(engine->CacheSize(), 0u);
+  for (const auto& a : *test_) {
+    auto result = engine->Classify(a.address);
+    ASSERT_TRUE(result.ok());
+    if (!simulator_->ledger().TransactionsOf(a.address).empty()) {
+      EXPECT_TRUE(result.value().cache_hit);
+    }
+  }
+  EXPECT_EQ(engine->Metrics().misses, 0u);
+}
+
+TEST_F(ServeTest, KilledCacheSaveLeavesPreviousFileIntact) {
+  TempFile cache("killed");
+  InferenceEngineOptions options;
+  options.cache_path = cache.path();
+  auto engine = MakeEngine(options);
+  ASSERT_TRUE(engine->Classify((*test_)[0].address).ok());
+  ASSERT_TRUE(engine->SaveCache().ok());
+
+  // The save path itself is fault-injectable...
+  util::FaultInjector::Instance().Arm(InferenceEngine::kFaultCacheSave);
+  const Status s = engine->SaveCache();
+  util::FaultInjector::Instance().DisarmAll();
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find(InferenceEngine::kFaultCacheSave),
+            std::string::npos);
+
+  // ...and so is every filesystem stage beneath it; a kill at any of
+  // them must leave the previous cache image loadable.
+  ASSERT_TRUE(engine->Classify((*test_)[1].address).ok());
+  for (const std::string& point : util::AtomicFileWriter::FaultPoints()) {
+    util::FaultInjector::Instance().Arm(point);
+    EXPECT_FALSE(engine->SaveCache().ok()) << point;
+    util::FaultInjector::Instance().DisarmAll();
+
+    auto restarted = MakeEngine(options);
+    auto hit = restarted->Classify((*test_)[0].address);
+    ASSERT_TRUE(hit.ok()) << point;
+    EXPECT_TRUE(hit.value().cache_hit)
+        << "stale cache torn by fault at " << point;
+  }
+}
+
+TEST_F(ServeTest, CorruptCacheFileFailsCreateLoudly) {
+  TempFile cache("corrupt");
+  InferenceEngineOptions options;
+  options.cache_path = cache.path();
+  {
+    auto engine = MakeEngine(options);
+    ASSERT_TRUE(engine->Classify((*test_)[0].address).ok());
+    ASSERT_TRUE(engine->SaveCache().ok());
+  }
+  // Flip one byte in the middle of the file.
+  auto content = util::ReadFileToString(cache.path());
+  ASSERT_TRUE(content.ok());
+  std::string bytes = content.value();
+  bytes[bytes.size() / 2] ^= 0x40;
+  {
+    std::ofstream out(cache.path(), std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  auto engine = InferenceEngine::Create(classifier_, &simulator_->ledger(),
+                                        options);
+  ASSERT_FALSE(engine.ok());
+  EXPECT_EQ(engine.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(engine.status().message().find("crc32"), std::string::npos);
+}
+
+TEST_F(ServeTest, CacheEvictionRespectsCapacity) {
+  InferenceEngineOptions options;
+  options.cache_capacity = 4;
+  auto engine = MakeEngine(options);
+  size_t classified = 0;
+  for (const auto& a : *test_) {
+    if (simulator_->ledger().TransactionsOf(a.address).empty()) continue;
+    ASSERT_TRUE(engine->Classify(a.address).ok());
+    if (++classified >= 8) break;
+  }
+  ASSERT_GE(classified, 5u);
+  EXPECT_LE(engine->CacheSize(), options.cache_capacity);
+  EXPECT_GT(engine->Metrics().cache_evictions, 0u);
+}
+
+TEST_F(ServeTest, FromCheckpointServesIdenticalPredictions) {
+  TempFile file("bacl");
+  ASSERT_TRUE(classifier_->Save(file.path()).ok());
+  auto restored = core::BaClassifier::FromCheckpoint(file.path());
+  ASSERT_TRUE(restored.ok()) << restored.status().message();
+  ASSERT_TRUE(restored.value()->trained());
+
+  const std::vector<int> expected = SerialTruth(*test_);
+  auto engine = InferenceEngine::Create(restored.value().get(),
+                                        &simulator_->ledger(), {});
+  ASSERT_TRUE(engine.ok());
+  for (size_t i = 0; i < test_->size(); ++i) {
+    auto result = engine.value()->Classify((*test_)[i].address);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result.value().predicted, expected[i]);
+  }
+}
+
+TEST_F(ServeTest, EngineRejectsBadSetups) {
+  InferenceEngineOptions bad;
+  bad.max_batch_size = 0;
+  auto e1 = InferenceEngine::Create(classifier_, &simulator_->ledger(), bad);
+  EXPECT_EQ(e1.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(e1.status().message().find("max_batch_size"),
+            std::string::npos);
+
+  auto e2 = InferenceEngine::Create(nullptr, &simulator_->ledger(), {});
+  EXPECT_EQ(e2.status().code(), StatusCode::kInvalidArgument);
+
+  core::BaClassifier untrained(classifier_->options());
+  auto e3 =
+      InferenceEngine::Create(&untrained, &simulator_->ledger(), {});
+  EXPECT_EQ(e3.status().code(), StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace ba::serve
