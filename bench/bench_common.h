@@ -8,6 +8,7 @@
 #include "datagen/dataset.h"
 #include "datagen/simulator.h"
 #include "metrics/classification.h"
+#include "obs/trace.h"
 #include "util/cli.h"
 #include "util/stopwatch.h"
 #include "util/table.h"
@@ -16,8 +17,24 @@
 /// \brief Shared scaffolding for the per-table / per-figure benchmark
 /// harnesses: economy construction, dataset materialization, and the
 /// per-class table rendering the paper's tables use.
+///
+/// Every bench additionally accepts `--trace-out=<path>`: tracing is
+/// enabled for the whole run and a Perfetto-loadable trace is written
+/// at process exit (see obs/trace.h).
 
 namespace ba::bench {
+
+/// \brief Enables tracing when `--trace-out` is set. Called from
+/// ScenarioFromFlags so every bench picks it up without code changes;
+/// idempotent across repeated calls in multi-experiment benches.
+inline void MaybeEnableTracing(const CliFlags& flags) {
+  const std::string path = flags.GetString("trace-out", "");
+  if (path.empty() || obs::Tracer::Instance().enabled()) return;
+  obs::Tracer::Instance().Enable();
+  obs::Tracer::Instance().SetCurrentThreadName("bench.main");
+  obs::Tracer::Instance().SaveAtExit(path);
+  std::cout << "tracing enabled, will save to " << path << "\n";
+}
 
 /// \brief One materialized experiment: simulated economy + stratified
 /// 80/20 split with tensors prepared.
@@ -39,6 +56,7 @@ struct Experiment {
 ///   --threads N       graph-construction threads  (default 1)
 inline datagen::ScenarioConfig ScenarioFromFlags(const CliFlags& flags,
                                                  uint64_t seed_offset = 0) {
+  MaybeEnableTracing(flags);
   datagen::ScenarioConfig config;
   config.seed = static_cast<uint64_t>(flags.GetInt("seed", 42)) + seed_offset;
   config.num_blocks = static_cast<int>(flags.GetInt("blocks", 400));

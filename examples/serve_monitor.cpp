@@ -7,10 +7,16 @@
 //    queries hit the cache; addresses that gained transactions rebuild
 //    only their tail slices.
 // 4. Persist the cache after every block (crash-safe), print the
-//    engine's metrics snapshot as the stream progresses.
+//    engine's metrics snapshot as the stream progresses, and stream the
+//    process-wide MetricsRegistry JSON every --metrics-every blocks.
+// 5. On exit, write a Perfetto-loadable trace of the whole run
+//    (--trace-out, default /tmp/ba_serve_monitor_trace.json) — open it
+//    at https://ui.perfetto.dev to see training epochs, serve batches
+//    and thread-pool tasks on their timelines.
 //
 // Build & run:  ./build/examples/serve_monitor [--blocks 150]
 //     [--stream 12] [--clients 3] [--cache /tmp/ba_serve_cache.basv]
+//     [--trace-out /tmp/trace.json] [--metrics-every 4]
 
 #include <iostream>
 #include <thread>
@@ -19,11 +25,23 @@
 #include "core/classifier.h"
 #include "datagen/dataset.h"
 #include "datagen/simulator.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/inference_engine.h"
 #include "util/cli.h"
 
 int main(int argc, char** argv) {
   ba::CliFlags flags(argc, argv);
+
+  // Tracing covers everything from training to the final query; the
+  // trace is saved when the process exits.
+  const std::string trace_out =
+      flags.GetString("trace-out", "/tmp/ba_serve_monitor_trace.json");
+  if (!trace_out.empty()) {
+    ba::obs::Tracer::Instance().Enable();
+    ba::obs::Tracer::Instance().SetCurrentThreadName("serve_monitor.main");
+    ba::obs::Tracer::Instance().SaveAtExit(trace_out);
+  }
 
   // --- 1. Economy + trained classifier. ------------------------------
   ba::datagen::ScenarioConfig config;
@@ -103,9 +121,24 @@ int main(int argc, char** argv) {
               << static_cast<int>(m.hit_rate * 100.0 + 0.5) << "%, p99 "
               << ba::serve::FormatSeconds(m.request_latency.p99_seconds)
               << "\n";
+
+    // Periodic registry scrape: one JSON object covering every
+    // subsystem — engine snapshot (via its provider), thread-pool depth
+    // and task counts — exactly what a sidecar collector would ship.
+    const int metrics_every =
+        static_cast<int>(flags.GetInt("metrics-every", 4));
+    if (metrics_every > 0 && (b + 1) % metrics_every == 0) {
+      std::cout << "registry: "
+                << ba::obs::MetricsRegistry::Instance().JsonExposition()
+                << "\n";
+    }
   }
 
   // --- 4. Final metrics snapshot. -------------------------------------
   std::cout << "\n" << engine.value()->Metrics().ToString();
+  if (!trace_out.empty()) {
+    std::cout << "\ntrace will be saved to " << trace_out
+              << " (open in https://ui.perfetto.dev)\n";
+  }
   return 0;
 }

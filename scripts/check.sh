@@ -3,13 +3,19 @@
 # This is the crash-safety gate: fault-injection and corruption tests
 # must pass with zero sanitizer findings.
 #
-# Two configurations:
+# Three configurations:
 #   address (default)  ASan + UBSan over the full suite.
 #   thread             TSan over the concurrency-sensitive tests
 #                      (serve_test drives the batched inference engine
-#                      from multiple client threads).
+#                      from multiple client threads; obs_test hammers
+#                      the metrics registry and tracer concurrently).
+#   trace              Smoke-tests the observability subsystem: runs the
+#                      serve_monitor example with BA_TRACE_OUT set and
+#                      validates that the emitted file is well-formed
+#                      Chrome trace-event JSON containing spans from the
+#                      core, serve and util.thread_pool subsystems.
 #
-# Usage: scripts/check.sh [address|thread] [build-dir]
+# Usage: scripts/check.sh [address|thread|trace] [build-dir]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -33,12 +39,49 @@ case "$MODE" in
       -DBA_SANITIZE=thread \
       -DBA_BUILD_BENCHMARKS=OFF \
       -DBA_BUILD_EXAMPLES=OFF
-    cmake --build "$BUILD_DIR" -j "$(nproc)" --target serve_test util_test
+    cmake --build "$BUILD_DIR" -j "$(nproc)" --target serve_test util_test obs_test
     "$BUILD_DIR"/tests/serve_test
     "$BUILD_DIR"/tests/util_test
+    "$BUILD_DIR"/tests/obs_test
+    ;;
+  trace)
+    BUILD_DIR="${2:-build}"
+    TRACE_FILE="$(mktemp /tmp/ba_trace_smoke_XXXXXX.json)"
+    trap 'rm -f "$TRACE_FILE"' EXIT
+    cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
+    cmake --build "$BUILD_DIR" -j "$(nproc)" --target serve_monitor
+    # A short serving run exercises training, graph construction, the
+    # micro-batching engine and the thread pool in one process.
+    BA_TRACE_OUT="$TRACE_FILE" "$BUILD_DIR"/examples/serve_monitor \
+      --blocks 60 --stream 3 --clients 2 --trace-out "$TRACE_FILE" \
+      --cache "$(mktemp -u /tmp/ba_trace_smoke_cache_XXXXXX.basv)"
+    python3 - "$TRACE_FILE" <<'EOF'
+import json, sys
+
+path = sys.argv[1]
+with open(path) as f:
+    doc = json.load(f)
+
+events = doc["traceEvents"]
+assert isinstance(events, list) and events, "no trace events"
+names = {e["name"] for e in events}
+spans = [e for e in events if e.get("ph") == "X"]
+assert spans, "no complete ('X') spans"
+for e in spans:
+    assert e["dur"] >= 0, f"negative duration: {e}"
+    assert {"name", "ph", "ts", "pid", "tid"} <= e.keys(), f"missing keys: {e}"
+
+for prefix in ("core.", "serve.", "util.thread_pool."):
+    assert any(n.startswith(prefix) for n in names), \
+        f"no span from subsystem {prefix!r}; saw {sorted(names)[:20]}"
+
+print(f"trace OK: {len(events)} events, "
+      f"{len({e['tid'] for e in events})} threads, "
+      f"subsystems core/serve/util.thread_pool all present")
+EOF
     ;;
   *)
-    echo "usage: scripts/check.sh [address|thread] [build-dir]" >&2
+    echo "usage: scripts/check.sh [address|thread|trace] [build-dir]" >&2
     exit 2
     ;;
 esac

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
+#include "util/logging.h"
 #include "util/stopwatch.h"
 
 namespace ba::core {
@@ -170,8 +172,12 @@ void AggregatorModel::Train(const std::vector<EmbeddingSequence>& train,
   std::vector<size_t> order(train.size());
   for (size_t i = 0; i < order.size(); ++i) order[i] = i;
 
+  obs::ScopedSpan train_span("core.aggregate.train");
+  train_span.AddArg("epochs", static_cast<double>(options_.epochs));
+  train_span.AddArg("examples", static_cast<double>(train.size()));
   Stopwatch watch;
   for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    obs::ScopedSpan epoch_span("core.aggregate.epoch");
     watch.Start();
     rng_.Shuffle(&order);
     double epoch_loss = 0.0;
@@ -197,6 +203,15 @@ void AggregatorModel::Train(const std::vector<EmbeddingSequence>& train,
                     static_cast<double>(losses.size());
     }
     watch.Stop();
+
+    const double mean_loss = epoch_loss / static_cast<double>(train.size());
+    BA_LOG(Info, "core.aggregate")
+        << "epoch " << (epoch + 1) << "/" << options_.epochs << " loss "
+        << mean_loss << " (" << watch.ElapsedSeconds() << "s)";
+    if (epoch_span.active()) {
+      epoch_span.AddArg("epoch", static_cast<double>(epoch + 1));
+      epoch_span.AddArg("loss", mean_loss);
+    }
 
     if (history != nullptr) {
       EpochStat stat;

@@ -8,6 +8,7 @@
 #include <functional>
 #include <map>
 
+#include "obs/trace.h"
 #include "tensor/serialize.h"
 #include "util/fs.h"
 #include "util/logging.h"
@@ -109,13 +110,17 @@ Status BaClassifier::TrainOnSamples(
   if (train.empty()) {
     return Status::InvalidArgument("no training samples with history");
   }
+  BA_TRACE_SPAN("core.classifier.train");
   graph_model_ = std::make_unique<GraphModel>(options_.graph_model);
   BA_RETURN_NOT_OK(graph_model_->Train(train));
 
-  std::vector<EmbeddingSequence> sequences =
-      BuildEmbeddingSequences(*graph_model_, train);
-  scaler_ = EmbeddingScaler::Fit(sequences);
-  scaler_.Apply(&sequences);
+  std::vector<EmbeddingSequence> sequences;
+  {
+    BA_TRACE_SPAN("core.classifier.embed");
+    sequences = BuildEmbeddingSequences(*graph_model_, train);
+    scaler_ = EmbeddingScaler::Fit(sequences);
+    scaler_.Apply(&sequences);
+  }
 
   aggregator_ = std::make_unique<AggregatorModel>(options_.aggregator);
   aggregator_->Train(sequences);
@@ -185,37 +190,6 @@ Status BaClassifier::EvaluateSamples(const std::vector<AddressSample>& test,
   }
   *out = std::move(cm);
   return Status::OK();
-}
-
-// -- Deprecated shims -------------------------------------------------------
-
-std::vector<int> BaClassifier::Predict(
-    const chain::Ledger& ledger,
-    const std::vector<datagen::LabeledAddress>& addresses) const {
-  std::vector<int> out;
-  BA_CHECK_OK(Predict(ledger, addresses, &out));
-  return out;
-}
-
-int BaClassifier::PredictSample(const AddressSample& sample) const {
-  int out = 0;
-  BA_CHECK_OK(PredictSample(sample, &out));
-  return out;
-}
-
-metrics::ConfusionMatrix BaClassifier::Evaluate(
-    const chain::Ledger& ledger,
-    const std::vector<datagen::LabeledAddress>& test) const {
-  metrics::ConfusionMatrix out(options_.graph_model.num_classes);
-  BA_CHECK_OK(Evaluate(ledger, test, &out));
-  return out;
-}
-
-metrics::ConfusionMatrix BaClassifier::EvaluateSamples(
-    const std::vector<AddressSample>& test) const {
-  metrics::ConfusionMatrix out(options_.graph_model.num_classes);
-  BA_CHECK_OK(EvaluateSamples(test, &out));
-  return out;
 }
 
 // -- Options codec ----------------------------------------------------------

@@ -18,8 +18,9 @@
 /// The facade is Status-first: every fallible operation (prediction on
 /// an untrained model, invalid options, corrupt checkpoints) returns a
 /// descriptive `Status` instead of aborting, so a serving process can
-/// reject a bad request and keep running. The legacy crash-on-misuse
-/// overloads remain as deprecated shims.
+/// reject a bad request and keep running. (The legacy crash-on-misuse
+/// value-returning overloads were deprecated shims and have been
+/// removed.)
 ///
 /// Typical use:
 /// \code
@@ -118,29 +119,6 @@ class BaClassifier {
   /// Same, on pre-materialized samples.
   Status EvaluateSamples(const std::vector<AddressSample>& test,
                          metrics::ConfusionMatrix* out) const;
-
-  // -- Deprecated crash-on-misuse shims ---------------------------------
-
-  /// \deprecated Aborts on an untrained model; use the Status overload.
-  [[deprecated("use Predict(ledger, addresses, out)")]] std::vector<int>
-  Predict(const chain::Ledger& ledger,
-          const std::vector<datagen::LabeledAddress>& addresses) const;
-
-  /// \deprecated Aborts on an untrained model; use the Status overload.
-  [[deprecated("use PredictSample(sample, out)")]] int PredictSample(
-      const AddressSample& sample) const;
-
-  /// \deprecated Aborts on an untrained model; use the Status overload.
-  [[deprecated("use Evaluate(ledger, test, out)")]] metrics::ConfusionMatrix
-  Evaluate(const chain::Ledger& ledger,
-           const std::vector<datagen::LabeledAddress>& test) const;
-
-  /// \deprecated Aborts on an untrained model; use the Status overload.
-  [[deprecated(
-      "use EvaluateSamples(test, out)")]] metrics::ConfusionMatrix
-  EvaluateSamples(const std::vector<AddressSample>& test) const;
-
-  // ---------------------------------------------------------------------
 
   /// \brief Saves the trained model to a "BACL" checkpoint: the
   /// serialized Options followed by the weights (encoder + aggregator +

@@ -6,6 +6,7 @@
 #include <unordered_set>
 
 #include "graph/sparse_matrix.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace ba::core {
@@ -143,15 +144,20 @@ std::vector<AddressGraph> GraphConstructor::BuildGraphs(
 
 std::vector<AddressGraph> GraphConstructor::BuildGraphsFrom(
     const chain::Ledger& ledger, chain::AddressId address, int start_slice) {
+  BA_TRACE_SPAN("core.graph.build");
   Stopwatch watch;
 
   watch.Start();
-  std::vector<AddressGraph> graphs =
-      ExtractOriginalGraphs(ledger, address, start_slice);
+  std::vector<AddressGraph> graphs;
+  {
+    BA_TRACE_SPAN("core.graph.extract");
+    graphs = ExtractOriginalGraphs(ledger, address, start_slice);
+  }
   watch.Stop();
   timings_.extract_seconds += watch.ElapsedSeconds();
 
   if (options_.enable_single_compression) {
+    BA_TRACE_SPAN("core.graph.compress_single");
     watch.Reset();
     watch.Start();
     for (auto& g : graphs) CompressSingleTransactionAddresses(&g);
@@ -160,6 +166,7 @@ std::vector<AddressGraph> GraphConstructor::BuildGraphsFrom(
   }
 
   if (options_.enable_multi_compression) {
+    BA_TRACE_SPAN("core.graph.compress_multi");
     watch.Reset();
     watch.Start();
     for (auto& g : graphs) CompressMultiTransactionAddresses(&g);
@@ -168,6 +175,7 @@ std::vector<AddressGraph> GraphConstructor::BuildGraphsFrom(
   }
 
   if (options_.enable_augmentation) {
+    BA_TRACE_SPAN("core.graph.augment");
     watch.Reset();
     watch.Start();
     for (auto& g : graphs) AugmentStructure(&g);
@@ -254,10 +262,13 @@ std::vector<AddressGraph> GraphConstructor::ExtractOriginalGraphs(
       }
     }
 
-    for (int i = 0; i < g.num_nodes(); ++i) {
-      GraphNode& node = g.nodes[static_cast<size_t>(i)];
-      node.features =
-          MakeNodeFeatures(node.kind, node_values[static_cast<size_t>(i)]);
+    {
+      BA_TRACE_SPAN("core.sfe");
+      for (int i = 0; i < g.num_nodes(); ++i) {
+        GraphNode& node = g.nodes[static_cast<size_t>(i)];
+        node.features =
+            MakeNodeFeatures(node.kind, node_values[static_cast<size_t>(i)]);
+      }
     }
     g.nodes[static_cast<size_t>(g.target_node)]
         .features[static_cast<size_t>(kTargetFlagIndex)] = 1.0;

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <memory>
 
+#include "obs/trace.h"
 #include "util/thread_pool.h"
 
 namespace ba::core {
@@ -29,6 +30,9 @@ std::vector<AddressSample> GraphDatasetBuilder::Build(
     const chain::Ledger& ledger,
     const std::vector<datagen::LabeledAddress>& addresses) {
   const size_t n = addresses.size();
+  obs::ScopedSpan span("core.dataset.build");
+  span.AddArg("addresses", static_cast<double>(n));
+  span.AddArg("threads", static_cast<double>(options_.num_threads));
   std::vector<AddressSample> samples(n);
 
   auto build_one = [&](GraphConstructor* constructor, size_t i) {

@@ -1,9 +1,12 @@
 #include "core/graph_model.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "core/checkpoint.h"
+#include "obs/trace.h"
 #include "util/fs.h"
+#include "util/logging.h"
 #include "util/stopwatch.h"
 
 namespace ba::core {
@@ -225,8 +228,12 @@ Status GraphModel::Train(const std::vector<AddressSample>& train,
   // the epoch boundary alone — the property that makes kill/resume
   // reproduce an uninterrupted run bit-exactly.
   std::vector<size_t> order(examples.size());
+  obs::ScopedSpan train_span("core.train");
+  train_span.AddArg("epochs", static_cast<double>(options_.epochs));
+  train_span.AddArg("examples", static_cast<double>(examples.size()));
   Stopwatch train_watch;
   for (int epoch = start_epoch; epoch < options_.epochs; ++epoch) {
+    obs::ScopedSpan epoch_span("core.train.epoch");
     train_watch.Start();
     for (size_t i = 0; i < order.size(); ++i) order[i] = i;
     rng_.Shuffle(&order);
@@ -256,6 +263,34 @@ Status GraphModel::Train(const std::vector<AddressSample>& train,
                     static_cast<double>(losses.size());
     }
     train_watch.Stop();
+
+    const double epoch_seconds = train_watch.ElapsedSeconds();
+    const double mean_loss =
+        epoch_loss / static_cast<double>(examples.size());
+    BA_LOG(Info, "core.train")
+        << "epoch " << (epoch + 1) << "/" << options_.epochs << " loss "
+        << mean_loss << " (" << examples.size() << " examples, "
+        << epoch_seconds << "s)";
+    if (epoch_span.active()) {
+      epoch_span.AddArg("epoch", static_cast<double>(epoch + 1));
+      epoch_span.AddArg("loss", mean_loss);
+      if (epoch_seconds > 0.0) {
+        epoch_span.AddArg("examples_per_s",
+                          static_cast<double>(examples.size()) /
+                              epoch_seconds);
+      }
+      // The post-Step gradient L2 norm — an extra parameter sweep, so
+      // computed only when the span is recorded.
+      double grad_sq = 0.0;
+      for (const tensor::Var& p : Parameters()) {
+        if (!p->grad_ready) continue;
+        const float* g = p->grad.data();
+        for (int64_t j = 0; j < p->grad.numel(); ++j) {
+          grad_sq += static_cast<double>(g[j]) * static_cast<double>(g[j]);
+        }
+      }
+      epoch_span.AddArg("grad_norm", std::sqrt(grad_sq));
+    }
 
     if (history != nullptr) {
       EpochStat stat;

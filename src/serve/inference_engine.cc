@@ -1,12 +1,14 @@
 #include "serve/inference_engine.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstring>
 #include <sstream>
 #include <utility>
 
 #include "core/gfn_features.h"
 #include "core/graph_builder.h"
+#include "obs/trace.h"
 #include "util/fs.h"
 #include "util/stopwatch.h"
 
@@ -79,9 +81,22 @@ InferenceEngine::InferenceEngine(const core::BaClassifier* classifier,
       k_hops_(classifier->options().dataset.k_hops),
       embed_dim_(classifier->graph_model().embed_dim()),
       pool_(std::make_unique<ThreadPool>(
-          static_cast<size_t>(options_.num_threads))) {}
+          static_cast<size_t>(options_.num_threads))) {
+  // Unique per process so several engines (tests, A/B deployments) can
+  // coexist in one registry scrape.
+  static std::atomic<uint64_t> next_engine_id{0};
+  registry_provider_name_ =
+      "serve.engine." + std::to_string(next_engine_id.fetch_add(1));
+  obs::MetricsRegistry::Instance().RegisterProvider(
+      registry_provider_name_, [this] { return Metrics().ToJson(); });
+}
 
-InferenceEngine::~InferenceEngine() = default;
+InferenceEngine::~InferenceEngine() {
+  // First thing: a concurrent scrape must not run the provider while
+  // the engine tears down under it.
+  obs::MetricsRegistry::Instance().UnregisterProvider(
+      registry_provider_name_);
+}
 
 uint64_t InferenceEngine::TxCountOf(chain::AddressId address) const {
   const size_t total = ledger_->TransactionsOf(address).size();
@@ -95,6 +110,7 @@ Result<ClassifyResult> InferenceEngine::Classify(chain::AddressId address) {
     return Status::InvalidArgument("InferenceEngine: unknown address id " +
                                    std::to_string(address));
   }
+  BA_TRACE_SPAN("serve.request");
   Stopwatch sw;
   sw.Start();
   Request req;
@@ -184,6 +200,8 @@ void InferenceEngine::RunLeader(std::unique_lock<std::mutex>* lock) {
 }
 
 void InferenceEngine::ProcessBatch(const std::vector<Request*>& batch) {
+  obs::ScopedSpan batch_span("serve.batch");
+  batch_span.AddArg("batch_size", static_cast<double>(batch.size()));
   Stopwatch batch_sw;
   batch_sw.Start();
   stats_.batches.Increment();
@@ -205,6 +223,7 @@ void InferenceEngine::ProcessBatch(const std::vector<Request*>& batch) {
   work.reserve(batch.size());
   std::unordered_map<chain::AddressId, size_t> work_index;
   {
+    BA_TRACE_SPAN("serve.batch.lookup");
     std::unique_lock<std::mutex> lock(cache_mu_);
     for (Request* req : batch) {
       auto dup = work_index.find(req->address);
@@ -261,6 +280,7 @@ void InferenceEngine::ProcessBatch(const std::vector<Request*>& batch) {
   // paths are const and share frozen weights, so workers may embed
   // concurrently.
   if (!work.empty()) {
+    BA_TRACE_SPAN("serve.batch.build_embed");
     const core::GraphModel& model = classifier_->graph_model();
     pool_->ParallelFor(work.size(), [&](size_t i) {
       Work& w = work[i];
@@ -289,40 +309,43 @@ void InferenceEngine::ProcessBatch(const std::vector<Request*>& batch) {
   // Stage 3 — scale + aggregate each full embedding sequence, publish
   // results and refresh the cache (serial; the LSTM head is tiny next
   // to stage 2).
-  Stopwatch agg_sw;
-  agg_sw.Start();
-  for (Work& w : work) {
-    stats_.slices_built.Increment(static_cast<uint64_t>(w.built));
-    stats_.slices_reused.Increment(static_cast<uint64_t>(w.reuse_slices));
-    int predicted = 0;
-    if (!w.rows.empty()) {
-      std::vector<core::EmbeddingSequence> seqs(1);
-      seqs[0].embeddings =
-          tensor::Tensor({static_cast<int64_t>(w.rows.size()), embed_dim_});
-      for (size_t r = 0; r < w.rows.size(); ++r) {
-        for (int64_t j = 0; j < embed_dim_; ++j) {
-          seqs[0].embeddings.at(static_cast<int64_t>(r), j) =
-              w.rows[r][static_cast<size_t>(j)];
+  {
+    BA_TRACE_SPAN("serve.batch.aggregate");
+    Stopwatch agg_sw;
+    agg_sw.Start();
+    for (Work& w : work) {
+      stats_.slices_built.Increment(static_cast<uint64_t>(w.built));
+      stats_.slices_reused.Increment(static_cast<uint64_t>(w.reuse_slices));
+      int predicted = 0;
+      if (!w.rows.empty()) {
+        std::vector<core::EmbeddingSequence> seqs(1);
+        seqs[0].embeddings = tensor::Tensor(
+            {static_cast<int64_t>(w.rows.size()), embed_dim_});
+        for (size_t r = 0; r < w.rows.size(); ++r) {
+          for (int64_t j = 0; j < embed_dim_; ++j) {
+            seqs[0].embeddings.at(static_cast<int64_t>(r), j) =
+                w.rows[r][static_cast<size_t>(j)];
+          }
         }
+        classifier_->scaler().Apply(&seqs);
+        predicted = classifier_->aggregator().Predict(seqs[0].embeddings);
       }
-      classifier_->scaler().Apply(&seqs);
-      predicted = classifier_->aggregator().Predict(seqs[0].embeddings);
+      for (Request* req : w.reqs) {
+        req->result.predicted = predicted;
+        req->result.slices_reused = w.reuse_slices;
+        req->result.slices_built = w.built;
+      }
+      if (!w.rows.empty()) {
+        CacheEntry entry;
+        entry.tx_count = w.tx_count;
+        entry.slice_embeddings = std::move(w.rows);
+        entry.predicted = predicted;
+        StoreEntry(w.address, std::move(entry));
+      }
     }
-    for (Request* req : w.reqs) {
-      req->result.predicted = predicted;
-      req->result.slices_reused = w.reuse_slices;
-      req->result.slices_built = w.built;
-    }
-    if (!w.rows.empty()) {
-      CacheEntry entry;
-      entry.tx_count = w.tx_count;
-      entry.slice_embeddings = std::move(w.rows);
-      entry.predicted = predicted;
-      StoreEntry(w.address, std::move(entry));
-    }
+    agg_sw.Stop();
+    stats_.aggregate_seconds.AddSeconds(agg_sw.ElapsedSeconds());
   }
-  agg_sw.Stop();
-  stats_.aggregate_seconds.AddSeconds(agg_sw.ElapsedSeconds());
   batch_sw.Stop();
   stats_.batch_latency.Record(batch_sw.ElapsedSeconds());
 }

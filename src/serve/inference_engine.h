@@ -44,7 +44,12 @@
 ///
 ///  * **Observability.** Counters, per-stage wall-clock accumulators
 ///    and latency histograms (p50/p95/p99) are collected into an
-///    `InferenceMetricsSnapshot`, printable or JSON-exportable.
+///    `InferenceMetricsSnapshot`, printable or JSON-exportable. Each
+///    engine also publishes that snapshot as a JSON provider named
+///    `serve.engine.<n>` in the process-wide obs::MetricsRegistry, and
+///    the batch lifecycle emits trace spans (`serve.request`,
+///    `serve.batch` + per-stage children) when tracing is enabled — see
+///    DESIGN.md §6.
 ///
 /// Thread-safety contract: Classify/ClassifyBatch/Metrics/SaveCache may
 /// be called concurrently from any number of threads. Mutating the
@@ -239,6 +244,10 @@ class InferenceEngine {
     LatencyHistogram batch_latency;
   };
   mutable Stats stats_;
+
+  /// Name this engine's snapshot provider is registered under in
+  /// obs::MetricsRegistry ("serve.engine.<n>", unique per process).
+  std::string registry_provider_name_;
 };
 
 }  // namespace ba::serve

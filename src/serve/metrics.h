@@ -1,110 +1,26 @@
 #pragma once
 
-#include <array>
-#include <atomic>
-#include <cstdint>
-#include <string>
+#include "obs/metrics.h"
 
 /// \file metrics.h
-/// \brief Lock-free serving observability primitives: monotonic
-/// counters and log-bucketed latency histograms with percentile
-/// estimation. The inference engine aggregates these into a printable /
-/// scrapeable `InferenceMetricsSnapshot` (see inference_engine.h) — the
-/// BitScope-style monitoring loop (repeated queries over a growing
-/// ledger) reads them to watch throughput, tail latency and cache
-/// effectiveness.
+/// \brief Serving-layer aliases for the process-wide observability
+/// instruments in obs/metrics.h.
 ///
-/// All mutators are safe to call concurrently from request threads;
-/// readers observe a (momentarily) consistent-enough view without
-/// stopping the world, which is what a metrics scrape wants.
+/// These types started here as engine-local primitives (PR 2) and were
+/// generalized into `src/obs` so every subsystem shares one taxonomy
+/// and one registry. The serving code keeps its original spellings —
+/// `LatencyHistogram` is obs::Histogram under its dominant use — and
+/// the per-engine snapshot semantics are unchanged: each engine still
+/// owns its own instrument instances, and additionally publishes a
+/// JSON provider into obs::MetricsRegistry (see inference_engine.h).
 
 namespace ba::serve {
 
-/// \brief A monotonically increasing event counter.
-class Counter {
- public:
-  void Increment(uint64_t n = 1) {
-    value_.fetch_add(n, std::memory_order_relaxed);
-  }
+using Counter = obs::Counter;
+using TimeAccumulator = obs::TimeAccumulator;
+using HistogramSnapshot = obs::HistogramSnapshot;
+using LatencyHistogram = obs::Histogram;
 
-  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
-
- private:
-  std::atomic<uint64_t> value_{0};
-};
-
-/// \brief Accumulates wall-clock seconds from concurrent recorders
-/// (per-stage pipeline timings). Stored as integer nanoseconds so the
-/// accumulation is a plain atomic add.
-class TimeAccumulator {
- public:
-  void AddSeconds(double seconds) {
-    nanos_.fetch_add(static_cast<int64_t>(seconds * 1e9),
-                     std::memory_order_relaxed);
-  }
-
-  double Seconds() const {
-    return static_cast<double>(nanos_.load(std::memory_order_relaxed)) * 1e-9;
-  }
-
- private:
-  std::atomic<int64_t> nanos_{0};
-};
-
-/// \brief Point-in-time summary of one latency histogram.
-struct HistogramSnapshot {
-  uint64_t count = 0;
-  double total_seconds = 0.0;
-  double mean_seconds = 0.0;
-  double p50_seconds = 0.0;
-  double p95_seconds = 0.0;
-  double p99_seconds = 0.0;
-  double max_seconds = 0.0;
-};
-
-/// \brief Fixed log-spaced latency histogram (1µs … ~3.5h upper bucket)
-/// with interpolation-free percentile estimation: a percentile reports
-/// the geometric midpoint of the bucket containing it, so estimates are
-/// within one bucket ratio (×1.5) of the true value — plenty for
-/// serving dashboards, with zero allocation and no locks on the record
-/// path.
-class LatencyHistogram {
- public:
-  static constexpr int kNumBuckets = 56;
-  static constexpr double kFirstUpperBound = 1e-6;  // 1µs
-  static constexpr double kGrowth = 1.5;
-
-  /// Records one observation (thread-safe, lock-free).
-  void Record(double seconds);
-
-  /// Summarizes the current contents (concurrent-safe; the snapshot is
-  /// approximate under concurrent writes).
-  HistogramSnapshot Snapshot() const;
-
-  /// Estimated percentile in seconds, p in (0, 100].
-  double Percentile(double p) const;
-
-  uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
-
-  double TotalSeconds() const {
-    return static_cast<double>(
-               total_nanos_.load(std::memory_order_relaxed)) *
-           1e-9;
-  }
-
- private:
-  /// Upper bound of bucket `i` in seconds; the final bucket is
-  /// unbounded and reports its lower bound.
-  static double UpperBound(int i);
-  static int BucketOf(double seconds);
-
-  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
-  std::atomic<uint64_t> count_{0};
-  std::atomic<int64_t> total_nanos_{0};
-  std::atomic<int64_t> max_nanos_{0};
-};
-
-/// Renders seconds as a human-scaled string ("1.23ms", "45.6µs").
-std::string FormatSeconds(double seconds);
+using obs::FormatSeconds;
 
 }  // namespace ba::serve

@@ -1,0 +1,143 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <cctype>
+#include <cstring>
+#include <mutex>
+#include <vector>
+
+namespace ba::util::log {
+
+namespace {
+
+std::string ToLower(const std::string& s) {
+  std::string out = s;
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+const char* LevelName(Level level) {
+  switch (level) {
+    case Level::kDebug:
+      return "DEBUG";
+    case Level::kInfo:
+      return "INFO";
+    case Level::kWarn:
+      return "WARN";
+    case Level::kError:
+      return "ERROR";
+    case Level::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+struct State {
+  std::atomic<int> min_level;
+  /// True while no module filter is installed — lets ShouldLog skip the
+  /// mutex on the common path.
+  std::atomic<bool> all_modules;
+  std::mutex mu;
+  std::vector<std::string> prefixes;
+
+  State()
+      : min_level(static_cast<int>(Level::kWarn)), all_modules(true) {
+    const char* env_level = std::getenv("BA_LOG");
+    if (env_level != nullptr && env_level[0] != '\0') {
+      min_level.store(
+          static_cast<int>(ParseLevel(env_level, Level::kWarn)),
+          std::memory_order_relaxed);
+    }
+    const char* env_modules = std::getenv("BA_LOG_MODULES");
+    if (env_modules != nullptr && env_modules[0] != '\0') {
+      SetPrefixes(env_modules);
+    }
+  }
+
+  void SetPrefixes(const std::string& comma_separated) {
+    std::vector<std::string> parsed;
+    std::string current;
+    for (char c : comma_separated) {
+      if (c == ',') {
+        if (!current.empty()) parsed.push_back(current);
+        current.clear();
+      } else if (!std::isspace(static_cast<unsigned char>(c))) {
+        current.push_back(c);
+      }
+    }
+    if (!current.empty()) parsed.push_back(current);
+    {
+      std::unique_lock<std::mutex> lock(mu);
+      prefixes = std::move(parsed);
+      all_modules.store(prefixes.empty(), std::memory_order_relaxed);
+    }
+  }
+
+  bool ModuleEnabled(const char* module) {
+    if (all_modules.load(std::memory_order_relaxed)) return true;
+    std::unique_lock<std::mutex> lock(mu);
+    for (const std::string& p : prefixes) {
+      if (std::strncmp(module, p.c_str(), p.size()) == 0) return true;
+    }
+    return false;
+  }
+};
+
+State& GetState() {
+  // Leaked: log statements may run from atexit hooks and detached
+  // threads after static destruction would have torn this down.
+  static State* state = new State();
+  return *state;
+}
+
+}  // namespace
+
+Level ParseLevel(const std::string& text, Level fallback) {
+  const std::string t = ToLower(text);
+  if (t == "debug") return Level::kDebug;
+  if (t == "info") return Level::kInfo;
+  if (t == "warn" || t == "warning") return Level::kWarn;
+  if (t == "error") return Level::kError;
+  if (t == "off" || t == "none") return Level::kOff;
+  return fallback;
+}
+
+void SetMinLevel(Level level) {
+  GetState().min_level.store(static_cast<int>(level),
+                             std::memory_order_relaxed);
+}
+
+Level MinLevel() {
+  return static_cast<Level>(
+      GetState().min_level.load(std::memory_order_relaxed));
+}
+
+void SetModuleFilter(const std::string& comma_separated_prefixes) {
+  GetState().SetPrefixes(comma_separated_prefixes);
+}
+
+bool ShouldLog(Level level, const char* module) {
+  State& state = GetState();
+  if (static_cast<int>(level) <
+      state.min_level.load(std::memory_order_relaxed)) {
+    return false;
+  }
+  if (level == Level::kOff) return false;
+  return state.ModuleEnabled(module);
+}
+
+namespace internal {
+
+LogMessage::LogMessage(Level level, const char* module)
+    : level_(level), module_(module) {}
+
+LogMessage::~LogMessage() {
+  // One fprintf per line keeps concurrent log statements from
+  // interleaving mid-line.
+  std::fprintf(stderr, "[%s %s] %s\n", LevelName(level_), module_,
+               os_.str().c_str());
+}
+
+}  // namespace internal
+
+}  // namespace ba::util::log

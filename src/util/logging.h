@@ -60,3 +60,77 @@ namespace ba::internal {
                                   "status not OK: " + _ba_st.ToString());   \
     }                                                                       \
   } while (false)
+
+namespace ba::util::log {
+
+/// Severity levels for BA_LOG, in increasing order. kOff disables
+/// everything.
+enum class Level : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+/// Parses "debug"/"info"/"warn"/"error"/"off" (case-insensitive);
+/// returns `fallback` on anything else.
+Level ParseLevel(const std::string& text, Level fallback);
+
+/// Sets the process-wide minimum severity. Thread-safe. The initial
+/// value comes from the BA_LOG environment variable (default: warn, so
+/// library code stays quiet unless something is wrong).
+void SetMinLevel(Level level);
+Level MinLevel();
+
+/// Restricts logging to modules whose name starts with one of the
+/// comma-separated prefixes ("core,obs.trace"); empty re-allows all.
+/// Initial value comes from BA_LOG_MODULES. Thread-safe.
+void SetModuleFilter(const std::string& comma_separated_prefixes);
+
+/// True when a BA_LOG(level, module) statement would emit.
+bool ShouldLog(Level level, const char* module);
+
+namespace internal {
+
+/// One log statement: buffers the streamed message, then writes a
+/// single line to stderr in the destructor.
+class LogMessage {
+ public:
+  LogMessage(Level level, const char* module);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return os_; }
+
+ private:
+  Level level_;
+  const char* module_;
+  std::ostringstream os_;
+};
+
+/// Swallows the stream expression in BA_LOG's disabled branch so the
+/// macro stays a single expression (no dangling-else hazard).
+struct Voidify {
+  void operator&(std::ostream&) const {}
+};
+
+}  // namespace internal
+
+}  // namespace ba::util::log
+
+/// Leveled, module-tagged logging:
+///   BA_LOG(Warn, "obs.trace") << "dropped " << n << " events";
+/// Severity is one of Debug/Info/Warn/Error; `module` is a
+/// `<subsystem>[.<stage>]` string matched by SetModuleFilter /
+/// BA_LOG_MODULES. Stream operands are not evaluated when filtered out.
+#define BA_LOG(severity, module)                                            \
+  !::ba::util::log::ShouldLog(::ba::util::log::Level::k##severity,          \
+                              (module))                                     \
+      ? (void)0                                                             \
+      : ::ba::util::log::internal::Voidify() &                              \
+            ::ba::util::log::internal::LogMessage(                          \
+                ::ba::util::log::Level::k##severity, (module))              \
+                .stream()

@@ -1,10 +1,32 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
+#include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace ba {
+
+namespace {
+
+/// Process-wide instruments shared by every pool (several engines may
+/// each own one); Add(+1)/Add(-1) pairs keep the aggregate depth right.
+/// Pointers are cached once — instruments live forever.
+obs::Gauge* QueueDepthGauge() {
+  static obs::Gauge* gauge = obs::MetricsRegistry::Instance().GetGauge(
+      "util.thread_pool.queue_depth");
+  return gauge;
+}
+
+obs::Counter* TasksCounter() {
+  static obs::Counter* counter =
+      obs::MetricsRegistry::Instance().GetCounter("util.thread_pool.tasks");
+  return counter;
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(size_t num_threads) {
   BA_CHECK_GE(num_threads, 1u);
@@ -28,12 +50,19 @@ void ThreadPool::Shutdown() {
 }
 
 bool ThreadPool::Submit(std::function<void()> task) {
+  PendingTask pending;
+  pending.fn = std::move(task);
+  if (obs::Tracer::Instance().enabled()) {
+    pending.enqueue_ns = obs::Tracer::NowNs();
+  }
   {
     std::unique_lock<std::mutex> lock(mu_);
     if (shutdown_) return false;
-    tasks_.push(std::move(task));
+    tasks_.push(std::move(pending));
     ++in_flight_;
   }
+  QueueDepthGauge()->Add(1);
+  TasksCounter()->Increment();
   task_available_.notify_one();
   return true;
 }
@@ -69,8 +98,9 @@ void ThreadPool::ParallelFor(size_t n,
 }
 
 void ThreadPool::WorkerLoop() {
+  obs::Tracer::Instance().SetCurrentThreadName("ba.pool.worker");
   for (;;) {
-    std::function<void()> task;
+    PendingTask task;
     {
       std::unique_lock<std::mutex> lock(mu_);
       task_available_.wait(lock,
@@ -82,7 +112,19 @@ void ThreadPool::WorkerLoop() {
       task = std::move(tasks_.front());
       tasks_.pop();
     }
-    task();
+    QueueDepthGauge()->Add(-1);
+    obs::Tracer& tracer = obs::Tracer::Instance();
+    if (task.enqueue_ns >= 0 && tracer.enabled()) {
+      // The wait span lands on the worker's track, abutting the task
+      // span that follows — queueing delay reads straight off the
+      // timeline.
+      tracer.RecordComplete("util.thread_pool.wait", task.enqueue_ns,
+                            obs::Tracer::NowNs() - task.enqueue_ns);
+    }
+    {
+      BA_TRACE_SPAN("util.thread_pool.task");
+      task.fn();
+    }
     {
       std::unique_lock<std::mutex> lock(mu_);
       --in_flight_;

@@ -2,6 +2,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -12,6 +13,12 @@
 /// \brief Fixed-size worker pool used to parallelize address-graph
 /// construction, which the paper notes is a CPU-bound,
 /// embarrassingly-parallel task (§IV-E.1).
+///
+/// Observability: every pool maintains the process-wide
+/// `util.thread_pool.queue_depth` gauge and `util.thread_pool.tasks`
+/// counter (obs::MetricsRegistry), and with tracing enabled each task
+/// emits a `util.thread_pool.wait` span (submit → dequeue) and a
+/// `util.thread_pool.task` span (execution) on the worker's track.
 
 namespace ba {
 
@@ -51,10 +58,17 @@ class ThreadPool {
   void ParallelFor(size_t n, const std::function<void(size_t)>& body);
 
  private:
+  struct PendingTask {
+    std::function<void()> fn;
+    /// Trace-epoch submit time; -1 when tracing was off at Submit (no
+    /// wait span is emitted for the task then).
+    int64_t enqueue_ns = -1;
+  };
+
   void WorkerLoop();
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
+  std::queue<PendingTask> tasks_;
   mutable std::mutex mu_;
   std::condition_variable task_available_;
   std::condition_variable all_done_;

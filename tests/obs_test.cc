@@ -1,0 +1,506 @@
+// Tests for the observability subsystem (src/obs): metric instruments
+// and their registry, scoped-span tracing with Chrome trace-event JSON
+// export, and the crash-safety of both export paths.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/fs.h"
+
+namespace ba::obs {
+namespace {
+
+class TempFile {
+ public:
+  explicit TempFile(const std::string& name)
+      : path_("/tmp/ba_obs_" + name + "_" + std::to_string(::getpid())) {}
+  ~TempFile() {
+    std::remove(path_.c_str());
+    std::remove((path_ + ".tmp").c_str());
+  }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+/// Every fault-injection test must leave the global injector clean.
+class FaultGuard {
+ public:
+  FaultGuard() { util::FaultInjector::Instance().DisarmAll(); }
+  ~FaultGuard() { util::FaultInjector::Instance().DisarmAll(); }
+};
+
+/// Tracing tests share one process-wide tracer; each test starts from a
+/// clean enabled state and leaves tracing off.
+class TraceGuard {
+ public:
+  explicit TraceGuard(size_t capacity = Tracer::kDefaultCapacityPerThread) {
+    Tracer::Instance().Enable(capacity);
+  }
+  ~TraceGuard() {
+    Tracer::Instance().Disable();
+    Tracer::Instance().Reset();
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Minimal JSON syntax checker — enough to assert exported documents are
+// well-formed (balanced structure, legal literals), with no parser
+// dependency.
+
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& text) : s_(text) {}
+
+  bool Valid() {
+    SkipWs();
+    if (!Value()) return false;
+    SkipWs();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool Value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{':
+        return Object();
+      case '[':
+        return Array();
+      case '"':
+        return String();
+      case 't':
+        return Literal("true");
+      case 'f':
+        return Literal("false");
+      case 'n':
+        return Literal("null");
+      default:
+        return Number();
+    }
+  }
+
+  bool Object() {
+    ++pos_;  // '{'
+    SkipWs();
+    if (Peek() == '}') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      SkipWs();
+      if (!String()) return false;
+      SkipWs();
+      if (Peek() != ':') return false;
+      ++pos_;
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == '}') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool Array() {
+    ++pos_;  // '['
+    SkipWs();
+    if (Peek() == ']') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == ']') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool String() {
+    if (Peek() != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_];
+      if (c == '\\') {
+        pos_ += 2;
+        continue;
+      }
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      ++pos_;
+    }
+    return false;
+  }
+
+  bool Number() {
+    const size_t start = pos_;
+    if (Peek() == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool Literal(const char* lit) {
+    const size_t len = std::string(lit).size();
+    if (s_.compare(pos_, len, lit) != 0) return false;
+    pos_ += len;
+    return true;
+  }
+
+  char Peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+
+  void SkipWs() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\n' || s_[pos_] == '\t' ||
+            s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  const std::string& s_;
+  size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Instruments
+
+TEST(CounterTest, IncrementsAcrossThreads) {
+  Counter c;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < 1000; ++i) c.Increment();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), 4000u);
+}
+
+TEST(GaugeTest, SetAndAddFromManyThreads) {
+  Gauge g;
+  g.Set(100);
+  EXPECT_EQ(g.value(), 100);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&g] {
+      for (int i = 0; i < 500; ++i) {
+        g.Add(1);
+        g.Add(-1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(g.value(), 100);
+}
+
+TEST(HistogramTest, PercentilesOrderedAndWithinBucketRatio) {
+  Histogram h;
+  // Uniform 1ms..100ms observations.
+  for (int i = 1; i <= 100; ++i) h.Record(i * 1e-3);
+  const HistogramSnapshot s = h.Snapshot();
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_LE(s.p50_seconds, s.p95_seconds);
+  EXPECT_LE(s.p95_seconds, s.p99_seconds);
+  EXPECT_LE(s.p99_seconds, s.max_seconds);
+  // A percentile reports the geometric midpoint of its bucket, so it
+  // must lie within one bucket-growth factor of the true value.
+  EXPECT_GE(s.p50_seconds, 0.050 / Histogram::kGrowth);
+  EXPECT_LE(s.p50_seconds, 0.050 * Histogram::kGrowth);
+  EXPECT_GE(s.p99_seconds, 0.099 / Histogram::kGrowth);
+  EXPECT_LE(s.p99_seconds, 0.099 * Histogram::kGrowth);
+  EXPECT_DOUBLE_EQ(s.max_seconds, 0.1);
+  EXPECT_NEAR(s.mean_seconds, 0.0505, 1e-6);
+}
+
+TEST(HistogramTest, ConcurrentRecordsAllCounted) {
+  Histogram h;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&h] {
+      for (int i = 0; i < 1000; ++i) h.Record(1e-4);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(h.Count(), 4000u);
+  EXPECT_NEAR(h.TotalSeconds(), 0.4, 1e-6);
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+
+TEST(MetricsRegistryTest, SameNameSameInstrument) {
+  auto& reg = MetricsRegistry::Instance();
+  Counter* a = reg.GetCounter("obs_test.same_name");
+  Counter* b = reg.GetCounter("obs_test.same_name");
+  EXPECT_EQ(a, b);
+  a->Increment(7);
+  EXPECT_GE(b->value(), 7u);
+}
+
+TEST(MetricsRegistryTest, ConcurrentGetAndRecord) {
+  auto& reg = MetricsRegistry::Instance();
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&reg, t] {
+      const std::string name =
+          "obs_test.concurrent." + std::to_string(t % 4);
+      for (int i = 0; i < 500; ++i) {
+        reg.GetCounter(name)->Increment();
+        reg.GetHistogram("obs_test.concurrent.latency")->Record(1e-5);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  uint64_t total = 0;
+  for (int k = 0; k < 4; ++k) {
+    total += reg.GetCounter("obs_test.concurrent." + std::to_string(k))
+                 ->value();
+  }
+  EXPECT_EQ(total, 4000u);
+  EXPECT_EQ(reg.GetHistogram("obs_test.concurrent.latency")->Count(),
+            4000u);
+}
+
+TEST(MetricsRegistryTest, ExpositionsContainInstruments) {
+  auto& reg = MetricsRegistry::Instance();
+  reg.GetCounter("obs_test.expo.counter")->Increment(3);
+  reg.GetGauge("obs_test.expo.gauge")->Set(-5);
+  reg.GetTimeAccumulator("obs_test.expo.time")->AddSeconds(1.5);
+  reg.GetHistogram("obs_test.expo.hist")->Record(0.01);
+
+  const std::string text = reg.TextExposition();
+  EXPECT_NE(text.find("obs_test.expo.counter"), std::string::npos);
+  EXPECT_NE(text.find("obs_test.expo.gauge"), std::string::npos);
+
+  const std::string json = reg.JsonExposition();
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json;
+  EXPECT_NE(json.find("\"obs_test.expo.counter\":"), std::string::npos);
+  EXPECT_NE(json.find("\"obs_test.expo.gauge\":-5"), std::string::npos);
+  EXPECT_NE(json.find("\"obs_test.expo.hist\":"), std::string::npos);
+
+  std::vector<std::string> names = reg.Names();
+  bool found = false;
+  for (const auto& n : names) found |= n == "obs_test.expo.counter";
+  EXPECT_TRUE(found);
+}
+
+TEST(MetricsRegistryTest, ProvidersAppearUntilUnregistered) {
+  auto& reg = MetricsRegistry::Instance();
+  reg.RegisterProvider("obs_test.provider",
+                       [] { return std::string("{\"x\":1}"); });
+  std::string json = reg.JsonExposition();
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json;
+  EXPECT_NE(json.find("\"obs_test.provider\":{\"x\":1}"),
+            std::string::npos);
+  reg.UnregisterProvider("obs_test.provider");
+  json = reg.JsonExposition();
+  EXPECT_EQ(json.find("obs_test.provider"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, SaveJsonWritesValidDocument) {
+  FaultGuard guard;
+  TempFile file("registry");
+  auto& reg = MetricsRegistry::Instance();
+  reg.GetCounter("obs_test.save.counter")->Increment();
+  ASSERT_TRUE(reg.SaveJson(file.path()).ok());
+  auto read = util::ReadFileToString(file.path());
+  ASSERT_TRUE(read.ok());
+  EXPECT_TRUE(JsonChecker(read.value()).Valid());
+}
+
+TEST(MetricsRegistryTest, SaveFaultPointLeavesPreviousFileIntact) {
+  FaultGuard guard;
+  TempFile file("registry_fault");
+  auto& reg = MetricsRegistry::Instance();
+  ASSERT_TRUE(reg.SaveJson(file.path()).ok());
+  auto before = util::ReadFileToString(file.path());
+  ASSERT_TRUE(before.ok());
+
+  util::FaultInjector::Instance().Arm(MetricsRegistry::kFaultMetricsSave);
+  reg.GetCounter("obs_test.save.counter")->Increment();
+  EXPECT_FALSE(reg.SaveJson(file.path()).ok());
+  util::FaultInjector::Instance().DisarmAll();
+
+  auto after = util::ReadFileToString(file.path());
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(before.value(), after.value());
+}
+
+TEST(MetricsRegistryTest, FsFaultPointsAlsoKillTheSave) {
+  FaultGuard guard;
+  TempFile file("registry_fs_fault");
+  auto& reg = MetricsRegistry::Instance();
+  for (const std::string& point : util::AtomicFileWriter::FaultPoints()) {
+    util::FaultInjector::Instance().Arm(point);
+    EXPECT_FALSE(reg.SaveJson(file.path()).ok()) << point;
+    util::FaultInjector::Instance().DisarmAll();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Tracing
+
+TEST(TraceTest, DisabledRecordsNothing) {
+  Tracer::Instance().Disable();
+  Tracer::Instance().Reset();
+  const size_t before = Tracer::Instance().EventCount();
+  {
+    BA_TRACE_SPAN("obs_test.disabled");
+  }
+  EXPECT_EQ(Tracer::Instance().EventCount(), before);
+}
+
+TEST(TraceTest, SpansNestAndCarryArgs) {
+  TraceGuard trace;
+  {
+    ScopedSpan outer("obs_test.outer");
+    outer.AddArg("items", 3.0);
+    EXPECT_TRUE(outer.active());
+    {
+      BA_TRACE_SPAN("obs_test.inner");
+    }
+  }
+  EXPECT_EQ(Tracer::Instance().EventCount(), 2u);
+  const std::string json = Tracer::Instance().ToJson();
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json;
+  EXPECT_NE(json.find("\"obs_test.outer\""), std::string::npos);
+  EXPECT_NE(json.find("\"obs_test.inner\""), std::string::npos);
+  EXPECT_NE(json.find("\"items\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+}
+
+TEST(TraceTest, ThreadsGetDistinctTracks) {
+  TraceGuard trace;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 3; ++t) {
+    threads.emplace_back([t] {
+      Tracer::Instance().SetCurrentThreadName("obs_test.worker." +
+                                              std::to_string(t));
+      for (int i = 0; i < 10; ++i) {
+        BA_TRACE_SPAN("obs_test.threaded");
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_GE(Tracer::Instance().EventCount(), 30u);
+  const std::string json = Tracer::Instance().ToJson();
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json;
+  // Thread-name metadata events for each named worker.
+  for (int t = 0; t < 3; ++t) {
+    EXPECT_NE(json.find("obs_test.worker." + std::to_string(t)),
+              std::string::npos);
+  }
+  EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos);
+}
+
+TEST(TraceTest, CounterSamplesExportAsCounterEvents) {
+  TraceGuard trace;
+  Tracer::Instance().RecordCounter("obs_test.depth", 4.0);
+  const std::string json = Tracer::Instance().ToJson();
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json;
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(json.find("\"value\":4"), std::string::npos);
+}
+
+TEST(TraceTest, RingOverflowKeepsBoundAndReportsDrop) {
+  TraceGuard trace(/*capacity=*/8);
+  // Record on a fresh thread: ring capacity binds when a thread's
+  // buffer is first registered, and the main thread's buffer predates
+  // the small-capacity Enable above.
+  std::thread([] {
+    for (int i = 0; i < 50; ++i) {
+      BA_TRACE_SPAN("obs_test.overflow");
+    }
+  }).join();
+  EXPECT_LE(Tracer::Instance().EventCount(), 8u);
+  EXPECT_EQ(Tracer::Instance().TotalRecorded(), 50u);
+  const std::string json = Tracer::Instance().ToJson();
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json;
+  EXPECT_NE(json.find("\"ba_dropped_events\":42"), std::string::npos);
+}
+
+TEST(TraceTest, SaveWritesLoadableTraceFile) {
+  FaultGuard fault;
+  TraceGuard trace;
+  TempFile file("trace");
+  {
+    BA_TRACE_SPAN("obs_test.saved");
+  }
+  ASSERT_TRUE(Tracer::Instance().Save(file.path()).ok());
+  auto read = util::ReadFileToString(file.path());
+  ASSERT_TRUE(read.ok());
+  EXPECT_TRUE(JsonChecker(read.value()).Valid());
+  EXPECT_NE(read.value().find("\"traceEvents\":["), std::string::npos);
+}
+
+TEST(TraceTest, SaveFaultPointLeavesPreviousFileIntact) {
+  FaultGuard fault;
+  TraceGuard trace;
+  TempFile file("trace_fault");
+  ASSERT_TRUE(Tracer::Instance().Save(file.path()).ok());
+  auto before = util::ReadFileToString(file.path());
+  ASSERT_TRUE(before.ok());
+
+  util::FaultInjector::Instance().Arm(Tracer::kFaultTraceSave);
+  {
+    BA_TRACE_SPAN("obs_test.fault");
+  }
+  EXPECT_FALSE(Tracer::Instance().Save(file.path()).ok());
+  util::FaultInjector::Instance().DisarmAll();
+
+  auto after = util::ReadFileToString(file.path());
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(before.value(), after.value());
+}
+
+TEST(TraceTest, ConcurrentSpansAndExportAreSafe) {
+  TraceGuard trace;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < 200; ++i) {
+        BA_TRACE_SPAN("obs_test.race");
+      }
+    });
+  }
+  // Export concurrently with recording — must not crash or corrupt.
+  for (int i = 0; i < 5; ++i) {
+    const std::string json = Tracer::Instance().ToJson();
+    EXPECT_TRUE(JsonChecker(json).Valid());
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(Tracer::Instance().TotalRecorded(), 800u);
+}
+
+}  // namespace
+}  // namespace ba::obs

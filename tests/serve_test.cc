@@ -17,6 +17,7 @@
 #include "core/classifier.h"
 #include "datagen/dataset.h"
 #include "datagen/simulator.h"
+#include "obs/metrics.h"
 #include "serve/inference_engine.h"
 #include "serve/metrics.h"
 #include "util/fs.h"
@@ -257,6 +258,47 @@ TEST_F(ServeTest, MetricsAreConsistent) {
   EXPECT_GT(m.hit_rate, 0.0);
   EXPECT_NE(m.ToString().find("requests"), std::string::npos);
   EXPECT_NE(m.ToJson().find("\"requests\""), std::string::npos);
+}
+
+TEST_F(ServeTest, EnginePublishesRegistryProviderWhileAlive) {
+  std::string provider_name;
+  {
+    auto engine = MakeEngine();
+    ASSERT_TRUE(engine->Classify((*test_)[0].address).ok());
+    // The engine registered a uniquely named serve.engine.<n> provider;
+    // its JSON in the process-wide exposition is the same snapshot the
+    // engine reports directly.
+    const std::string expo =
+        obs::MetricsRegistry::Instance().JsonExposition();
+    const size_t at = expo.find("\"serve.engine.");
+    ASSERT_NE(at, std::string::npos) << expo;
+    provider_name = expo.substr(at + 1, expo.find('"', at + 1) - at - 1);
+    EXPECT_NE(expo.find("\"requests\":"), std::string::npos);
+    // The migrated snapshot keeps its meaning: same counters through
+    // the registry provider as through Metrics().
+    const InferenceMetricsSnapshot m = engine->Metrics();
+    EXPECT_NE(expo.find("\"requests\":" + std::to_string(m.requests)),
+              std::string::npos);
+  }
+  // Destroyed engine must have unregistered itself.
+  EXPECT_EQ(obs::MetricsRegistry::Instance().JsonExposition().find(
+                provider_name),
+            std::string::npos);
+}
+
+TEST_F(ServeTest, ThreadPoolInstrumentsCountServeWork) {
+  auto& reg = obs::MetricsRegistry::Instance();
+  const uint64_t tasks_before =
+      reg.GetCounter("util.thread_pool.tasks")->value();
+  auto engine = MakeEngine();
+  for (const auto& a : *test_) {
+    ASSERT_TRUE(engine->Classify(a.address).ok());
+  }
+  // Stage-2 fan-out submits pool tasks; the process-wide counter moved.
+  EXPECT_GT(reg.GetCounter("util.thread_pool.tasks")->value(),
+            tasks_before);
+  // All pairs of Add(+1)/Add(-1) resolved — queue is drained.
+  EXPECT_EQ(reg.GetGauge("util.thread_pool.queue_depth")->value(), 0);
 }
 
 TEST_F(ServeTest, UnknownAddressIsRejectedNotFatal) {

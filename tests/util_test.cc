@@ -295,5 +295,69 @@ TEST(CliFlagsTest, ParsesFormsAndDefaults) {
   EXPECT_EQ(flags.GetString("missing", "dflt"), "dflt");
 }
 
+/// Restores the process-wide logger configuration on scope exit.
+class LogConfigGuard {
+ public:
+  LogConfigGuard() : level_(util::log::MinLevel()) {}
+  ~LogConfigGuard() {
+    util::log::SetMinLevel(level_);
+    util::log::SetModuleFilter("");
+  }
+
+ private:
+  util::log::Level level_;
+};
+
+TEST(LoggingTest, ParseLevelAcceptsNamesAndFallsBack) {
+  using util::log::Level;
+  using util::log::ParseLevel;
+  EXPECT_EQ(ParseLevel("debug", Level::kOff), Level::kDebug);
+  EXPECT_EQ(ParseLevel("INFO", Level::kOff), Level::kInfo);
+  EXPECT_EQ(ParseLevel("Warn", Level::kOff), Level::kWarn);
+  EXPECT_EQ(ParseLevel("warning", Level::kOff), Level::kWarn);
+  EXPECT_EQ(ParseLevel("error", Level::kOff), Level::kError);
+  EXPECT_EQ(ParseLevel("off", Level::kDebug), Level::kOff);
+  EXPECT_EQ(ParseLevel("bogus", Level::kInfo), Level::kInfo);
+}
+
+TEST(LoggingTest, MinLevelGatesShouldLog) {
+  LogConfigGuard guard;
+  using util::log::Level;
+  util::log::SetMinLevel(Level::kWarn);
+  EXPECT_FALSE(util::log::ShouldLog(Level::kDebug, "test"));
+  EXPECT_FALSE(util::log::ShouldLog(Level::kInfo, "test"));
+  EXPECT_TRUE(util::log::ShouldLog(Level::kWarn, "test"));
+  EXPECT_TRUE(util::log::ShouldLog(Level::kError, "test"));
+  util::log::SetMinLevel(Level::kOff);
+  EXPECT_FALSE(util::log::ShouldLog(Level::kError, "test"));
+}
+
+TEST(LoggingTest, ModuleFilterMatchesPrefixes) {
+  LogConfigGuard guard;
+  using util::log::Level;
+  util::log::SetMinLevel(Level::kDebug);
+  util::log::SetModuleFilter("core.train, obs");
+  EXPECT_TRUE(util::log::ShouldLog(Level::kInfo, "core.train"));
+  EXPECT_TRUE(util::log::ShouldLog(Level::kInfo, "core.train.epoch"));
+  EXPECT_TRUE(util::log::ShouldLog(Level::kInfo, "obs.trace"));
+  EXPECT_FALSE(util::log::ShouldLog(Level::kInfo, "serve"));
+  util::log::SetModuleFilter("");
+  EXPECT_TRUE(util::log::ShouldLog(Level::kInfo, "serve"));
+}
+
+TEST(LoggingTest, FilteredStatementSkipsOperandEvaluation) {
+  LogConfigGuard guard;
+  util::log::SetMinLevel(util::log::Level::kError);
+  int evaluations = 0;
+  auto expensive = [&evaluations] {
+    ++evaluations;
+    return 42;
+  };
+  BA_LOG(Debug, "test") << "value " << expensive();
+  EXPECT_EQ(evaluations, 0);
+  BA_LOG(Error, "test") << "value " << expensive();
+  EXPECT_EQ(evaluations, 1);
+}
+
 }  // namespace
 }  // namespace ba
