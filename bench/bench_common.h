@@ -1,7 +1,9 @@
 #pragma once
 
 #include <iostream>
+#include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/graph_dataset.h"
@@ -12,15 +14,18 @@
 #include "util/cli.h"
 #include "util/stopwatch.h"
 #include "util/table.h"
+#include "util/thread_pool.h"
 
 /// \file bench_common.h
 /// \brief Shared scaffolding for the per-table / per-figure benchmark
 /// harnesses: economy construction, dataset materialization, and the
 /// per-class table rendering the paper's tables use.
 ///
-/// Every bench additionally accepts `--trace-out=<path>`: tracing is
+/// Every bench additionally accepts `--trace-out=<path>` (tracing is
 /// enabled for the whole run and a Perfetto-loadable trace is written
-/// at process exit (see obs/trace.h).
+/// at process exit, see obs/trace.h) and `--threads=<n>` (sizes the
+/// process-wide `util::SharedPool()` before its first use, so one
+/// BENCH trajectory is comparable across machines).
 
 namespace ba::bench {
 
@@ -34,6 +39,41 @@ inline void MaybeEnableTracing(const CliFlags& flags) {
   obs::Tracer::Instance().SetCurrentThreadName("bench.main");
   obs::Tracer::Instance().SaveAtExit(path);
   std::cout << "tracing enabled, will save to " << path << "\n";
+}
+
+/// \brief Sizes the shared pool from `--threads` (no-op without the
+/// flag, or once the pool has materialized). Mirrors MaybeEnableTracing
+/// — called from ScenarioFromFlags so every bench honors the flag.
+inline void MaybeSetSharedPoolThreads(const CliFlags& flags) {
+  const auto n = flags.GetInt("threads", 0);
+  if (n >= 1) util::SetSharedPoolThreads(static_cast<size_t>(n));
+}
+
+// Fallbacks so bench_common.h also compiles in targets that don't go
+// through ba_add_bench (which bakes the real values in).
+#ifndef BA_BENCH_GIT_SHA
+#define BA_BENCH_GIT_SHA "unknown"
+#endif
+#ifndef BA_BENCH_CXX_FLAGS
+#define BA_BENCH_CXX_FLAGS "unknown"
+#endif
+#ifndef BA_BENCH_COMPILER
+#define BA_BENCH_COMPILER "unknown"
+#endif
+
+/// \brief JSON object recording the provenance every BENCH_*.json
+/// needs to be comparable across machines and commits: git SHA,
+/// compiler + flags, the `--threads` setting, the shared pool's
+/// effective size, and the machine's hardware concurrency.
+inline std::string BenchMetaJson(const CliFlags& flags) {
+  std::ostringstream os;
+  os << "{\"git_sha\":\"" << BA_BENCH_GIT_SHA << "\",\"compiler\":\""
+     << BA_BENCH_COMPILER << "\",\"cxx_flags\":\"" << BA_BENCH_CXX_FLAGS
+     << "\",\"threads_flag\":" << flags.GetInt("threads", 0)
+     << ",\"shared_pool_threads\":" << util::SharedPoolThreads()
+     << ",\"hardware_concurrency\":" << std::thread::hardware_concurrency()
+     << "}";
+  return os.str();
 }
 
 /// \brief One materialized experiment: simulated economy + stratified
@@ -57,6 +97,7 @@ struct Experiment {
 inline datagen::ScenarioConfig ScenarioFromFlags(const CliFlags& flags,
                                                  uint64_t seed_offset = 0) {
   MaybeEnableTracing(flags);
+  MaybeSetSharedPoolThreads(flags);
   datagen::ScenarioConfig config;
   config.seed = static_cast<uint64_t>(flags.GetInt("seed", 42)) + seed_offset;
   config.num_blocks = static_cast<int>(flags.GetInt("blocks", 400));

@@ -1,0 +1,173 @@
+// GEMM kernel bench: parity + throughput of the blocked/vectorized
+// kernels (tensor/gemm.cc) against the pre-PR naive reference loops,
+// for all three layouts (normal, Aᵀ·B, A·Bᵀ). Writes BENCH_gemm.json.
+//
+//   ./build/bench/bench_gemm [--threads 1] [--reps-ms 150]
+//       [--out BENCH_gemm.json] [--trace-out trace.json]
+//
+// Run with --threads 1 for the single-thread kernel comparison (the
+// acceptance gate), and --threads N to exercise the row-panel split.
+// Exits non-zero on any parity mismatch.
+
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "tensor/gemm.h"
+#include "tensor/tensor.h"
+
+namespace {
+
+using ba::Rng;
+using ba::tensor::Tensor;
+
+using MatMulFn = Tensor (*)(const Tensor&, const Tensor&);
+
+struct Layout {
+  const char* name;
+  MatMulFn optimized;
+  MatMulFn reference;
+  /// Shapes of (a, b) for an m×k×n problem under this layout.
+  std::vector<int64_t> (*a_shape)(int64_t m, int64_t k);
+  std::vector<int64_t> (*b_shape)(int64_t k, int64_t n);
+};
+
+const Layout kLayouts[] = {
+    {"ab", ba::tensor::MatMulValue, ba::tensor::MatMulReferenceValue,
+     [](int64_t m, int64_t k) { return std::vector<int64_t>{m, k}; },
+     [](int64_t k, int64_t n) { return std::vector<int64_t>{k, n}; }},
+    {"atb", ba::tensor::MatMulTransposeAValue,
+     ba::tensor::MatMulReferenceTransposeAValue,
+     [](int64_t m, int64_t k) { return std::vector<int64_t>{k, m}; },
+     [](int64_t k, int64_t n) { return std::vector<int64_t>{k, n}; }},
+    {"abt", ba::tensor::MatMulTransposeBValue,
+     ba::tensor::MatMulReferenceTransposeBValue,
+     [](int64_t m, int64_t k) { return std::vector<int64_t>{m, k}; },
+     [](int64_t k, int64_t n) { return std::vector<int64_t>{n, k}; }},
+};
+
+/// Largest relative mismatch between optimized and reference results.
+/// The kernels contract mul+add into FMA, so a small tolerance (not
+/// bit-equality) is the correct parity notion. The denominator floors
+/// at sqrt(k) — the natural magnitude of a k-term dot product of O(1)
+/// inputs — so cancellation-near-zero outputs don't blow up a purely
+/// relative metric.
+double MaxRelError(const Tensor& got, const Tensor& want, int64_t k) {
+  BA_CHECK(got.SameShape(want));
+  const double floor_mag = std::sqrt(static_cast<double>(std::max<int64_t>(k, 1)));
+  double worst = 0.0;
+  for (int64_t i = 0; i < got.numel(); ++i) {
+    const double g = got.data()[i], w = want.data()[i];
+    const double denom = std::max({std::abs(g), std::abs(w), floor_mag});
+    worst = std::max(worst, std::abs(g - w) / denom);
+  }
+  return worst;
+}
+
+double TimeGflops(MatMulFn fn, const Tensor& a, const Tensor& b, int64_t m,
+                  int64_t k, int64_t n, double target_ms) {
+  // Warm up (page faults, ifunc resolution), then calibrate rep count
+  // so the measured window is ~target_ms.
+  fn(a, b);
+  ba::Stopwatch watch;
+  watch.Start();
+  fn(a, b);
+  watch.Stop();
+  const double once = std::max(watch.ElapsedSeconds(), 1e-7);
+  const int reps =
+      std::max(1, static_cast<int>(target_ms / 1000.0 / once));
+  watch.Reset();
+  watch.Start();
+  for (int r = 0; r < reps; ++r) fn(a, b);
+  watch.Stop();
+  const double flops = 2.0 * static_cast<double>(m) * k * n * reps;
+  return flops / watch.ElapsedSeconds() / 1e9;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ba::CliFlags flags(argc, argv);
+  ba::bench::MaybeEnableTracing(flags);
+  ba::bench::MaybeSetSharedPoolThreads(flags);
+  const double target_ms = flags.GetDouble("reps-ms", 150.0);
+  Rng rng(17);
+
+  // Parity sweep: tile-aligned, ragged, degenerate and empty shapes.
+  const std::vector<std::vector<int64_t>> parity_shapes = {
+      {1, 1, 1},   {1, 7, 1},    {7, 1, 5},   {1, 16, 16}, {4, 16, 16},
+      {5, 7, 9},   {17, 33, 65}, {12, 8, 16}, {64, 64, 64}, {3, 128, 2},
+      {0, 4, 4},   {4, 0, 4},    {4, 4, 0},
+  };
+  constexpr double kTol = 1e-4;
+  bool parity_ok = true;
+  for (const auto& layout : kLayouts) {
+    for (const auto& shape : parity_shapes) {
+      const int64_t m = shape[0], k = shape[1], n = shape[2];
+      const Tensor a = Tensor::RandomUniform(layout.a_shape(m, k), &rng);
+      const Tensor b = Tensor::RandomUniform(layout.b_shape(k, n), &rng);
+      const double err =
+          MaxRelError(layout.optimized(a, b), layout.reference(a, b), k);
+      if (err > kTol) {
+        parity_ok = false;
+        std::cout << "[parity] FAIL " << layout.name << " " << m << "x" << k
+                  << "x" << n << " rel_err " << err << "\n";
+      }
+    }
+  }
+  std::cout << "[parity] " << (parity_ok ? "OK" : "FAILED") << " over "
+            << parity_shapes.size() << " shapes x " << 3 << " layouts\n";
+
+  // Throughput sweep.
+  struct Row {
+    std::string layout;
+    int64_t size;
+    double ref_gflops;
+    double opt_gflops;
+    double speedup;
+  };
+  std::vector<Row> rows;
+  const std::vector<int64_t> sizes = {64, 128, 256, 512};
+  double speedup_256 = 0.0;
+  for (const auto& layout : kLayouts) {
+    for (int64_t s : sizes) {
+      const Tensor a = Tensor::RandomUniform(layout.a_shape(s, s), &rng);
+      const Tensor b = Tensor::RandomUniform(layout.b_shape(s, s), &rng);
+      Row row;
+      row.layout = layout.name;
+      row.size = s;
+      row.ref_gflops =
+          TimeGflops(layout.reference, a, b, s, s, s, target_ms);
+      row.opt_gflops =
+          TimeGflops(layout.optimized, a, b, s, s, s, target_ms);
+      row.speedup = row.opt_gflops / row.ref_gflops;
+      if (layout.optimized == ba::tensor::MatMulValue && s == 256) {
+        speedup_256 = row.speedup;
+      }
+      std::cout << "[gemm] " << row.layout << " " << s << "^3  ref "
+                << ba::TablePrinter::Num(row.ref_gflops, 2) << " GFLOP/s  opt "
+                << ba::TablePrinter::Num(row.opt_gflops, 2) << " GFLOP/s  ("
+                << ba::TablePrinter::Num(row.speedup, 2) << "x)\n";
+      rows.push_back(row);
+    }
+  }
+
+  const std::string out_path = flags.GetString("out", "BENCH_gemm.json");
+  std::ofstream out(out_path, std::ios::trunc);
+  out << "{\"parity_ok\":" << (parity_ok ? "true" : "false")
+      << ",\"speedup_256\":" << speedup_256 << ",\"results\":[";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    if (i) out << ",";
+    out << "{\"layout\":\"" << rows[i].layout << "\",\"size\":" << rows[i].size
+        << ",\"ref_gflops\":" << rows[i].ref_gflops
+        << ",\"opt_gflops\":" << rows[i].opt_gflops
+        << ",\"speedup\":" << rows[i].speedup << "}";
+  }
+  out << "],\"meta\":" << ba::bench::BenchMetaJson(flags) << "}\n";
+  std::cout << "wrote " << out_path << "\n";
+  return parity_ok ? 0 : 1;
+}

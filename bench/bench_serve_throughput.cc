@@ -124,7 +124,8 @@ int main(int argc, char** argv) {
       << ",\"rounds\":" << rounds << ",\"clients\":" << clients
       << ",\"watched_addresses\":" << watched.size()
       << ",\"train_seconds\":" << train_watch.ElapsedSeconds()
-      << ",\"engine\":" << m.ToJson() << "}\n";
+      << ",\"engine\":" << m.ToJson()
+      << ",\"meta\":" << ba::bench::BenchMetaJson(flags) << "}\n";
   std::cout << "\nwrote " << out_path << "\n";
   return speedup >= 3.0 ? 0 : 1;
 }

@@ -3,19 +3,27 @@
 # This is the crash-safety gate: fault-injection and corruption tests
 # must pass with zero sanitizer findings.
 #
-# Three configurations:
+# Four configurations:
 #   address (default)  ASan + UBSan over the full suite.
 #   thread             TSan over the concurrency-sensitive tests
 #                      (serve_test drives the batched inference engine
-#                      from multiple client threads; obs_test hammers
-#                      the metrics registry and tracer concurrently).
+#                      from multiple client threads; parallel_train_test
+#                      exercises data-parallel training and the shared
+#                      pool; obs_test hammers the metrics registry and
+#                      tracer concurrently).
 #   trace              Smoke-tests the observability subsystem: runs the
 #                      serve_monitor example with BA_TRACE_OUT set and
 #                      validates that the emitted file is well-formed
 #                      Chrome trace-event JSON containing spans from the
 #                      core, serve and util.thread_pool subsystems.
+#   perf               Release-build perf smoke: bench_gemm (kernel
+#                      parity + single-thread speedup) and the training
+#                      throughput bench at 1 and N lanes. Fails on any
+#                      kernel parity mismatch or serial/threaded loss
+#                      divergence; the JSON outputs land in the build
+#                      dir, not the repo root.
 #
-# Usage: scripts/check.sh [address|thread|trace] [build-dir]
+# Usage: scripts/check.sh [address|thread|trace|perf] [build-dir]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -39,10 +47,12 @@ case "$MODE" in
       -DBA_SANITIZE=thread \
       -DBA_BUILD_BENCHMARKS=OFF \
       -DBA_BUILD_EXAMPLES=OFF
-    cmake --build "$BUILD_DIR" -j "$(nproc)" --target serve_test util_test obs_test
+    cmake --build "$BUILD_DIR" -j "$(nproc)" \
+      --target serve_test util_test obs_test parallel_train_test
     "$BUILD_DIR"/tests/serve_test
     "$BUILD_DIR"/tests/util_test
     "$BUILD_DIR"/tests/obs_test
+    "$BUILD_DIR"/tests/parallel_train_test
     ;;
   trace)
     BUILD_DIR="${2:-build}"
@@ -80,8 +90,28 @@ print(f"trace OK: {len(events)} events, "
       f"subsystems core/serve/util.thread_pool all present")
 EOF
     ;;
+  perf)
+    BUILD_DIR="${2:-build}"
+    THREADS="${BA_THREADS:-$(nproc)}"
+    cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
+    cmake --build "$BUILD_DIR" -j "$(nproc)" \
+      --target bench_gemm bench_train_throughput
+    # Kernel parity + single-thread speedup (the acceptance gate), then
+    # the row-panel split at N threads. bench_gemm exits non-zero on any
+    # parity mismatch.
+    "$BUILD_DIR"/bench/bench_gemm --threads 1 --reps-ms 80 \
+      --out "$BUILD_DIR/BENCH_gemm.json"
+    "$BUILD_DIR"/bench/bench_gemm --threads "$THREADS" --reps-ms 80 \
+      --out "$BUILD_DIR/BENCH_gemm_mt.json"
+    # Serial vs data-parallel training on a reduced economy; exits
+    # non-zero when per-epoch losses diverge between lane counts.
+    "$BUILD_DIR"/bench/bench_train_throughput --threads "$THREADS" \
+      --blocks 150 --addresses 200 --epochs 2 \
+      --out "$BUILD_DIR/BENCH_train.json"
+    echo "perf smoke OK (threads=$THREADS)"
+    ;;
   *)
-    echo "usage: scripts/check.sh [address|thread|trace] [build-dir]" >&2
+    echo "usage: scripts/check.sh [address|thread|trace|perf] [build-dir]" >&2
     exit 2
     ;;
 esac

@@ -5,6 +5,7 @@
 #include "obs/trace.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
+#include "util/thread_pool.h"
 
 namespace ba::core {
 
@@ -57,6 +58,11 @@ Status AggregatorOptions::Validate() const {
     return Status::InvalidArgument(
         "aggregator.learning_rate must be positive (got " +
         std::to_string(learning_rate) + ")");
+  }
+  if (num_threads < 0) {
+    return Status::InvalidArgument(
+        "aggregator.num_threads must be >= 0 (got " +
+        std::to_string(num_threads) + ")");
   }
   return Status::OK();
 }
@@ -172,9 +178,38 @@ void AggregatorModel::Train(const std::vector<EmbeddingSequence>& train,
   std::vector<size_t> order(train.size());
   for (size_t i = 0; i < order.size(); ++i) order[i] = i;
 
+  // Lane setup mirroring GraphModel::Train: lane 0 is this model,
+  // lanes 1..T-1 are replicas whose weights are re-synced from the
+  // master each batch. No aggregator forward consumes randomness, so
+  // no per-example seeds are needed and the RNG stream (shuffles only)
+  // is identical at every lane count.
+  size_t lanes = options_.num_threads == 0
+                     ? util::SharedPoolThreads()
+                     : static_cast<size_t>(options_.num_threads);
+  lanes = std::max<size_t>(1, std::min(lanes, static_cast<size_t>(
+                                                  options_.batch_size)));
+  std::vector<std::unique_ptr<AggregatorModel>> replicas;
+  std::vector<AggregatorModel*> lane_models{this};
+  if (lanes > 1) {
+    AggregatorOptions replica_options = options_;
+    replica_options.num_threads = 1;
+    for (size_t l = 1; l < lanes; ++l) {
+      replicas.push_back(std::make_unique<AggregatorModel>(replica_options));
+      lane_models.push_back(replicas.back().get());
+    }
+  }
+  std::vector<std::vector<tensor::Var>> lane_params;
+  lane_params.reserve(lanes);
+  for (AggregatorModel* m : lane_models) {
+    lane_params.push_back(m->Parameters());
+  }
+  const std::vector<tensor::Var>& master_params = lane_params[0];
+  const size_t num_params = master_params.size();
+
   obs::ScopedSpan train_span("core.aggregate.train");
   train_span.AddArg("epochs", static_cast<double>(options_.epochs));
   train_span.AddArg("examples", static_cast<double>(train.size()));
+  train_span.AddArg("lanes", static_cast<double>(lanes));
   Stopwatch watch;
   for (int epoch = 0; epoch < options_.epochs; ++epoch) {
     obs::ScopedSpan epoch_span("core.aggregate.epoch");
@@ -185,22 +220,68 @@ void AggregatorModel::Train(const std::vector<EmbeddingSequence>& train,
     while (i < order.size()) {
       const size_t batch_end = std::min(
           order.size(), i + static_cast<size_t>(options_.batch_size));
-      optimizer_->ZeroGrad();
-      std::vector<tensor::Var> losses;
-      for (; i < batch_end; ++i) {
-        const EmbeddingSequence& ex = train[order[i]];
-        losses.push_back(tensor::SoftmaxCrossEntropy(
-            Logits(ex.embeddings), std::vector<int>{ex.label}));
+      const size_t bs = batch_end - i;
+      obs::ScopedSpan batch_span("core.aggregate.batch");
+      batch_span.AddArg("size", static_cast<double>(bs));
+      batch_span.AddArg("lanes", static_cast<double>(lanes));
+
+      for (size_t l = 1; l < lanes; ++l) {
+        for (size_t pi = 0; pi < num_params; ++pi) {
+          lane_params[l][pi]->value = master_params[pi]->value;
+        }
       }
-      tensor::Var loss = losses[0];
-      for (size_t k = 1; k < losses.size(); ++k) {
-        loss = tensor::Add(loss, losses[k]);
+      std::vector<std::vector<tensor::Tensor>> grad_slots(bs);
+      std::vector<std::vector<char>> grad_present(bs);
+      std::vector<double> loss_slots(bs, 0.0);
+      for (size_t e = 0; e < bs; ++e) {
+        grad_slots[e].resize(num_params);
+        grad_present[e].assign(num_params, 0);
       }
-      loss = tensor::Scale(loss, 1.0f / static_cast<float>(losses.size()));
-      tensor::Backward(loss);
+      const auto run_example = [&](size_t lane, size_t e) {
+        AggregatorModel* m = lane_models[lane];
+        const std::vector<tensor::Var>& params = lane_params[lane];
+        m->optimizer_->ZeroGrad();
+        const EmbeddingSequence& ex = train[order[i + e]];
+        const tensor::Var loss = tensor::SoftmaxCrossEntropy(
+            m->Logits(ex.embeddings), std::vector<int>{ex.label});
+        tensor::Backward(loss);
+        loss_slots[e] = static_cast<double>(loss->value.item());
+        for (size_t pi = 0; pi < num_params; ++pi) {
+          if (!params[pi]->grad_ready) continue;
+          grad_slots[e][pi] = params[pi]->grad;
+          grad_present[e][pi] = 1;
+        }
+      };
+      if (lanes == 1) {
+        for (size_t e = 0; e < bs; ++e) run_example(0, e);
+      } else {
+        util::SharedPool().ParallelFor(lanes, [&](size_t lane) {
+          for (size_t e = lane; e < bs; e += lanes) run_example(lane, e);
+        });
+      }
+
+      // Fixed-order reduction (ascending example index, then 1/batch
+      // scale): bit-identical at any lane count. See DESIGN.md §7.
+      for (size_t pi = 0; pi < num_params; ++pi) {
+        const tensor::Var& p = master_params[pi];
+        tensor::Tensor sum(p->value.shape());
+        bool any = false;
+        for (size_t e = 0; e < bs; ++e) {
+          if (!grad_present[e][pi]) continue;
+          sum.AddInPlace(grad_slots[e][pi]);
+          any = true;
+        }
+        if (any) {
+          sum.ScaleInPlace(1.0f / static_cast<float>(bs));
+          p->grad = std::move(sum);
+          p->grad_ready = true;
+        } else {
+          p->grad_ready = false;
+        }
+      }
       optimizer_->Step();
-      epoch_loss += static_cast<double>(loss->value.item()) *
-                    static_cast<double>(losses.size());
+      for (size_t e = 0; e < bs; ++e) epoch_loss += loss_slots[e];
+      i = batch_end;
     }
     watch.Stop();
 

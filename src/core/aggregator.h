@@ -54,6 +54,10 @@ struct AggregatorOptions {
   int batch_size = 16;
   float learning_rate = 1e-3f;
   uint64_t seed = 7;
+  /// Training lanes: 1 = serial (default), 0 = shared-pool size, N = N
+  /// lanes. Like GraphModelOptions::num_threads, any lane count yields
+  /// bit-identical parameters (fixed-order gradient reduction).
+  int num_threads = 1;
 
   /// \brief Returns OK when every field is usable, or a descriptive
   /// InvalidArgument naming the offending field and value.

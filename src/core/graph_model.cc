@@ -8,6 +8,7 @@
 #include "util/fs.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
+#include "util/thread_pool.h"
 
 namespace ba::core {
 
@@ -71,6 +72,11 @@ Status GraphModelOptions::Validate() const {
     return Status::InvalidArgument(
         "graph_model.checkpoint_every must be >= 1 (got " +
         std::to_string(checkpoint_every) + ")");
+  }
+  if (num_threads < 0) {
+    return Status::InvalidArgument(
+        "graph_model.num_threads must be >= 0 (got " +
+        std::to_string(num_threads) + ")");
   }
   return Status::OK();
 }
@@ -145,12 +151,12 @@ std::vector<tensor::Var> GraphModel::Parameters() const {
   return diffpool_->Parameters();
 }
 
-tensor::Var GraphModel::LogitsImpl(const GraphTensors& gt,
-                                   bool training) const {
+tensor::Var GraphModel::LogitsImpl(const GraphTensors& gt, bool training,
+                                   Rng* rng) const {
   switch (options_.encoder) {
     case GraphEncoderKind::kGfn:
       return gfn_->Forward(tensor::Constant(gt.augmented),
-                           training ? &rng_ : nullptr, training);
+                           training ? rng : nullptr, training);
     case GraphEncoderKind::kGcn:
       return gcn_->Forward(gt.norm_adj, tensor::Constant(gt.base_features));
     case GraphEncoderKind::kDiffPool:
@@ -165,7 +171,7 @@ tensor::Var GraphModel::LogitsImpl(const GraphTensors& gt,
 }
 
 tensor::Var GraphModel::Logits(const GraphTensors& gt) const {
-  return LogitsImpl(gt, /*training=*/false);
+  return LogitsImpl(gt, /*training=*/false, /*rng=*/nullptr);
 }
 
 int GraphModel::PredictGraph(const GraphTensors& gt) const {
@@ -223,14 +229,49 @@ Status GraphModel::Train(const std::vector<AddressSample>& train,
                                                &start_epoch));
   }
 
+  // Lane setup for data-parallel batches. Lane 0 is this model; lanes
+  // 1..T-1 are private replicas (their own tapes and Param nodes, so
+  // concurrent Backward calls never touch shared autograd state).
+  // Replica parameter values are re-synced from the master at every
+  // batch start, so replicas carry no state of their own.
+  size_t lanes = options_.num_threads == 0
+                     ? util::SharedPoolThreads()
+                     : static_cast<size_t>(options_.num_threads);
+  lanes = std::max<size_t>(1, std::min(lanes, static_cast<size_t>(
+                                                  options_.batch_size)));
+  std::vector<std::unique_ptr<GraphModel>> replicas;
+  std::vector<GraphModel*> lane_models{this};
+  if (lanes > 1) {
+    GraphModelOptions replica_options = options_;
+    replica_options.checkpoint_dir.clear();
+    replica_options.num_threads = 1;
+    for (size_t l = 1; l < lanes; ++l) {
+      replicas.push_back(std::make_unique<GraphModel>(replica_options));
+      lane_models.push_back(replicas.back().get());
+    }
+  }
+  std::vector<std::vector<tensor::Var>> lane_params;
+  lane_params.reserve(lanes);
+  for (GraphModel* m : lane_models) lane_params.push_back(m->Parameters());
+  const std::vector<tensor::Var>& master_params = lane_params[0];
+  const size_t num_params = master_params.size();
+  // Only GFN consumes randomness in its training forward (dropout);
+  // drawing seeds only when needed keeps the other encoders' RNG
+  // streams — and therefore their existing checkpoints — unchanged.
+  const bool uses_dropout_rng = options_.encoder == GraphEncoderKind::kGfn;
+
   // Each epoch visits examples through a fresh permutation drawn from
   // the RNG, so the visit order is a function of the RNG position at
   // the epoch boundary alone — the property that makes kill/resume
-  // reproduce an uninterrupted run bit-exactly.
+  // reproduce an uninterrupted run bit-exactly. Per-example dropout
+  // seeds are likewise drawn from the trainer RNG *in visit order*
+  // before each batch fans out, which keeps the RNG stream independent
+  // of the lane count.
   std::vector<size_t> order(examples.size());
   obs::ScopedSpan train_span("core.train");
   train_span.AddArg("epochs", static_cast<double>(options_.epochs));
   train_span.AddArg("examples", static_cast<double>(examples.size()));
+  train_span.AddArg("lanes", static_cast<double>(lanes));
   Stopwatch train_watch;
   for (int epoch = start_epoch; epoch < options_.epochs; ++epoch) {
     obs::ScopedSpan epoch_span("core.train.epoch");
@@ -242,25 +283,85 @@ Status GraphModel::Train(const std::vector<AddressSample>& train,
     while (i < examples.size()) {
       const size_t batch_end = std::min(
           examples.size(), i + static_cast<size_t>(options_.batch_size));
-      optimizer_->ZeroGrad();
-      std::vector<tensor::Var> losses;
-      losses.reserve(batch_end - i);
-      for (; i < batch_end; ++i) {
-        const Example& ex = examples[order[i]];
-        const tensor::Var logits = LogitsImpl(*ex.tensors, /*training=*/true);
-        losses.push_back(
-            tensor::SoftmaxCrossEntropy(logits, std::vector<int>{ex.label}));
+      const size_t bs = batch_end - i;
+      obs::ScopedSpan batch_span("core.train.batch");
+      batch_span.AddArg("size", static_cast<double>(bs));
+      batch_span.AddArg("lanes", static_cast<double>(lanes));
+
+      std::vector<uint64_t> seeds(bs, 0);
+      if (uses_dropout_rng) {
+        for (size_t e = 0; e < bs; ++e) seeds[e] = rng_.Next();
       }
-      tensor::Var batch_loss = losses[0];
-      for (size_t k = 1; k < losses.size(); ++k) {
-        batch_loss = tensor::Add(batch_loss, losses[k]);
+      // Sync replica weights to the master's current values.
+      for (size_t l = 1; l < lanes; ++l) {
+        for (size_t pi = 0; pi < num_params; ++pi) {
+          lane_params[l][pi]->value = master_params[pi]->value;
+        }
       }
-      batch_loss =
-          tensor::Scale(batch_loss, 1.0f / static_cast<float>(losses.size()));
-      tensor::Backward(batch_loss);
+
+      // Per-example result slots, written by exactly one lane each:
+      // gradient snapshots (per param), per-param presence flags, and
+      // the example's loss.
+      std::vector<std::vector<tensor::Tensor>> grad_slots(bs);
+      std::vector<std::vector<char>> grad_present(bs);
+      std::vector<double> loss_slots(bs, 0.0);
+      for (size_t e = 0; e < bs; ++e) {
+        grad_slots[e].resize(num_params);
+        grad_present[e].assign(num_params, 0);
+      }
+
+      const auto run_example = [&](size_t lane, size_t e) {
+        GraphModel* m = lane_models[lane];
+        const std::vector<tensor::Var>& params = lane_params[lane];
+        m->optimizer_->ZeroGrad();
+        Rng example_rng(seeds[e]);
+        const Example& ex = examples[order[i + e]];
+        const tensor::Var logits =
+            m->LogitsImpl(*ex.tensors, /*training=*/true,
+                          uses_dropout_rng ? &example_rng : nullptr);
+        const tensor::Var loss =
+            tensor::SoftmaxCrossEntropy(logits, std::vector<int>{ex.label});
+        tensor::Backward(loss);
+        loss_slots[e] = static_cast<double>(loss->value.item());
+        for (size_t pi = 0; pi < num_params; ++pi) {
+          if (!params[pi]->grad_ready) continue;
+          grad_slots[e][pi] = params[pi]->grad;
+          grad_present[e][pi] = 1;
+        }
+      };
+      if (lanes == 1) {
+        for (size_t e = 0; e < bs; ++e) run_example(0, e);
+      } else {
+        util::SharedPool().ParallelFor(lanes, [&](size_t lane) {
+          for (size_t e = lane; e < bs; e += lanes) run_example(lane, e);
+        });
+      }
+
+      // Fixed-order reduction: per parameter, example gradients are
+      // summed in ascending example index — never in completion order —
+      // then scaled by 1/batch. This is the determinism contract: the
+      // result is a pure function of the batch, independent of lane
+      // count and scheduling (DESIGN.md §7).
+      for (size_t pi = 0; pi < num_params; ++pi) {
+        const tensor::Var& p = master_params[pi];
+        tensor::Tensor sum(p->value.shape());
+        bool any = false;
+        for (size_t e = 0; e < bs; ++e) {
+          if (!grad_present[e][pi]) continue;
+          sum.AddInPlace(grad_slots[e][pi]);
+          any = true;
+        }
+        if (any) {
+          sum.ScaleInPlace(1.0f / static_cast<float>(bs));
+          p->grad = std::move(sum);
+          p->grad_ready = true;
+        } else {
+          p->grad_ready = false;
+        }
+      }
       optimizer_->Step();
-      epoch_loss += static_cast<double>(batch_loss->value.item()) *
-                    static_cast<double>(losses.size());
+      for (size_t e = 0; e < bs; ++e) epoch_loss += loss_slots[e];
+      i = batch_end;
     }
     train_watch.Stop();
 

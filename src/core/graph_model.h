@@ -60,6 +60,12 @@ struct GraphModelOptions {
   /// Checkpoint cadence in epochs (only with checkpoint_dir set); the
   /// final epoch is always checkpointed.
   int checkpoint_every = 1;
+  /// Training lanes: 1 = serial (default), 0 = use the shared pool's
+  /// size (`util::SharedPoolThreads()`), N = N lanes. Each batch fans
+  /// per-example forward/backward across the lanes with a fixed-order
+  /// gradient reduction, so any lane count produces bit-identical
+  /// parameters — including under checkpoint kill/resume.
+  int num_threads = 1;
 
   /// \brief Returns OK when every field is usable, or a descriptive
   /// InvalidArgument naming the offending field and value.
@@ -106,7 +112,10 @@ class GraphModel {
   std::vector<tensor::Var> Parameters() const;
 
  private:
-  tensor::Var LogitsImpl(const GraphTensors& gt, bool training) const;
+  /// Forward pass; `rng` drives dropout when training (per-example
+  /// forked RNGs during data-parallel training, null at inference).
+  tensor::Var LogitsImpl(const GraphTensors& gt, bool training,
+                         Rng* rng) const;
 
   GraphModelOptions options_;
   mutable Rng rng_;

@@ -1,8 +1,10 @@
 #include "datagen/simulator.h"
 
 #include <algorithm>
+#include <string>
 #include <unordered_map>
 
+#include "util/fs.h"
 #include "util/logging.h"
 
 namespace ba::datagen {
@@ -123,11 +125,17 @@ void Simulator::SetupActors() {
 }
 
 Status Simulator::Run() {
-  BA_CHECK(!ran_);
-  ran_ = true;
-  for (int h = 0; h < config_.num_blocks; ++h) {
-    StepBlock(h);
-    BA_RETURN_NOT_OK(ledger_.SealBlock(BlockTime(h)));
+  for (; next_block_ < config_.num_blocks; ++next_block_) {
+    // Checked before the block mutates anything, so a failed Run()
+    // leaves the economy consistent at the previous block boundary and
+    // the next call resumes from exactly this block.
+    if (util::FaultInjector::Instance().ShouldFail(kFaultRunStep)) {
+      return Status::Internal("fault injected at " +
+                              std::string(kFaultRunStep) + ": block " +
+                              std::to_string(next_block_));
+    }
+    StepBlock(next_block_);
+    BA_RETURN_NOT_OK(ledger_.SealBlock(BlockTime(next_block_)));
   }
   return ledger_.CheckConservation();
 }

@@ -25,7 +25,17 @@ class Simulator {
  public:
   explicit Simulator(const ScenarioConfig& config);
 
-  /// Simulates `config.num_blocks` blocks. Call once.
+  /// Fault point hit once per simulated block (see util::FaultInjector):
+  /// armed, Run() stops with Internal *before* stepping that block. All
+  /// economy state (ledger, wallets, RNG) remains consistent at the
+  /// block boundary, and a later Run() call resumes from the block that
+  /// failed — long generations can be killed and resumed like
+  /// GraphModel::Train.
+  static constexpr const char* kFaultRunStep = "sim.run.step";
+
+  /// \brief Simulates blocks up to `config.num_blocks`, resuming from
+  /// wherever a previous interrupted call stopped. Idempotent once
+  /// complete (extra calls simulate nothing and re-verify conservation).
   Status Run();
 
   const chain::Ledger& ledger() const { return ledger_; }
@@ -181,7 +191,9 @@ class Simulator {
   std::deque<PendingMix> pending_mixes_;
   int tx_in_block_ = 0;
   int64_t skipped_actions_ = 0;
-  bool ran_ = false;
+  /// Next block Run() will simulate — the resume cursor after an
+  /// injected fault (== config.num_blocks once complete).
+  int next_block_ = 0;
 };
 
 }  // namespace ba::datagen

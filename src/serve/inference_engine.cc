@@ -35,9 +35,10 @@ Status InferenceEngineOptions::Validate() const {
         "InferenceEngineOptions.max_batch_size must be >= 1, got " +
         std::to_string(max_batch_size));
   }
-  if (num_threads < 1) {
+  if (num_threads < 0) {
     return Status::InvalidArgument(
-        "InferenceEngineOptions.num_threads must be >= 1, got " +
+        "InferenceEngineOptions.num_threads must be >= 0 (0 = shared "
+        "pool), got " +
         std::to_string(num_threads));
   }
   if (cache_capacity < 1) {
@@ -80,8 +81,13 @@ InferenceEngine::InferenceEngine(const core::BaClassifier* classifier,
       slice_size_(classifier->options().dataset.construction.slice_size),
       k_hops_(classifier->options().dataset.k_hops),
       embed_dim_(classifier->graph_model().embed_dim()),
-      pool_(std::make_unique<ThreadPool>(
-          static_cast<size_t>(options_.num_threads))) {
+      owned_pool_(options_.pool == nullptr && options_.num_threads >= 1
+                      ? std::make_unique<ThreadPool>(
+                            static_cast<size_t>(options_.num_threads))
+                      : nullptr),
+      pool_(options_.pool != nullptr  ? options_.pool
+            : owned_pool_ != nullptr ? owned_pool_.get()
+                                     : &util::SharedPool()) {
   // Unique per process so several engines (tests, A/B deployments) can
   // coexist in one registry scrape.
   static std::atomic<uint64_t> next_engine_id{0};

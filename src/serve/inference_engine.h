@@ -63,8 +63,14 @@ namespace ba::serve {
 struct InferenceEngineOptions {
   /// Requests the batch leader drains per micro-batch.
   int max_batch_size = 32;
-  /// Worker threads for graph construction + encoder passes.
+  /// Worker threads for graph construction + encoder passes. 0 draws
+  /// on the process-wide `util::SharedPool()` instead of creating a
+  /// private pool — the right choice when an engine coexists with
+  /// training or other engines in one process (no oversubscription).
   int num_threads = 2;
+  /// Injected worker pool (non-owning; must outlive the engine). When
+  /// set, `num_threads` is ignored and no private pool is created.
+  ThreadPool* pool = nullptr;
   /// Maximum cached addresses; least-recently-used entries are evicted
   /// beyond it.
   size_t cache_capacity = 1 << 16;
@@ -215,7 +221,11 @@ class InferenceEngine {
   int slice_size_;
   int k_hops_;
   int64_t embed_dim_;
-  std::unique_ptr<ThreadPool> pool_;
+  /// Set only when the engine owns a private pool (num_threads >= 1
+  /// and no injected pool); declared before pool_ so pool_ can alias it.
+  std::unique_ptr<ThreadPool> owned_pool_;
+  /// The pool work actually runs on: injected, shared, or owned_pool_.
+  ThreadPool* pool_;
 
   mutable std::mutex cache_mu_;
   std::unordered_map<chain::AddressId, CacheEntry> cache_;

@@ -1,0 +1,233 @@
+#include "tensor/gemm.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "obs/trace.h"
+#include "util/thread_pool.h"
+
+namespace ba::tensor {
+
+// ---------------------------------------------------------------------------
+// Reference kernels: the original scalar triple loops, unchanged. These
+// define the semantics the blocked kernels are tested against and give
+// benches a stable pre-optimization baseline.
+// ---------------------------------------------------------------------------
+
+Tensor MatMulReferenceValue(const Tensor& a, const Tensor& b) {
+  BA_CHECK_EQ(a.rank(), 2);
+  BA_CHECK_EQ(b.rank(), 2);
+  BA_CHECK_EQ(a.dim(1), b.dim(0));
+  const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  Tensor c({m, n});
+  const float* ad = a.data();
+  const float* bd = b.data();
+  float* cd = c.data();
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t p = 0; p < k; ++p) {
+      const float av = ad[i * k + p];
+      if (av == 0.0f) continue;
+      const float* brow = bd + p * n;
+      float* crow = cd + i * n;
+      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+Tensor MatMulReferenceTransposeAValue(const Tensor& a, const Tensor& b) {
+  BA_CHECK_EQ(a.rank(), 2);
+  BA_CHECK_EQ(b.rank(), 2);
+  BA_CHECK_EQ(a.dim(0), b.dim(0));
+  const int64_t k = a.dim(0), m = a.dim(1), n = b.dim(1);
+  Tensor c({m, n});
+  const float* ad = a.data();
+  const float* bd = b.data();
+  float* cd = c.data();
+  for (int64_t p = 0; p < k; ++p) {
+    const float* arow = ad + p * m;
+    const float* brow = bd + p * n;
+    for (int64_t i = 0; i < m; ++i) {
+      const float av = arow[i];
+      if (av == 0.0f) continue;
+      float* crow = cd + i * n;
+      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+Tensor MatMulReferenceTransposeBValue(const Tensor& a, const Tensor& b) {
+  BA_CHECK_EQ(a.rank(), 2);
+  BA_CHECK_EQ(b.rank(), 2);
+  BA_CHECK_EQ(a.dim(1), b.dim(1));
+  const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
+  Tensor c({m, n});
+  const float* ad = a.data();
+  const float* bd = b.data();
+  float* cd = c.data();
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = ad + i * k;
+    float* crow = cd + i * n;
+    for (int64_t j = 0; j < n; ++j) {
+      const float* brow = bd + j * k;
+      float acc = 0.0f;
+      for (int64_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+      crow[j] = acc;
+    }
+  }
+  return c;
+}
+
+// ---------------------------------------------------------------------------
+// Blocked kernels.
+// ---------------------------------------------------------------------------
+
+namespace internal {
+
+namespace {
+
+/// Register tile: MR output rows × NR output columns held in
+/// accumulators across the whole k loop. NR=16 floats is one AVX-512
+/// or two AVX2 vectors; MR=4 keeps MR×NR within the 32-register
+/// budget of the wide clones.
+constexpr int64_t kMr = 4;
+constexpr int64_t kNr = 16;
+
+/// Runtime ISA dispatch: one portable binary, resolved once at load to
+/// the widest clone the CPU supports (x86-64-v3 = AVX2+FMA,
+/// x86-64-v4 = AVX-512). The clones contract mul+add into FMA, which
+/// is why optimized-vs-reference parity is tolerance- not bit-based.
+/// Disabled under sanitizers: the IFUNC resolvers target_clones emits
+/// run before the sanitizer runtime initializes and segfault at load.
+#if defined(__x86_64__) && defined(__GNUC__) && \
+    !defined(__SANITIZE_THREAD__) && !defined(__SANITIZE_ADDRESS__)
+#define BA_GEMM_CLONES \
+  __attribute__((target_clones("default", "arch=x86-64-v3", "arch=x86-64-v4")))
+#else
+#define BA_GEMM_CLONES
+#endif
+
+/// Full MR×NR tile: `a` pre-offset to the tile's first row, `b`
+/// pre-offset to column j (rows remain n apart), `c` pre-offset to
+/// (i, j). Accumulates each output element over ascending p in a
+/// single chain — the determinism anchor for the whole kernel layer.
+///
+/// The A-loads are hoisted out of the jn loop and each output row gets
+/// its own accumulator array: with a single acc[MR][NR] array GCC
+/// fully unrolls the constant-bound jn loop first, leaving the strided
+/// A-load innermost and giving up on vectorization ("complicated
+/// access pattern"). In this form the innermost loop is a clean
+/// broadcast-FMA over contiguous brow, and the clones vectorize it.
+BA_GEMM_CLONES
+void MicroKernelFull(const float* __restrict a, int64_t as_i, int64_t as_p,
+                     const float* __restrict b, float* __restrict c,
+                     int64_t k, int64_t n) {
+  float acc0[kNr] = {}, acc1[kNr] = {}, acc2[kNr] = {}, acc3[kNr] = {};
+  for (int64_t p = 0; p < k; ++p) {
+    const float* __restrict brow = b + p * n;
+    const float a0 = a[0 * as_i + p * as_p];
+    const float a1 = a[1 * as_i + p * as_p];
+    const float a2 = a[2 * as_i + p * as_p];
+    const float a3 = a[3 * as_i + p * as_p];
+    for (int64_t jn = 0; jn < kNr; ++jn) {
+      const float bv = brow[jn];
+      acc0[jn] += a0 * bv;
+      acc1[jn] += a1 * bv;
+      acc2[jn] += a2 * bv;
+      acc3[jn] += a3 * bv;
+    }
+  }
+  for (int64_t jn = 0; jn < kNr; ++jn) c[0 * n + jn] = acc0[jn];
+  for (int64_t jn = 0; jn < kNr; ++jn) c[1 * n + jn] = acc1[jn];
+  for (int64_t jn = 0; jn < kNr; ++jn) c[2 * n + jn] = acc2[jn];
+  for (int64_t jn = 0; jn < kNr; ++jn) c[3 * n + jn] = acc3[jn];
+}
+
+/// Ragged edge tile (mr ≤ MR, nr ≤ NR): same shape as the full tile —
+/// absent rows contribute a broadcast of 0 — with a runtime jn bound.
+/// Same per-element accumulation order; only tiles on the bottom/right
+/// fringe (and the 1×k / k×1 degenerate cases) land here.
+BA_GEMM_CLONES
+void MicroKernelEdge(const float* __restrict a, int64_t as_i, int64_t as_p,
+                     const float* __restrict b, float* __restrict c,
+                     int64_t k, int64_t n, int64_t mr, int64_t nr) {
+  float acc0[kNr] = {}, acc1[kNr] = {}, acc2[kNr] = {}, acc3[kNr] = {};
+  for (int64_t p = 0; p < k; ++p) {
+    const float* __restrict brow = b + p * n;
+    const float a0 = a[0 * as_i + p * as_p];
+    const float a1 = mr > 1 ? a[1 * as_i + p * as_p] : 0.0f;
+    const float a2 = mr > 2 ? a[2 * as_i + p * as_p] : 0.0f;
+    const float a3 = mr > 3 ? a[3 * as_i + p * as_p] : 0.0f;
+    for (int64_t jn = 0; jn < nr; ++jn) {
+      const float bv = brow[jn];
+      acc0[jn] += a0 * bv;
+      acc1[jn] += a1 * bv;
+      acc2[jn] += a2 * bv;
+      acc3[jn] += a3 * bv;
+    }
+  }
+  const float* const accs[kMr] = {acc0, acc1, acc2, acc3};
+  for (int64_t im = 0; im < mr; ++im) {
+    float* __restrict crow = c + im * n;
+    for (int64_t jn = 0; jn < nr; ++jn) crow[jn] = accs[im][jn];
+  }
+}
+
+}  // namespace
+
+void GemmRowRange(const float* a, int64_t as_i, int64_t as_p, const float* b,
+                  float* c, int64_t i_begin, int64_t i_end, int64_t k,
+                  int64_t n) {
+  // Column panels outer: the NR-wide slice of B streams through cache
+  // once per row sweep instead of once per row.
+  for (int64_t j = 0; j < n; j += kNr) {
+    const int64_t nr = std::min(kNr, n - j);
+    for (int64_t i = i_begin; i < i_end; i += kMr) {
+      const int64_t mr = std::min(kMr, i_end - i);
+      if (mr == kMr && nr == kNr) {
+        MicroKernelFull(a + i * as_i, as_i, as_p, b + j, c + i * n + j, k, n);
+      } else {
+        MicroKernelEdge(a + i * as_i, as_i, as_p, b + j, c + i * n + j, k, n,
+                        mr, nr);
+      }
+    }
+  }
+}
+
+void GemmDispatch(const float* a, int64_t as_i, int64_t as_p, const float* b,
+                  float* c, int64_t m, int64_t k, int64_t n) {
+  if (m == 0 || n == 0 || k == 0) return;  // C stays zero
+  const int64_t flops = m * k * n;
+  if (flops >= kParallelFlops && m > kMr && !ThreadPool::InWorkerThread()) {
+    ThreadPool& pool = util::SharedPool();
+    if (pool.num_threads() > 1) {
+      // Row panels in tile multiples; each worker writes a disjoint
+      // slab of C and every accumulation chain is identical to the
+      // serial sweep, so the split is bit-exact at any thread count.
+      const int64_t panel_rows =
+          ((m + static_cast<int64_t>(pool.num_threads()) - 1) /
+               static_cast<int64_t>(pool.num_threads()) +
+           kMr - 1) /
+          kMr * kMr;
+      const size_t panels =
+          static_cast<size_t>((m + panel_rows - 1) / panel_rows);
+      obs::ScopedSpan gemm_span("tensor.gemm");
+      gemm_span.AddArg("m", static_cast<double>(m));
+      gemm_span.AddArg("k", static_cast<double>(k));
+      gemm_span.AddArg("n", static_cast<double>(n));
+      gemm_span.AddArg("panels", static_cast<double>(panels));
+      pool.ParallelFor(panels, [&](size_t pi) {
+        const int64_t i_begin = static_cast<int64_t>(pi) * panel_rows;
+        const int64_t i_end = std::min(m, i_begin + panel_rows);
+        GemmRowRange(a, as_i, as_p, b, c, i_begin, i_end, k, n);
+      });
+      return;
+    }
+  }
+  GemmRowRange(a, as_i, as_p, b, c, 0, m, k, n);
+}
+
+}  // namespace internal
+
+}  // namespace ba::tensor

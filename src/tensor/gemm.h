@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstdint>
+
+#include "tensor/tensor.h"
+
+/// \file gemm.h
+/// \brief Blocked, auto-vectorization-friendly GEMM kernels behind the
+/// `MatMulValue` / `MatMulTransposeAValue` / `MatMulTransposeBValue`
+/// entry points in tensor.h, plus the original scalar loops kept as
+/// `MatMulReference*` for parity tests and bench baselines.
+///
+/// Kernel contract (see DESIGN.md §7):
+///  - register tiling: MR×NR = 4×16 accumulator tile, B rows accessed
+///    contiguously so the inner loop vectorizes without -ffast-math;
+///  - one accumulation chain per output element, ascending over the
+///    shared dimension — blocking and the row-panel thread split never
+///    reorder a chain, so results are bit-identical at any thread
+///    count (they may differ from the reference loops by FMA-
+///    contraction rounding, which parity tests bound by tolerance);
+///  - large shapes split into row panels over `util::SharedPool()`
+///    unless the caller is already a pool worker (nested parallelism
+///    degrades to serial rather than deadlocking).
+
+namespace ba::tensor {
+
+/// Pre-PR naive kernels, retained as the semantic reference.
+Tensor MatMulReferenceValue(const Tensor& a, const Tensor& b);
+Tensor MatMulReferenceTransposeAValue(const Tensor& a, const Tensor& b);
+Tensor MatMulReferenceTransposeBValue(const Tensor& a, const Tensor& b);
+
+namespace internal {
+
+/// C(m,n) += A·B with A read through strides (`a[i*as_i + p*as_p]`,
+/// covering both normal and transposed-A layouts) and B (k,n)
+/// row-major. Rows [i_begin, i_end) of C are produced; C is assumed
+/// zero-initialized in that range. Exposed for the bench harness and
+/// kernel-level tests; model code goes through MatMul*Value.
+void GemmRowRange(const float* a, int64_t as_i, int64_t as_p, const float* b,
+                  float* c, int64_t i_begin, int64_t i_end, int64_t k,
+                  int64_t n);
+
+/// Full dispatch: serial for small shapes, row-panel split over
+/// `util::SharedPool()` above kParallelFlops (with a `tensor.gemm`
+/// span when tracing).
+void GemmDispatch(const float* a, int64_t as_i, int64_t as_p, const float* b,
+                  float* c, int64_t m, int64_t k, int64_t n);
+
+/// m·k·n above which GemmDispatch fans row panels across the shared
+/// pool (when not already inside a pool worker).
+inline constexpr int64_t kParallelFlops = int64_t{1} << 21;
+
+}  // namespace internal
+
+}  // namespace ba::tensor

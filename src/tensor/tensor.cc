@@ -2,6 +2,9 @@
 
 #include <cmath>
 #include <sstream>
+#include <vector>
+
+#include "tensor/gemm.h"
 
 namespace ba::tensor {
 
@@ -47,24 +50,20 @@ std::string Tensor::ToString(int64_t max_elems) const {
   return os.str();
 }
 
+// The three matmul entry points delegate to the blocked kernel layer
+// in gemm.cc (register-tiled, ISA-dispatched, row-panel threaded for
+// large shapes). Layout differences are absorbed here: strides for the
+// transposed-A view, an explicit transpose into scratch for
+// transposed-B so the inner loops always stream B rows contiguously.
+
 Tensor MatMulValue(const Tensor& a, const Tensor& b) {
   BA_CHECK_EQ(a.rank(), 2);
   BA_CHECK_EQ(b.rank(), 2);
   BA_CHECK_EQ(a.dim(1), b.dim(0));
   const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
   Tensor c({m, n});
-  const float* ad = a.data();
-  const float* bd = b.data();
-  float* cd = c.data();
-  for (int64_t i = 0; i < m; ++i) {
-    for (int64_t p = 0; p < k; ++p) {
-      const float av = ad[i * k + p];
-      if (av == 0.0f) continue;
-      const float* brow = bd + p * n;
-      float* crow = cd + i * n;
-      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
+  internal::GemmDispatch(a.data(), /*as_i=*/k, /*as_p=*/1, b.data(), c.data(),
+                         m, k, n);
   return c;
 }
 
@@ -74,19 +73,10 @@ Tensor MatMulTransposeAValue(const Tensor& a, const Tensor& b) {
   BA_CHECK_EQ(a.dim(0), b.dim(0));
   const int64_t k = a.dim(0), m = a.dim(1), n = b.dim(1);
   Tensor c({m, n});
-  const float* ad = a.data();
-  const float* bd = b.data();
-  float* cd = c.data();
-  for (int64_t p = 0; p < k; ++p) {
-    const float* arow = ad + p * m;
-    const float* brow = bd + p * n;
-    for (int64_t i = 0; i < m; ++i) {
-      const float av = arow[i];
-      if (av == 0.0f) continue;
-      float* crow = cd + i * n;
-      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
+  // A is (k,m): element (p, i) sits at p*m + i, i.e. unit stride across
+  // the micro-kernel's rows — no transpose copy needed.
+  internal::GemmDispatch(a.data(), /*as_i=*/1, /*as_p=*/m, b.data(), c.data(),
+                         m, k, n);
   return c;
 }
 
@@ -96,19 +86,27 @@ Tensor MatMulTransposeBValue(const Tensor& a, const Tensor& b) {
   BA_CHECK_EQ(a.dim(1), b.dim(1));
   const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
   Tensor c({m, n});
-  const float* ad = a.data();
+  if (m == 0 || k == 0 || n == 0) return c;
+  // B arrives (n,k); the old kernel walked it as per-output dot
+  // products, a serial reduction the vectorizer cannot touch under
+  // strict FP. Transposing into (k,n) scratch up front costs O(n·k)
+  // against the O(m·n·k) multiply and restores contiguous row access.
+  std::vector<float> bt(static_cast<size_t>(k) * static_cast<size_t>(n));
   const float* bd = b.data();
-  float* cd = c.data();
-  for (int64_t i = 0; i < m; ++i) {
-    const float* arow = ad + i * k;
-    float* crow = cd + i * n;
-    for (int64_t j = 0; j < n; ++j) {
-      const float* brow = bd + j * k;
-      float acc = 0.0f;
-      for (int64_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
-      crow[j] = acc;
+  constexpr int64_t kBlk = 32;  // tiles keep both sides cache-resident
+  for (int64_t j0 = 0; j0 < n; j0 += kBlk) {
+    const int64_t j1 = std::min(n, j0 + kBlk);
+    for (int64_t p0 = 0; p0 < k; p0 += kBlk) {
+      const int64_t p1 = std::min(k, p0 + kBlk);
+      for (int64_t j = j0; j < j1; ++j) {
+        for (int64_t p = p0; p < p1; ++p) {
+          bt[static_cast<size_t>(p * n + j)] = bd[j * k + p];
+        }
+      }
     }
   }
+  internal::GemmDispatch(a.data(), /*as_i=*/k, /*as_p=*/1, bt.data(), c.data(),
+                         m, k, n);
   return c;
 }
 

@@ -1,6 +1,9 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <string>
 #include <utility>
 
 #include "obs/metrics.h"
@@ -25,6 +28,10 @@ obs::Counter* TasksCounter() {
       obs::MetricsRegistry::Instance().GetCounter("util.thread_pool.tasks");
   return counter;
 }
+
+/// Set for the lifetime of every WorkerLoop, so nested parallel
+/// regions can detect they are already running on pool capacity.
+thread_local bool t_in_pool_worker = false;
 
 }  // namespace
 
@@ -77,28 +84,57 @@ void ThreadPool::Wait() {
   all_done_.wait(lock, [this] { return in_flight_ == 0; });
 }
 
+bool ThreadPool::InWorkerThread() { return t_in_pool_worker; }
+
 void ThreadPool::ParallelFor(size_t n,
                              const std::function<void(size_t)>& body) {
   if (n == 0) return;
+  // A worker calling back into its own (or any) pool must not block on
+  // pool capacity — every worker could end up waiting for tasks only
+  // the waiting workers themselves would run. Degrade to serial.
+  if (t_in_pool_worker) {
+    for (size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
   const size_t chunks = std::min(n, std::max<size_t>(workers_.size(), 1) * 4);
   const size_t chunk_size = (n + chunks - 1) / chunks;
+
+  // Per-call completion latch: on a shared pool, Wait() would also
+  // block on unrelated submitters' tasks. Only this call's chunks are
+  // counted here.
+  struct Latch {
+    std::mutex mu;
+    std::condition_variable cv;
+    size_t remaining = 0;
+  } latch;
+
   for (size_t c = 0; c < chunks; ++c) {
     const size_t begin = c * chunk_size;
     const size_t end = std::min(n, begin + chunk_size);
     if (begin >= end) break;
-    const bool accepted = Submit([begin, end, &body] {
+    {
+      std::unique_lock<std::mutex> lock(latch.mu);
+      ++latch.remaining;
+    }
+    const bool accepted = Submit([begin, end, &body, &latch] {
       for (size_t i = begin; i < end; ++i) body(i);
+      std::unique_lock<std::mutex> lock(latch.mu);
+      if (--latch.remaining == 0) latch.cv.notify_all();
     });
     if (!accepted) {
       // Pool already shut down: degrade to inline execution.
       for (size_t i = begin; i < end; ++i) body(i);
+      std::unique_lock<std::mutex> lock(latch.mu);
+      --latch.remaining;
     }
   }
-  Wait();
+  std::unique_lock<std::mutex> lock(latch.mu);
+  latch.cv.wait(lock, [&latch] { return latch.remaining == 0; });
 }
 
 void ThreadPool::WorkerLoop() {
   obs::Tracer::Instance().SetCurrentThreadName("ba.pool.worker");
+  t_in_pool_worker = true;
   for (;;) {
     PendingTask task;
     {
@@ -132,5 +168,59 @@ void ThreadPool::WorkerLoop() {
     }
   }
 }
+
+namespace util {
+
+namespace {
+
+std::mutex g_shared_pool_mu;
+ThreadPool* g_shared_pool = nullptr;      // leaked singleton, LSan-reachable
+size_t g_shared_pool_override = 0;        // 0 = no override
+
+size_t DefaultSharedPoolThreads() {
+  if (const char* env = std::getenv("BA_THREADS")) {
+    char* end = nullptr;
+    const long parsed = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && parsed >= 1) {
+      return static_cast<size_t>(parsed);
+    }
+    BA_LOG(Warn, "util.thread_pool")
+        << "ignoring unparseable BA_THREADS=\"" << env << "\"";
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw >= 1 ? hw : 1;
+}
+
+}  // namespace
+
+bool SetSharedPoolThreads(size_t num_threads) {
+  if (num_threads < 1) return false;
+  std::unique_lock<std::mutex> lock(g_shared_pool_mu);
+  if (g_shared_pool != nullptr) return false;  // already materialized
+  g_shared_pool_override = num_threads;
+  return true;
+}
+
+size_t SharedPoolThreads() {
+  std::unique_lock<std::mutex> lock(g_shared_pool_mu);
+  if (g_shared_pool != nullptr) return g_shared_pool->num_threads();
+  if (g_shared_pool_override >= 1) return g_shared_pool_override;
+  return DefaultSharedPoolThreads();
+}
+
+ThreadPool& SharedPool() {
+  std::unique_lock<std::mutex> lock(g_shared_pool_mu);
+  if (g_shared_pool == nullptr) {
+    const size_t n = g_shared_pool_override >= 1 ? g_shared_pool_override
+                                                 : DefaultSharedPoolThreads();
+    // Leaked deliberately (like Tracer / MetricsRegistry): workers must
+    // outlive every static-destruction-order client, and the pointer
+    // stays reachable so LSan is quiet.
+    g_shared_pool = new ThreadPool(n);
+  }
+  return *g_shared_pool;
+}
+
+}  // namespace util
 
 }  // namespace ba

@@ -12,7 +12,10 @@
 /// \file thread_pool.h
 /// \brief Fixed-size worker pool used to parallelize address-graph
 /// construction, which the paper notes is a CPU-bound,
-/// embarrassingly-parallel task (§IV-E.1).
+/// embarrassingly-parallel task (§IV-E.1), plus the process-wide
+/// shared pool (`util::SharedPool`) that serving, training and the
+/// tensor GEMM kernels draw workers from so co-resident subsystems
+/// don't oversubscribe the machine.
 ///
 /// Observability: every pool maintains the process-wide
 /// `util.thread_pool.queue_depth` gauge and `util.thread_pool.tasks`
@@ -42,7 +45,9 @@ class ThreadPool {
   /// drops the task) when the pool has been shut down.
   [[nodiscard]] bool Submit(std::function<void()> task);
 
-  /// Blocks until every submitted task has finished.
+  /// Blocks until every submitted task has finished. On a shared pool
+  /// this waits for *all* submitters' tasks; prefer ParallelFor (which
+  /// waits only for its own work) when the pool may be shared.
   void Wait();
 
   size_t num_threads() const { return workers_.size(); }
@@ -53,9 +58,21 @@ class ThreadPool {
 
   /// Runs `body(i)` for i in [0, n), distributing contiguous chunks
   /// over the pool, and blocks until all iterations complete. The body
-  /// must be safe to invoke concurrently for distinct indices. On a
-  /// shut-down pool the iterations run inline on the calling thread.
+  /// must be safe to invoke concurrently for distinct indices.
+  ///
+  /// Completion is tracked per call (not via pool-wide Wait), so
+  /// concurrent ParallelFor calls on one shared pool never block on
+  /// each other's unrelated work. When invoked from inside one of this
+  /// pool's own workers, or on a shut-down pool, the iterations run
+  /// inline on the calling thread — nested data parallelism degrades
+  /// to serial instead of deadlocking.
   void ParallelFor(size_t n, const std::function<void(size_t)>& body);
+
+  /// True when the calling thread is a worker of *any* ThreadPool.
+  /// Lets nested parallel regions (e.g. a large GEMM reached from a
+  /// training worker) fall back to serial execution instead of
+  /// submitting to — and then waiting on — an already-busy pool.
+  static bool InWorkerThread();
 
  private:
   struct PendingTask {
@@ -75,5 +92,31 @@ class ThreadPool {
   size_t in_flight_ = 0;
   bool shutdown_ = false;
 };
+
+namespace util {
+
+/// \brief Overrides the size of the process-wide shared pool. Only
+/// effective before the pool's first use (it is created lazily and
+/// never resized); returns false — and changes nothing — once
+/// SharedPool() has materialized. Benches call this from `--threads`.
+bool SetSharedPoolThreads(size_t num_threads);
+
+/// \brief The number of workers SharedPool() has (or will be created
+/// with): the SetSharedPoolThreads override if any, else the
+/// `BA_THREADS` environment variable, else hardware_concurrency.
+size_t SharedPoolThreads();
+
+/// \brief Process-wide default worker pool, created on first use.
+///
+/// Every subsystem that wants background parallelism (serving engines,
+/// data-parallel training, large GEMMs) should draw from this pool
+/// rather than constructing private ones, so one process hosting a
+/// trainer *and* an engine runs `SharedPoolThreads()` workers total
+/// instead of the sum of private pool sizes. Work scheduled here must
+/// use ParallelFor or per-call completion tracking — never pool-wide
+/// Wait() — so independent submitters don't serialize on each other.
+ThreadPool& SharedPool();
+
+}  // namespace util
 
 }  // namespace ba

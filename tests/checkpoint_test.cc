@@ -355,6 +355,40 @@ TEST_F(GraphModelResumeTest, ResumedRunMatchesUninterruptedBitExactly) {
       << "resumed parameters diverge from the uninterrupted run";
 }
 
+TEST_F(GraphModelResumeTest, ThreadedResumeMatchesSerialBitExactly) {
+  // The data-parallel Train path reduces per-example gradients in fixed
+  // example order, so lane count must not affect the numbers: a run
+  // killed after 2 epochs at 3 lanes and resumed at 2 lanes has to land
+  // on the same parameters as an uninterrupted serial run.
+  GraphModel baseline(BaseOptions());
+  ASSERT_TRUE(baseline.Train(*samples_).ok());
+  const std::vector<float> expected = Flatten(baseline);
+
+  TempDir dir("resume_mt");
+  GraphModelOptions first_half = BaseOptions();
+  first_half.checkpoint_dir = dir.path();
+  first_half.epochs = 2;
+  first_half.num_threads = 3;
+  {
+    GraphModel partial(first_half);
+    ASSERT_TRUE(partial.Train(*samples_).ok());
+  }
+  ASSERT_TRUE(util::FileExists(CheckpointPath(dir.path())));
+
+  GraphModelOptions full = BaseOptions();
+  full.checkpoint_dir = dir.path();
+  full.num_threads = 2;
+  GraphModel resumed(full);
+  ASSERT_TRUE(resumed.Train(*samples_).ok());
+
+  const std::vector<float> actual = Flatten(resumed);
+  ASSERT_EQ(actual.size(), expected.size());
+  ASSERT_EQ(std::memcmp(actual.data(), expected.data(),
+                        actual.size() * sizeof(float)),
+            0)
+      << "threaded resume diverges from the serial uninterrupted run";
+}
+
 TEST_F(GraphModelResumeTest, FullyTrainedCheckpointShortCircuits) {
   TempDir dir("done");
   GraphModelOptions opts = BaseOptions();

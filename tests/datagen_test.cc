@@ -8,6 +8,7 @@
 
 #include "datagen/dataset.h"
 #include "datagen/simulator.h"
+#include "util/fs.h"
 
 namespace ba::datagen {
 namespace {
@@ -110,6 +111,37 @@ TEST(SimulatorDeterminismTest, DifferentSeedsDiffer) {
   ASSERT_TRUE(a.Run().ok());
   ASSERT_TRUE(b.Run().ok());
   EXPECT_NE(a.ledger().num_transactions(), b.ledger().num_transactions());
+}
+
+TEST(SimulatorFaultTest, KilledRunResumesToTheIdenticalEconomy) {
+  // Arm the per-block fault point mid-run: Run() must fail cleanly,
+  // then a second Run() on the same simulator picks up at the next
+  // unsealed block and lands on exactly the uninterrupted economy.
+  util::FaultInjector::Instance().DisarmAll();
+  Simulator uninterrupted(SmallConfig(7));
+  ASSERT_TRUE(uninterrupted.Run().ok());
+
+  Simulator killed(SmallConfig(7));
+  util::FaultInjector::Instance().Arm(Simulator::kFaultRunStep, /*nth=*/40);
+  const Status st = killed.Run();
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find(Simulator::kFaultRunStep), std::string::npos);
+  EXPECT_LT(killed.ledger().num_transactions(),
+            uninterrupted.ledger().num_transactions());
+  util::FaultInjector::Instance().DisarmAll();
+
+  ASSERT_TRUE(killed.Run().ok());
+  EXPECT_EQ(killed.ledger().num_transactions(),
+            uninterrupted.ledger().num_transactions());
+  EXPECT_EQ(killed.ledger().total_minted(),
+            uninterrupted.ledger().total_minted());
+  EXPECT_EQ(killed.ledger().total_fees(),
+            uninterrupted.ledger().total_fees());
+
+  // Once complete, further Run() calls are idempotent.
+  ASSERT_TRUE(killed.Run().ok());
+  EXPECT_EQ(killed.ledger().num_transactions(),
+            uninterrupted.ledger().num_transactions());
 }
 
 TEST_F(SimulatorTest, EntityLabelsConsistentWithBehaviorLabels) {

@@ -3,7 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <vector>
 
+#include "tensor/gemm.h"
 #include "tensor/tensor.h"
 #include "util/rng.h"
 
@@ -109,6 +112,90 @@ TEST(MatMulTest, TransposedVariantsAgree) {
   Tensor got2 = MatMulTransposeBValue(a, c);
   for (int64_t i = 0; i < expected2.numel(); ++i) {
     EXPECT_NEAR(expected2.data()[i], got2.data()[i], 1e-4f);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Blocked-kernel parity: the optimized GEMM entry points must agree
+// with the scalar reference loops (tensor/gemm.h) within a tolerance
+// that absorbs FMA contraction, across tile-aligned, ragged,
+// degenerate (1×k, k×1) and empty shapes.
+// ---------------------------------------------------------------------------
+
+void ExpectGemmClose(const Tensor& got, const Tensor& want, int64_t k) {
+  ASSERT_TRUE(got.SameShape(want));
+  // Denominator floors at sqrt(k), the natural magnitude of a k-term
+  // dot product of O(1) inputs, so cancellation near zero doesn't turn
+  // FMA rounding differences into false failures.
+  const double floor_mag =
+      std::sqrt(static_cast<double>(std::max<int64_t>(k, 1)));
+  for (int64_t i = 0; i < got.numel(); ++i) {
+    const double g = got.data()[i], w = want.data()[i];
+    const double denom = std::max({std::abs(g), std::abs(w), floor_mag});
+    ASSERT_LT(std::abs(g - w) / denom, 1e-4)
+        << "element " << i << ": optimized " << g << " reference " << w;
+  }
+}
+
+struct GemmShape {
+  int64_t m, k, n;
+};
+
+const GemmShape kParityShapes[] = {
+    {1, 1, 1},  {1, 9, 1},    {9, 1, 5},   {1, 16, 16}, {4, 16, 16},
+    {5, 7, 9},  {17, 33, 65}, {12, 8, 16}, {64, 64, 64}, {3, 128, 2},
+    {2, 300, 3}, {0, 4, 4},   {4, 0, 4},   {4, 4, 0},
+};
+
+TEST(GemmParityTest, MatMulMatchesReference) {
+  Rng rng(21);
+  for (const auto& s : kParityShapes) {
+    Tensor a = Tensor::RandomUniform({s.m, s.k}, &rng, -1.0f, 1.0f);
+    Tensor b = Tensor::RandomUniform({s.k, s.n}, &rng, -1.0f, 1.0f);
+    ExpectGemmClose(MatMulValue(a, b), MatMulReferenceValue(a, b), s.k);
+  }
+}
+
+TEST(GemmParityTest, MatMulTransposeAMatchesReference) {
+  Rng rng(22);
+  for (const auto& s : kParityShapes) {
+    Tensor a = Tensor::RandomUniform({s.k, s.m}, &rng, -1.0f, 1.0f);
+    Tensor b = Tensor::RandomUniform({s.k, s.n}, &rng, -1.0f, 1.0f);
+    ExpectGemmClose(MatMulTransposeAValue(a, b),
+                    MatMulReferenceTransposeAValue(a, b), s.k);
+  }
+}
+
+TEST(GemmParityTest, MatMulTransposeBMatchesReference) {
+  Rng rng(23);
+  for (const auto& s : kParityShapes) {
+    Tensor a = Tensor::RandomUniform({s.m, s.k}, &rng, -1.0f, 1.0f);
+    Tensor b = Tensor::RandomUniform({s.n, s.k}, &rng, -1.0f, 1.0f);
+    ExpectGemmClose(MatMulTransposeBValue(a, b),
+                    MatMulReferenceTransposeBValue(a, b), s.k);
+  }
+}
+
+TEST(GemmParityTest, RowPanelSplitIsBitExact) {
+  // The parallel path splits C into row panels at tile multiples
+  // (GemmDispatch rounds panel_rows up to kMr); any such split must be
+  // bit-identical to the full serial sweep because the tile boundaries
+  // — and with them every element's accumulation chain — are unchanged.
+  Rng rng(24);
+  const int64_t m = 23, k = 31, n = 37;
+  Tensor a = Tensor::RandomUniform({m, k}, &rng, -1.0f, 1.0f);
+  Tensor b = Tensor::RandomUniform({k, n}, &rng, -1.0f, 1.0f);
+  Tensor whole({m, n});
+  internal::GemmRowRange(a.data(), k, 1, b.data(), whole.data(), 0, m, k, n);
+  for (int64_t split : {4, 8, 12, 20}) {
+    Tensor parts({m, n});
+    for (int64_t i = 0; i < m; i += split) {
+      internal::GemmRowRange(a.data(), k, 1, b.data(), parts.data(), i,
+                             std::min(m, i + split), k, n);
+    }
+    for (int64_t i = 0; i < whole.numel(); ++i) {
+      ASSERT_EQ(whole.data()[i], parts.data()[i]) << "split " << split;
+    }
   }
 }
 
