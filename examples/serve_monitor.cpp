@@ -82,12 +82,14 @@ int main(int argc, char** argv) {
   const int stream_blocks = static_cast<int>(flags.GetInt("stream", 12));
   const int clients = static_cast<int>(flags.GetInt("clients", 3));
   ba::chain::Ledger* ledger = simulator.mutable_ledger();
-  ba::chain::Timestamp now = ledger->blocks().back().timestamp;
+  ba::chain::Timestamp now = ledger->block(ledger->height() - 1).timestamp;
   ba::Rng pick(config.seed ^ 0xFEED);
 
   for (int b = 0; b < stream_blocks; ++b) {
-    // A new block arrives: the coinbase pays a few watched addresses,
-    // so their histories (and only theirs) grow.
+    // A new block arrives *while* the monitoring clients sweep: the
+    // engine pins a ledger snapshot per micro-batch, so sealing needs
+    // no quiescing — each query is answered at the epoch just before
+    // or just after the seal, whichever its batch pinned.
     now += ledger->options().block_interval_seconds;
     std::vector<ba::chain::AddressId> payouts;
     std::vector<double> weights;
@@ -97,8 +99,10 @@ int main(int argc, char** argv) {
               .address);
       weights.push_back(1.0 / 3.0);
     }
-    BA_CHECK_OK(ledger->ApplyCoinbase(now, payouts, weights).status());
-    BA_CHECK_OK(ledger->SealBlock(now));
+    std::thread sealer([&] {
+      BA_CHECK_OK(ledger->ApplyCoinbase(now, payouts, weights).status());
+      BA_CHECK_OK(ledger->SealBlock(now));
+    });
 
     // Monitoring clients sweep the watch list concurrently.
     std::vector<std::thread> sweep;
@@ -112,6 +116,7 @@ int main(int argc, char** argv) {
         }
       });
     }
+    sealer.join();
     for (auto& t : sweep) t.join();
     BA_CHECK_OK(engine.value()->SaveCache());
 

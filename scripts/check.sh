@@ -7,10 +7,12 @@
 #   address (default)  ASan + UBSan over the full suite.
 #   thread             TSan over the concurrency-sensitive tests
 #                      (serve_test drives the batched inference engine
-#                      from multiple client threads; parallel_train_test
-#                      exercises data-parallel training and the shared
-#                      pool; obs_test hammers the metrics registry and
-#                      tracer concurrently).
+#                      from multiple client threads; snapshot_test
+#                      seals blocks while classifying — the ledger
+#                      epoch/snapshot layer's acceptance gate;
+#                      parallel_train_test exercises data-parallel
+#                      training and the shared pool; obs_test hammers
+#                      the metrics registry and tracer concurrently).
 #   trace              Smoke-tests the observability subsystem: runs the
 #                      serve_monitor example with BA_TRACE_OUT set and
 #                      validates that the emitted file is well-formed
@@ -29,6 +31,24 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 MODE="${1:-address}"
 
+# Every tier-1 test registered in tests/CMakeLists.txt must exist in
+# the build dir after a build — a test that silently fails to build
+# (or gets dropped from the target list) must fail the gate, not skip.
+require_test_binaries() {
+  local build_dir="$1"
+  local missing=0
+  while read -r name; do
+    if [ ! -x "$build_dir/tests/$name" ]; then
+      echo "check.sh: MISSING TEST BINARY: $build_dir/tests/$name" >&2
+      missing=1
+    fi
+  done < <(sed -n 's/^ba_add_test(\([a-z_0-9]*\)).*/\1/p' tests/CMakeLists.txt)
+  if [ "$missing" -ne 0 ]; then
+    echo "check.sh: tier-1 test binaries missing after build; failing" >&2
+    exit 1
+  fi
+}
+
 case "$MODE" in
   address)
     BUILD_DIR="${2:-build-sanitize}"
@@ -38,6 +58,7 @@ case "$MODE" in
       -DBA_BUILD_BENCHMARKS=OFF \
       -DBA_BUILD_EXAMPLES=OFF
     cmake --build "$BUILD_DIR" -j "$(nproc)"
+    require_test_binaries "$BUILD_DIR"
     ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
     ;;
   thread)
@@ -47,12 +68,19 @@ case "$MODE" in
       -DBA_SANITIZE=thread \
       -DBA_BUILD_BENCHMARKS=OFF \
       -DBA_BUILD_EXAMPLES=OFF
+    TSAN_TESTS="serve_test snapshot_test util_test obs_test parallel_train_test"
+    # shellcheck disable=SC2086
     cmake --build "$BUILD_DIR" -j "$(nproc)" \
-      --target serve_test util_test obs_test parallel_train_test
-    "$BUILD_DIR"/tests/serve_test
-    "$BUILD_DIR"/tests/util_test
-    "$BUILD_DIR"/tests/obs_test
-    "$BUILD_DIR"/tests/parallel_train_test
+      --target $TSAN_TESTS
+    for t in $TSAN_TESTS; do
+      if [ ! -x "$BUILD_DIR/tests/$t" ]; then
+        echo "check.sh: MISSING TEST BINARY: $BUILD_DIR/tests/$t" >&2
+        exit 1
+      fi
+    done
+    for t in $TSAN_TESTS; do
+      "$BUILD_DIR/tests/$t"
+    done
     ;;
   trace)
     BUILD_DIR="${2:-build}"

@@ -60,7 +60,8 @@ AddressClusterer AddressClusterer::FromLedger(const Ledger& ledger,
                                               Options options) {
   AddressClusterer clusterer(ledger.num_addresses());
   std::vector<bool> seen(ledger.num_addresses(), false);
-  for (const auto& block : ledger.blocks()) {
+  for (uint64_t h = 0; h < ledger.height(); ++h) {
+    const Block& block = ledger.block(h);
     for (TxId id : block.transactions) {
       const Transaction& tx = ledger.tx(id);
       bool first0 = false, first1 = false;

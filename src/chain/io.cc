@@ -69,7 +69,8 @@ Status ExportLedgerCsv(const Ledger& ledger, const std::string& path) {
            << ledger.num_addresses() << "\n";
     BA_RETURN_NOT_OK(out.Append(header.str()));
   }
-  for (const auto& block : ledger.blocks()) {
+  for (uint64_t h = 0; h < ledger.height(); ++h) {
+    const Block& block = ledger.block(h);
     std::ostringstream os;
     os << "B," << block.height << "," << block.timestamp << "\n";
     for (TxId id : block.transactions) {

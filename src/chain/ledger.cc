@@ -2,19 +2,181 @@
 
 #include <algorithm>
 #include <cmath>
+#include <numeric>
 #include <unordered_set>
+#include <utility>
 
 #include "util/logging.h"
 
 namespace ba::chain {
 
+namespace {
+
+/// Number of leading entries of `list` that fall inside an epoch with
+/// `num_transactions` applied. Per-address lists are strictly ascending
+/// in TxId (ids are assigned monotonically and indexed immediately), so
+/// this is a binary search for the first id >= num_transactions.
+size_t ClampedCount(const util::ChunkedVector<TxId>& list,
+                    uint64_t num_transactions) {
+  size_t lo = 0;
+  size_t hi = list.size();
+  while (lo < hi) {
+    const size_t mid = lo + (hi - lo) / 2;
+    if (list[mid] < num_transactions) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// LedgerSnapshot
+
+const LedgerOptions& LedgerSnapshot::options() const {
+  return ledger_->options_;
+}
+
+const Transaction& LedgerSnapshot::tx(TxId id) const {
+  BA_CHECK_LT(id, num_transactions_);
+  return ledger_->transactions_[id];
+}
+
+const Block& LedgerSnapshot::block(uint64_t height) const {
+  BA_CHECK_LT(height, height_);
+  return ledger_->blocks_[height];
+}
+
+size_t LedgerSnapshot::TxCountOf(AddressId address) const {
+  if (address >= num_addresses_) return 0;
+  return ClampedCount(ledger_->address_txs_[address], num_transactions_);
+}
+
+std::vector<TxId> LedgerSnapshot::TransactionsOf(AddressId address,
+                                                 size_t max_count) const {
+  std::vector<TxId> out;
+  if (address >= num_addresses_) return out;
+  const auto& list = ledger_->address_txs_[address];
+  const size_t n = std::min(ClampedCount(list, num_transactions_), max_count);
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) out.push_back(list[i]);
+  return out;
+}
+
+std::vector<Utxo> LedgerSnapshot::UnspentOf(AddressId address) const {
+  // Replays the address's pinned history instead of reading the live
+  // UTXO map: every transaction that spends one of `address`'s outputs
+  // also touches `address` (as an input owner), so it appears in the
+  // address's own list and the replay sees every create and spend.
+  std::vector<Utxo> live;
+  if (address >= num_addresses_) return live;
+  const auto& list = ledger_->address_txs_[address];
+  const size_t n = ClampedCount(list, num_transactions_);
+  for (size_t i = 0; i < n; ++i) {
+    const Transaction& t = tx(list[i]);
+    for (const auto& in : t.inputs) {
+      if (in.address != address) continue;
+      const uint64_t key = in.prevout.Key();
+      for (auto it = live.begin(); it != live.end(); ++it) {
+        if (it->outpoint.Key() == key) {
+          live.erase(it);
+          break;
+        }
+      }
+    }
+    for (uint32_t j = 0; j < t.outputs.size(); ++j) {
+      if (t.outputs[j].address != address) continue;
+      Utxo u;
+      u.outpoint = OutPoint{t.txid, j};
+      u.value = t.outputs[j].value;
+      u.confirmed_height = t.block_height;
+      live.push_back(u);
+    }
+  }
+  return live;
+}
+
+Amount LedgerSnapshot::BalanceOf(AddressId address) const {
+  Amount total = 0;
+  for (const auto& u : UnspentOf(address)) {
+    const Transaction& source = tx(u.outpoint.txid);
+    if (source.coinbase &&
+        height_ < u.confirmed_height + ledger_->options_.coinbase_maturity) {
+      continue;  // immature coinbase
+    }
+    total += u.value;
+  }
+  return total;
+}
+
+// ---------------------------------------------------------------------------
+// Ledger
+
 Ledger::Ledger(LedgerOptions options) : options_(options) {
   BA_CHECK_GT(options_.block_subsidy, 0);
 }
 
+Ledger::Ledger(Ledger&& other) noexcept
+    : options_(other.options_),
+      blocks_(std::move(other.blocks_)),
+      transactions_(std::move(other.transactions_)),
+      address_txs_(std::move(other.address_txs_)),
+      published_txs_(other.published_txs_.load(std::memory_order_relaxed)),
+      pending_(std::move(other.pending_)),
+      pending_has_coinbase_(other.pending_has_coinbase_),
+      last_seal_time_(other.last_seal_time_),
+      utxos_(std::move(other.utxos_)),
+      address_utxo_keys_(std::move(other.address_utxo_keys_)),
+      total_minted_(other.total_minted_),
+      total_fees_(other.total_fees_) {
+  other.published_txs_.store(0, std::memory_order_relaxed);
+}
+
+Ledger& Ledger::operator=(Ledger&& other) noexcept {
+  if (this != &other) {
+    options_ = other.options_;
+    blocks_ = std::move(other.blocks_);
+    transactions_ = std::move(other.transactions_);
+    address_txs_ = std::move(other.address_txs_);
+    published_txs_.store(
+        other.published_txs_.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+    other.published_txs_.store(0, std::memory_order_relaxed);
+    pending_ = std::move(other.pending_);
+    pending_has_coinbase_ = other.pending_has_coinbase_;
+    last_seal_time_ = other.last_seal_time_;
+    utxos_ = std::move(other.utxos_);
+    address_utxo_keys_ = std::move(other.address_utxo_keys_);
+    total_minted_ = other.total_minted_;
+    total_fees_ = other.total_fees_;
+  }
+  return *this;
+}
+
+LedgerSnapshot Ledger::Snapshot() const {
+  // Capture order is the reverse of the publication order (blocks are
+  // published after the transactions they contain, transactions after
+  // the addresses they reference), so the pinned triple is mutually
+  // consistent even when the writer is mid-apply.
+  const uint64_t h = blocks_.size();
+  const uint64_t t = published_txs_.load(std::memory_order_acquire);
+  const size_t a = address_txs_.size();
+  return LedgerSnapshot(this, h, t, a);
+}
+
+LedgerSnapshot Ledger::SnapshotAt(uint64_t num_transactions) const {
+  BA_CHECK_LE(num_transactions,
+              published_txs_.load(std::memory_order_acquire));
+  return LedgerSnapshot(this, blocks_.size(), num_transactions,
+                        address_txs_.size());
+}
+
 AddressId Ledger::NewAddress() {
   const AddressId id = static_cast<AddressId>(address_txs_.size());
-  address_txs_.emplace_back();
+  address_txs_.Append();  // publishes an empty tx list for the address
   address_utxo_keys_.emplace_back();
   return id;
 }
@@ -31,10 +193,13 @@ Result<TxId> Ledger::ApplyCoinbase(
   }
   double weight_sum = 0.0;
   for (double w : payout_weights) {
-    if (w < 0.0) return Status::InvalidArgument("negative payout weight");
+    if (!std::isfinite(w) || w < 0.0) {
+      return Status::InvalidArgument(
+          "payout weight must be finite and non-negative");
+    }
     weight_sum += w;
   }
-  if (weight_sum <= 0.0) {
+  if (!(weight_sum > 0.0) || !std::isfinite(weight_sum)) {
     return Status::InvalidArgument("payout weights sum to zero");
   }
   for (AddressId a : payout_addresses) {
@@ -43,24 +208,54 @@ Result<TxId> Ledger::ApplyCoinbase(
     }
   }
 
+  // Largest-remainder split: floor each payout's real-valued quota,
+  // then hand out the integer leftover one satoshi at a time in order
+  // of descending fractional part (ties to the lower index). The
+  // outputs therefore always sum to exactly block_subsidy, for any
+  // number or skew of weights.
+  const size_t n = payout_addresses.size();
+  const Amount subsidy = options_.block_subsidy;
+  std::vector<Amount> share(n);
+  std::vector<double> frac(n);
+  Amount assigned = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const double quota =
+        static_cast<double>(subsidy) * payout_weights[i] / weight_sum;
+    Amount s = static_cast<Amount>(std::floor(quota));
+    s = std::clamp<Amount>(s, 0, subsidy);
+    share[i] = s;
+    frac[i] = quota - static_cast<double>(s);
+    assigned += s;
+  }
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&frac](size_t a, size_t b) { return frac[a] > frac[b]; });
+  Amount leftover = subsidy - assigned;
+  // In exact arithmetic 0 <= leftover < n; the loops below also absorb
+  // the +/- few units that double rounding of the quotas can introduce.
+  while (leftover > 0) {
+    for (size_t k = 0; k < n && leftover > 0; ++k) {
+      ++share[order[k]];
+      --leftover;
+    }
+  }
+  while (leftover < 0) {
+    for (size_t k = n; k-- > 0 && leftover < 0;) {
+      if (share[order[k]] > 0) {
+        --share[order[k]];
+        ++leftover;
+      }
+    }
+  }
+
   Transaction tx;
   tx.txid = transactions_.size();
   tx.timestamp = timestamp;
   tx.block_height = blocks_.size();
   tx.coinbase = true;
-  Amount remaining = options_.block_subsidy;
-  for (size_t i = 0; i + 1 < payout_addresses.size(); ++i) {
-    const Amount share = static_cast<Amount>(std::floor(
-        static_cast<double>(options_.block_subsidy) * payout_weights[i] /
-        weight_sum));
-    const Amount v = std::min(share, remaining);
-    if (v > 0) {
-      tx.outputs.push_back({payout_addresses[i], v});
-      remaining -= v;
-    }
-  }
-  if (remaining > 0) {
-    tx.outputs.push_back({payout_addresses.back(), remaining});
+  for (size_t i = 0; i < n; ++i) {
+    if (share[i] > 0) tx.outputs.push_back({payout_addresses[i], share[i]});
   }
 
   for (uint32_t i = 0; i < tx.outputs.size(); ++i) {
@@ -68,12 +263,15 @@ Result<TxId> Ledger::ApplyCoinbase(
     utxos_[op.Key()] = {tx.outputs[i], blocks_.size()};
     address_utxo_keys_[tx.outputs[i].address].push_back(op.Key());
   }
-  total_minted_ += options_.block_subsidy;
-  IndexTransaction(tx);
+  total_minted_ += subsidy;
   pending_.transactions.push_back(tx.txid);
   pending_has_coinbase_ = true;
+  const TxId txid = tx.txid;
+  // Publication protocol: storage, then index, then the counter.
   transactions_.push_back(std::move(tx));
-  return transactions_.back().txid;
+  IndexTransaction(transactions_[txid]);
+  published_txs_.store(txid + 1, std::memory_order_release);
+  return txid;
 }
 
 Result<TxId> Ledger::ApplyCoinbase(Timestamp timestamp, AddressId payout) {
@@ -148,10 +346,13 @@ Result<TxId> Ledger::ApplyTransaction(const TxDraft& draft) {
     address_utxo_keys_[tx.outputs[i].address].push_back(op.Key());
   }
   total_fees_ += in_value - out_value;
-  IndexTransaction(tx);
   pending_.transactions.push_back(tx.txid);
+  const TxId txid = tx.txid;
+  // Publication protocol: storage, then index, then the counter.
   transactions_.push_back(std::move(tx));
-  return transactions_.back().txid;
+  IndexTransaction(transactions_[txid]);
+  published_txs_.store(txid + 1, std::memory_order_release);
+  return txid;
 }
 
 Status Ledger::SealBlock(Timestamp timestamp) {
@@ -168,13 +369,28 @@ Status Ledger::SealBlock(Timestamp timestamp) {
 }
 
 const Transaction& Ledger::tx(TxId id) const {
-  BA_CHECK_LT(id, transactions_.size());
+  BA_CHECK_LT(id, num_transactions());
   return transactions_[id];
 }
 
-const std::vector<TxId>& Ledger::TransactionsOf(AddressId address) const {
+const Block& Ledger::block(uint64_t height) const {
+  BA_CHECK_LT(height, blocks_.size());
+  return blocks_[height];
+}
+
+size_t Ledger::TxCountOf(AddressId address) const {
   BA_CHECK_LT(address, address_txs_.size());
-  return address_txs_[address];
+  return address_txs_[address].size();
+}
+
+std::vector<TxId> Ledger::TransactionsOf(AddressId address) const {
+  BA_CHECK_LT(address, address_txs_.size());
+  const auto& list = address_txs_[address];
+  const size_t n = list.size();
+  std::vector<TxId> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) out.push_back(list[i]);
+  return out;
 }
 
 std::vector<Utxo> Ledger::UnspentOf(AddressId address) const {
@@ -222,7 +438,7 @@ void Ledger::IndexTransaction(const Transaction& tx) {
   std::unordered_set<AddressId> touched;
   for (const auto& in : tx.inputs) touched.insert(in.address);
   for (const auto& out : tx.outputs) touched.insert(out.address);
-  for (AddressId a : touched) address_txs_[a].push_back(tx.txid);
+  for (AddressId a : touched) address_txs_.MutableAt(a).push_back(tx.txid);
 }
 
 }  // namespace ba::chain

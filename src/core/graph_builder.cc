@@ -138,12 +138,23 @@ GraphConstructor::GraphConstructor(GraphConstructorOptions options)
 }
 
 std::vector<AddressGraph> GraphConstructor::BuildGraphs(
+    const chain::LedgerSnapshot& snapshot, chain::AddressId address) {
+  return BuildGraphsFrom(snapshot, address, /*start_slice=*/0);
+}
+
+std::vector<AddressGraph> GraphConstructor::BuildGraphs(
     const chain::Ledger& ledger, chain::AddressId address) {
-  return BuildGraphsFrom(ledger, address, /*start_slice=*/0);
+  return BuildGraphsFrom(ledger.Snapshot(), address, /*start_slice=*/0);
 }
 
 std::vector<AddressGraph> GraphConstructor::BuildGraphsFrom(
     const chain::Ledger& ledger, chain::AddressId address, int start_slice) {
+  return BuildGraphsFrom(ledger.Snapshot(), address, start_slice);
+}
+
+std::vector<AddressGraph> GraphConstructor::BuildGraphsFrom(
+    const chain::LedgerSnapshot& snapshot, chain::AddressId address,
+    int start_slice) {
   BA_TRACE_SPAN("core.graph.build");
   Stopwatch watch;
 
@@ -151,7 +162,7 @@ std::vector<AddressGraph> GraphConstructor::BuildGraphsFrom(
   std::vector<AddressGraph> graphs;
   {
     BA_TRACE_SPAN("core.graph.extract");
-    graphs = ExtractOriginalGraphs(ledger, address, start_slice);
+    graphs = ExtractOriginalGraphs(snapshot, address, start_slice);
   }
   watch.Stop();
   timings_.extract_seconds += watch.ElapsedSeconds();
@@ -186,19 +197,26 @@ std::vector<AddressGraph> GraphConstructor::BuildGraphsFrom(
 }
 
 std::vector<AddressGraph> GraphConstructor::ExtractOriginalGraphs(
+    const chain::LedgerSnapshot& snapshot, chain::AddressId address) const {
+  return ExtractOriginalGraphs(snapshot, address, /*start_slice=*/0);
+}
+
+std::vector<AddressGraph> GraphConstructor::ExtractOriginalGraphs(
     const chain::Ledger& ledger, chain::AddressId address) const {
-  return ExtractOriginalGraphs(ledger, address, /*start_slice=*/0);
+  return ExtractOriginalGraphs(ledger.Snapshot(), address, /*start_slice=*/0);
 }
 
 std::vector<AddressGraph> GraphConstructor::ExtractOriginalGraphs(
     const chain::Ledger& ledger, chain::AddressId address,
     int start_slice) const {
-  const std::vector<chain::TxId>& all_txs = ledger.TransactionsOf(address);
-  std::vector<chain::TxId> txs(
-      all_txs.begin(),
-      all_txs.begin() +
-          std::min<size_t>(all_txs.size(),
-                           static_cast<size_t>(options_.max_txs_per_address)));
+  return ExtractOriginalGraphs(ledger.Snapshot(), address, start_slice);
+}
+
+std::vector<AddressGraph> GraphConstructor::ExtractOriginalGraphs(
+    const chain::LedgerSnapshot& snapshot, chain::AddressId address,
+    int start_slice) const {
+  const std::vector<chain::TxId> txs = snapshot.TransactionsOf(
+      address, static_cast<size_t>(options_.max_txs_per_address));
 
   std::vector<AddressGraph> graphs;
   const int slice_size = options_.slice_size;
@@ -238,7 +256,7 @@ std::vector<AddressGraph> GraphConstructor::ExtractOriginalGraphs(
     g.target_node = address_node(address);
 
     for (size_t t = begin; t < end; ++t) {
-      const chain::Transaction& tx = ledger.tx(txs[t]);
+      const chain::Transaction& tx = snapshot.tx(txs[t]);
       GraphNode tx_node;
       tx_node.kind = NodeKind::kTransaction;
       tx_node.txid = tx.txid;

@@ -74,6 +74,12 @@ class GraphConstructor {
   /// \brief Runs all four stages for one address, returning its
   /// chronological graph list (one graph per 100-tx slice). An address
   /// with no transactions yields an empty list.
+  ///
+  /// The snapshot overloads read the pinned epoch and are safe to run
+  /// concurrently with ledger growth; the Ledger overloads capture a
+  /// snapshot internally (one per call).
+  std::vector<AddressGraph> BuildGraphs(const chain::LedgerSnapshot& snapshot,
+                                        chain::AddressId address);
   std::vector<AddressGraph> BuildGraphs(const chain::Ledger& ledger,
                                         chain::AddressId address);
 
@@ -82,6 +88,9 @@ class GraphConstructor {
   /// `start_slice` are immutable on an append-only ledger, so a caller
   /// holding their embeddings only rebuilds the growing tail.
   /// `slice_index` of the returned graphs is the absolute index.
+  std::vector<AddressGraph> BuildGraphsFrom(
+      const chain::LedgerSnapshot& snapshot, chain::AddressId address,
+      int start_slice);
   std::vector<AddressGraph> BuildGraphsFrom(const chain::Ledger& ledger,
                                             chain::AddressId address,
                                             int start_slice);
@@ -91,9 +100,14 @@ class GraphConstructor {
   /// Stage 1: slice the address's transactions and build the original
   /// heterogeneous graphs.
   std::vector<AddressGraph> ExtractOriginalGraphs(
+      const chain::LedgerSnapshot& snapshot, chain::AddressId address) const;
+  std::vector<AddressGraph> ExtractOriginalGraphs(
       const chain::Ledger& ledger, chain::AddressId address) const;
 
   /// Stage 1 starting at `start_slice` (see BuildGraphsFrom).
+  std::vector<AddressGraph> ExtractOriginalGraphs(
+      const chain::LedgerSnapshot& snapshot, chain::AddressId address,
+      int start_slice) const;
   std::vector<AddressGraph> ExtractOriginalGraphs(const chain::Ledger& ledger,
                                                   chain::AddressId address,
                                                   int start_slice) const;

@@ -35,11 +35,16 @@ std::vector<AddressSample> GraphDatasetBuilder::Build(
   span.AddArg("threads", static_cast<double>(options_.num_threads));
   std::vector<AddressSample> samples(n);
 
+  // One snapshot for the whole build: every worker reads the same
+  // pinned epoch, so the dataset is consistent even if the ledger grows
+  // while construction runs.
+  const chain::LedgerSnapshot snapshot = ledger.Snapshot();
+
   auto build_one = [&](GraphConstructor* constructor, size_t i) {
     AddressSample& sample = samples[i];
     sample.address = addresses[i].address;
     sample.label = static_cast<int>(addresses[i].label);
-    sample.graphs = constructor->BuildGraphs(ledger, addresses[i].address);
+    sample.graphs = constructor->BuildGraphs(snapshot, addresses[i].address);
     sample.tensors.reserve(sample.graphs.size());
     for (const auto& g : sample.graphs) {
       sample.tensors.push_back(PrepareGraphTensors(g, options_.k_hops));

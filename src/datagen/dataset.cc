@@ -83,7 +83,8 @@ std::vector<ActivityPoint> ActiveAddressSeries(const chain::Ledger& ledger,
                                                int64_t bucket_seconds) {
   BA_CHECK_GT(bucket_seconds, 0);
   std::map<chain::Timestamp, std::unordered_set<chain::AddressId>> buckets;
-  for (const auto& block : ledger.blocks()) {
+  for (uint64_t h = 0; h < ledger.height(); ++h) {
+    const chain::Block& block = ledger.block(h);
     for (chain::TxId id : block.transactions) {
       const chain::Transaction& tx = ledger.tx(id);
       const chain::Timestamp bucket =

@@ -747,7 +747,7 @@ std::vector<LabeledAddress> Simulator::CollectLabeledAddresses(
   }
 
   for (const auto& [address, label] : labels) {
-    if (static_cast<int>(ledger_.TransactionsOf(address).size()) >= min_txs) {
+    if (static_cast<int>(ledger_.TxCountOf(address)) >= min_txs) {
       out.push_back({address, label});
     }
   }
@@ -812,7 +812,7 @@ std::vector<Simulator::EntityLabeledAddress> Simulator::CollectEntityLabels(
   }
 
   for (const auto& [address, entry] : labels) {
-    if (static_cast<int>(ledger_.TransactionsOf(address).size()) >= min_txs) {
+    if (static_cast<int>(ledger_.TxCountOf(address)) >= min_txs) {
       out.push_back(entry);
     }
   }

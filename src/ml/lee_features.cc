@@ -26,7 +26,7 @@ void AppendStats(const std::vector<double>& values,
 
 std::vector<float> LeeFeatures(const chain::Ledger& ledger,
                                chain::AddressId address) {
-  const auto& txids = ledger.TransactionsOf(address);
+  const std::vector<chain::TxId> txids = ledger.TransactionsOf(address);
 
   std::vector<double> received, sent, time_gaps, input_counts, output_counts,
       counterparties, fees, balances, hours, block_gaps;

@@ -23,7 +23,14 @@ int Histogram::BucketOf(double seconds) {
 }
 
 void Histogram::Record(double seconds) {
-  seconds = std::max(seconds, 0.0);
+  // NaN and infinity are recorder bugs, not observations: NaN would
+  // poison BucketOf (log of NaN, then an undefined float->int cast) and
+  // corrupt the running totals for good, so drop them. Negatives clamp
+  // to zero, and huge finite values clamp so the nanosecond totals stay
+  // inside int64.
+  if (!std::isfinite(seconds)) return;
+  constexpr double kMaxSeconds = 9e9;  // ~285 years; nanos fit int64
+  seconds = std::clamp(seconds, 0.0, kMaxSeconds);
   buckets_[static_cast<size_t>(BucketOf(seconds))].fetch_add(
       1, std::memory_order_relaxed);
   count_.fetch_add(1, std::memory_order_relaxed);

@@ -116,7 +116,9 @@ class Histogram {
   static constexpr double kFirstUpperBound = 1e-6;  // 1µs
   static constexpr double kGrowth = 1.5;
 
-  /// Records one observation (thread-safe, lock-free).
+  /// Records one observation (thread-safe, lock-free). Non-finite
+  /// inputs (NaN, ±inf) are dropped — they indicate a recorder bug and
+  /// would otherwise poison the totals; negatives clamp to 0.
   void Record(double seconds);
 
   /// Summarizes the current contents (concurrent-safe; the snapshot is

@@ -104,8 +104,9 @@ InferenceEngine::~InferenceEngine() {
       registry_provider_name_);
 }
 
-uint64_t InferenceEngine::TxCountOf(chain::AddressId address) const {
-  const size_t total = ledger_->TransactionsOf(address).size();
+uint64_t InferenceEngine::TxCountOf(const chain::LedgerSnapshot& snapshot,
+                                    chain::AddressId address) const {
+  const size_t total = snapshot.TxCountOf(address);
   const size_t cap = static_cast<size_t>(
       classifier_->options().dataset.construction.max_txs_per_address);
   return static_cast<uint64_t>(std::min(total, cap));
@@ -212,6 +213,11 @@ void InferenceEngine::ProcessBatch(const std::vector<Request*>& batch) {
   batch_sw.Start();
   stats_.batches.Increment();
 
+  // The whole micro-batch reads one pinned epoch (O(1) to capture), so
+  // its results are mutually consistent and immune to a SealBlock /
+  // ApplyTransaction racing the batch.
+  const chain::LedgerSnapshot snapshot = ledger_->Snapshot();
+
   // Stage 1 — cache lookup (serial, one short critical section).
   // Duplicate addresses within the batch coalesce onto one Work unit —
   // N monitoring clients polling the same address cost one computation.
@@ -238,9 +244,10 @@ void InferenceEngine::ProcessBatch(const std::vector<Request*>& batch) {
         stats_.coalesced.Increment();
         continue;
       }
-      const uint64_t n = TxCountOf(req->address);
+      const uint64_t n = TxCountOf(snapshot, req->address);
       if (n == 0) {
         req->result.predicted = 0;
+        req->result.tx_count = 0;
         stats_.empty_history.Increment();
         continue;
       }
@@ -249,6 +256,7 @@ void InferenceEngine::ProcessBatch(const std::vector<Request*>& batch) {
         it->second.last_used = ++lru_tick_;
         req->result.predicted = it->second.predicted;
         req->result.cache_hit = true;
+        req->result.tx_count = n;
         req->result.slices_reused =
             static_cast<int>(it->second.slice_embeddings.size());
         stats_.full_hits.Increment();
@@ -293,7 +301,7 @@ void InferenceEngine::ProcessBatch(const std::vector<Request*>& batch) {
       core::GraphConstructor ctor(
           classifier_->options().dataset.construction);
       const std::vector<core::AddressGraph> graphs =
-          ctor.BuildGraphsFrom(*ledger_, w.address, w.reuse_slices);
+          ctor.BuildGraphsFrom(snapshot, w.address, w.reuse_slices);
       stats_.build_seconds.AddSeconds(ctor.timings().TotalSeconds());
       Stopwatch embed_sw;
       embed_sw.Start();
@@ -340,6 +348,7 @@ void InferenceEngine::ProcessBatch(const std::vector<Request*>& batch) {
         req->result.predicted = predicted;
         req->result.slices_reused = w.reuse_slices;
         req->result.slices_built = w.built;
+        req->result.tx_count = w.tx_count;
       }
       if (!w.rows.empty()) {
         CacheEntry entry;
@@ -366,12 +375,17 @@ void InferenceEngine::StoreEntry(chain::AddressId address, CacheEntry entry) {
   const size_t target =
       std::max<size_t>(1, options_.cache_capacity -
                               options_.cache_capacity / 10);
-  const size_t evict = cache_.size() - target;
+  // The entry just stored for the current request is structurally
+  // excluded from the candidate list: it must survive its own insert
+  // even at cache_capacity = 1, where it is also the freshest entry.
   std::vector<std::pair<uint64_t, chain::AddressId>> order;
-  order.reserve(cache_.size());
+  order.reserve(cache_.size() - 1);
   for (const auto& [addr, e] : cache_) {
+    if (addr == address) continue;
     order.emplace_back(e.last_used, addr);
   }
+  const size_t evict = std::min(order.size(), cache_.size() - target);
+  if (evict == 0) return;
   std::nth_element(order.begin(),
                    order.begin() + static_cast<ptrdiff_t>(evict),
                    order.end());

@@ -51,11 +51,21 @@
 ///    `serve.batch` + per-stage children) when tracing is enabled — see
 ///    DESIGN.md §6.
 ///
-/// Thread-safety contract: Classify/ClassifyBatch/Metrics/SaveCache may
-/// be called concurrently from any number of threads. Mutating the
-/// ledger is the one excluded operation: callers must quiesce queries,
-/// apply blocks, then resume (the cache needs no notification — the
-/// tx-count key invalidates stale entries naturally).
+/// Thread-safety contract (snapshot model):
+/// Classify/ClassifyBatch/Metrics/SaveCache may be called concurrently
+/// from any number of threads, and — new with the epoch layer — the
+/// ledger's single writer may grow the chain (NewAddress /
+/// ApplyTransaction / SealBlock) at any time with **no external
+/// ordering**. Each micro-batch pins a `chain::LedgerSnapshot` when the
+/// leader starts processing it; every result in the batch is computed
+/// against that pinned epoch, reported in `ClassifyResult::tx_count`.
+/// Queries are therefore not linearizable across a concurrent seal — a
+/// request racing a seal may be answered from the epoch just before or
+/// just after it — but every answer is exactly what a quiesced engine
+/// would have produced at some epoch the chain actually passed through
+/// between enqueue and completion. The cache needs no notification:
+/// keys are snapshot-clamped tx counts, so entries from older epochs
+/// are reused only for their immutable complete slices.
 
 namespace ba::serve {
 
@@ -93,6 +103,10 @@ struct ClassifyResult {
   int slices_reused = 0;
   /// Slices built and embedded for this query.
   int slices_built = 0;
+  /// The address's capped transaction count at the epoch this result
+  /// was computed against (the micro-batch's pinned snapshot). Lets a
+  /// caller racing ledger growth identify which epoch answered it.
+  uint64_t tx_count = 0;
 };
 
 /// \brief Point-in-time view of every engine metric.
@@ -206,8 +220,10 @@ class InferenceEngine {
   /// Executes one micro-batch (no queue lock held).
   void ProcessBatch(const std::vector<Request*>& batch);
 
-  /// Capped chronological tx count of `address` — the cache key.
-  uint64_t TxCountOf(chain::AddressId address) const;
+  /// Capped chronological tx count of `address` at the pinned epoch —
+  /// the cache key.
+  uint64_t TxCountOf(const chain::LedgerSnapshot& snapshot,
+                     chain::AddressId address) const;
 
   /// Inserts/overwrites the entry and evicts past capacity. Caller
   /// must not hold `cache_mu_`.

@@ -1,0 +1,162 @@
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <utility>
+
+#include "util/logging.h"
+
+/// \file chunked_vector.h
+/// \brief Append-only, reallocation-stable storage with lock-free reads.
+///
+/// `std::vector` invalidates every reference on growth, which makes it
+/// unusable as the backing store for data served to concurrent readers
+/// while a writer appends (the `chain::Ledger` snapshot model). A
+/// ChunkedVector instead allocates geometrically growing chunks that
+/// are never moved or freed before destruction:
+///
+///  * an element, once published, has a stable address for the life of
+///    the container;
+///  * `push_back`/`Append` never touch previously published elements;
+///  * `size()` is an acquire load and publication is a release store,
+///    so a reader that observes `size() == n` also observes the fully
+///    written contents of elements `[0, n)`.
+///
+/// Concurrency contract: any number of reader threads may call the
+/// const interface (`size`, `operator[]`) concurrently with ONE writer
+/// thread calling the mutating interface. Multiple concurrent writers,
+/// or any access concurrent with move construction/assignment or
+/// destruction, is a data race.
+
+namespace ba::util {
+
+template <typename T>
+class ChunkedVector {
+ public:
+  /// Elements in chunk 0; chunk `c` holds `kFirstChunkElems << c`
+  /// elements, so 48 chunks cover ~1.8e16 elements.
+  static constexpr size_t kFirstChunkElems = 64;
+  static constexpr int kMaxChunks = 48;
+
+  ChunkedVector() = default;
+
+  ~ChunkedVector() { Free(); }
+
+  ChunkedVector(const ChunkedVector&) = delete;
+  ChunkedVector& operator=(const ChunkedVector&) = delete;
+
+  /// Moves steal the chunk pointers; neither side may have concurrent
+  /// readers or writers during the move.
+  ChunkedVector(ChunkedVector&& other) noexcept { StealFrom(&other); }
+
+  ChunkedVector& operator=(ChunkedVector&& other) noexcept {
+    if (this != &other) {
+      Free();
+      StealFrom(&other);
+    }
+    return *this;
+  }
+
+  /// Published element count (acquire: pairs with the release store in
+  /// `push_back`/`Append`, making elements `[0, size())` visible).
+  size_t size() const { return size_.load(std::memory_order_acquire); }
+
+  bool empty() const { return size() == 0; }
+
+  /// The element at `i`, which must be `< size()` as previously
+  /// observed by this thread. Safe concurrently with the writer.
+  const T& operator[](size_t i) const {
+    size_t offset = 0;
+    const int c = ChunkOf(i, &offset);
+    return chunks_[static_cast<size_t>(c)].load(
+        std::memory_order_acquire)[offset];
+  }
+
+  /// Writer-side mutable access to a published element. The writer must
+  /// not mutate elements readers may be looking at; intended for
+  /// elements that are themselves internally synchronized (e.g. a
+  /// ChunkedVector of ChunkedVectors).
+  T& MutableAt(size_t i) {
+    size_t offset = 0;
+    const int c = ChunkOf(i, &offset);
+    return chunks_[static_cast<size_t>(c)].load(
+        std::memory_order_relaxed)[offset];
+  }
+
+  const T& back() const { return (*this)[size() - 1]; }
+
+  /// Appends a copy/move of `value` (writer thread only).
+  void push_back(T value) {
+    T& slot = PrepareNext();
+    slot = std::move(value);
+    CommitNext();
+  }
+
+  /// Publishes one default-constructed element and returns it (writer
+  /// thread only). The element is visible to readers immediately, so
+  /// only types that are internally synchronized (or never read before
+  /// some later publication point) should be filled in afterwards.
+  T& Append() {
+    T& slot = PrepareNext();
+    CommitNext();
+    return slot;
+  }
+
+ private:
+  /// Chunk index of element `i`; writes the offset within the chunk.
+  static int ChunkOf(size_t i, size_t* offset) {
+    const size_t j = i / kFirstChunkElems + 1;
+    const int c = std::bit_width(j) - 1;
+    *offset = i - kFirstChunkElems * ((size_t{1} << c) - 1);
+    return c;
+  }
+
+  T& PrepareNext() {
+    const size_t i = size_.load(std::memory_order_relaxed);
+    size_t offset = 0;
+    const int c = ChunkOf(i, &offset);
+    BA_CHECK_LT(c, kMaxChunks);
+    T* chunk = chunks_[static_cast<size_t>(c)].load(
+        std::memory_order_relaxed);
+    if (chunk == nullptr) {
+      chunk = new T[kFirstChunkElems << c]();
+      chunks_[static_cast<size_t>(c)].store(chunk,
+                                            std::memory_order_release);
+    }
+    return chunk[offset];
+  }
+
+  void CommitNext() {
+    size_.store(size_.load(std::memory_order_relaxed) + 1,
+                std::memory_order_release);
+  }
+
+  void Free() {
+    for (auto& c : chunks_) {
+      delete[] c.load(std::memory_order_relaxed);
+      c.store(nullptr, std::memory_order_relaxed);
+    }
+    size_.store(0, std::memory_order_relaxed);
+  }
+
+  void StealFrom(ChunkedVector* other) {
+    for (int c = 0; c < kMaxChunks; ++c) {
+      chunks_[static_cast<size_t>(c)].store(
+          other->chunks_[static_cast<size_t>(c)].load(
+              std::memory_order_relaxed),
+          std::memory_order_relaxed);
+      other->chunks_[static_cast<size_t>(c)].store(
+          nullptr, std::memory_order_relaxed);
+    }
+    size_.store(other->size_.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+    other->size_.store(0, std::memory_order_relaxed);
+  }
+
+  std::array<std::atomic<T*>, kMaxChunks> chunks_{};
+  std::atomic<size_t> size_{0};
+};
+
+}  // namespace ba::util

@@ -3,6 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+#include <vector>
+
 #include "chain/ledger.h"
 #include "chain/types.h"
 #include "chain/wallet.h"
@@ -76,6 +79,83 @@ TEST(LedgerTest, SplitCoinbasePayoutsConserveSubsidy) {
             kSubsidy);
   EXPECT_NEAR(static_cast<double>(ledger.BalanceOf(a)),
               0.5 * kSubsidy, 2.0);
+}
+
+// Property test for the largest-remainder payout split: over random
+// weight vectors, the minted outputs must sum to exactly the subsidy
+// (no drift, no lost satoshis) and each payout must sit within one
+// satoshi of its real-valued quota.
+TEST(LedgerTest, SplitCoinbasePayoutsAreExactUnderRandomWeights) {
+  Rng rng(42);
+  for (int trial = 0; trial < 200; ++trial) {
+    Ledger ledger = MakeLedger();
+    const int n = static_cast<int>(rng.UniformInt(1, 8));
+    std::vector<AddressId> payouts;
+    std::vector<double> weights;
+    double weight_sum = 0.0;
+    for (int i = 0; i < n; ++i) {
+      payouts.push_back(ledger.NewAddress());
+      // Skewed magnitudes stress the fractional-part ordering.
+      weights.push_back(rng.Uniform(0.0, rng.Bernoulli(0.3) ? 1e-6 : 1.0));
+      weight_sum += weights.back();
+    }
+    if (weight_sum <= 0.0) continue;  // all-zero draw: nothing to split
+    auto cb = ledger.ApplyCoinbase(1, payouts, weights);
+    ASSERT_TRUE(cb.ok()) << cb.status().message();
+    ASSERT_TRUE(ledger.SealBlock(1).ok());
+
+    const Transaction& tx = ledger.tx(cb.value());
+    Amount total = 0;
+    for (const auto& out : tx.outputs) total += out.value;
+    ASSERT_EQ(total, kSubsidy) << "trial " << trial;
+    ASSERT_EQ(ledger.total_minted(), kSubsidy);
+    ASSERT_TRUE(ledger.CheckConservation().ok());
+
+    // Each payout within 1 satoshi of its quota (largest-remainder
+    // guarantee); an address's balance aggregates its repeated weights.
+    std::vector<double> quota(static_cast<size_t>(n), 0.0);
+    for (int i = 0; i < n; ++i) {
+      quota[static_cast<size_t>(i)] =
+          weights[static_cast<size_t>(i)] / weight_sum *
+          static_cast<double>(kSubsidy);
+    }
+    std::vector<Amount> minted(static_cast<size_t>(n), 0);
+    for (const auto& out : tx.outputs) {
+      minted[static_cast<size_t>(out.address)] += out.value;
+    }
+    std::vector<double> quota_of_addr(static_cast<size_t>(n), 0.0);
+    for (int i = 0; i < n; ++i) {
+      quota_of_addr[static_cast<size_t>(payouts[static_cast<size_t>(i)])] +=
+          quota[static_cast<size_t>(i)];
+    }
+    for (int i = 0; i < n; ++i) {
+      EXPECT_NEAR(static_cast<double>(minted[static_cast<size_t>(i)]),
+                  quota_of_addr[static_cast<size_t>(i)], 1.0)
+          << "trial " << trial << " address " << i;
+    }
+  }
+}
+
+TEST(LedgerTest, CoinbaseRejectsNonFiniteAndNegativeWeights) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  {
+    Ledger ledger = MakeLedger();
+    const AddressId a = ledger.NewAddress();
+    const AddressId b = ledger.NewAddress();
+    EXPECT_EQ(ledger.ApplyCoinbase(1, {a, b}, {0.5, nan}).status().code(),
+              StatusCode::kInvalidArgument);
+    EXPECT_EQ(ledger.ApplyCoinbase(1, {a, b}, {inf, 1.0}).status().code(),
+              StatusCode::kInvalidArgument);
+    EXPECT_EQ(ledger.ApplyCoinbase(1, {a, b}, {0.5, -0.1}).status().code(),
+              StatusCode::kInvalidArgument);
+    EXPECT_EQ(ledger.ApplyCoinbase(1, {a, b}, {0.0, 0.0}).status().code(),
+              StatusCode::kInvalidArgument);
+    // A rejected split leaves nothing behind: the valid retry works.
+    EXPECT_TRUE(ledger.ApplyCoinbase(1, {a, b}, {0.5, 0.5}).ok());
+    EXPECT_TRUE(ledger.SealBlock(1).ok());
+    EXPECT_EQ(ledger.BalanceOf(a) + ledger.BalanceOf(b), kSubsidy);
+  }
 }
 
 TEST(LedgerTest, CoinbaseToUnknownAddressFails) {

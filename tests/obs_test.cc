@@ -7,6 +7,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <limits>
 #include <string>
 #include <thread>
 #include <vector>
@@ -240,6 +241,57 @@ TEST(HistogramTest, PercentilesOrderedAndWithinBucketRatio) {
   EXPECT_LE(s.p99_seconds, 0.099 * Histogram::kGrowth);
   EXPECT_DOUBLE_EQ(s.max_seconds, 0.1);
   EXPECT_NEAR(s.mean_seconds, 0.0505, 1e-6);
+}
+
+TEST(HistogramTest, EmptyHistogramReportsAllZeros) {
+  Histogram h;
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_DOUBLE_EQ(h.Percentile(50.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(100.0), 0.0);
+  const HistogramSnapshot s = h.Snapshot();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(s.p50_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(s.p99_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(s.max_seconds, 0.0);
+  // Nothing here is NaN — an empty scrape must render cleanly.
+  EXPECT_FALSE(std::isnan(s.mean_seconds));
+  EXPECT_FALSE(std::isnan(s.p50_seconds));
+}
+
+TEST(HistogramTest, SingleSampleDrivesEveryPercentile) {
+  Histogram h;
+  h.Record(5e-3);
+  // With one observation, every percentile lands in the same bucket and
+  // is capped at the observed maximum.
+  for (double p : {0.0, 1.0, 50.0, 99.0, 100.0}) {
+    const double v = h.Percentile(p);
+    EXPECT_GT(v, 0.0) << "p" << p;
+    EXPECT_LE(v, 5e-3 + 1e-12) << "p" << p;
+    EXPECT_GE(v, 5e-3 / Histogram::kGrowth) << "p" << p;
+  }
+  EXPECT_DOUBLE_EQ(h.Snapshot().max_seconds, 5e-3);
+}
+
+TEST(HistogramTest, NonFiniteInputsAreRejected) {
+  Histogram h;
+  h.Record(std::numeric_limits<double>::quiet_NaN());
+  h.Record(std::numeric_limits<double>::infinity());
+  h.Record(-std::numeric_limits<double>::infinity());
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_DOUBLE_EQ(h.TotalSeconds(), 0.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(50.0), 0.0);
+  // A poisoned recorder must not break subsequent good observations.
+  h.Record(1e-3);
+  EXPECT_EQ(h.Count(), 1u);
+  const HistogramSnapshot s = h.Snapshot();
+  EXPECT_FALSE(std::isnan(s.mean_seconds));
+  EXPECT_NEAR(s.mean_seconds, 1e-3, 1e-9);
+  // Negatives clamp to zero rather than corrupting the totals.
+  h.Record(-1.0);
+  EXPECT_EQ(h.Count(), 2u);
+  EXPECT_NEAR(h.TotalSeconds(), 1e-3, 1e-9);
 }
 
 TEST(HistogramTest, ConcurrentRecordsAllCounted) {
