@@ -17,7 +17,16 @@
 // Build & run:  ./build/examples/serve_monitor [--blocks 150]
 //     [--stream 12] [--clients 3] [--cache /tmp/ba_serve_cache.basv]
 //     [--trace-out /tmp/trace.json] [--metrics-every 4]
+//     [--deadline-ms 0] [--overload 1]
+//
+// Resilience knobs: --deadline-ms gives every monitoring query a
+// deadline (answers past it come back stale-but-labeled, since the
+// monitor prefers a lagged answer over none); --overload N multiplies
+// the client fleet N-fold and enables admission control, so the sweep
+// demonstrates watermark shedding instead of unbounded queueing —
+// watch the "resilience" line of the final metrics snapshot.
 
+#include <atomic>
 #include <iostream>
 #include <thread>
 #include <vector>
@@ -67,10 +76,19 @@ int main(int argc, char** argv) {
             << simulator.ledger().height() << " blocks\n";
 
   // --- 2. The serving engine. ----------------------------------------
+  const int overload = static_cast<int>(flags.GetInt("overload", 1));
+  const int64_t deadline_ms = flags.GetInt("deadline-ms", 0);
   ba::serve::InferenceEngineOptions engine_options;
   engine_options.num_threads = static_cast<int>(flags.GetInt("threads", 2));
   engine_options.cache_path =
       flags.GetString("cache", "/tmp/ba_serve_cache.basv");
+  if (overload > 1) {
+    // Overload drill: bound the backlog so the multiplied fleet is
+    // shed fast instead of queueing behind the sweep.
+    engine_options.enable_admission = true;
+    engine_options.admission.high_watermark = 8;
+    engine_options.admission.low_watermark = 2;
+  }
   auto engine = ba::serve::InferenceEngine::Create(
       classifier.get(), &simulator.ledger(), engine_options);
   BA_CHECK_OK(engine.status());
@@ -80,7 +98,8 @@ int main(int argc, char** argv) {
   // --- 3. Stream blocks, poll watched addresses each block. -----------
   const auto& watched = split.test;
   const int stream_blocks = static_cast<int>(flags.GetInt("stream", 12));
-  const int clients = static_cast<int>(flags.GetInt("clients", 3));
+  const int clients =
+      static_cast<int>(flags.GetInt("clients", 3)) * overload;
   ba::chain::Ledger* ledger = simulator.mutable_ledger();
   ba::chain::Timestamp now = ledger->block(ledger->height() - 1).timestamp;
   ba::Rng pick(config.seed ^ 0xFEED);
@@ -104,20 +123,47 @@ int main(int argc, char** argv) {
       BA_CHECK_OK(ledger->SealBlock(now));
     });
 
-    // Monitoring clients sweep the watch list concurrently.
+    // Monitoring clients sweep the watch list concurrently. With a
+    // deadline set, a query that can't finish in time falls back to the
+    // last cached epoch (degraded, labeled with its lag); under an
+    // overload drill, shed queries are an expected, explicit outcome.
     std::vector<std::thread> sweep;
     sweep.reserve(static_cast<size_t>(clients));
+    std::atomic<uint64_t> swept{0};
+    std::atomic<uint64_t> lagged{0};
+    std::atomic<uint64_t> rejected{0};
     for (int c = 0; c < clients; ++c) {
       sweep.emplace_back([&, c] {
         for (size_t i = static_cast<size_t>(c); i < watched.size();
              i += static_cast<size_t>(clients)) {
-          BA_CHECK_OK(
-              engine.value()->Classify(watched[i].address).status());
+          ba::serve::ClassifyOptions copts;
+          if (deadline_ms > 0) {
+            copts = ba::serve::ClassifyOptions::WithTimeout(
+                static_cast<double>(deadline_ms) * 1e-3);
+            copts.allow_degraded = true;
+          }
+          const auto result =
+              engine.value()->Classify(watched[i].address, copts);
+          if (result.ok()) {
+            swept.fetch_add(1);
+            if (result.value().degraded) lagged.fetch_add(1);
+          } else if (result.status().code() ==
+                         ba::StatusCode::kResourceExhausted ||
+                     result.status().code() ==
+                         ba::StatusCode::kDeadlineExceeded) {
+            rejected.fetch_add(1);
+          } else {
+            BA_CHECK_OK(result.status());
+          }
         }
       });
     }
     sealer.join();
     for (auto& t : sweep) t.join();
+    if (lagged > 0 || rejected > 0) {
+      std::cout << "  sweep: " << swept << " answered (" << lagged
+                << " degraded), " << rejected << " rejected\n";
+    }
     BA_CHECK_OK(engine.value()->SaveCache());
 
     const auto m = engine.value()->Metrics();

@@ -18,6 +18,13 @@
 #                      validates that the emitted file is well-formed
 #                      Chrome trace-event JSON containing spans from the
 #                      core, serve and util.thread_pool subsystems.
+#   chaos              TSan over the chaos/resilience suite: randomized
+#                      fault injection, injected latency, deadlines and
+#                      admission-controlled overload driven against the
+#                      serving engine while blocks seal concurrently
+#                      (chaos_test, resilience_test), plus the fault
+#                      injector's own concurrency hammer and the atomic
+#                      file writer under concurrent writers (fs_test).
 #   perf               Release-build perf smoke: bench_gemm (kernel
 #                      parity + single-thread speedup) and the training
 #                      throughput bench at 1 and N lanes. Fails on any
@@ -25,7 +32,7 @@
 #                      divergence; the JSON outputs land in the build
 #                      dir, not the repo root.
 #
-# Usage: scripts/check.sh [address|thread|trace|perf] [build-dir]
+# Usage: scripts/check.sh [address|thread|trace|chaos|perf] [build-dir]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -68,7 +75,7 @@ case "$MODE" in
       -DBA_SANITIZE=thread \
       -DBA_BUILD_BENCHMARKS=OFF \
       -DBA_BUILD_EXAMPLES=OFF
-    TSAN_TESTS="serve_test snapshot_test util_test obs_test parallel_train_test"
+    TSAN_TESTS="serve_test snapshot_test util_test obs_test parallel_train_test resilience_test chaos_test"
     # shellcheck disable=SC2086
     cmake --build "$BUILD_DIR" -j "$(nproc)" \
       --target $TSAN_TESTS
@@ -79,6 +86,27 @@ case "$MODE" in
       fi
     done
     for t in $TSAN_TESTS; do
+      "$BUILD_DIR/tests/$t"
+    done
+    ;;
+  chaos)
+    BUILD_DIR="${2:-build-tsan}"
+    cmake -B "$BUILD_DIR" -S . \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DBA_SANITIZE=thread \
+      -DBA_BUILD_BENCHMARKS=OFF \
+      -DBA_BUILD_EXAMPLES=OFF
+    CHAOS_TESTS="chaos_test resilience_test fs_test"
+    # shellcheck disable=SC2086
+    cmake --build "$BUILD_DIR" -j "$(nproc)" \
+      --target $CHAOS_TESTS
+    for t in $CHAOS_TESTS; do
+      if [ ! -x "$BUILD_DIR/tests/$t" ]; then
+        echo "check.sh: MISSING TEST BINARY: $BUILD_DIR/tests/$t" >&2
+        exit 1
+      fi
+    done
+    for t in $CHAOS_TESTS; do
       "$BUILD_DIR/tests/$t"
     done
     ;;
@@ -139,7 +167,7 @@ EOF
     echo "perf smoke OK (threads=$THREADS)"
     ;;
   *)
-    echo "usage: scripts/check.sh [address|thread|trace|perf] [build-dir]" >&2
+    echo "usage: scripts/check.sh [address|thread|trace|chaos|perf] [build-dir]" >&2
     exit 2
     ;;
 esac

@@ -1,0 +1,190 @@
+#include "serve/admission.h"
+
+#include <algorithm>
+#include <string>
+
+#include "obs/metrics.h"
+#include "util/logging.h"
+
+namespace ba::serve {
+
+namespace {
+
+/// Process-wide instruments, shared by every controller in the process
+/// (an A/B pair of engines contributes to one admission picture).
+obs::Gauge* InflightGauge() {
+  static obs::Gauge* g =
+      obs::MetricsRegistry::Instance().GetGauge("serve.admission.inflight");
+  return g;
+}
+
+obs::Counter* AdmittedCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Instance().GetCounter("serve.admission.admitted");
+  return c;
+}
+
+obs::Counter* ShedCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Instance().GetCounter("serve.admission.shed");
+  return c;
+}
+
+}  // namespace
+
+Status AdmissionOptions::Validate() const {
+  if (max_inflight < 1) {
+    return Status::InvalidArgument(
+        "AdmissionOptions.max_inflight must be >= 1, got " +
+        std::to_string(max_inflight));
+  }
+  if (low_watermark < 0) {
+    return Status::InvalidArgument(
+        "AdmissionOptions.low_watermark must be >= 0, got " +
+        std::to_string(low_watermark));
+  }
+  if (high_watermark <= low_watermark) {
+    return Status::InvalidArgument(
+        "AdmissionOptions.high_watermark (" + std::to_string(high_watermark) +
+        ") must exceed low_watermark (" + std::to_string(low_watermark) +
+        ")");
+  }
+  if (!(recovery_rate > 0.0)) {
+    return Status::InvalidArgument(
+        "AdmissionOptions.recovery_rate must be positive, got " +
+        std::to_string(recovery_rate));
+  }
+  if (recovery_burst < 1) {
+    return Status::InvalidArgument(
+        "AdmissionOptions.recovery_burst must be >= 1, got " +
+        std::to_string(recovery_burst));
+  }
+  return Status::OK();
+}
+
+const char* AdmissionController::StateName(State state) {
+  switch (state) {
+    case State::kAccepting:
+      return "accepting";
+    case State::kShedding:
+      return "shedding";
+    case State::kRecovering:
+      return "recovering";
+  }
+  return "unknown";
+}
+
+AdmissionController::AdmissionController(AdmissionOptions options)
+    : options_(options) {
+  BA_CHECK(options_.Validate().ok());
+}
+
+Status AdmissionController::Admit(int64_t backlog, int priority) {
+  return AdmitAt(Clock::now(), backlog, priority);
+}
+
+Status AdmissionController::AdmitAt(Clock::time_point now, int64_t backlog,
+                                    int priority) {
+  std::lock_guard<std::mutex> lock(mu_);
+
+  // The hard budget binds everyone, including priority traffic: it is
+  // the limit that bounds memory, not a quality-of-service knob.
+  if (inflight_ >= options_.max_inflight) {
+    ++shed_;
+    ShedCounter()->Increment();
+    return Status::ResourceExhausted(
+        "admission: in-flight budget exhausted (" +
+        std::to_string(inflight_) + "/" +
+        std::to_string(options_.max_inflight) + ")");
+  }
+
+  // Advance the state machine on the live backlog signal.
+  switch (state_) {
+    case State::kAccepting:
+      if (backlog >= options_.high_watermark) state_ = State::kShedding;
+      break;
+    case State::kShedding:
+      if (backlog <= options_.low_watermark) {
+        state_ = State::kRecovering;
+        // One token up front: the first probe after the backlog drains
+        // is admitted immediately, then the bucket meters the rest.
+        tokens_ = 1.0;
+        last_refill_ = now;
+      }
+      break;
+    case State::kRecovering: {
+      const double dt =
+          std::chrono::duration<double>(now - last_refill_).count();
+      if (dt > 0.0) {
+        tokens_ = std::min(static_cast<double>(options_.recovery_burst),
+                           tokens_ + options_.recovery_rate * dt);
+        last_refill_ = now;
+      }
+      if (backlog >= options_.high_watermark) {
+        state_ = State::kShedding;
+      } else if (tokens_ >=
+                     static_cast<double>(options_.recovery_burst) &&
+                 backlog <= options_.low_watermark) {
+        state_ = State::kAccepting;
+      }
+      break;
+    }
+  }
+
+  bool admit = priority > 0;
+  if (!admit) {
+    switch (state_) {
+      case State::kAccepting:
+        admit = true;
+        break;
+      case State::kShedding:
+        admit = false;
+        break;
+      case State::kRecovering:
+        admit = tokens_ >= 1.0;
+        if (admit) tokens_ -= 1.0;
+        break;
+    }
+  }
+  if (!admit) {
+    ++shed_;
+    ShedCounter()->Increment();
+    return Status::ResourceExhausted(
+        "admission: shedding under overload (backlog " +
+        std::to_string(backlog) + ", state " + StateName(state_) + ")");
+  }
+  ++inflight_;
+  ++admitted_;
+  InflightGauge()->Add(1);
+  AdmittedCounter()->Increment();
+  return Status::OK();
+}
+
+void AdmissionController::Release() {
+  std::lock_guard<std::mutex> lock(mu_);
+  BA_CHECK_GT(inflight_, 0);
+  --inflight_;
+  InflightGauge()->Add(-1);
+}
+
+AdmissionController::State AdmissionController::state() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return state_;
+}
+
+int64_t AdmissionController::inflight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return inflight_;
+}
+
+uint64_t AdmissionController::admitted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return admitted_;
+}
+
+uint64_t AdmissionController::shed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return shed_;
+}
+
+}  // namespace ba::serve

@@ -27,6 +27,29 @@ void AppendPod(std::string* out, const T& value) {
   out->append(reinterpret_cast<const char*>(&value), sizeof(T));
 }
 
+/// Process-wide degraded-answer counters (serve.degraded.*), shared by
+/// every engine in the process; each engine also keeps local copies in
+/// its Stats for the per-engine snapshot.
+obs::Counter* DegradedStaleCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Instance().GetCounter("serve.degraded.stale");
+  return c;
+}
+
+obs::Counter* DegradedFallbackCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Instance().GetCounter("serve.degraded.fallback");
+  return c;
+}
+
+obs::Counter* DegradedLateCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Instance().GetCounter("serve.degraded.late");
+  return c;
+}
+
+using SteadyClock = std::chrono::steady_clock;
+
 }  // namespace
 
 Status InferenceEngineOptions::Validate() const {
@@ -45,6 +68,8 @@ Status InferenceEngineOptions::Validate() const {
     return Status::InvalidArgument(
         "InferenceEngineOptions.cache_capacity must be >= 1, got 0");
   }
+  BA_RETURN_NOT_OK(save_retry.Validate());
+  if (enable_admission) BA_RETURN_NOT_OK(admission.Validate());
   return Status::OK();
 }
 
@@ -95,6 +120,13 @@ InferenceEngine::InferenceEngine(const core::BaClassifier* classifier,
       "serve.engine." + std::to_string(next_engine_id.fetch_add(1));
   obs::MetricsRegistry::Instance().RegisterProvider(
       registry_provider_name_, [this] { return Metrics().ToJson(); });
+  backlog_gauge_ = obs::MetricsRegistry::Instance().GetGauge(
+      registry_provider_name_ + ".pool_backlog");
+  queue_depth_gauge_ = obs::MetricsRegistry::Instance().GetGauge(
+      registry_provider_name_ + ".queue_depth");
+  if (options_.enable_admission) {
+    admission_ = std::make_unique<AdmissionController>(options_.admission);
+  }
 }
 
 InferenceEngine::~InferenceEngine() {
@@ -112,7 +144,55 @@ uint64_t InferenceEngine::TxCountOf(const chain::LedgerSnapshot& snapshot,
   return static_cast<uint64_t>(std::min(total, cap));
 }
 
-Result<ClassifyResult> InferenceEngine::Classify(chain::AddressId address) {
+Result<ClassifyResult> InferenceEngine::TryDegradedAnswer(
+    chain::AddressId address, const Status& why) {
+  const chain::LedgerSnapshot snapshot = ledger_->Snapshot();
+  const uint64_t n = TxCountOf(snapshot, address);
+  if (n == 0) {
+    // The empty-history answer is free and exact — no need to degrade.
+    ClassifyResult r;
+    r.predicted = 0;
+    r.tx_count = 0;
+    stats_.empty_history.Increment();
+    return r;
+  }
+  {
+    std::unique_lock<std::mutex> lock(cache_mu_);
+    auto it = cache_.find(address);
+    if (it != cache_.end() && it->second.tx_count <= n) {
+      it->second.last_used = ++lru_tick_;
+      ClassifyResult r;
+      r.predicted = it->second.predicted;
+      r.cache_hit = true;
+      r.tx_count = it->second.tx_count;
+      r.slices_reused =
+          static_cast<int>(it->second.slice_embeddings.size());
+      r.epoch_lag = n - it->second.tx_count;
+      r.degraded = r.epoch_lag > 0;
+      if (r.degraded) {
+        stats_.degraded_stale.Increment();
+        DegradedStaleCounter()->Increment();
+      } else {
+        stats_.full_hits.Increment();
+      }
+      return r;
+    }
+  }
+  if (options_.degraded_fallback) {
+    ClassifyResult r;
+    r.predicted = options_.degraded_fallback(address);
+    r.tx_count = n;
+    r.degraded = true;
+    r.epoch_lag = 0;
+    stats_.degraded_fallback.Increment();
+    DegradedFallbackCounter()->Increment();
+    return r;
+  }
+  return why;
+}
+
+Result<ClassifyResult> InferenceEngine::Classify(
+    chain::AddressId address, const ClassifyOptions& options) {
   if (static_cast<size_t>(address) >= ledger_->num_addresses()) {
     return Status::InvalidArgument("InferenceEngine: unknown address id " +
                                    std::to_string(address));
@@ -120,11 +200,51 @@ Result<ClassifyResult> InferenceEngine::Classify(chain::AddressId address) {
   BA_TRACE_SPAN("serve.request");
   Stopwatch sw;
   sw.Start();
+
+  // Admission: an overloaded engine answers in well under a
+  // millisecond — a labeled degraded answer when permitted, otherwise
+  // an explicit ResourceExhausted — instead of queueing unboundedly.
+  bool admitted = false;
+  if (admission_ != nullptr) {
+    const Status st = admission_->Admit(Backlog(), options.priority);
+    if (!st.ok()) {
+      stats_.shed.Increment();
+      stats_.requests.Increment();
+      if (options.allow_degraded) return TryDegradedAnswer(address, st);
+      return st;
+    }
+    admitted = true;
+  }
+  struct Releaser {
+    AdmissionController* a;
+    ~Releaser() {
+      if (a != nullptr) a->Release();
+    }
+  } releaser{admitted ? admission_.get() : nullptr};
+
+  // A deadline that is already gone never pays for enqueueing, let
+  // alone graph construction.
+  if (options.has_deadline() && SteadyClock::now() >= options.deadline) {
+    stats_.requests.Increment();
+    const Status expired = Status::DeadlineExceeded(
+        "InferenceEngine: deadline expired at submit");
+    if (options.allow_degraded) {
+      Result<ClassifyResult> r = TryDegradedAnswer(address, expired);
+      if (!r.ok()) stats_.deadline_exceeded.Increment();
+      return r;
+    }
+    stats_.deadline_exceeded.Increment();
+    return expired;
+  }
+
   Request req;
   req.address = address;
+  req.deadline = options.deadline;
+  req.allow_degraded = options.allow_degraded;
   {
     std::unique_lock<std::mutex> lock(queue_mu_);
     queue_.push_back(&req);
+    queue_depth_.fetch_add(1, std::memory_order_relaxed);
     if (!leader_active_) {
       leader_active_ = true;
       RunLeader(&lock);
@@ -135,26 +255,59 @@ Result<ClassifyResult> InferenceEngine::Classify(chain::AddressId address) {
   sw.Stop();
   stats_.requests.Increment();
   stats_.request_latency.Record(sw.ElapsedSeconds());
+  if (!req.status.ok()) return req.status;
   return req.result;
 }
 
 std::vector<Result<ClassifyResult>> InferenceEngine::ClassifyBatch(
-    const std::vector<chain::AddressId>& addresses) {
+    const std::vector<chain::AddressId>& addresses,
+    const ClassifyOptions& options) {
   const size_t n = addresses.size();
   std::vector<Request> reqs(n);
   std::vector<bool> valid(n, false);
+  /// Requests decided before enqueueing (shed / expired at submit);
+  /// their slot in the output is filled from here.
+  std::vector<std::unique_ptr<Result<ClassifyResult>>> early(n);
+  int64_t admitted = 0;
   Stopwatch sw;
   sw.Start();
+  for (size_t i = 0; i < n; ++i) {
+    if (static_cast<size_t>(addresses[i]) >= ledger_->num_addresses()) {
+      continue;
+    }
+    valid[i] = true;
+    if (admission_ != nullptr) {
+      const Status st = admission_->Admit(Backlog(), options.priority);
+      if (!st.ok()) {
+        stats_.shed.Increment();
+        early[i] = std::make_unique<Result<ClassifyResult>>(
+            options.allow_degraded ? TryDegradedAnswer(addresses[i], st)
+                                   : Result<ClassifyResult>(st));
+        continue;
+      }
+      ++admitted;
+    }
+    if (options.has_deadline() && SteadyClock::now() >= options.deadline) {
+      const Status expired = Status::DeadlineExceeded(
+          "InferenceEngine: deadline expired at submit");
+      Result<ClassifyResult> r =
+          options.allow_degraded ? TryDegradedAnswer(addresses[i], expired)
+                                 : Result<ClassifyResult>(expired);
+      if (!r.ok()) stats_.deadline_exceeded.Increment();
+      early[i] = std::make_unique<Result<ClassifyResult>>(std::move(r));
+      continue;
+    }
+    reqs[i].address = addresses[i];
+    reqs[i].deadline = options.deadline;
+    reqs[i].allow_degraded = options.allow_degraded;
+  }
   {
     std::unique_lock<std::mutex> lock(queue_mu_);
     size_t enqueued = 0;
     for (size_t i = 0; i < n; ++i) {
-      if (static_cast<size_t>(addresses[i]) >= ledger_->num_addresses()) {
-        continue;
-      }
-      valid[i] = true;
-      reqs[i].address = addresses[i];
+      if (!valid[i] || early[i] != nullptr) continue;
       queue_.push_back(&reqs[i]);
+      queue_depth_.fetch_add(1, std::memory_order_relaxed);
       ++enqueued;
     }
     if (enqueued > 0) {
@@ -164,13 +317,16 @@ std::vector<Result<ClassifyResult>> InferenceEngine::ClassifyBatch(
       } else {
         done_cv_.wait(lock, [&] {
           for (size_t i = 0; i < n; ++i) {
-            if (valid[i] && !reqs[i].done) return false;
+            if (valid[i] && early[i] == nullptr && !reqs[i].done) {
+              return false;
+            }
           }
           return true;
         });
       }
     }
   }
+  for (int64_t i = 0; i < admitted; ++i) admission_->Release();
   sw.Stop();
   const double per_request = n == 0 ? 0.0 : sw.ElapsedSeconds();
   std::vector<Result<ClassifyResult>> out;
@@ -183,8 +339,16 @@ std::vector<Result<ClassifyResult>> InferenceEngine::ClassifyBatch(
       continue;
     }
     stats_.requests.Increment();
+    if (early[i] != nullptr) {
+      out.emplace_back(std::move(*early[i]));
+      continue;
+    }
     stats_.request_latency.Record(per_request);
-    out.emplace_back(reqs[i].result);
+    if (!reqs[i].status.ok()) {
+      out.emplace_back(reqs[i].status);
+    } else {
+      out.emplace_back(reqs[i].result);
+    }
   }
   return out;
 }
@@ -196,6 +360,7 @@ void InferenceEngine::RunLeader(std::unique_lock<std::mutex>* lock) {
     while (!queue_.empty() && batch.size() < limit) {
       batch.push_back(queue_.front());
       queue_.pop_front();
+      queue_depth_.fetch_sub(1, std::memory_order_relaxed);
     }
     lock->unlock();
     ProcessBatch(batch);
@@ -212,15 +377,49 @@ void InferenceEngine::ProcessBatch(const std::vector<Request*>& batch) {
   Stopwatch batch_sw;
   batch_sw.Start();
   stats_.batches.Increment();
+  util::FaultInjector& faults = util::FaultInjector::Instance();
 
   // The whole micro-batch reads one pinned epoch (O(1) to capture), so
   // its results are mutually consistent and immune to a SealBlock /
   // ApplyTransaction racing the batch.
   const chain::LedgerSnapshot snapshot = ledger_->Snapshot();
 
+  // Answers `req` from a stale prediction computed at `stale_tx_count`,
+  // labeled degraded with its epoch lag against `now_tx_count`.
+  auto answer_stale = [this](Request* req, int predicted,
+                             uint64_t stale_tx_count,
+                             uint64_t now_tx_count) {
+    req->result.predicted = predicted;
+    req->result.cache_hit = true;
+    req->result.tx_count = stale_tx_count;
+    req->result.degraded = true;
+    req->result.epoch_lag = now_tx_count - stale_tx_count;
+    stats_.degraded_stale.Increment();
+    DegradedStaleCounter()->Increment();
+  };
+  auto reject_deadline = [this](Request* req, const char* where) {
+    req->status = Status::DeadlineExceeded(
+        std::string("InferenceEngine: deadline expired ") + where);
+    stats_.deadline_exceeded.Increment();
+  };
+
+  // A lookup-stage fault decides the whole batch: every request gets an
+  // explicit injected error — never a hang, never a wrong answer.
+  if (faults.ShouldFail(kFaultBatchLookup)) {
+    const Status st = Status::Internal(std::string("injected fault at ") +
+                                       kFaultBatchLookup);
+    for (Request* req : batch) req->status = st;
+    batch_sw.Stop();
+    stats_.batch_latency.Record(batch_sw.ElapsedSeconds());
+    return;
+  }
+
   // Stage 1 — cache lookup (serial, one short critical section).
   // Duplicate addresses within the batch coalesce onto one Work unit —
   // N monitoring clients polling the same address cost one computation.
+  // Requests already past deadline are decided here, before any graph
+  // construction: stale cached answer (allow_degraded), fallback
+  // (queued for after the lock), or DeadlineExceeded.
   struct Work {
     std::vector<Request*> reqs;
     chain::AddressId address = chain::kInvalidAddress;
@@ -230,25 +429,60 @@ void InferenceEngine::ProcessBatch(const std::vector<Request*>& batch) {
     /// Reused complete-slice embeddings; workers append the rebuilt
     /// tail behind them.
     std::vector<std::vector<float>> rows;
+    /// Stale prediction stashed at lookup, answering any member whose
+    /// deadline expires at a later stage boundary.
+    bool has_stale = false;
+    int stale_predicted = 0;
+    uint64_t stale_tx_count = 0;
   };
   std::vector<Work> work;
   work.reserve(batch.size());
   std::unordered_map<chain::AddressId, size_t> work_index;
+  std::vector<Request*> fallback_pending;
   {
     BA_TRACE_SPAN("serve.batch.lookup");
     std::unique_lock<std::mutex> lock(cache_mu_);
     for (Request* req : batch) {
+      const uint64_t n = TxCountOf(snapshot, req->address);
+      if (n == 0) {
+        // Free and exact regardless of deadline or overload.
+        req->result.predicted = 0;
+        req->result.tx_count = 0;
+        stats_.empty_history.Increment();
+        continue;
+      }
+      if (req->expired(SteadyClock::now())) {
+        if (!req->allow_degraded) {
+          reject_deadline(req, "at cache lookup");
+          continue;
+        }
+        auto it = cache_.find(req->address);
+        if (it != cache_.end() && it->second.tx_count <= n) {
+          it->second.last_used = ++lru_tick_;
+          if (it->second.tx_count == n) {
+            // Exact at this epoch: a full hit, not a degraded answer.
+            req->result.predicted = it->second.predicted;
+            req->result.cache_hit = true;
+            req->result.tx_count = n;
+            req->result.slices_reused =
+                static_cast<int>(it->second.slice_embeddings.size());
+            stats_.full_hits.Increment();
+            stats_.slices_reused.Increment(
+                it->second.slice_embeddings.size());
+          } else {
+            answer_stale(req, it->second.predicted, it->second.tx_count, n);
+          }
+        } else {
+          // Fallback hook runs outside the cache lock.
+          req->result.tx_count = n;
+          fallback_pending.push_back(req);
+        }
+        continue;
+      }
       auto dup = work_index.find(req->address);
       if (dup != work_index.end()) {
         work[dup->second].reqs.push_back(req);
         stats_.coalesced.Increment();
-        continue;
-      }
-      const uint64_t n = TxCountOf(snapshot, req->address);
-      if (n == 0) {
-        req->result.predicted = 0;
-        req->result.tx_count = 0;
-        stats_.empty_history.Increment();
         continue;
       }
       auto it = cache_.find(req->address);
@@ -276,6 +510,11 @@ void InferenceEngine::ProcessBatch(const std::vector<Request*>& batch) {
               ? 0
               : static_cast<int>(it->second.tx_count /
                                  static_cast<uint64_t>(slice_size_));
+      if (it != cache_.end() && it->second.tx_count <= n) {
+        w.has_stale = true;
+        w.stale_predicted = it->second.predicted;
+        w.stale_tx_count = it->second.tx_count;
+      }
       if (complete > 0) {
         w.reuse_slices = complete;
         w.rows.assign(it->second.slice_embeddings.begin(),
@@ -287,6 +526,62 @@ void InferenceEngine::ProcessBatch(const std::vector<Request*>& batch) {
       work_index.emplace(req->address, work.size());
       work.push_back(std::move(w));
     }
+  }
+  for (Request* req : fallback_pending) {
+    if (options_.degraded_fallback) {
+      req->result.predicted = options_.degraded_fallback(req->address);
+      req->result.degraded = true;
+      req->result.epoch_lag = 0;
+      stats_.degraded_fallback.Increment();
+      DegradedFallbackCounter()->Increment();
+    } else {
+      reject_deadline(req, "at cache lookup");
+    }
+  }
+
+  // Stage boundary lookup -> build: the injected build fault (and any
+  // armed latency) lands here, then deadlines are re-checked so a
+  // request that expired while queued behind the lookup never pays for
+  // graph construction.
+  const bool build_fault = faults.ShouldFail(kFaultBatchBuild);
+  {
+    const auto now = SteadyClock::now();
+    std::vector<Request*> keep;
+    for (Work& w : work) {
+      keep.clear();
+      for (Request* req : w.reqs) {
+        if (!req->expired(now)) {
+          keep.push_back(req);
+          continue;
+        }
+        if (req->allow_degraded && w.has_stale) {
+          answer_stale(req, w.stale_predicted, w.stale_tx_count, w.tx_count);
+        } else if (req->allow_degraded && options_.degraded_fallback) {
+          req->result.predicted = options_.degraded_fallback(req->address);
+          req->result.tx_count = w.tx_count;
+          req->result.degraded = true;
+          req->result.epoch_lag = 0;
+          stats_.degraded_fallback.Increment();
+          DegradedFallbackCounter()->Increment();
+        } else {
+          reject_deadline(req, "before graph construction");
+        }
+      }
+      w.reqs.swap(keep);
+    }
+    // Units whose every requester was decided are dropped whole — no
+    // speculative graph work on behalf of nobody.
+    work.erase(std::remove_if(work.begin(), work.end(),
+                              [](const Work& w) { return w.reqs.empty(); }),
+               work.end());
+  }
+  if (build_fault) {
+    const Status st = Status::Internal(std::string("injected fault at ") +
+                                       kFaultBatchBuild);
+    for (Work& w : work) {
+      for (Request* req : w.reqs) req->status = st;
+    }
+    work.clear();
   }
 
   // Stage 2 — graph construction + encoder forward for the tail slices
@@ -320,9 +615,22 @@ void InferenceEngine::ProcessBatch(const std::vector<Request*>& batch) {
     });
   }
 
+  // Stage boundary build -> aggregate: injected aggregate fault.
+  if (!work.empty() && faults.ShouldFail(kFaultBatchAggregate)) {
+    const Status st = Status::Internal(std::string("injected fault at ") +
+                                       kFaultBatchAggregate);
+    for (Work& w : work) {
+      for (Request* req : w.reqs) req->status = st;
+    }
+    work.clear();
+  }
+
   // Stage 3 — scale + aggregate each full embedding sequence, publish
   // results and refresh the cache (serial; the LSTM head is tiny next
-  // to stage 2).
+  // to stage 2). A deadline that expired during the build still yields
+  // the freshly computed answer — labeled degraded (late) when allowed,
+  // DeadlineExceeded otherwise — and the cache is refreshed either way:
+  // the work is done, future stale answers might as well benefit.
   {
     BA_TRACE_SPAN("serve.batch.aggregate");
     Stopwatch agg_sw;
@@ -344,11 +652,22 @@ void InferenceEngine::ProcessBatch(const std::vector<Request*>& batch) {
         classifier_->scaler().Apply(&seqs);
         predicted = classifier_->aggregator().Predict(seqs[0].embeddings);
       }
+      const auto now = SteadyClock::now();
       for (Request* req : w.reqs) {
+        if (req->expired(now) && !req->allow_degraded) {
+          reject_deadline(req, "during embedding");
+          continue;
+        }
         req->result.predicted = predicted;
         req->result.slices_reused = w.reuse_slices;
         req->result.slices_built = w.built;
         req->result.tx_count = w.tx_count;
+        if (req->expired(now)) {
+          req->result.degraded = true;
+          req->result.epoch_lag = 0;
+          stats_.degraded_late.Increment();
+          DegradedLateCounter()->Increment();
+        }
       }
       if (!w.rows.empty()) {
         CacheEntry entry;
@@ -363,6 +682,8 @@ void InferenceEngine::ProcessBatch(const std::vector<Request*>& batch) {
   }
   batch_sw.Stop();
   stats_.batch_latency.Record(batch_sw.ElapsedSeconds());
+  backlog_gauge_->Set(static_cast<int64_t>(pool_->in_flight()));
+  queue_depth_gauge_->Set(queue_depth_.load(std::memory_order_relaxed));
 }
 
 void InferenceEngine::StoreEntry(chain::AddressId address, CacheEntry entry) {
@@ -405,6 +726,11 @@ void InferenceEngine::ClearCache() {
 
 Status InferenceEngine::SaveCache() const {
   if (options_.cache_path.empty()) return Status::OK();
+  return util::RetryWithBackoff(options_.save_retry, "serve cache save",
+                                [this] { return SaveCacheOnce(); });
+}
+
+Status InferenceEngine::SaveCacheOnce() const {
   if (util::FaultInjector::Instance().ShouldFail(kFaultCacheSave)) {
     return Status::Internal(std::string("injected fault at ") +
                             kFaultCacheSave);
@@ -551,6 +877,19 @@ InferenceMetricsSnapshot InferenceEngine::Metrics() const {
   s.cache_evictions = stats_.evictions.value();
   s.cache_entries = CacheSize();
   s.pool_backlog = pool_->in_flight();
+  s.queue_depth = static_cast<uint64_t>(
+      std::max<int64_t>(0, queue_depth_.load(std::memory_order_relaxed)));
+  s.shed = stats_.shed.value();
+  s.deadline_exceeded = stats_.deadline_exceeded.value();
+  s.degraded_stale = stats_.degraded_stale.value();
+  s.degraded_fallback = stats_.degraded_fallback.value();
+  s.degraded_late = stats_.degraded_late.value();
+  s.admission_state =
+      admission_ == nullptr
+          ? "disabled"
+          : AdmissionController::StateName(admission_->state());
+  backlog_gauge_->Set(static_cast<int64_t>(s.pool_backlog));
+  queue_depth_gauge_->Set(static_cast<int64_t>(s.queue_depth));
   const uint64_t classified =
       s.requests >= s.empty_history ? s.requests - s.empty_history : 0;
   // Coalesced requests avoided their own computation, so they count as
@@ -581,7 +920,11 @@ std::string InferenceMetricsSnapshot::ToString() const {
      << "  slices            " << slices_built << " built, "
      << slices_reused << " reused\n"
      << "  batches           " << batches << " (pool backlog "
-     << pool_backlog << ")\n"
+     << pool_backlog << ", queue depth " << queue_depth << ")\n"
+     << "  resilience        " << shed << " shed, " << deadline_exceeded
+     << " deadline-exceeded, degraded " << degraded_stale << " stale + "
+     << degraded_fallback << " fallback + " << degraded_late
+     << " late (admission " << admission_state << ")\n"
      << "  stage seconds     build " << FormatSeconds(build_seconds)
      << ", embed " << FormatSeconds(embed_seconds) << ", aggregate "
      << FormatSeconds(aggregate_seconds) << "\n"
@@ -617,7 +960,14 @@ std::string InferenceMetricsSnapshot::ToJson() const {
      << ",\"slices_reused\":" << slices_reused
      << ",\"cache_entries\":" << cache_entries
      << ",\"cache_evictions\":" << cache_evictions
-     << ",\"pool_backlog\":" << pool_backlog << ",\"hit_rate\":" << hit_rate
+     << ",\"pool_backlog\":" << pool_backlog
+     << ",\"queue_depth\":" << queue_depth << ",\"shed\":" << shed
+     << ",\"deadline_exceeded\":" << deadline_exceeded
+     << ",\"degraded_stale\":" << degraded_stale
+     << ",\"degraded_fallback\":" << degraded_fallback
+     << ",\"degraded_late\":" << degraded_late
+     << ",\"admission_state\":\"" << admission_state << "\""
+     << ",\"hit_rate\":" << hit_rate
      << ",\"build_seconds\":" << build_seconds
      << ",\"embed_seconds\":" << embed_seconds
      << ",\"aggregate_seconds\":" << aggregate_seconds << ",";

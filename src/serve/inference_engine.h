@@ -1,8 +1,11 @@
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -11,7 +14,9 @@
 
 #include "chain/ledger.h"
 #include "core/classifier.h"
+#include "serve/admission.h"
 #include "serve/metrics.h"
+#include "util/retry.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 
@@ -66,6 +71,25 @@
 /// between enqueue and completion. The cache needs no notification:
 /// keys are snapshot-clamped tx counts, so entries from older epochs
 /// are reused only for their immutable complete slices.
+///
+/// Resilience contract (see DESIGN.md "Overload & failure model"):
+/// every request ends in exactly one of four explicit outcomes —
+///
+///  * **nominal**: the exact answer at the batch's pinned epoch;
+///  * **degraded** (`ClassifyResult::degraded`, only with
+///    `ClassifyOptions::allow_degraded`): a labeled non-nominal answer —
+///    a stale cached prediction at its last pinned epoch
+///    (`epoch_lag` > 0), a flat-feature fallback, or a fresh result
+///    delivered past its deadline;
+///  * **DeadlineExceeded**: the per-request deadline expired and no
+///    degraded answer was allowed/available. Deadlines are checked at
+///    submit, at cache lookup (before any graph construction) and again
+///    at every batch-stage boundary;
+///  * **ResourceExhausted**: the `AdmissionController` shed the request
+///    in well under a millisecond because the engine is overloaded.
+///
+/// Nothing hangs, nothing is silently dropped, and every degraded
+/// answer is counted (`serve.degraded.*`).
 
 namespace ba::serve {
 
@@ -88,10 +112,54 @@ struct InferenceEngineOptions {
   /// Create() warm-starts from an existing file and SaveCache() writes
   /// it atomically.
   std::string cache_path;
+  /// Retry policy for SaveCache(). The default (max_attempts = 1)
+  /// keeps fail-fast semantics; a multi-attempt policy rides out
+  /// transient write failures.
+  util::RetryPolicy save_retry;
+  /// Enables the AdmissionController: overloaded engines shed requests
+  /// fast with ResourceExhausted instead of queueing without bound.
+  /// Off by default — an engine without an operator-chosen budget
+  /// accepts everything, as before.
+  bool enable_admission = false;
+  /// Budget and watermarks (used only with enable_admission).
+  AdmissionOptions admission;
+  /// Optional flat-feature fallback: when a request is shed or past
+  /// deadline with `allow_degraded` and no cached answer exists, this
+  /// hook supplies a cheap prediction (labeled degraded, epoch_lag 0).
+  /// Must be thread-safe; called outside engine locks.
+  std::function<int(chain::AddressId)> degraded_fallback;
 
   /// \brief Returns OK when every field is usable, or a descriptive
   /// InvalidArgument naming the offending field and value.
   Status Validate() const;
+};
+
+/// \brief Per-request serving options.
+struct ClassifyOptions {
+  /// Hard per-request deadline; the epoch default means "none".
+  /// Checked at submit, at cache lookup and between batch stages —
+  /// an expired request never pays for graph construction.
+  std::chrono::steady_clock::time_point deadline{};
+  /// Permits labeled non-nominal answers (stale cache / fallback /
+  /// fresh-but-late) instead of a DeadlineExceeded or
+  /// ResourceExhausted error.
+  bool allow_degraded = false;
+  /// > 0 bypasses watermark shedding (not the hard in-flight budget).
+  int priority = 0;
+
+  bool has_deadline() const {
+    return deadline != std::chrono::steady_clock::time_point{};
+  }
+
+  /// Convenience: a deadline `seconds` from now.
+  static ClassifyOptions WithTimeout(double seconds) {
+    ClassifyOptions o;
+    o.deadline = std::chrono::steady_clock::now() +
+                 std::chrono::duration_cast<
+                     std::chrono::steady_clock::duration>(
+                     std::chrono::duration<double>(seconds));
+    return o;
+  }
 };
 
 /// \brief Outcome of one classification query.
@@ -107,6 +175,14 @@ struct ClassifyResult {
   /// was computed against (the micro-batch's pinned snapshot). Lets a
   /// caller racing ledger growth identify which epoch answered it.
   uint64_t tx_count = 0;
+  /// True for every non-nominal labeled answer: stale cache, fallback
+  /// classifier, or a fresh result delivered past its deadline. Only
+  /// possible with `ClassifyOptions::allow_degraded`.
+  bool degraded = false;
+  /// How far behind the live epoch the answer is: the address's capped
+  /// tx count now minus the capped tx count the answer was computed at
+  /// (0 for fresh and fallback answers).
+  uint64_t epoch_lag = 0;
 };
 
 /// \brief Point-in-time view of every engine metric.
@@ -124,6 +200,15 @@ struct InferenceMetricsSnapshot {
   uint64_t cache_entries = 0;
   uint64_t cache_evictions = 0;
   uint64_t pool_backlog = 0;  ///< thread-pool tasks in flight now
+  uint64_t queue_depth = 0;   ///< requests enqueued, not yet in a batch
+  uint64_t shed = 0;          ///< rejected by admission control
+  uint64_t deadline_exceeded = 0;  ///< rejected on an expired deadline
+  uint64_t degraded_stale = 0;     ///< answered from a stale cache entry
+  uint64_t degraded_fallback = 0;  ///< answered by the fallback hook
+  uint64_t degraded_late = 0;      ///< fresh result past its deadline
+  /// Admission state name ("accepting"/"shedding"/"recovering"), or
+  /// "disabled" when admission control is off.
+  std::string admission_state;
   /// (full + partial + coalesced) / (requests - empty_history), 0 when
   /// undefined.
   double hit_rate = 0.0;
@@ -149,6 +234,16 @@ class InferenceEngine {
   /// on top of the fs.* points inside AtomicFileWriter.
   static constexpr const char* kFaultCacheSave = "serve.cache.save";
   static constexpr const char* kFaultCacheLoad = "serve.cache.load";
+  /// Batch-pipeline fault points, each consulted once per micro-batch
+  /// at its stage boundary. A firing point fails every request still
+  /// undecided in the batch with an explicit injected Internal error
+  /// (never a hang or a wrong answer); ArmLatency on one stalls the
+  /// stage, which is how chaos tests force deadlines to expire between
+  /// stages.
+  static constexpr const char* kFaultBatchLookup = "serve.batch.lookup";
+  static constexpr const char* kFaultBatchBuild = "serve.batch.build";
+  static constexpr const char* kFaultBatchAggregate =
+      "serve.batch.aggregate";
 
   /// \brief Validating factory. Fails on null/untrained classifier,
   /// invalid engine or classifier options, or (when `cache_path` names
@@ -166,14 +261,21 @@ class InferenceEngine {
 
   /// \brief Classifies one address (blocking). Thread-safe; concurrent
   /// callers are micro-batched. An address with no transactions
-  /// predicts class 0 without touching the models.
-  Result<ClassifyResult> Classify(chain::AddressId address);
+  /// predicts class 0 without touching the models. With a deadline or
+  /// under overload the call can instead return DeadlineExceeded /
+  /// ResourceExhausted, or a labeled degraded answer when
+  /// `options.allow_degraded` permits one (see the resilience contract
+  /// above).
+  Result<ClassifyResult> Classify(chain::AddressId address,
+                                  const ClassifyOptions& options = {});
 
   /// \brief Classifies many addresses through the same batching path
   /// (the whole list is enqueued before processing starts, so a single
-  /// caller still gets batched execution). Results align with input.
+  /// caller still gets batched execution). Results align with input;
+  /// `options` applies to every request in the list.
   std::vector<Result<ClassifyResult>> ClassifyBatch(
-      const std::vector<chain::AddressId>& addresses);
+      const std::vector<chain::AddressId>& addresses,
+      const ClassifyOptions& options = {});
 
   /// \brief Persists the cache to `options().cache_path` atomically
   /// (no-op OK when persistence is disabled). Safe to call while
@@ -187,6 +289,10 @@ class InferenceEngine {
   void ClearCache();
 
   InferenceMetricsSnapshot Metrics() const;
+
+  /// The admission controller, or nullptr when `enable_admission` is
+  /// off (monitoring loops report its state).
+  const AdmissionController* admission() const { return admission_.get(); }
 
   const Options& options() const { return options_; }
 
@@ -206,8 +312,20 @@ class InferenceEngine {
   /// One in-flight request, owned by the calling thread's stack.
   struct Request {
     chain::AddressId address = chain::kInvalidAddress;
+    std::chrono::steady_clock::time_point deadline{};
+    bool allow_degraded = false;
     ClassifyResult result;
+    /// Non-OK when the request ended in an explicit error outcome
+    /// (DeadlineExceeded, injected Internal) instead of a result.
+    Status status;
     bool done = false;
+
+    bool has_deadline() const {
+      return deadline != std::chrono::steady_clock::time_point{};
+    }
+    bool expired(std::chrono::steady_clock::time_point now) const {
+      return has_deadline() && now >= deadline;
+    }
   };
 
   InferenceEngine(const core::BaClassifier* classifier,
@@ -231,6 +349,23 @@ class InferenceEngine {
 
   Status LoadCacheFile(const std::string& path);
 
+  /// One save attempt (SaveCache wraps this in `options().save_retry`).
+  Status SaveCacheOnce() const;
+
+  /// Best labeled answer for a request that cannot run the nominal
+  /// path (shed, or past deadline before any work): a stale cached
+  /// prediction, the fallback hook, or — when neither exists — `why`
+  /// verbatim. An exact-epoch cache hit comes back non-degraded.
+  Result<ClassifyResult> TryDegradedAnswer(chain::AddressId address,
+                                           const Status& why);
+
+  /// Live backlog signal for admission: enqueued requests plus pool
+  /// tasks in flight.
+  int64_t Backlog() const {
+    return queue_depth_.load(std::memory_order_relaxed) +
+           static_cast<int64_t>(pool_->in_flight());
+  }
+
   const core::BaClassifier* classifier_;
   const chain::Ledger* ledger_;
   Options options_;
@@ -251,6 +386,12 @@ class InferenceEngine {
   std::condition_variable done_cv_;
   std::deque<Request*> queue_;
   bool leader_active_ = false;
+  /// Mirrors queue_.size() without the lock — the admission backlog
+  /// signal must be readable in nanoseconds from any thread.
+  std::atomic<int64_t> queue_depth_{0};
+
+  /// Set only with options_.enable_admission.
+  std::unique_ptr<AdmissionController> admission_;
 
   struct Stats {
     Counter requests;
@@ -263,6 +404,11 @@ class InferenceEngine {
     Counter slices_built;
     Counter slices_reused;
     Counter evictions;
+    Counter shed;
+    Counter deadline_exceeded;
+    Counter degraded_stale;
+    Counter degraded_fallback;
+    Counter degraded_late;
     TimeAccumulator build_seconds;
     TimeAccumulator embed_seconds;
     TimeAccumulator aggregate_seconds;
@@ -274,6 +420,11 @@ class InferenceEngine {
   /// Name this engine's snapshot provider is registered under in
   /// obs::MetricsRegistry ("serve.engine.<n>", unique per process).
   std::string registry_provider_name_;
+  /// Registry gauges mirroring live load — "serve.engine.<n>.
+  /// pool_backlog" / ".queue_depth" — refreshed per batch and on every
+  /// Metrics() scrape.
+  Gauge* backlog_gauge_ = nullptr;
+  Gauge* queue_depth_gauge_ = nullptr;
 };
 
 }  // namespace ba::serve

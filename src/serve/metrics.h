@@ -17,6 +17,7 @@
 namespace ba::serve {
 
 using Counter = obs::Counter;
+using Gauge = obs::Gauge;
 using TimeAccumulator = obs::TimeAccumulator;
 using HistogramSnapshot = obs::HistogramSnapshot;
 using LatencyHistogram = obs::Histogram;

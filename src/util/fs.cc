@@ -3,8 +3,11 @@
 #include <unistd.h>
 
 #include <array>
+#include <atomic>
+#include <chrono>
 #include <cstring>
 #include <fstream>
+#include <thread>
 
 namespace ba::util {
 
@@ -59,7 +62,35 @@ FaultInjector& FaultInjector::Instance() {
 
 void FaultInjector::Arm(const std::string& point, int nth) {
   std::lock_guard<std::mutex> lock(mu_);
-  points_[point].remaining = nth;
+  PointState& state = points_[point];
+  state.mode = PointState::Mode::kOneShot;
+  state.remaining = nth;
+}
+
+void FaultInjector::ArmProbabilistic(const std::string& point, double p,
+                                     uint64_t seed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  PointState& state = points_[point];
+  state.mode = PointState::Mode::kProbabilistic;
+  state.probability = p;
+  state.rng_state = seed;
+}
+
+void FaultInjector::ArmEveryNth(const std::string& point, int n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  PointState& state = points_[point];
+  state.mode = PointState::Mode::kEveryNth;
+  state.period = n < 1 ? 1 : n;
+}
+
+void FaultInjector::ArmLatency(const std::string& point, double seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  points_[point].latency_seconds = seconds < 0.0 ? 0.0 : seconds;
+}
+
+void FaultInjector::Disarm(const std::string& point) {
+  std::lock_guard<std::mutex> lock(mu_);
+  points_.erase(point);
 }
 
 void FaultInjector::DisarmAll() {
@@ -68,17 +99,40 @@ void FaultInjector::DisarmAll() {
 }
 
 bool FaultInjector::ShouldFail(const std::string& point) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = points_.find(point);
-  if (it == points_.end()) {
-    points_[point].hits = 1;
-    return false;
+  bool fail = false;
+  double latency = 0.0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    PointState& state = points_[point];
+    ++state.hits;
+    latency = state.latency_seconds;
+    switch (state.mode) {
+      case PointState::Mode::kNone:
+        break;
+      case PointState::Mode::kOneShot:
+        fail = state.remaining > 0 && --state.remaining == 0;
+        break;
+      case PointState::Mode::kProbabilistic: {
+        // splitmix64 — deterministic per-point stream.
+        uint64_t z = (state.rng_state += 0x9E3779B97F4A7C15ULL);
+        z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+        z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+        z ^= z >> 31;
+        const double u = static_cast<double>(z >> 11) * 0x1.0p-53;
+        fail = u < state.probability;
+        break;
+      }
+      case PointState::Mode::kEveryNth:
+        fail = state.hits % state.period == 0;
+        break;
+    }
   }
-  ++it->second.hits;
-  if (it->second.remaining > 0 && --it->second.remaining == 0) {
-    return true;
+  // Sleep outside the lock: a slow point must not serialize every
+  // other thread's fault-point checks behind it.
+  if (latency > 0.0) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(latency));
   }
-  return false;
+  return fail;
 }
 
 int FaultInjector::HitCount(const std::string& point) const {
@@ -93,8 +147,13 @@ const std::vector<std::string>& AtomicFileWriter::FaultPoints() {
   return *points;
 }
 
-AtomicFileWriter::AtomicFileWriter(std::string path)
-    : path_(std::move(path)), tmp_path_(path_ + ".tmp") {}
+AtomicFileWriter::AtomicFileWriter(std::string path) : path_(std::move(path)) {
+  // Unique per writer: concurrent saves to one destination each get a
+  // private scratch file instead of truncating each other's.
+  static std::atomic<uint64_t> next_seq{0};
+  tmp_path_ = path_ + ".tmp." + std::to_string(::getpid()) + "." +
+              std::to_string(next_seq.fetch_add(1));
+}
 
 AtomicFileWriter::~AtomicFileWriter() {
   if (!committed_) Abort();

@@ -46,14 +46,32 @@ Result<std::string> ReadFileToString(const std::string& path);
 /// \brief True when `path` exists (any file type).
 bool FileExists(const std::string& path);
 
-/// \brief Test-only fault injection at named persistence fault points.
+/// \brief Test-only fault injection at named persistence and serving
+/// fault points.
 ///
 /// Production code calls `ShouldFail(point)` at each fault point; the
-/// call is a cheap counter bump unless a test armed the point via
-/// `Arm`. Arming with `nth` makes the nth upcoming hit fail (1 = the
-/// very next), so a test can step a multi-write save and kill it at any
-/// byte boundary. The injector is a process-wide singleton; tests must
-/// `DisarmAll()` when done.
+/// call is a cheap counter bump unless a test armed the point. Four
+/// arming modes:
+///
+///  * `Arm(point, nth)`           — the nth upcoming hit fails, once
+///                                  (1 = the very next), so a test can
+///                                  step a multi-write save and kill it
+///                                  at any byte boundary.
+///  * `ArmProbabilistic(point,p)` — every hit fails independently with
+///                                  probability p, from a deterministic
+///                                  per-point stream (chaos suites).
+///  * `ArmEveryNth(point, n)`     — every nth hit fails, periodically.
+///  * `ArmLatency(point, secs)`   — every hit sleeps `secs` before
+///                                  returning its verdict. Composes
+///                                  with any failure mode armed on the
+///                                  same point (slow-then-fail).
+///
+/// The injector is a process-wide singleton safe for concurrent
+/// arming, firing and querying from any number of threads (the chaos
+/// harness hammers it from sealer, client and saver threads at once);
+/// injected latency is slept outside the injector lock so concurrent
+/// hits of a slow point do not serialize. Tests must `DisarmAll()`
+/// when done.
 class FaultInjector {
  public:
   static FaultInjector& Instance();
@@ -61,20 +79,43 @@ class FaultInjector {
   /// Arms `point` so its `nth` upcoming hit reports failure (once).
   void Arm(const std::string& point, int nth = 1);
 
+  /// Arms `point` so every upcoming hit fails independently with
+  /// probability `p` in [0, 1], drawn from a deterministic stream
+  /// seeded by `seed`.
+  void ArmProbabilistic(const std::string& point, double p,
+                        uint64_t seed = 1);
+
+  /// Arms `point` so every `n`-th hit fails (the n-th, 2n-th, ...).
+  void ArmEveryNth(const std::string& point, int n);
+
+  /// Injects `seconds` of latency into every upcoming hit of `point`.
+  /// Keeps whatever failure mode is armed; pass 0 to remove latency.
+  void ArmLatency(const std::string& point, double seconds);
+
+  /// Clears the failure mode, latency and hit counter of one point.
+  void Disarm(const std::string& point);
+
   /// Clears every armed fault and hit counter.
   void DisarmAll();
 
-  /// True when this hit of `point` must fail; consumes the armed fault.
+  /// True when this hit of `point` must fail; a one-shot fault is
+  /// consumed, probabilistic and every-nth faults keep firing.
   bool ShouldFail(const std::string& point);
 
-  /// Number of times `point` was hit since the last DisarmAll().
+  /// Number of times `point` was hit since the last Disarm/DisarmAll.
   int HitCount(const std::string& point) const;
 
  private:
   FaultInjector() = default;
 
   struct PointState {
-    int remaining = 0;  ///< hits until failure; 0 = disarmed
+    enum class Mode { kNone, kOneShot, kProbabilistic, kEveryNth };
+    Mode mode = Mode::kNone;
+    int remaining = 0;       ///< one-shot: hits until failure
+    double probability = 0.0;
+    uint64_t rng_state = 0;  ///< splitmix64 stream (probabilistic)
+    int period = 0;          ///< every-nth period
+    double latency_seconds = 0.0;
     int hits = 0;
   };
 
@@ -82,10 +123,18 @@ class FaultInjector {
   std::unordered_map<std::string, PointState> points_;
 };
 
-/// \brief Writes a file atomically: content goes to `<path>.tmp`, and
-/// `Commit()` flushes, fsyncs and renames it over `path`. If the writer
-/// is destroyed (or any step fails) before Commit succeeds, the
-/// destination is untouched and the temporary is removed.
+/// \brief Writes a file atomically: content goes to a uniquely named
+/// temporary (`<path>.tmp.<pid>.<seq>`), and `Commit()` flushes,
+/// fsyncs and renames it over `path`. If the writer is destroyed (or
+/// any step fails) before Commit succeeds, the destination is
+/// untouched and the temporary is removed — a failed or abandoned
+/// write never litters the directory.
+///
+/// The unique suffix makes concurrent writers to one destination safe:
+/// each owns a private scratch file and the last successful Commit
+/// wins the rename. (With a shared `<path>.tmp`, one writer's Open
+/// would truncate another's half-written scratch and a racing Commit
+/// could rename torn bytes into place.)
 ///
 /// The writer maintains a running CRC32 of every byte written, so
 /// formats can close with an integrity trailer:

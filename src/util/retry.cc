@@ -1,0 +1,115 @@
+#include "util/retry.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "obs/metrics.h"
+
+namespace ba::util {
+
+namespace {
+
+/// splitmix64 step — small and deterministic; keeps retry.h free of a
+/// heavier RNG dependency.
+uint64_t NextRandom(uint64_t* state) {
+  uint64_t z = (*state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+double UniformIn(uint64_t* state, double lo, double hi) {
+  const double u =
+      static_cast<double>(NextRandom(state) >> 11) * 0x1.0p-53;
+  return lo + (hi - lo) * u;
+}
+
+}  // namespace
+
+Status RetryPolicy::Validate() const {
+  if (max_attempts < 1) {
+    return Status::InvalidArgument(
+        "RetryPolicy.max_attempts must be >= 1, got " +
+        std::to_string(max_attempts));
+  }
+  if (initial_backoff_seconds < 0.0) {
+    return Status::InvalidArgument(
+        "RetryPolicy.initial_backoff_seconds must be >= 0, got " +
+        std::to_string(initial_backoff_seconds));
+  }
+  if (max_backoff_seconds < initial_backoff_seconds) {
+    return Status::InvalidArgument(
+        "RetryPolicy.max_backoff_seconds (" +
+        std::to_string(max_backoff_seconds) +
+        ") must be >= initial_backoff_seconds (" +
+        std::to_string(initial_backoff_seconds) + ")");
+  }
+  return Status::OK();
+}
+
+bool IsRetryableStatus(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kInternal:
+    case StatusCode::kResourceExhausted:
+      return true;
+    default:
+      return false;
+  }
+}
+
+Status RetryWithBackoff(const RetryPolicy& policy, const std::string& op_name,
+                        const std::function<Status()>& op) {
+  BA_RETURN_NOT_OK(policy.Validate());
+  if (policy.max_attempts == 1) return op();
+
+  static obs::Counter* retries =
+      obs::MetricsRegistry::Instance().GetCounter("util.retry.attempts");
+  static obs::Counter* exhausted =
+      obs::MetricsRegistry::Instance().GetCounter("util.retry.exhausted");
+
+  uint64_t jitter_state = policy.jitter_seed;
+  double prev_sleep = policy.initial_backoff_seconds;
+  Status last;
+  for (int attempt = 1; attempt <= policy.max_attempts; ++attempt) {
+    last = op();
+    if (last.ok()) return last;
+    // Permanent failures (validation, corruption, expired deadlines)
+    // come back verbatim — sleeping would not change them.
+    if (!IsRetryableStatus(last)) return last;
+    if (attempt == policy.max_attempts) break;
+
+    // Decorrelated jitter: each sleep is drawn fresh from
+    // [base, 3 * previous sleep], capped — concurrent failers spread
+    // out instead of retrying in lockstep.
+    const double lo = policy.initial_backoff_seconds;
+    const double hi =
+        std::min(policy.max_backoff_seconds,
+                 std::max(lo, 3.0 * prev_sleep));
+    const double sleep_seconds = UniformIn(&jitter_state, lo, hi);
+    prev_sleep = sleep_seconds;
+    if (policy.has_deadline()) {
+      const auto wake =
+          std::chrono::steady_clock::now() +
+          std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+              std::chrono::duration<double>(sleep_seconds));
+      if (wake >= policy.deadline) {
+        exhausted->Increment();
+        return Status(last.code(),
+                      op_name + ": " + last.message() +
+                          " (deadline reached after " +
+                          std::to_string(attempt) + " attempt(s))");
+      }
+    }
+    retries->Increment();
+    if (sleep_seconds > 0.0) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(sleep_seconds));
+    }
+  }
+  exhausted->Increment();
+  return Status(last.code(), op_name + ": " + last.message() +
+                                 " (retry budget exhausted, max_attempts=" +
+                                 std::to_string(policy.max_attempts) + ")");
+}
+
+}  // namespace ba::util

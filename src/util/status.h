@@ -25,6 +25,13 @@ enum class StatusCode {
   kFailedPrecondition,
   kInternal,
   kUnimplemented,
+  /// The request was refused because a capacity budget (in-flight
+  /// limit, queue watermark, token bucket) is exhausted. Retryable
+  /// after backoff — see util::RetryWithBackoff.
+  kResourceExhausted,
+  /// The request's deadline expired before (or while) it was served.
+  /// Not retryable with the same deadline.
+  kDeadlineExceeded,
 };
 
 /// \brief Returns a short human-readable name for a status code.
@@ -63,6 +70,12 @@ class Status {
   }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,12 +1,17 @@
 // Tests for the durability layer (src/util/fs): CRC32, atomic file
 // writes, bounds-checked buffer reads and named fault injection.
 
+#include <dirent.h>
 #include <gtest/gtest.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "util/fs.h"
 
@@ -19,9 +24,26 @@ class TempFile {
       : path_("/tmp/ba_fs_" + name + "_" + std::to_string(::getpid())) {}
   ~TempFile() {
     std::remove(path_.c_str());
-    std::remove((path_ + ".tmp").c_str());
+    for (const std::string& tmp : TmpLitter()) std::remove(tmp.c_str());
   }
   const std::string& path() const { return path_; }
+
+  /// Every `<path>.tmp*` scratch file currently in the directory —
+  /// empty whenever the writer honored its no-litter contract.
+  std::vector<std::string> TmpLitter() const {
+    std::vector<std::string> found;
+    const size_t slash = path_.rfind('/');
+    const std::string dir = path_.substr(0, slash);
+    const std::string prefix = path_.substr(slash + 1) + ".tmp";
+    DIR* d = ::opendir(dir.c_str());
+    if (d == nullptr) return found;
+    while (struct dirent* e = ::readdir(d)) {
+      const std::string name = e->d_name;
+      if (name.rfind(prefix, 0) == 0) found.push_back(dir + "/" + name);
+    }
+    ::closedir(d);
+    return found;
+  }
 
  private:
   std::string path_;
@@ -149,7 +171,7 @@ TEST(FaultInjectorTest, EveryFaultPointKillsASaveWithoutTearing) {
     EXPECT_NE(st.message().find(point), std::string::npos) << st.ToString();
     // The previous artifact is fully intact and no temp file remains.
     EXPECT_EQ(Slurp(file.path()), "survivor") << "after fault at " << point;
-    EXPECT_FALSE(FileExists(file.path() + ".tmp"));
+    EXPECT_TRUE(file.TmpLitter().empty()) << "after fault at " << point;
     FaultInjector::Instance().DisarmAll();
   }
 }
@@ -163,6 +185,129 @@ TEST(FaultInjectorTest, NthWriteKillsMidSequence) {
   EXPECT_TRUE(w.Append("first").ok());
   EXPECT_FALSE(w.Append("second").ok());
   EXPECT_FALSE(FileExists(file.path()));
+}
+
+TEST(FaultInjectorTest, ProbabilisticModeIsDeterministicPerSeed) {
+  FaultGuard guard;
+  auto& injector = FaultInjector::Instance();
+  auto sample = [&](double p, uint64_t seed) {
+    injector.Disarm("test.prob");
+    injector.ArmProbabilistic("test.prob", p, seed);
+    std::vector<bool> verdicts;
+    for (int i = 0; i < 200; ++i) {
+      verdicts.push_back(injector.ShouldFail("test.prob"));
+    }
+    return verdicts;
+  };
+  // Same seed reproduces the verdict stream exactly; the extremes are
+  // exact, and a middling p fires neither never nor always.
+  EXPECT_EQ(sample(0.3, 42), sample(0.3, 42));
+  const auto never = sample(0.0, 7);
+  EXPECT_EQ(std::count(never.begin(), never.end(), true), 0);
+  const auto always = sample(1.0, 7);
+  EXPECT_EQ(std::count(always.begin(), always.end(), true), 200);
+  const auto mid = sample(0.5, 9);
+  const auto fired = std::count(mid.begin(), mid.end(), true);
+  EXPECT_GT(fired, 0);
+  EXPECT_LT(fired, 200);
+}
+
+TEST(FaultInjectorTest, EveryNthModeFiresPeriodically) {
+  FaultGuard guard;
+  auto& injector = FaultInjector::Instance();
+  injector.ArmEveryNth("test.periodic", 3);
+  for (int hit = 1; hit <= 12; ++hit) {
+    EXPECT_EQ(injector.ShouldFail("test.periodic"), hit % 3 == 0)
+        << "hit " << hit;
+  }
+  EXPECT_EQ(injector.HitCount("test.periodic"), 12);
+}
+
+TEST(FaultInjectorTest, LatencyComposesWithFailureModes) {
+  FaultGuard guard;
+  auto& injector = FaultInjector::Instance();
+  // Latency alone: slow but healthy.
+  injector.ArmLatency("test.slow", 0.02);
+  auto start = std::chrono::steady_clock::now();
+  EXPECT_FALSE(injector.ShouldFail("test.slow"));
+  EXPECT_GE(std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - start)
+                .count(),
+            0.02);
+  // Latency on top of a failure mode: slow-then-fail.
+  injector.ArmEveryNth("test.slow", 1);
+  start = std::chrono::steady_clock::now();
+  EXPECT_TRUE(injector.ShouldFail("test.slow"));
+  EXPECT_GE(std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - start)
+                .count(),
+            0.02);
+  // Disarm clears latency, mode and hit counter together.
+  injector.Disarm("test.slow");
+  EXPECT_FALSE(injector.ShouldFail("test.slow"));
+  EXPECT_EQ(injector.HitCount("test.slow"), 1);
+}
+
+// Regression: with one shared `<path>.tmp` scratch name, a second
+// writer's Open truncated the first writer's half-written scratch and
+// a racing Commit could rename torn bytes over the destination. Unique
+// per-writer suffixes keep interleaved writers independent.
+TEST(AtomicFileWriterTest, InterleavedWritersToOnePathDontClobber) {
+  TempFile file("interleave");
+  AtomicFileWriter w1(file.path());
+  AtomicFileWriter w2(file.path());
+  EXPECT_NE(w1.tmp_path(), w2.tmp_path());
+  ASSERT_TRUE(w1.Open().ok());
+  ASSERT_TRUE(w2.Open().ok());
+  ASSERT_TRUE(w1.Append("first writer payload").ok());
+  ASSERT_TRUE(w2.Append("second writer payload").ok());
+  ASSERT_TRUE(w1.Commit().ok());
+  // w1's commit is complete and untorn despite w2's open scratch.
+  EXPECT_EQ(Slurp(file.path()), "first writer payload");
+  ASSERT_TRUE(w2.Commit().ok());
+  // Last successful commit wins, still untorn.
+  EXPECT_EQ(Slurp(file.path()), "second writer payload");
+  EXPECT_TRUE(file.TmpLitter().empty());
+}
+
+TEST(AtomicFileWriterTest, ConcurrentWritersAlwaysLeaveACompletePayload) {
+  TempFile file("race");
+  constexpr int kWriters = 8;
+  constexpr int kRounds = 20;
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kWriters; ++t) {
+    writers.emplace_back([&, t] {
+      const std::string payload(128, static_cast<char>('A' + t));
+      for (int r = 0; r < kRounds; ++r) {
+        AtomicFileWriter w(file.path());
+        if (!w.Open().ok()) continue;
+        if (!w.Append(payload).ok()) continue;
+        (void)w.Commit();
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  // The destination is exactly one writer's complete payload — never a
+  // mix, never truncated — and nobody littered scratch files.
+  const std::string contents = Slurp(file.path());
+  ASSERT_EQ(contents.size(), 128u);
+  for (char c : contents) EXPECT_EQ(c, contents[0]);
+  EXPECT_TRUE(file.TmpLitter().empty());
+}
+
+TEST(AtomicFileWriterTest, DestructionWithoutCommitRemovesUniqueTmp) {
+  TempFile file("drop");
+  std::string tmp_path;
+  {
+    AtomicFileWriter w(file.path());
+    tmp_path = w.tmp_path();
+    ASSERT_TRUE(w.Open().ok());
+    ASSERT_TRUE(w.Append("abandoned mid-save").ok());
+    ASSERT_TRUE(FileExists(tmp_path));
+  }
+  EXPECT_FALSE(FileExists(tmp_path));
+  EXPECT_FALSE(FileExists(file.path()));
+  EXPECT_TRUE(file.TmpLitter().empty());
 }
 
 TEST(BufferReaderTest, ReadsAndBoundsChecks) {

@@ -270,7 +270,16 @@ TEST_F(ServeTest, EnginePublishesRegistryProviderWhileAlive) {
     // engine reports directly.
     const std::string expo =
         obs::MetricsRegistry::Instance().JsonExposition();
-    const size_t at = expo.find("\"serve.engine.");
+    // Find the provider entry (its value is a JSON object, "name":{...}),
+    // skipping the engine's serve.engine.<n>.* load gauges whose values
+    // are plain numbers.
+    size_t at = expo.find("\"serve.engine.");
+    while (at != std::string::npos) {
+      const size_t close = expo.find('"', at + 1);
+      ASSERT_NE(close, std::string::npos) << expo;
+      if (expo.compare(close, 3, "\":{") == 0) break;
+      at = expo.find("\"serve.engine.", close);
+    }
     ASSERT_NE(at, std::string::npos) << expo;
     provider_name = expo.substr(at + 1, expo.find('"', at + 1) - at - 1);
     EXPECT_NE(expo.find("\"requests\":"), std::string::npos);
@@ -280,9 +289,12 @@ TEST_F(ServeTest, EnginePublishesRegistryProviderWhileAlive) {
     EXPECT_NE(expo.find("\"requests\":" + std::to_string(m.requests)),
               std::string::npos);
   }
-  // Destroyed engine must have unregistered itself.
+  // Destroyed engine must have unregistered its provider. Match the
+  // exact JSON key: the engine's load gauges
+  // (serve.engine.<n>.pool_backlog / .queue_depth) are registry
+  // instruments and legitimately outlive it.
   EXPECT_EQ(obs::MetricsRegistry::Instance().JsonExposition().find(
-                provider_name),
+                "\"" + provider_name + "\":"),
             std::string::npos);
 }
 

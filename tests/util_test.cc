@@ -4,11 +4,13 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <set>
 #include <sstream>
 
 #include "util/cli.h"
+#include "util/retry.h"
 #include "util/rng.h"
 #include "util/status.h"
 #include "util/stopwatch.h"
@@ -41,6 +43,112 @@ TEST(StatusTest, FactoriesProduceDistinctCodes) {
             StatusCode::kFailedPrecondition);
   EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
   EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(Status::ResourceExhausted("x").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(Status::DeadlineExceeded("x").code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(Status::ResourceExhausted("over budget").ToString(),
+            "ResourceExhausted: over budget");
+  EXPECT_EQ(Status::DeadlineExceeded("too late").ToString(),
+            "DeadlineExceeded: too late");
+}
+
+TEST(RetryTest, DefaultPolicyRunsExactlyOnce) {
+  int calls = 0;
+  const Status st = util::RetryWithBackoff(
+      util::RetryPolicy{}, "op", [&] {
+        ++calls;
+        return Status::Internal("transient");
+      });
+  EXPECT_EQ(calls, 1);
+  // Fail-fast default: the status comes back verbatim, unannotated.
+  EXPECT_EQ(st.code(), StatusCode::kInternal);
+  EXPECT_EQ(st.message(), "transient");
+}
+
+TEST(RetryTest, RetriesTransientFailuresUntilSuccess) {
+  util::RetryPolicy policy = util::RetryPolicy::Standard(5);
+  policy.initial_backoff_seconds = 1e-4;
+  policy.max_backoff_seconds = 1e-3;
+  int calls = 0;
+  const Status st = util::RetryWithBackoff(policy, "op", [&] {
+    return ++calls < 3 ? Status::ResourceExhausted("busy") : Status::OK();
+  });
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(calls, 3);
+}
+
+TEST(RetryTest, NonRetryableFailureReturnsImmediately) {
+  util::RetryPolicy policy = util::RetryPolicy::Standard(5);
+  int calls = 0;
+  const Status st = util::RetryWithBackoff(policy, "op", [&] {
+    ++calls;
+    return Status::InvalidArgument("permanent");
+  });
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(st.message(), "permanent");
+}
+
+TEST(RetryTest, ExhaustedBudgetAnnotatesLastError) {
+  util::RetryPolicy policy = util::RetryPolicy::Standard(3);
+  policy.initial_backoff_seconds = 1e-5;
+  policy.max_backoff_seconds = 1e-4;
+  int calls = 0;
+  const Status st = util::RetryWithBackoff(policy, "flaky save", [&] {
+    ++calls;
+    return Status::Internal("disk full");
+  });
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(st.code(), StatusCode::kInternal);
+  EXPECT_NE(st.message().find("flaky save"), std::string::npos);
+  EXPECT_NE(st.message().find("disk full"), std::string::npos);
+  EXPECT_NE(st.message().find("max_attempts=3"), std::string::npos);
+}
+
+TEST(RetryTest, DeadlineAbandonsRemainingAttempts) {
+  util::RetryPolicy policy = util::RetryPolicy::Standard(100);
+  policy.initial_backoff_seconds = 0.02;
+  policy.max_backoff_seconds = 0.02;
+  policy.deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(30);
+  int calls = 0;
+  const Status st = util::RetryWithBackoff(policy, "op", [&] {
+    ++calls;
+    return Status::Internal("down");
+  });
+  EXPECT_FALSE(st.ok());
+  // Far fewer than 100 attempts: a backoff sleep that would land past
+  // the deadline abandons the loop instead.
+  EXPECT_LT(calls, 10);
+  EXPECT_NE(st.message().find("deadline reached"), std::string::npos);
+}
+
+TEST(RetryTest, ValidateRejectsBadPolicies) {
+  util::RetryPolicy policy;
+  policy.max_attempts = 0;
+  EXPECT_EQ(util::RetryWithBackoff(policy, "op", [] {
+              return Status::OK();
+            }).code(),
+            StatusCode::kInvalidArgument);
+  policy = util::RetryPolicy{};
+  policy.initial_backoff_seconds = -1.0;
+  EXPECT_FALSE(policy.Validate().ok());
+  policy = util::RetryPolicy{};
+  policy.max_backoff_seconds = policy.initial_backoff_seconds / 2.0;
+  EXPECT_FALSE(policy.Validate().ok());
+  EXPECT_TRUE(util::RetryPolicy::Standard().Validate().ok());
+}
+
+TEST(RetryTest, ClassifiesRetryableStatuses) {
+  EXPECT_TRUE(util::IsRetryableStatus(Status::Internal("io")));
+  EXPECT_TRUE(
+      util::IsRetryableStatus(Status::ResourceExhausted("backpressure")));
+  EXPECT_FALSE(util::IsRetryableStatus(Status::OK()));
+  EXPECT_FALSE(util::IsRetryableStatus(Status::InvalidArgument("bad")));
+  EXPECT_FALSE(util::IsRetryableStatus(Status::NotFound("gone")));
+  EXPECT_FALSE(
+      util::IsRetryableStatus(Status::DeadlineExceeded("expired")));
 }
 
 Status FailIfNegative(int v) {
