@@ -16,8 +16,17 @@
 //
 // Build & run:  ./build/examples/serve_monitor [--blocks 150]
 //     [--stream 12] [--clients 3] [--cache /tmp/ba_serve_cache.basv]
-//     [--trace-out /tmp/trace.json] [--metrics-every 4]
+//     [--trace-out /tmp/trace.json] [--admin <port>]
 //     [--deadline-ms 0] [--overload 1]
+//
+// With --admin <port> the monitor exposes the net admin line protocol
+// (metrics / health / trace / quit) while the stream runs; scrape it
+// from another shell with the one-shot subcommand:
+//
+//     serve_monitor scrape --admin <port> [--cmd metrics]
+//
+// The old --metrics-every N flag (inline registry JSON every N blocks)
+// still works but is deprecated in favor of the admin port.
 //
 // Resilience knobs: --deadline-ms gives every monitoring query a
 // deadline (answers past it come back stale-but-labeled, since the
@@ -34,6 +43,8 @@
 #include "core/classifier.h"
 #include "datagen/dataset.h"
 #include "datagen/simulator.h"
+#include "net/client.h"
+#include "net/server.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "serve/inference_engine.h"
@@ -41,6 +52,26 @@
 
 int main(int argc, char** argv) {
   ba::CliFlags flags(argc, argv);
+
+  // One-shot scrape subcommand: connect to a running monitor's (or
+  // ba_serve's) admin port, send one command, print the reply line.
+  if (argc > 1 && std::string(argv[1]) == "scrape") {
+    const int port = static_cast<int>(flags.GetInt("admin", 0));
+    if (port <= 0) {
+      std::cerr << "usage: serve_monitor scrape --admin <port> "
+                   "[--host 127.0.0.1] [--cmd metrics]\n";
+      return 2;
+    }
+    const auto reply = ba::net::Client::AdminCommand(
+        flags.GetString("host", "127.0.0.1"), static_cast<uint16_t>(port),
+        flags.GetString("cmd", "metrics"));
+    if (!reply.ok()) {
+      std::cerr << "scrape failed: " << reply.status().message() << "\n";
+      return 1;
+    }
+    std::cout << reply.value() << "\n";
+    return 0;
+  }
 
   // Tracing covers everything from training to the final query; the
   // trace is saved when the process exits.
@@ -93,7 +124,33 @@ int main(int argc, char** argv) {
       classifier.get(), &simulator.ledger(), engine_options);
   BA_CHECK_OK(engine.status());
   std::cout << "engine up (cache " << engine_options.cache_path << ", "
-            << engine.value()->CacheSize() << " entries warm)\n\n";
+            << engine.value()->CacheSize() << " entries warm)\n";
+
+  // --admin <port>: expose the admin line protocol while the stream
+  // runs (0 picks an ephemeral port, printed below).
+  std::unique_ptr<ba::net::Server> admin_server;
+  if (flags.Has("admin")) {
+    ba::net::ServerOptions server_options;
+    server_options.admin_port =
+        static_cast<uint16_t>(flags.GetInt("admin", 0));
+    auto made = ba::net::Server::Create(
+        engine.value().get(), &simulator.ledger(), server_options);
+    BA_CHECK_OK(made.status());
+    admin_server = std::move(made).value();
+    BA_CHECK_OK(admin_server->Start());
+    std::cout << "admin on 127.0.0.1:" << admin_server->admin_port()
+              << " — scrape with: serve_monitor scrape --admin "
+              << admin_server->admin_port() << "\n";
+  }
+
+  const int metrics_every =
+      static_cast<int>(flags.GetInt("metrics-every", 0));
+  if (flags.Has("metrics-every")) {
+    std::cerr << "warning: --metrics-every is deprecated; run with "
+                 "--admin <port> and scrape it from another shell "
+                 "(serve_monitor scrape --admin <port>)\n";
+  }
+  std::cout << "\n";
 
   // --- 3. Stream blocks, poll watched addresses each block. -----------
   const auto& watched = split.test;
@@ -173,11 +230,8 @@ int main(int argc, char** argv) {
               << ba::serve::FormatSeconds(m.request_latency.p99_seconds)
               << "\n";
 
-    // Periodic registry scrape: one JSON object covering every
-    // subsystem — engine snapshot (via its provider), thread-pool depth
-    // and task counts — exactly what a sidecar collector would ship.
-    const int metrics_every =
-        static_cast<int>(flags.GetInt("metrics-every", 4));
+    // Deprecated inline registry scrape (--metrics-every): the admin
+    // port serves the same JSON on demand without polluting stdout.
     if (metrics_every > 0 && (b + 1) % metrics_every == 0) {
       std::cout << "registry: "
                 << ba::obs::MetricsRegistry::Instance().JsonExposition()
@@ -186,6 +240,7 @@ int main(int argc, char** argv) {
   }
 
   // --- 4. Final metrics snapshot. -------------------------------------
+  if (admin_server != nullptr) admin_server->Stop();
   std::cout << "\n" << engine.value()->Metrics().ToString();
   if (!trace_out.empty()) {
     std::cout << "\ntrace will be saved to " << trace_out

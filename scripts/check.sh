@@ -25,6 +25,15 @@
 #                      (chaos_test, resilience_test), plus the fault
 #                      injector's own concurrency hammer and the atomic
 #                      file writer under concurrent writers (fs_test).
+#   net                Release-build network smoke: starts the ba_serve
+#                      daemon on ephemeral ports (--port-file handshake),
+#                      drives it over real sockets with bench_net_loadgen
+#                      in external mode (fleet, churn and the protocol
+#                      abuse suite — no lost or hung connections
+#                      tolerated), scrapes health/metrics through the
+#                      admin port via serve_monitor's scrape subcommand,
+#                      then shuts the daemon down with an admin quit and
+#                      requires a clean exit.
 #   perf               Release-build perf smoke: bench_gemm (kernel
 #                      parity + single-thread speedup) and the training
 #                      throughput bench at 1 and N lanes. Fails on any
@@ -32,7 +41,7 @@
 #                      divergence; the JSON outputs land in the build
 #                      dir, not the repo root.
 #
-# Usage: scripts/check.sh [address|thread|trace|chaos|perf] [build-dir]
+# Usage: scripts/check.sh [address|thread|trace|chaos|net|perf] [build-dir]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -75,7 +84,7 @@ case "$MODE" in
       -DBA_SANITIZE=thread \
       -DBA_BUILD_BENCHMARKS=OFF \
       -DBA_BUILD_EXAMPLES=OFF
-    TSAN_TESTS="serve_test snapshot_test util_test obs_test parallel_train_test resilience_test chaos_test"
+    TSAN_TESTS="serve_test snapshot_test util_test obs_test parallel_train_test resilience_test chaos_test protocol_test net_test async_classify_test"
     # shellcheck disable=SC2086
     cmake --build "$BUILD_DIR" -j "$(nproc)" \
       --target $TSAN_TESTS
@@ -146,6 +155,77 @@ print(f"trace OK: {len(events)} events, "
       f"subsystems core/serve/util.thread_pool all present")
 EOF
     ;;
+  net)
+    BUILD_DIR="${2:-build}"
+    PORT_FILE="$(mktemp -u /tmp/ba_net_smoke_port_XXXXXX)"
+    LOADGEN_OUT="$(mktemp -u /tmp/ba_net_smoke_bench_XXXXXX.json)"
+    DAEMON_LOG="$(mktemp /tmp/ba_net_smoke_daemon_XXXXXX.log)"
+    DAEMON_PID=""
+    cleanup_net() {
+      if [ -n "$DAEMON_PID" ] && kill -0 "$DAEMON_PID" 2>/dev/null; then
+        kill "$DAEMON_PID" 2>/dev/null || true
+        wait "$DAEMON_PID" 2>/dev/null || true
+      fi
+      rm -f "$PORT_FILE" "$LOADGEN_OUT" "$DAEMON_LOG"
+    }
+    trap cleanup_net EXIT
+    cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
+    cmake --build "$BUILD_DIR" -j "$(nproc)" \
+      --target ba_serve_daemon bench_net_loadgen serve_monitor
+    for bin in examples/ba_serve bench/bench_net_loadgen \
+               examples/serve_monitor; do
+      if [ ! -x "$BUILD_DIR/$bin" ]; then
+        echo "check.sh: MISSING BINARY: $BUILD_DIR/$bin" >&2
+        exit 1
+      fi
+    done
+    # Ephemeral ports + port-file handshake: no fixed port to collide
+    # with a parallel CI job.
+    "$BUILD_DIR"/examples/ba_serve --port 0 --admin-port 0 \
+      --port-file "$PORT_FILE" --blocks 60 --seal-every-ms 200 \
+      > "$DAEMON_LOG" 2>&1 &
+    DAEMON_PID="$!"
+    for _ in $(seq 1 300); do
+      [ -s "$PORT_FILE" ] && break
+      if ! kill -0 "$DAEMON_PID" 2>/dev/null; then
+        echo "check.sh: ba_serve died during startup:" >&2
+        cat "$DAEMON_LOG" >&2
+        exit 1
+      fi
+      sleep 0.2
+    done
+    if [ ! -s "$PORT_FILE" ]; then
+      echo "check.sh: ba_serve never wrote $PORT_FILE" >&2
+      cat "$DAEMON_LOG" >&2
+      exit 1
+    fi
+    read -r DATA_PORT ADMIN_PORT < "$PORT_FILE"
+    echo "check.sh: ba_serve up (data $DATA_PORT, admin $ADMIN_PORT)"
+    # Admin scrape first: health must report ok before any load.
+    "$BUILD_DIR"/examples/serve_monitor scrape --admin "$ADMIN_PORT" \
+      --cmd health | grep -q '"status":"ok"' \
+      || { echo "check.sh: health scrape failed" >&2; exit 1; }
+    # External-mode loadgen: fleet + churn + abuse against the live
+    # daemon; exits non-zero when any connection is lost or hung.
+    "$BUILD_DIR"/bench/bench_net_loadgen --connect "$DATA_PORT" \
+      --address-max 50 --connections 8 --seconds 1 --churn-rounds 20 \
+      --out "$LOADGEN_OUT"
+    # The daemon served real traffic: the registry scrape must show it.
+    "$BUILD_DIR"/examples/serve_monitor scrape --admin "$ADMIN_PORT" \
+      --cmd metrics | grep -q 'net.requests' \
+      || { echo "check.sh: metrics scrape failed" >&2; exit 1; }
+    # Admin quit: the daemon must exit 0 on its own, no signal needed.
+    "$BUILD_DIR"/examples/serve_monitor scrape --admin "$ADMIN_PORT" \
+      --cmd quit | grep -q 'bye' \
+      || { echo "check.sh: quit scrape failed" >&2; exit 1; }
+    if ! wait "$DAEMON_PID"; then
+      echo "check.sh: ba_serve exited non-zero after quit:" >&2
+      cat "$DAEMON_LOG" >&2
+      exit 1
+    fi
+    DAEMON_PID=""
+    echo "net smoke OK (data $DATA_PORT, admin $ADMIN_PORT)"
+    ;;
   perf)
     BUILD_DIR="${2:-build}"
     THREADS="${BA_THREADS:-$(nproc)}"
@@ -167,7 +247,7 @@ EOF
     echo "perf smoke OK (threads=$THREADS)"
     ;;
   *)
-    echo "usage: scripts/check.sh [address|thread|trace|chaos|perf] [build-dir]" >&2
+    echo "usage: scripts/check.sh [address|thread|trace|chaos|net|perf] [build-dir]" >&2
     exit 2
     ;;
 esac

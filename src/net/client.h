@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "net/socket.h"
+#include "serve/protocol.h"
+
+/// \file client.h
+/// \brief Blocking client for the frame protocol and the admin port.
+///
+/// The loadgen, the check.sh smoke probe and the tests all speak
+/// through this: a connected `Client` sends ClassifyRequest frames
+/// (optionally pipelined — many Sends, then matching ReadResponses)
+/// and reassembles response frames with the same FrameDecoder the
+/// server uses. `SendRaw` exists for the abuse suite: it writes
+/// arbitrary bytes, which is exactly what a protocol-robustness probe
+/// needs and exactly what the typed API forbids.
+
+namespace ba::net {
+
+class Client {
+ public:
+  /// Connects to a data port. `timeout_seconds` bounds every blocking
+  /// read (0 = wait forever) so a wedged server fails the caller
+  /// loudly instead of hanging it.
+  static Result<Client> Connect(const std::string& host, uint16_t port,
+                                double timeout_seconds = 10.0);
+
+  /// One request/response round trip.
+  Result<serve::ClassifyResult> Classify(
+      uint64_t address, const serve::ClassifyOptions& options = {});
+
+  /// Pipelining: send without waiting. `request_id` correlates the
+  /// eventual response.
+  Status Send(uint64_t request_id, uint64_t address,
+              const serve::ClassifyOptions& options = {});
+
+  /// Blocks until one complete response/error frame arrives.
+  Result<serve::ClassifyResponse> ReadResponse();
+
+  /// Writes raw bytes verbatim (abuse/robustness probes).
+  Status SendRaw(std::string_view bytes);
+
+  /// Half-closes the write side (EOF to the server) — lets a probe
+  /// verify the server drops the connection cleanly.
+  Status ShutdownWrite();
+
+  int fd() const { return sock_.fd(); }
+
+  /// One-shot admin round trip: connects to the admin port, sends
+  /// `command` + '\n', returns the single reply line.
+  static Result<std::string> AdminCommand(const std::string& host,
+                                          uint16_t port,
+                                          const std::string& command,
+                                          double timeout_seconds = 10.0);
+
+ private:
+  explicit Client(Socket sock) : sock_(std::move(sock)) {}
+
+  Socket sock_;
+  serve::FrameDecoder decoder_;
+  uint64_t next_request_id_ = 1;
+};
+
+}  // namespace ba::net

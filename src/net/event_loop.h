@@ -1,0 +1,104 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "util/status.h"
+
+/// \file event_loop.h
+/// \brief Single-threaded epoll reactor with a cross-thread task queue.
+///
+/// One thread calls `Run()`; it sleeps in epoll_wait and dispatches
+/// readiness events to per-fd callbacks. Everything that touches
+/// connection state happens on that thread — the server needs no
+/// per-connection locks. Other threads interact through exactly two
+/// thread-safe entry points:
+///
+///  * `Post(task)`: enqueue a closure and wake the loop via an eventfd.
+///    This is how InferenceEngine completion callbacks (which run on
+///    engine worker threads) hand response bytes back to the loop.
+///  * `Stop()`: request shutdown. Only an atomic store plus an eventfd
+///    write, so it is safe even from a signal handler — which is how
+///    the `ba_serve` daemon turns SIGINT into a clean drain.
+///
+/// `Run()` also invokes an optional `tick` callback at a fixed period
+/// (idle-connection sweeps), implemented as the epoll_wait timeout.
+
+namespace ba::net {
+
+class EventLoop {
+ public:
+  /// Readiness callback: `events` is the raw epoll event mask
+  /// (EPOLLIN / EPOLLOUT / EPOLLHUP / EPOLLERR bits).
+  using IoCallback = std::function<void(uint32_t events)>;
+
+  /// Fails when the kernel refuses epoll_create1 or eventfd.
+  static Result<std::unique_ptr<EventLoop>> Create();
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Registers `fd` for `events`; `cb` fires on the loop thread.
+  Status Add(int fd, uint32_t events, IoCallback cb);
+
+  /// Changes the interest mask of a registered fd.
+  Status Modify(int fd, uint32_t events);
+
+  /// Deregisters `fd`. Safe to call from inside its own callback; any
+  /// readiness already harvested for it this iteration is dropped.
+  void Remove(int fd);
+
+  /// Enqueues `task` to run on the loop thread (thread-safe; wakes the
+  /// loop). Tasks run in FIFO order after the current dispatch round.
+  void Post(std::function<void()> task);
+
+  /// Dispatches until Stop(). Pending posted tasks are drained before
+  /// returning so no completion is lost at shutdown.
+  void Run();
+
+  /// Requests Run() to return. Async-signal-safe (atomic store +
+  /// eventfd write); callable from any thread, including the loop's
+  /// own callbacks.
+  void Stop();
+
+  bool stopped() const {
+    return stop_.load(std::memory_order_relaxed);
+  }
+
+  /// Periodic callback invoked on the loop thread roughly every
+  /// `period_ms` while Run() is dispatching. Set before Run().
+  void SetTick(std::function<void()> tick, int period_ms) {
+    tick_ = std::move(tick);
+    tick_period_ms_ = period_ms;
+  }
+
+ private:
+  EventLoop(int epoll_fd, int wake_fd)
+      : epoll_fd_(epoll_fd), wake_fd_(wake_fd) {}
+
+  void DrainTasks();
+
+  int epoll_fd_ = -1;
+  /// eventfd: written by Post()/Stop() to interrupt epoll_wait.
+  int wake_fd_ = -1;
+  std::atomic<bool> stop_{false};
+
+  /// Callbacks live here, not in epoll user data, so Remove() during a
+  /// dispatch round invalidates them race-free (the map is only
+  /// touched on the loop thread or before Run()).
+  std::unordered_map<int, IoCallback> callbacks_;
+
+  std::mutex tasks_mu_;
+  std::deque<std::function<void()>> tasks_;
+
+  std::function<void()> tick_;
+  int tick_period_ms_ = -1;
+};
+
+}  // namespace ba::net

@@ -1,0 +1,82 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+/// \file socket.h
+/// \brief Thin RAII + error-mapping layer over BSD TCP sockets.
+///
+/// Everything the event loop and client need from the OS lives here:
+/// owned file descriptors that close themselves, listeners bound to an
+/// ephemeral or fixed port, blocking client connects, and the two
+/// fcntl/setsockopt rituals (non-blocking mode, TCP_NODELAY) that the
+/// serving path depends on. Every failure is a Status carrying
+/// strerror(errno) — callers never read errno themselves.
+
+namespace ba::net {
+
+/// \brief An owned socket file descriptor (move-only; closes on
+/// destruction).
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { Close(); }
+
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept {
+    if (this != &other) {
+      Close();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+
+  int fd() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+
+  void Close();
+
+  /// Transfers ownership of the descriptor to the caller.
+  int Release() {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+/// \brief Opens a TCP listener on `port` (0 = kernel-assigned
+/// ephemeral port; read it back with LocalPort). Binds the loopback
+/// interface — this front end serves co-located clients and benches,
+/// not the open internet — with SO_REUSEADDR so restarts don't trip
+/// over TIME_WAIT.
+Result<Socket> ListenTcp(uint16_t port, int backlog = 128);
+
+/// \brief Blocking TCP connect to `host:port` (host is a dotted-quad
+/// address; this layer has no resolver).
+Result<Socket> ConnectTcp(const std::string& host, uint16_t port);
+
+/// The locally bound port of a socket (listener or connected).
+Result<uint16_t> LocalPort(int fd);
+
+/// Switches the descriptor to non-blocking mode.
+Status SetNonBlocking(int fd);
+
+/// Disables Nagle's algorithm. Request/response frames are far smaller
+/// than a segment; without this every response waits on a delayed ACK
+/// and loopback throughput craters.
+Status SetNoDelay(int fd);
+
+/// Sets SO_RCVTIMEO so a blocking read fails with a timeout Status
+/// instead of hanging forever on a dead peer. `seconds <= 0` clears it.
+Status SetRecvTimeout(int fd, double seconds);
+
+}  // namespace ba::net

@@ -134,6 +134,13 @@ InferenceEngine::~InferenceEngine() {
   // the engine tears down under it.
   obs::MetricsRegistry::Instance().UnregisterProvider(
       registry_provider_name_);
+  // Drain: async callers hold no handle to wait on — the engine owns
+  // every in-flight request, so teardown blocks until the last
+  // callback has returned.
+  std::unique_lock<std::mutex> lock(queue_mu_);
+  done_cv_.wait(lock, [this] {
+    return queue_.empty() && !leader_active_ && inflight_requests_ == 0;
+  });
 }
 
 uint64_t InferenceEngine::TxCountOf(const chain::LedgerSnapshot& snapshot,
@@ -191,15 +198,14 @@ Result<ClassifyResult> InferenceEngine::TryDegradedAnswer(
   return why;
 }
 
-Result<ClassifyResult> InferenceEngine::Classify(
-    chain::AddressId address, const ClassifyOptions& options) {
+InferenceEngine::Request* InferenceEngine::MakeRequest(
+    chain::AddressId address, const ClassifyOptions& options,
+    ClassifyCallback done) {
   if (static_cast<size_t>(address) >= ledger_->num_addresses()) {
-    return Status::InvalidArgument("InferenceEngine: unknown address id " +
-                                   std::to_string(address));
+    done(Result<ClassifyResult>(Status::InvalidArgument(
+        "InferenceEngine: unknown address id " + std::to_string(address))));
+    return nullptr;
   }
-  BA_TRACE_SPAN("serve.request");
-  Stopwatch sw;
-  sw.Start();
 
   // Admission: an overloaded engine answers in well under a
   // millisecond — a labeled degraded answer when permitted, otherwise
@@ -210,17 +216,12 @@ Result<ClassifyResult> InferenceEngine::Classify(
     if (!st.ok()) {
       stats_.shed.Increment();
       stats_.requests.Increment();
-      if (options.allow_degraded) return TryDegradedAnswer(address, st);
-      return st;
+      done(options.allow_degraded ? TryDegradedAnswer(address, st)
+                                  : Result<ClassifyResult>(st));
+      return nullptr;
     }
     admitted = true;
   }
-  struct Releaser {
-    AdmissionController* a;
-    ~Releaser() {
-      if (a != nullptr) a->Release();
-    }
-  } releaser{admitted ? admission_.get() : nullptr};
 
   // A deadline that is already gone never pays for enqueueing, let
   // alone graph construction.
@@ -228,128 +229,133 @@ Result<ClassifyResult> InferenceEngine::Classify(
     stats_.requests.Increment();
     const Status expired = Status::DeadlineExceeded(
         "InferenceEngine: deadline expired at submit");
-    if (options.allow_degraded) {
-      Result<ClassifyResult> r = TryDegradedAnswer(address, expired);
-      if (!r.ok()) stats_.deadline_exceeded.Increment();
-      return r;
-    }
-    stats_.deadline_exceeded.Increment();
-    return expired;
+    Result<ClassifyResult> r =
+        options.allow_degraded ? TryDegradedAnswer(address, expired)
+                               : Result<ClassifyResult>(expired);
+    if (!r.ok()) stats_.deadline_exceeded.Increment();
+    if (admitted) admission_->Release();
+    done(std::move(r));
+    return nullptr;
   }
 
-  Request req;
-  req.address = address;
-  req.deadline = options.deadline;
-  req.allow_degraded = options.allow_degraded;
-  {
-    std::unique_lock<std::mutex> lock(queue_mu_);
-    queue_.push_back(&req);
+  Request* req = new Request;
+  req->address = address;
+  req->deadline = options.deadline;
+  req->allow_degraded = options.allow_degraded;
+  req->done = std::move(done);
+  req->admitted = admitted;
+  req->submitted = SteadyClock::now();
+  return req;
+}
+
+void InferenceEngine::Enqueue(const std::vector<Request*>& requests,
+                              bool inline_leader) {
+  std::unique_lock<std::mutex> lock(queue_mu_);
+  inflight_requests_ += static_cast<int64_t>(requests.size());
+  for (Request* r : requests) {
+    queue_.push_back(r);
     queue_depth_.fetch_add(1, std::memory_order_relaxed);
-    if (!leader_active_) {
-      leader_active_ = true;
-      RunLeader(&lock);
-    } else {
-      done_cv_.wait(lock, [&req] { return req.done; });
-    }
   }
-  sw.Stop();
+  if (leader_active_) return;
+  leader_active_ = true;
+  if (inline_leader) {
+    RunLeader(&lock);
+    return;
+  }
+  // Async submit: the leader runs on the worker pool so the caller
+  // (e.g. an epoll thread) never blocks on inference. A shut-down pool
+  // rejects the task; drain inline rather than strand queued requests.
+  if (!pool_->Submit([this] {
+        std::unique_lock<std::mutex> leader_lock(queue_mu_);
+        RunLeader(&leader_lock);
+      })) {
+    RunLeader(&lock);
+  }
+}
+
+void InferenceEngine::FinishRequest(Request* req) {
+  if (req->admitted && admission_ != nullptr) admission_->Release();
   stats_.requests.Increment();
-  stats_.request_latency.Record(sw.ElapsedSeconds());
-  if (!req.status.ok()) return req.status;
-  return req.result;
+  stats_.request_latency.Record(
+      std::chrono::duration<double>(SteadyClock::now() - req->submitted)
+          .count());
+  ClassifyCallback done = std::move(req->done);
+  Result<ClassifyResult> outcome =
+      req->status.ok() ? Result<ClassifyResult>(req->result)
+                       : Result<ClassifyResult>(req->status);
+  delete req;
+  done(std::move(outcome));
+}
+
+void InferenceEngine::ClassifyAsync(chain::AddressId address,
+                                    const ClassifyOptions& options,
+                                    ClassifyCallback done) {
+  Request* req = MakeRequest(address, options, std::move(done));
+  if (req != nullptr) Enqueue({req}, /*inline_leader=*/false);
+}
+
+Result<ClassifyResult> InferenceEngine::Classify(
+    chain::AddressId address, const ClassifyOptions& options) {
+  BA_TRACE_SPAN("serve.request");
+  // Blocking wrapper over the async submit path: a stack latch stands
+  // in for the caller's continuation.
+  struct SyncState {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    Result<ClassifyResult> outcome{
+        Status::Internal("InferenceEngine: request never completed")};
+  } state;
+  Request* req =
+      MakeRequest(address, options, [&state](Result<ClassifyResult> r) {
+        std::lock_guard<std::mutex> lk(state.mu);
+        state.outcome = std::move(r);
+        state.done = true;
+        state.cv.notify_one();
+      });
+  if (req != nullptr) {
+    Enqueue({req}, /*inline_leader=*/true);
+    std::unique_lock<std::mutex> lk(state.mu);
+    state.cv.wait(lk, [&state] { return state.done; });
+  }
+  return std::move(state.outcome);
 }
 
 std::vector<Result<ClassifyResult>> InferenceEngine::ClassifyBatch(
     const std::vector<chain::AddressId>& addresses,
     const ClassifyOptions& options) {
   const size_t n = addresses.size();
-  std::vector<Request> reqs(n);
-  std::vector<bool> valid(n, false);
-  /// Requests decided before enqueueing (shed / expired at submit);
-  /// their slot in the output is filled from here.
-  std::vector<std::unique_ptr<Result<ClassifyResult>>> early(n);
-  int64_t admitted = 0;
-  Stopwatch sw;
-  sw.Start();
+  // Submit-side decisions (validation, admission, expired deadlines)
+  // run per request; survivors are enqueued as one unit so a single
+  // caller still gets batched execution.
+  struct BatchState {
+    std::mutex mu;
+    std::condition_variable cv;
+    size_t remaining = 0;
+  } state;
+  state.remaining = n;
+  std::vector<std::unique_ptr<Result<ClassifyResult>>> outcomes(n);
+  std::vector<Request*> to_enqueue;
+  to_enqueue.reserve(n);
   for (size_t i = 0; i < n; ++i) {
-    if (static_cast<size_t>(addresses[i]) >= ledger_->num_addresses()) {
-      continue;
-    }
-    valid[i] = true;
-    if (admission_ != nullptr) {
-      const Status st = admission_->Admit(Backlog(), options.priority);
-      if (!st.ok()) {
-        stats_.shed.Increment();
-        early[i] = std::make_unique<Result<ClassifyResult>>(
-            options.allow_degraded ? TryDegradedAnswer(addresses[i], st)
-                                   : Result<ClassifyResult>(st));
-        continue;
-      }
-      ++admitted;
-    }
-    if (options.has_deadline() && SteadyClock::now() >= options.deadline) {
-      const Status expired = Status::DeadlineExceeded(
-          "InferenceEngine: deadline expired at submit");
-      Result<ClassifyResult> r =
-          options.allow_degraded ? TryDegradedAnswer(addresses[i], expired)
-                                 : Result<ClassifyResult>(expired);
-      if (!r.ok()) stats_.deadline_exceeded.Increment();
-      early[i] = std::make_unique<Result<ClassifyResult>>(std::move(r));
-      continue;
-    }
-    reqs[i].address = addresses[i];
-    reqs[i].deadline = options.deadline;
-    reqs[i].allow_degraded = options.allow_degraded;
-  }
-  {
-    std::unique_lock<std::mutex> lock(queue_mu_);
-    size_t enqueued = 0;
-    for (size_t i = 0; i < n; ++i) {
-      if (!valid[i] || early[i] != nullptr) continue;
-      queue_.push_back(&reqs[i]);
-      queue_depth_.fetch_add(1, std::memory_order_relaxed);
-      ++enqueued;
-    }
-    if (enqueued > 0) {
-      if (!leader_active_) {
-        leader_active_ = true;
-        RunLeader(&lock);
-      } else {
-        done_cv_.wait(lock, [&] {
-          for (size_t i = 0; i < n; ++i) {
-            if (valid[i] && early[i] == nullptr && !reqs[i].done) {
-              return false;
-            }
-          }
-          return true;
+    Request* req = MakeRequest(
+        addresses[i], options,
+        [&state, &outcomes, i](Result<ClassifyResult> r) {
+          std::lock_guard<std::mutex> lk(state.mu);
+          outcomes[i] =
+              std::make_unique<Result<ClassifyResult>>(std::move(r));
+          if (--state.remaining == 0) state.cv.notify_one();
         });
-      }
-    }
+    if (req != nullptr) to_enqueue.push_back(req);
   }
-  for (int64_t i = 0; i < admitted; ++i) admission_->Release();
-  sw.Stop();
-  const double per_request = n == 0 ? 0.0 : sw.ElapsedSeconds();
+  if (!to_enqueue.empty()) Enqueue(to_enqueue, /*inline_leader=*/true);
+  {
+    std::unique_lock<std::mutex> lk(state.mu);
+    state.cv.wait(lk, [&state] { return state.remaining == 0; });
+  }
   std::vector<Result<ClassifyResult>> out;
   out.reserve(n);
-  for (size_t i = 0; i < n; ++i) {
-    if (!valid[i]) {
-      out.emplace_back(
-          Status::InvalidArgument("InferenceEngine: unknown address id " +
-                                  std::to_string(addresses[i])));
-      continue;
-    }
-    stats_.requests.Increment();
-    if (early[i] != nullptr) {
-      out.emplace_back(std::move(*early[i]));
-      continue;
-    }
-    stats_.request_latency.Record(per_request);
-    if (!reqs[i].status.ok()) {
-      out.emplace_back(reqs[i].status);
-    } else {
-      out.emplace_back(reqs[i].result);
-    }
-  }
+  for (auto& o : outcomes) out.push_back(std::move(*o));
   return out;
 }
 
@@ -364,11 +370,15 @@ void InferenceEngine::RunLeader(std::unique_lock<std::mutex>* lock) {
     }
     lock->unlock();
     ProcessBatch(batch);
+    // Callbacks fire with the queue lock released — a callback may
+    // submit follow-up async work without self-deadlocking.
+    for (Request* r : batch) FinishRequest(r);
     lock->lock();
-    for (Request* r : batch) r->done = true;
+    inflight_requests_ -= static_cast<int64_t>(batch.size());
     done_cv_.notify_all();
   }
   leader_active_ = false;
+  done_cv_.notify_all();
 }
 
 void InferenceEngine::ProcessBatch(const std::vector<Request*>& batch) {

@@ -16,6 +16,7 @@
 #include "core/classifier.h"
 #include "serve/admission.h"
 #include "serve/metrics.h"
+#include "serve/protocol.h"
 #include "util/retry.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
@@ -57,7 +58,8 @@
 ///    DESIGN.md §6.
 ///
 /// Thread-safety contract (snapshot model):
-/// Classify/ClassifyBatch/Metrics/SaveCache may be called concurrently
+/// Classify/ClassifyBatch/ClassifyAsync/Metrics/SaveCache may be called
+/// concurrently
 /// from any number of threads, and — new with the epoch layer — the
 /// ledger's single writer may grow the chain (NewAddress /
 /// ApplyTransaction / SealBlock) at any time with **no external
@@ -134,56 +136,19 @@ struct InferenceEngineOptions {
   Status Validate() const;
 };
 
-/// \brief Per-request serving options.
-struct ClassifyOptions {
-  /// Hard per-request deadline; the epoch default means "none".
-  /// Checked at submit, at cache lookup and between batch stages —
-  /// an expired request never pays for graph construction.
-  std::chrono::steady_clock::time_point deadline{};
-  /// Permits labeled non-nominal answers (stale cache / fallback /
-  /// fresh-but-late) instead of a DeadlineExceeded or
-  /// ResourceExhausted error.
-  bool allow_degraded = false;
-  /// > 0 bypasses watermark shedding (not the hard in-flight budget).
-  int priority = 0;
+// ClassifyOptions / ClassifyResult moved to serve/protocol.h (the
+// versioned wire-stable protocol surface shared with the network
+// layer); including it here keeps every existing caller compiling
+// unchanged.
 
-  bool has_deadline() const {
-    return deadline != std::chrono::steady_clock::time_point{};
-  }
-
-  /// Convenience: a deadline `seconds` from now.
-  static ClassifyOptions WithTimeout(double seconds) {
-    ClassifyOptions o;
-    o.deadline = std::chrono::steady_clock::now() +
-                 std::chrono::duration_cast<
-                     std::chrono::steady_clock::duration>(
-                     std::chrono::duration<double>(seconds));
-    return o;
-  }
-};
-
-/// \brief Outcome of one classification query.
-struct ClassifyResult {
-  int predicted = 0;
-  /// Served entirely from cache (no graph/encoder work).
-  bool cache_hit = false;
-  /// Complete-slice embeddings reused from the cache.
-  int slices_reused = 0;
-  /// Slices built and embedded for this query.
-  int slices_built = 0;
-  /// The address's capped transaction count at the epoch this result
-  /// was computed against (the micro-batch's pinned snapshot). Lets a
-  /// caller racing ledger growth identify which epoch answered it.
-  uint64_t tx_count = 0;
-  /// True for every non-nominal labeled answer: stale cache, fallback
-  /// classifier, or a fresh result delivered past its deadline. Only
-  /// possible with `ClassifyOptions::allow_degraded`.
-  bool degraded = false;
-  /// How far behind the live epoch the answer is: the address's capped
-  /// tx count now minus the capped tx count the answer was computed at
-  /// (0 for fresh and fallback answers).
-  uint64_t epoch_lag = 0;
-};
+/// \brief Completion hook of `ClassifyAsync`. Invoked exactly once per
+/// submitted request — either synchronously on the submitting thread
+/// (fast-path rejections: unknown address, shed, deadline expired at
+/// submit) or later on an engine worker thread. The callback must not
+/// block and must not call the engine's *blocking* methods (Classify /
+/// ClassifyBatch / ~InferenceEngine) — it runs on the thread that
+/// drains batches, so blocking there deadlocks the engine.
+using ClassifyCallback = std::function<void(Result<ClassifyResult>)>;
 
 /// \brief Point-in-time view of every engine metric.
 struct InferenceMetricsSnapshot {
@@ -254,10 +219,23 @@ class InferenceEngine {
       const core::BaClassifier* classifier, const chain::Ledger* ledger,
       Options options);
 
+  /// Blocks until every in-flight request has completed and its
+  /// callback returned — an engine is never destroyed out from under a
+  /// pending `ClassifyAsync`.
   ~InferenceEngine();
 
   InferenceEngine(const InferenceEngine&) = delete;
   InferenceEngine& operator=(const InferenceEngine&) = delete;
+
+  /// \brief Classifies one address, delivering the outcome to `done`
+  /// (see ClassifyCallback for the invocation contract). This is the
+  /// primitive the network server drives — one epoll thread keeps
+  /// thousands of requests in flight without burning a thread per
+  /// request — and the blocking Classify/ClassifyBatch are thin
+  /// wrappers over it. Micro-batching, caching, deadlines, admission
+  /// and degraded answers behave exactly as documented on Classify.
+  void ClassifyAsync(chain::AddressId address,
+                     const ClassifyOptions& options, ClassifyCallback done);
 
   /// \brief Classifies one address (blocking). Thread-safe; concurrent
   /// callers are micro-batched. An address with no transactions
@@ -265,7 +243,9 @@ class InferenceEngine {
   /// under overload the call can instead return DeadlineExceeded /
   /// ResourceExhausted, or a labeled degraded answer when
   /// `options.allow_degraded` permits one (see the resilience contract
-  /// above).
+  /// above). Implemented as a wrapper over ClassifyAsync; the calling
+  /// thread becomes the batch leader when none is active, so blocking
+  /// callers keep their pre-async latency profile.
   Result<ClassifyResult> Classify(chain::AddressId address,
                                   const ClassifyOptions& options = {});
 
@@ -309,7 +289,8 @@ class InferenceEngine {
     uint64_t last_used = 0;  ///< LRU tick
   };
 
-  /// One in-flight request, owned by the calling thread's stack.
+  /// One in-flight request. Heap-allocated at submit, owned by the
+  /// engine until its callback fires (async callers hold nothing).
   struct Request {
     chain::AddressId address = chain::kInvalidAddress;
     std::chrono::steady_clock::time_point deadline{};
@@ -318,7 +299,12 @@ class InferenceEngine {
     /// Non-OK when the request ended in an explicit error outcome
     /// (DeadlineExceeded, injected Internal) instead of a result.
     Status status;
-    bool done = false;
+    /// Completion hook; consumes the request.
+    ClassifyCallback done;
+    /// True when this request holds an admission slot to release.
+    bool admitted = false;
+    /// Submit time, for the request-latency histogram and trace span.
+    std::chrono::steady_clock::time_point submitted{};
 
     bool has_deadline() const {
       return deadline != std::chrono::steady_clock::time_point{};
@@ -331,8 +317,29 @@ class InferenceEngine {
   InferenceEngine(const core::BaClassifier* classifier,
                   const chain::Ledger* ledger, Options options);
 
+  /// Submit-side fast paths (validation, admission, expired-at-submit).
+  /// Returns a heap request ready to enqueue, or nullptr after
+  /// delivering the early outcome to `done`.
+  Request* MakeRequest(chain::AddressId address,
+                       const ClassifyOptions& options,
+                       ClassifyCallback done);
+
+  /// Pushes prepared requests onto the queue in one critical section
+  /// (a multi-request submit is batched as a unit) and ensures a
+  /// leader is running: dispatched to the worker pool when
+  /// `inline_leader` is false (async submit — the caller must not
+  /// block), run on the calling thread when true and no leader is
+  /// active (blocking submit — keeps the pre-async latency profile and
+  /// stays deadlock-free when the caller *is* a pool worker).
+  void Enqueue(const std::vector<Request*>& requests, bool inline_leader);
+
+  /// Completes one request: releases its admission slot, records
+  /// request metrics, fires the callback and frees it.
+  void FinishRequest(Request* req);
+
   /// Leader loop: drains the queue in micro-batches until empty.
-  /// Entered and left with `queue_mu_` held.
+  /// Entered and left with `queue_mu_` held; callbacks fire with the
+  /// lock released.
   void RunLeader(std::unique_lock<std::mutex>* lock);
 
   /// Executes one micro-batch (no queue lock held).
@@ -383,9 +390,13 @@ class InferenceEngine {
   uint64_t lru_tick_ = 0;
 
   std::mutex queue_mu_;
+  /// Signals queue-drained (destructor) and leader handoff.
   std::condition_variable done_cv_;
   std::deque<Request*> queue_;
   bool leader_active_ = false;
+  /// Requests submitted but not yet finished (callback not returned) —
+  /// the destructor drains this to zero before tearing down.
+  int64_t inflight_requests_ = 0;
   /// Mirrors queue_.size() without the lock — the admission backlog
   /// signal must be readable in nanoseconds from any thread.
   std::atomic<int64_t> queue_depth_{0};
