@@ -62,12 +62,17 @@ inline void MaybeSetSharedPoolThreads(const CliFlags& flags) {
 #endif
 
 /// \brief JSON object recording the provenance every BENCH_*.json
-/// needs to be comparable across machines and commits: git SHA,
-/// compiler + flags, the `--threads` setting, the shared pool's
-/// effective size, and the machine's hardware concurrency.
-inline std::string BenchMetaJson(const CliFlags& flags) {
+/// needs to be comparable across machines and commits: which benchmark
+/// wrote it, git SHA, compiler + flags, the `--threads` setting, the
+/// shared pool's effective size, and the machine's hardware
+/// concurrency. Every bench JSON writer goes through this one helper —
+/// add a provenance field here and all of them pick it up.
+inline std::string BenchMetaJson(const CliFlags& flags,
+                                 const char* bench_name = "") {
   std::ostringstream os;
-  os << "{\"git_sha\":\"" << BA_BENCH_GIT_SHA << "\",\"compiler\":\""
+  os << "{";
+  if (bench_name[0] != '\0') os << "\"bench\":\"" << bench_name << "\",";
+  os << "\"git_sha\":\"" << BA_BENCH_GIT_SHA << "\",\"compiler\":\""
      << BA_BENCH_COMPILER << "\",\"cxx_flags\":\"" << BA_BENCH_CXX_FLAGS
      << "\",\"threads_flag\":" << flags.GetInt("threads", 0)
      << ",\"shared_pool_threads\":" << util::SharedPoolThreads()

@@ -167,7 +167,7 @@ int main(int argc, char** argv) {
         << ",\"opt_gflops\":" << rows[i].opt_gflops
         << ",\"speedup\":" << rows[i].speedup << "}";
   }
-  out << "],\"meta\":" << ba::bench::BenchMetaJson(flags) << "}\n";
+  out << "],\"meta\":" << ba::bench::BenchMetaJson(flags, "gemm") << "}\n";
   std::cout << "wrote " << out_path << "\n";
   return parity_ok ? 0 : 1;
 }

@@ -108,8 +108,14 @@ PhaseStats RunNetFleet(uint16_t port, int connections, double seconds,
         const uint64_t address =
             pool.empty() ? i % address_max : pool[i % pool.size()];
         i += 13;
+        // Every bench request carries trace context, so the measured
+        // qps includes the v2 wire fields, per-request timelines and
+        // flight-recorder writes — the always-on cost this benchmark
+        // gates.
+        ba::serve::ClassifyOptions copts;
+        copts.trace_id = (static_cast<uint64_t>(c) + 1) << 32 | (i & 0xFFFFFFFF);
         const auto start = std::chrono::steady_clock::now();
-        const auto result = client.value().Classify(address);
+        const auto result = client.value().Classify(address, copts);
         const double elapsed =
             std::chrono::duration<double>(
                 std::chrono::steady_clock::now() - start)
@@ -615,7 +621,7 @@ int main(int argc, char** argv) {
   if (engine != nullptr) {
     out << ",\"engine\":" << engine->Metrics().ToJson();
   }
-  out << ",\"meta\":" << ba::bench::BenchMetaJson(flags) << "}\n";
+  out << ",\"meta\":" << ba::bench::BenchMetaJson(flags, "net_loadgen") << "}\n";
   std::cout << "\nwrote " << out_path
             << (all_ok ? " (all gates ok)\n" : " (GATE FAILURE)\n");
   return all_ok ? 0 : 1;

@@ -125,7 +125,7 @@ int main(int argc, char** argv) {
       << ",\"watched_addresses\":" << watched.size()
       << ",\"train_seconds\":" << train_watch.ElapsedSeconds()
       << ",\"engine\":" << m.ToJson()
-      << ",\"meta\":" << ba::bench::BenchMetaJson(flags) << "}\n";
+      << ",\"meta\":" << ba::bench::BenchMetaJson(flags, "serve_throughput") << "}\n";
   std::cout << "\nwrote " << out_path << "\n";
   return speedup >= 3.0 ? 0 : 1;
 }

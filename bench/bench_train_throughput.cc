@@ -89,7 +89,7 @@ int main(int argc, char** argv) {
       << ",\"epochs\":" << serial.size()
       << ",\"train_examples\":" << exp.train.size()
       << ",\"lanes\":" << threads
-      << ",\"meta\":" << ba::bench::BenchMetaJson(flags) << "}\n";
+      << ",\"meta\":" << ba::bench::BenchMetaJson(flags, "train_throughput") << "}\n";
   std::cout << "wrote " << out_path << "\n";
   return loss_match ? 0 : 1;
 }

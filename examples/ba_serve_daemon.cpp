@@ -17,6 +17,12 @@
 // Build & run:  ./build/examples/ba_serve [--port 0] [--admin-port 0]
 //     [--port-file /tmp/ba_serve.port] [--blocks 60] [--duration 0]
 //     [--seal-every-ms 0] [--cache ''] [--admission 1]
+//     [--flight-recorder 1024] [--slow-ms 0]
+//
+// --flight-recorder N keeps the last N request timelines queryable
+// over the admin port (`slowlog`, `timeline <trace_id>`); --slow-ms T
+// additionally copies requests at or past T milliseconds into a slow
+// ring and logs each as one structured serve.slowlog line.
 //
 // With --port 0 the kernel picks ephemeral ports; --port-file writes
 // "<data_port> <admin_port>\n" (atomic rename) once both listeners are
@@ -88,6 +94,10 @@ int main(int argc, char** argv) {
       flags.GetInt("high-watermark", 256);
   engine_options.admission.low_watermark =
       flags.GetInt("low-watermark", 64);
+  engine_options.flight_recorder_capacity =
+      static_cast<size_t>(flags.GetInt("flight-recorder", 1024));
+  engine_options.slow_request_threshold =
+      static_cast<double>(flags.GetInt("slow-ms", 0)) / 1000.0;
   auto engine = ba::serve::InferenceEngine::Create(
       classifier.get(), &simulator.ledger(), engine_options);
   BA_CHECK_OK(engine.status());
@@ -189,8 +199,8 @@ int main(int argc, char** argv) {
   }
   const auto m = engine.value()->Metrics();
   std::cout << "served " << m.requests << " requests (" << m.shed
-            << " shed, " << m.deadline_exceeded
-            << " deadline-exceeded), hit rate "
+            << " shed, " << m.deadline_exceeded << " deadline-exceeded, "
+            << m.slow_requests << " slow), hit rate "
             << static_cast<int>(m.hit_rate * 100.0 + 0.5) << "%\n"
             << "clean shutdown\n";
   return 0;

@@ -25,6 +25,15 @@
 //
 //     serve_monitor scrape --admin <port> [--cmd metrics]
 //
+// and pull the engine's flight recorder with the slowlog subcommand:
+//
+//     serve_monitor slowlog --admin <port> [--n 32]
+//     serve_monitor slowlog --admin <port> --trace-id 0xdeadbeef
+//
+// which print one JSON line — the slow-request ring plus the most
+// recent timelines, or (with --trace-id) the recorded timeline of one
+// request.
+//
 // The old --metrics-every N flag (inline registry JSON every N blocks)
 // still works but is deprecated in favor of the admin port.
 //
@@ -67,6 +76,31 @@ int main(int argc, char** argv) {
         flags.GetString("cmd", "metrics"));
     if (!reply.ok()) {
       std::cerr << "scrape failed: " << reply.status().message() << "\n";
+      return 1;
+    }
+    std::cout << reply.value() << "\n";
+    return 0;
+  }
+
+  // One-shot slowlog subcommand: pull the serving daemon's flight
+  // recorder (or one request's timeline) over the admin port.
+  if (argc > 1 && std::string(argv[1]) == "slowlog") {
+    const int port = static_cast<int>(flags.GetInt("admin", 0));
+    if (port <= 0) {
+      std::cerr << "usage: serve_monitor slowlog --admin <port> "
+                   "[--host 127.0.0.1] [--n 32] [--trace-id <id>]\n";
+      return 2;
+    }
+    const std::string trace_id = flags.GetString("trace-id", "");
+    const std::string command =
+        trace_id.empty()
+            ? "slowlog " + std::to_string(flags.GetInt("n", 32))
+            : "timeline " + trace_id;
+    const auto reply = ba::net::Client::AdminCommand(
+        flags.GetString("host", "127.0.0.1"), static_cast<uint16_t>(port),
+        command);
+    if (!reply.ok()) {
+      std::cerr << "slowlog failed: " << reply.status().message() << "\n";
       return 1;
     }
     std::cout << reply.value() << "\n";

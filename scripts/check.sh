@@ -47,6 +47,10 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 MODE="${1:-address}"
 
+# Static gate, every mode: instrument/span names must follow the
+# <subsystem>.<stage> convention (scripts/lint_metric_names.sh).
+scripts/lint_metric_names.sh
+
 # Every tier-1 test registered in tests/CMakeLists.txt must exist in
 # the build dir after a build — a test that silently fails to build
 # (or gets dropped from the target list) must fail the gate, not skip.

@@ -6,6 +6,8 @@
 #include <cerrno>
 #include <cstring>
 
+#include "obs/trace.h"
+
 namespace ba::net {
 
 Result<Client> Client::Connect(const std::string& host, uint16_t port,
@@ -58,8 +60,8 @@ Result<serve::ClassifyResponse> Client::ReadResponse() {
             std::to_string(static_cast<int>(frame.type)));
       }
       serve::ClassifyResponse resp;
-      BA_RETURN_NOT_OK(
-          serve::ClassifyResponse::Decode(frame.payload, &resp));
+      BA_RETURN_NOT_OK(serve::ClassifyResponse::Decode(
+          frame.payload, &resp, frame.version));
       return resp;
     }
     const ssize_t n = ::recv(sock_.fd(), buf, sizeof(buf), 0);
@@ -83,9 +85,18 @@ Result<serve::ClassifyResponse> Client::ReadResponse() {
 
 Result<serve::ClassifyResult> Client::Classify(
     uint64_t address, const serve::ClassifyOptions& options) {
+  obs::Tracer& tracer = obs::Tracer::Instance();
+  const int64_t start_ns = (options.trace_id != 0 && tracer.enabled())
+                               ? obs::Tracer::NowNs()
+                               : -1;
   const uint64_t id = next_request_id_++;
   BA_RETURN_NOT_OK(Send(id, address, options));
   BA_ASSIGN_OR_RETURN(const serve::ClassifyResponse resp, ReadResponse());
+  if (start_ns >= 0) {
+    // The client's extent of the request flow: send → response read.
+    tracer.RecordAsync("net.client.request", options.trace_id, start_ns,
+                       obs::Tracer::NowNs() - start_ns);
+  }
   if (resp.request_id != id) {
     return Status::Internal(
         "client: response correlates to request " +

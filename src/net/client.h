@@ -17,6 +17,13 @@
 /// server uses. `SendRaw` exists for the abuse suite: it writes
 /// arbitrary bytes, which is exactly what a protocol-robustness probe
 /// needs and exactly what the typed API forbids.
+///
+/// Trace context: set `ClassifyOptions::trace_id` (and optionally
+/// `span_id`) before Classify/Send and the ids ride the v2 frame to
+/// the server, come back in `ClassifyResult::timeline`, and — when
+/// process tracing is enabled — `Classify` records the round trip as a
+/// `net.client.request` flow event keyed by the trace_id, which
+/// Perfetto stitches with the server's and engine's flow events.
 
 namespace ba::net {
 

@@ -4,8 +4,11 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <cstdlib>
 #include <cstring>
+#include <optional>
 #include <sstream>
 #include <utility>
 #include <vector>
@@ -258,7 +261,8 @@ void Server::ProcessFrames(Connection* conn) {
             conn, PeekRequestId(frame.payload),
             Status::InvalidArgument(
                 "unsupported message type " +
-                std::to_string(static_cast<int>(frame.type))));
+                std::to_string(static_cast<int>(frame.type))),
+            frame.version);
         break;
     }
   }
@@ -272,13 +276,14 @@ void Server::DispatchClassify(Connection* conn,
                               const serve::Frame& frame) {
   serve::ClassifyRequest req;
   const Status decoded = serve::ClassifyRequest::Decode(
-      frame.payload, std::chrono::steady_clock::now(), &req);
+      frame.payload, std::chrono::steady_clock::now(), &req, frame.version);
   if (!decoded.ok()) {
     // The frame itself was well-formed (magic/CRC passed), so the
     // connection survives — only this request is answered with an
     // error.
     net_.protocol_errors->Increment();
-    SendProtocolError(conn, PeekRequestId(frame.payload), decoded);
+    SendProtocolError(conn, PeekRequestId(frame.payload), decoded,
+                      frame.version);
     return;
   }
   net_.requests->Increment();
@@ -291,21 +296,32 @@ void Server::DispatchClassify(Connection* conn,
   const int64_t start_ns = tracer.enabled() ? obs::Tracer::NowNs() : -1;
   const uint64_t conn_id = conn->id;
   const uint64_t request_id = req.request_id;
+  // The response is encoded in the version the request arrived in: a
+  // v1 peer never sees v2 bytes.
+  const uint16_t wire_version = frame.version;
   engine_->ClassifyAsync(
       static_cast<chain::AddressId>(req.address), req.options,
-      [this, conn, conn_id, request_id, start_ns](
-          Result<serve::ClassifyResult> outcome) {
+      [this, conn, conn_id, request_id, start_ns, wire_version](
+          Result<serve::ClassifyResult> outcome,
+          const serve::RequestTimeline& tl) {
         // Runs on an engine worker thread — or synchronously right
         // here on the loop thread for fast-path rejections (admission
         // sheds, invalid addresses), which is the backpressure story:
         // a shed answers within microseconds of the decision.
         std::string frame_bytes = serve::EncodeFrame(
             serve::MessageType::kClassifyResponse,
-            serve::ClassifyResponse::From(request_id, outcome)
-                .EncodePayload());
+            serve::ClassifyResponse::From(request_id, outcome, tl)
+                .EncodePayload(wire_version),
+            wire_version);
         if (start_ns >= 0) {
-          obs::Tracer::Instance().RecordComplete(
-              "net.request", start_ns, obs::Tracer::NowNs() - start_ns);
+          const int64_t end_ns = obs::Tracer::NowNs();
+          obs::Tracer::Instance().RecordComplete("net.request", start_ns,
+                                                 end_ns - start_ns);
+          // Flow event keyed by the request's trace context — stitches
+          // with the engine's serve.request and the client's
+          // net.client.request extents in Perfetto.
+          obs::Tracer::Instance().RecordAsync("net.request", tl.trace_id,
+                                              start_ns, end_ns - start_ns);
         }
         if (std::this_thread::get_id() ==
             loop_thread_id_.load(std::memory_order_relaxed)) {
@@ -375,6 +391,40 @@ void Server::HandleAdminLine(Connection* conn, const std::string& line) {
     } else {
       SendBytes(conn, "ERR usage: trace start|stop|save <path>\n");
     }
+  } else if (cmd == "slowlog") {
+    size_t max_entries = 32;
+    if (size_t n = 0; is >> n) max_entries = std::max<size_t>(n, 1);
+    const serve::FlightRecorder* slow = engine_->slow_recorder();
+    const serve::FlightRecorder* recent = engine_->flight_recorder();
+    std::ostringstream os;
+    os << "{\"threshold_seconds\":"
+       << engine_->options().slow_request_threshold << ",\"slow\":"
+       << (slow != nullptr ? slow->ToJson(max_entries) : "[]")
+       << ",\"recent\":"
+       << (recent != nullptr ? recent->ToJson(max_entries) : "[]") << "}";
+    SendBytes(conn, os.str() + "\n");
+  } else if (cmd == "timeline") {
+    std::string arg;
+    is >> arg;
+    const uint64_t trace_id = std::strtoull(arg.c_str(), nullptr, 0);
+    if (trace_id == 0) {
+      SendBytes(conn, "ERR usage: timeline <trace_id>\n");
+    } else {
+      // Most recent entry wins; the slow ring keeps entries alive
+      // after the main ring has wrapped past them.
+      std::optional<serve::FlightRecorder::Entry> hit;
+      if (engine_->flight_recorder() != nullptr) {
+        hit = engine_->flight_recorder()->Find(trace_id);
+      }
+      if (!hit.has_value() && engine_->slow_recorder() != nullptr) {
+        hit = engine_->slow_recorder()->Find(trace_id);
+      }
+      SendBytes(conn, hit.has_value()
+                          ? hit->ToJson() + "\n"
+                          : "{\"error\":\"trace_id not found\","
+                            "\"trace_id\":" +
+                                std::to_string(trace_id) + "}\n");
+    }
   } else if (cmd == "quit") {
     SendBytes(conn, "bye\n");
     conn->closing = true;
@@ -386,7 +436,8 @@ void Server::HandleAdminLine(Connection* conn, const std::string& line) {
     // Blank line: ignore (lets `printf 'health\n\n' | nc` work).
   } else {
     SendBytes(conn, "ERR unknown command '" + cmd +
-                        "' (try: metrics, health, trace, quit)\n");
+                        "' (try: metrics, health, trace, slowlog, "
+                        "timeline, quit)\n");
   }
 }
 
@@ -488,7 +539,7 @@ void Server::CloseConnection(uint64_t conn_id) {
 }
 
 void Server::SendProtocolError(Connection* conn, uint64_t request_id,
-                               const Status& why) {
+                               const Status& why, uint16_t version) {
   serve::ClassifyResponse resp;
   resp.request_id = request_id;
   resp.code = static_cast<int32_t>(why.code());
@@ -498,7 +549,7 @@ void Server::SendProtocolError(Connection* conn, uint64_t request_id,
   }
   net_.frames_sent->Increment();
   SendBytes(conn, serve::EncodeFrame(serve::MessageType::kError,
-                                     resp.EncodePayload()));
+                                     resp.EncodePayload(version), version));
 }
 
 void Server::SweepIdle() {

@@ -42,18 +42,32 @@
 /// **Admin port** — a GET-style line protocol (one command in, one
 /// line out) for operators and scrape sidecars:
 ///
-///     metrics            → obs::MetricsRegistry JSON exposition
-///     health             → {"status","admission","epoch",...}
-///     trace start        → enable process tracing
-///     trace save <path>  → write collected spans (Perfetto JSON)
-///     trace stop         → disable tracing
-///     quit               → "bye", then the server drains and stops
+///     metrics             → obs::MetricsRegistry JSON exposition
+///     health              → {"status","admission","epoch",...}
+///     trace start         → enable process tracing
+///     trace save <path>   → write collected spans (Perfetto JSON)
+///     trace stop          → disable tracing
+///     slowlog [n]         → one JSON line: the engine's slow-request
+///                           ring plus the n most recent timelines
+///                           (flight recorder), default n = 32
+///     timeline <trace_id> → one JSON line: the most recent recorded
+///                           timeline for that trace id (decimal or
+///                           0x-hex), or {"error":...} when unknown
+///     quit                → "bye", then the server drains and stops
 ///
 /// Instruments (naming convention `net.<stage>`, DESIGN.md §6):
 /// `net.connections_accepted/active`, `net.frames_received/sent`,
 /// `net.requests`, `net.responses`, `net.protocol_errors`,
 /// `net.slow_consumer_drops`, `net.admin_commands`; spans `net.request`
-/// (dispatch → response enqueued) when tracing is enabled.
+/// (dispatch → response enqueued) when tracing is enabled, plus an
+/// async flow event per traced request (`net.request` keyed by the
+/// request's trace_id) that stitches with the client's and engine's
+/// flow events into one Perfetto track.
+///
+/// **Wire versions** — the server decodes each data-port frame in the
+/// version its header declares (v1 legacy, v2 trace-context) and
+/// answers in that same version, so a v1 peer keeps classifying
+/// against a v2 server and never sees bytes it cannot parse.
 
 namespace ba::net {
 
@@ -178,9 +192,11 @@ class Server {
   /// Queues bytes on the connection: writes immediately while the
   /// socket accepts them, buffers the rest, arms EPOLLOUT.
   void SendBytes(Connection* conn, std::string_view bytes);
-  /// One kError frame carrying `why`, then close-after-flush.
+  /// One kError frame carrying `why`, encoded in `version` (the
+  /// request frame's version when known), then close-after-flush.
   void SendProtocolError(Connection* conn, uint64_t request_id,
-                         const Status& why);
+                         const Status& why,
+                         uint16_t version = serve::kWireVersion);
 
   void CloseConnection(uint64_t conn_id);
   /// Runs on the loop thread (posted from engine callbacks).

@@ -6,10 +6,25 @@
 #include <cstdlib>
 #include <sstream>
 
+#include "obs/metrics.h"
 #include "util/fs.h"
 #include "util/logging.h"
 
 namespace ba::obs {
+
+namespace {
+
+/// Span loss must be visible in a metrics scrape, not just in the
+/// trace file: a monitoring loop watching `obs.trace.dropped` learns
+/// the capture is lossy *while it happens*, when raising the Enable()
+/// capacity still rescues the session.
+Counter* DroppedCounter() {
+  static Counter* c =
+      MetricsRegistry::Instance().GetCounter("obs.trace.dropped");
+  return c;
+}
+
+}  // namespace
 
 namespace {
 
@@ -66,6 +81,7 @@ class Tracer::ThreadBuffer {
     // capacity_ * sizeof(TraceEvent).
     if (ring_.empty()) ring_.resize(capacity_);
     event.tid = tid_;
+    if (next_ >= capacity_) DroppedCounter()->Increment();
     ring_[next_ % capacity_] = std::move(event);
     ++next_;
   }
@@ -162,6 +178,24 @@ void Tracer::RecordComplete(
   CurrentThreadBuffer()->Push(std::move(e));
 }
 
+void Tracer::RecordAsync(std::string name, uint64_t flow_id,
+                         int64_t start_ns, int64_t dur_ns) {
+  if (!enabled() || flow_id == 0) return;
+  TraceEvent begin;
+  begin.name = name;
+  begin.phase = 'b';
+  begin.start_ns = start_ns;
+  begin.flow_id = flow_id;
+  TraceEvent end;
+  end.name = std::move(name);
+  end.phase = 'e';
+  end.start_ns = start_ns + dur_ns;
+  end.flow_id = flow_id;
+  ThreadBuffer* buffer = CurrentThreadBuffer();
+  buffer->Push(std::move(begin));
+  buffer->Push(std::move(end));
+}
+
 void Tracer::RecordCounter(const std::string& name, double value) {
   if (!enabled()) return;
   TraceEvent e;
@@ -222,11 +256,18 @@ std::string Tracer::ToJson() const {
   for (const TraceEvent& e : events) {
     if (!first) os << ",";
     first = false;
+    // Async events ('b'/'e') need a distinct category plus an id:
+    // Perfetto groups same-cat same-id async events into one track,
+    // which is what stitches a request's cross-thread flow together.
+    const bool flow = e.phase == 'b' || e.phase == 'e';
     os << "{\"name\":\"";
     AppendJsonEscaped(&os, e.name);
-    os << "\",\"cat\":\"ba\",\"ph\":\"" << e.phase
-       << "\",\"ts\":" << static_cast<double>(e.start_ns) * 1e-3
+    os << "\",\"cat\":\"" << (flow ? "ba.flow" : "ba") << "\",\"ph\":\""
+       << e.phase << "\",\"ts\":" << static_cast<double>(e.start_ns) * 1e-3
        << ",\"pid\":1,\"tid\":" << e.tid;
+    if (flow) {
+      os << ",\"id\":\"0x" << std::hex << e.flow_id << std::dec << "\"";
+    }
     if (e.phase == 'X') {
       os << ",\"dur\":" << static_cast<double>(e.dur_ns) * 1e-3;
     }

@@ -29,7 +29,9 @@
 ///  * enabled: a steady_clock read at span start/end and a short
 ///    per-thread mutex hold at destruction. Ring buffers cap memory;
 ///    when a thread overflows its buffer the oldest spans are
-///    overwritten and the drop is reported at export.
+///    overwritten; each overwrite increments the `obs.trace.dropped`
+///    registry counter (visible in metrics scrapes) and the total is
+///    also reported in the export metadata.
 ///
 /// Activation: programmatic (`Tracer::Instance().Enable()`) or by
 /// environment — `BA_TRACE=1` enables tracing at process start, and
@@ -48,13 +50,19 @@ inline std::atomic<bool> g_trace_enabled{false};
 
 }  // namespace internal
 
-/// \brief One recorded event (a completed span or a counter sample).
+/// \brief One recorded event (a completed span, a counter sample, or
+/// one end of an async flow).
 struct TraceEvent {
   std::string name;
-  char phase = 'X';       ///< 'X' complete span, 'C' counter sample
+  char phase = 'X';       ///< 'X' complete span, 'C' counter sample,
+                          ///< 'b'/'e' async begin/end (flow events)
   int64_t start_ns = 0;   ///< relative to the process trace epoch
   int64_t dur_ns = 0;     ///< span duration ('X' only)
   int tid = 0;            ///< registration order of the owning thread
+  /// Correlates 'b'/'e' pairs: Perfetto stitches async events sharing
+  /// an id into one track regardless of which thread recorded them —
+  /// the request trace_id goes here.
+  uint64_t flow_id = 0;
   /// Numeric args rendered into the event's "args" object ('X'), or
   /// the sampled value ('C', single entry named "value").
   std::vector<std::pair<std::string, double>> args;
@@ -92,6 +100,16 @@ class Tracer {
   /// Records a counter sample — Perfetto renders these as a per-name
   /// counter track (queue depths, cache sizes over time).
   void RecordCounter(const std::string& name, double value);
+
+  /// Records an async span [start_ns, start_ns + dur_ns) correlated by
+  /// `flow_id` (exported as Chrome 'b'/'e' events). Async events with
+  /// the same id share one Perfetto track across threads — so the
+  /// client round trip, the server dispatch and the engine's
+  /// per-request extent, each recorded where it happened, stack on a
+  /// single row keyed by the request's trace_id. No-op when disabled
+  /// or flow_id is 0.
+  void RecordAsync(std::string name, uint64_t flow_id, int64_t start_ns,
+                   int64_t dur_ns);
 
   /// Names the calling thread in the exported trace (metadata event).
   void SetCurrentThreadName(const std::string& name);

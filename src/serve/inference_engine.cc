@@ -10,6 +10,7 @@
 #include "core/graph_builder.h"
 #include "obs/trace.h"
 #include "util/fs.h"
+#include "util/logging.h"
 #include "util/stopwatch.h"
 
 namespace ba::serve {
@@ -48,6 +49,28 @@ obs::Counter* DegradedLateCounter() {
   return c;
 }
 
+/// Process-wide slow-request counter, shared by every engine; each
+/// engine also keeps a local copy for its per-engine snapshot.
+obs::Counter* SlowRequestCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Instance().GetCounter("serve.slow_requests");
+  return c;
+}
+
+/// Timeline outcome label of a non-OK delivery. Derived from the
+/// Status actually handed to the callback, so the recorded outcome
+/// matches the wire response by construction.
+RequestOutcome OutcomeOfStatus(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kResourceExhausted:
+      return RequestOutcome::kShed;
+    case StatusCode::kDeadlineExceeded:
+      return RequestOutcome::kDeadline;
+    default:
+      return RequestOutcome::kError;
+  }
+}
+
 using SteadyClock = std::chrono::steady_clock;
 
 }  // namespace
@@ -67,6 +90,11 @@ Status InferenceEngineOptions::Validate() const {
   if (cache_capacity < 1) {
     return Status::InvalidArgument(
         "InferenceEngineOptions.cache_capacity must be >= 1, got 0");
+  }
+  if (!(slow_request_threshold >= 0.0)) {
+    return Status::InvalidArgument(
+        "InferenceEngineOptions.slow_request_threshold must be >= 0, got " +
+        std::to_string(slow_request_threshold));
   }
   BA_RETURN_NOT_OK(save_retry.Validate());
   if (enable_admission) BA_RETURN_NOT_OK(admission.Validate());
@@ -126,6 +154,16 @@ InferenceEngine::InferenceEngine(const core::BaClassifier* classifier,
       registry_provider_name_ + ".queue_depth");
   if (options_.enable_admission) {
     admission_ = std::make_unique<AdmissionController>(options_.admission);
+  }
+  if (options_.flight_recorder_capacity > 0) {
+    recorder_ =
+        std::make_unique<FlightRecorder>(options_.flight_recorder_capacity);
+    if (options_.slow_request_threshold > 0) {
+      slow_recorder_ = std::make_unique<FlightRecorder>(
+          options_.flight_recorder_capacity);
+      slow_threshold_ns_ =
+          static_cast<int64_t>(options_.slow_request_threshold * 1e9);
+    }
   }
 }
 
@@ -201,9 +239,13 @@ Result<ClassifyResult> InferenceEngine::TryDegradedAnswer(
 InferenceEngine::Request* InferenceEngine::MakeRequest(
     chain::AddressId address, const ClassifyOptions& options,
     ClassifyCallback done) {
+  const auto submit = SteadyClock::now();
   if (static_cast<size_t>(address) >= ledger_->num_addresses()) {
-    done(Result<ClassifyResult>(Status::InvalidArgument(
-        "InferenceEngine: unknown address id " + std::to_string(address))));
+    DeliverEarly(address, submit, options,
+                 Result<ClassifyResult>(Status::InvalidArgument(
+                     "InferenceEngine: unknown address id " +
+                     std::to_string(address))),
+                 done);
     return nullptr;
   }
 
@@ -216,8 +258,10 @@ InferenceEngine::Request* InferenceEngine::MakeRequest(
     if (!st.ok()) {
       stats_.shed.Increment();
       stats_.requests.Increment();
-      done(options.allow_degraded ? TryDegradedAnswer(address, st)
-                                  : Result<ClassifyResult>(st));
+      DeliverEarly(address, submit, options,
+                   options.allow_degraded ? TryDegradedAnswer(address, st)
+                                          : Result<ClassifyResult>(st),
+                   done);
       return nullptr;
     }
     admitted = true;
@@ -234,7 +278,7 @@ InferenceEngine::Request* InferenceEngine::MakeRequest(
                                : Result<ClassifyResult>(expired);
     if (!r.ok()) stats_.deadline_exceeded.Increment();
     if (admitted) admission_->Release();
-    done(std::move(r));
+    DeliverEarly(address, submit, options, std::move(r), done);
     return nullptr;
   }
 
@@ -244,12 +288,58 @@ InferenceEngine::Request* InferenceEngine::MakeRequest(
   req->allow_degraded = options.allow_degraded;
   req->done = std::move(done);
   req->admitted = admitted;
-  req->submitted = SteadyClock::now();
+  req->submitted = submit;
+  req->tl.trace_id = options.trace_id;
+  req->tl.span_id = options.span_id;
   return req;
+}
+
+void InferenceEngine::DeliverEarly(
+    chain::AddressId address, std::chrono::steady_clock::time_point submit,
+    const ClassifyOptions& options, Result<ClassifyResult> outcome,
+    const ClassifyCallback& done) {
+  RequestTimeline tl;
+  tl.trace_id = options.trace_id;
+  tl.span_id = options.span_id;
+  tl.deliver_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      SteadyClock::now() - submit)
+                      .count();
+  tl.outcome = outcome.ok()
+                   ? (outcome.value().degraded ? RequestOutcome::kDegraded
+                                               : RequestOutcome::kOk)
+                   : OutcomeOfStatus(outcome.status());
+  if (outcome.ok()) outcome.value().timeline = tl;
+  RecordDelivery(address, tl);
+  done(std::move(outcome), tl);
+}
+
+void InferenceEngine::RecordDelivery(chain::AddressId address,
+                                     const RequestTimeline& tl) {
+  if (recorder_ != nullptr) recorder_->Record(address, tl);
+  if (slow_recorder_ != nullptr && tl.deliver_ns >= slow_threshold_ns_) {
+    slow_recorder_->Record(address, tl);
+    stats_.slow_requests.Increment();
+    SlowRequestCounter()->Increment();
+    BA_LOG(Warn, "serve.slowlog")
+        << "{\"address\":" << address << ",\"timeline\":" << tl.ToJson()
+        << "}";
+  }
+  obs::Tracer& tracer = obs::Tracer::Instance();
+  if (tl.trace_id != 0 && tracer.enabled()) {
+    // The engine's extent of the request flow: submit -> deliver,
+    // stitched with the client/server spans via the shared trace_id.
+    const int64_t end_ns = obs::Tracer::NowNs();
+    tracer.RecordAsync("serve.request", tl.trace_id,
+                       end_ns - tl.deliver_ns, tl.deliver_ns);
+  }
 }
 
 void InferenceEngine::Enqueue(const std::vector<Request*>& requests,
                               bool inline_leader) {
+  // One clock read stamps the whole submit batch — timelines must not
+  // tax the enqueue path with a syscall per request.
+  const auto now = SteadyClock::now();
+  for (Request* r : requests) r->tl.enqueue_ns = r->SinceSubmitNs(now);
   std::unique_lock<std::mutex> lock(queue_mu_);
   inflight_requests_ += static_cast<int64_t>(requests.size());
   for (Request* r : requests) {
@@ -276,15 +366,23 @@ void InferenceEngine::Enqueue(const std::vector<Request*>& requests,
 void InferenceEngine::FinishRequest(Request* req) {
   if (req->admitted && admission_ != nullptr) admission_->Release();
   stats_.requests.Increment();
+  const auto now = SteadyClock::now();
   stats_.request_latency.Record(
-      std::chrono::duration<double>(SteadyClock::now() - req->submitted)
-          .count());
+      std::chrono::duration<double>(now - req->submitted).count());
+  req->tl.deliver_ns = req->SinceSubmitNs(now);
+  req->tl.outcome = req->status.ok()
+                        ? (req->result.degraded ? RequestOutcome::kDegraded
+                                                : RequestOutcome::kOk)
+                        : OutcomeOfStatus(req->status);
+  req->result.timeline = req->tl;
+  RecordDelivery(req->address, req->tl);
   ClassifyCallback done = std::move(req->done);
+  const RequestTimeline tl = req->tl;
   Result<ClassifyResult> outcome =
       req->status.ok() ? Result<ClassifyResult>(req->result)
                        : Result<ClassifyResult>(req->status);
   delete req;
-  done(std::move(outcome));
+  done(std::move(outcome), tl);
 }
 
 void InferenceEngine::ClassifyAsync(chain::AddressId address,
@@ -306,8 +404,9 @@ Result<ClassifyResult> InferenceEngine::Classify(
     Result<ClassifyResult> outcome{
         Status::Internal("InferenceEngine: request never completed")};
   } state;
-  Request* req =
-      MakeRequest(address, options, [&state](Result<ClassifyResult> r) {
+  Request* req = MakeRequest(
+      address, options,
+      [&state](Result<ClassifyResult> r, const RequestTimeline&) {
         std::lock_guard<std::mutex> lk(state.mu);
         state.outcome = std::move(r);
         state.done = true;
@@ -340,7 +439,8 @@ std::vector<Result<ClassifyResult>> InferenceEngine::ClassifyBatch(
   for (size_t i = 0; i < n; ++i) {
     Request* req = MakeRequest(
         addresses[i], options,
-        [&state, &outcomes, i](Result<ClassifyResult> r) {
+        [&state, &outcomes, i](Result<ClassifyResult> r,
+                               const RequestTimeline&) {
           std::lock_guard<std::mutex> lk(state.mu);
           outcomes[i] =
               std::make_unique<Result<ClassifyResult>>(std::move(r));
@@ -368,6 +468,8 @@ void InferenceEngine::RunLeader(std::unique_lock<std::mutex>* lock) {
       queue_.pop_front();
       queue_depth_.fetch_sub(1, std::memory_order_relaxed);
     }
+    const auto joined = SteadyClock::now();
+    for (Request* r : batch) r->tl.batch_join_ns = r->SinceSubmitNs(joined);
     lock->unlock();
     ProcessBatch(batch);
     // Callbacks fire with the queue lock released — a callback may
@@ -537,6 +639,13 @@ void InferenceEngine::ProcessBatch(const std::vector<Request*>& batch) {
       work.push_back(std::move(w));
     }
   }
+  {
+    // Lookup-stage stamp for every request still alive in the batch,
+    // including those decided here (hits, degraded, rejections) — one
+    // clock read for the batch.
+    const auto now = SteadyClock::now();
+    for (Request* req : batch) req->tl.lookup_ns = req->SinceSubmitNs(now);
+  }
   for (Request* req : fallback_pending) {
     if (options_.degraded_fallback) {
       req->result.predicted = options_.degraded_fallback(req->address);
@@ -623,6 +732,12 @@ void InferenceEngine::ProcessBatch(const std::vector<Request*>& batch) {
       embed_sw.Stop();
       stats_.embed_seconds.AddSeconds(embed_sw.ElapsedSeconds());
     });
+    const auto built = SteadyClock::now();
+    for (Work& w : work) {
+      for (Request* req : w.reqs) {
+        req->tl.build_ns = req->SinceSubmitNs(built);
+      }
+    }
   }
 
   // Stage boundary build -> aggregate: injected aggregate fault.
@@ -685,6 +800,12 @@ void InferenceEngine::ProcessBatch(const std::vector<Request*>& batch) {
         entry.slice_embeddings = std::move(w.rows);
         entry.predicted = predicted;
         StoreEntry(w.address, std::move(entry));
+      }
+    }
+    const auto aggregated = SteadyClock::now();
+    for (Work& w : work) {
+      for (Request* req : w.reqs) {
+        req->tl.aggregate_ns = req->SinceSubmitNs(aggregated);
       }
     }
     agg_sw.Stop();
@@ -894,6 +1015,7 @@ InferenceMetricsSnapshot InferenceEngine::Metrics() const {
   s.degraded_stale = stats_.degraded_stale.value();
   s.degraded_fallback = stats_.degraded_fallback.value();
   s.degraded_late = stats_.degraded_late.value();
+  s.slow_requests = stats_.slow_requests.value();
   s.admission_state =
       admission_ == nullptr
           ? "disabled"
@@ -934,7 +1056,8 @@ std::string InferenceMetricsSnapshot::ToString() const {
      << "  resilience        " << shed << " shed, " << deadline_exceeded
      << " deadline-exceeded, degraded " << degraded_stale << " stale + "
      << degraded_fallback << " fallback + " << degraded_late
-     << " late (admission " << admission_state << ")\n"
+     << " late, " << slow_requests << " slow (admission " << admission_state
+     << ")\n"
      << "  stage seconds     build " << FormatSeconds(build_seconds)
      << ", embed " << FormatSeconds(embed_seconds) << ", aggregate "
      << FormatSeconds(aggregate_seconds) << "\n"
@@ -976,6 +1099,7 @@ std::string InferenceMetricsSnapshot::ToJson() const {
      << ",\"degraded_stale\":" << degraded_stale
      << ",\"degraded_fallback\":" << degraded_fallback
      << ",\"degraded_late\":" << degraded_late
+     << ",\"slow_requests\":" << slow_requests
      << ",\"admission_state\":\"" << admission_state << "\""
      << ",\"hit_rate\":" << hit_rate
      << ",\"build_seconds\":" << build_seconds

@@ -15,6 +15,7 @@
 #include "chain/ledger.h"
 #include "core/classifier.h"
 #include "serve/admission.h"
+#include "serve/flight_recorder.h"
 #include "serve/metrics.h"
 #include "serve/protocol.h"
 #include "util/retry.h"
@@ -130,6 +131,15 @@ struct InferenceEngineOptions {
   /// hook supplies a cheap prediction (labeled degraded, epoch_lag 0).
   /// Must be thread-safe; called outside engine locks.
   std::function<int(chain::AddressId)> degraded_fallback;
+  /// Flight-recorder capacity: the last N request timelines stay
+  /// queryable (admin `slowlog` / `timeline <trace_id>`). Cheap enough
+  /// to leave on (see flight_recorder.h); 0 disables recording.
+  size_t flight_recorder_capacity = 1024;
+  /// Requests whose total latency reaches this many seconds are copied
+  /// into a separate slow ring and logged as one structured
+  /// `BA_LOG(Warn, serve.slowlog)` line. 0 disables slow-request
+  /// capture (the main recorder still records everything).
+  double slow_request_threshold = 0.0;
 
   /// \brief Returns OK when every field is usable, or a descriptive
   /// InvalidArgument naming the offending field and value.
@@ -144,11 +154,16 @@ struct InferenceEngineOptions {
 /// \brief Completion hook of `ClassifyAsync`. Invoked exactly once per
 /// submitted request — either synchronously on the submitting thread
 /// (fast-path rejections: unknown address, shed, deadline expired at
-/// submit) or later on an engine worker thread. The callback must not
-/// block and must not call the engine's *blocking* methods (Classify /
-/// ClassifyBatch / ~InferenceEngine) — it runs on the thread that
-/// drains batches, so blocking there deadlocks the engine.
-using ClassifyCallback = std::function<void(Result<ClassifyResult>)>;
+/// submit) or later on an engine worker thread. The second argument is
+/// the request's timeline — identical to `result.timeline` on ok
+/// outcomes, and the only way to observe the timeline of an error
+/// outcome (a Status cannot carry one); its `outcome` field always
+/// matches the delivered result. The callback must not block and must
+/// not call the engine's *blocking* methods (Classify / ClassifyBatch
+/// / ~InferenceEngine) — it runs on the thread that drains batches, so
+/// blocking there deadlocks the engine.
+using ClassifyCallback =
+    std::function<void(Result<ClassifyResult>, const RequestTimeline&)>;
 
 /// \brief Point-in-time view of every engine metric.
 struct InferenceMetricsSnapshot {
@@ -171,6 +186,8 @@ struct InferenceMetricsSnapshot {
   uint64_t degraded_stale = 0;     ///< answered from a stale cache entry
   uint64_t degraded_fallback = 0;  ///< answered by the fallback hook
   uint64_t degraded_late = 0;      ///< fresh result past its deadline
+  /// Requests at or past `slow_request_threshold` (0 when disabled).
+  uint64_t slow_requests = 0;
   /// Admission state name ("accepting"/"shedding"/"recovering"), or
   /// "disabled" when admission control is off.
   std::string admission_state;
@@ -274,6 +291,17 @@ class InferenceEngine {
   /// off (monitoring loops report its state).
   const AdmissionController* admission() const { return admission_.get(); }
 
+  /// Ring of the last `flight_recorder_capacity` request timelines —
+  /// every outcome, including sheds and deadline rejections. nullptr
+  /// when the capacity option is 0.
+  const FlightRecorder* flight_recorder() const { return recorder_.get(); }
+
+  /// Ring of requests that crossed `slow_request_threshold`. nullptr
+  /// when slow capture is disabled (threshold 0 or no recorder).
+  const FlightRecorder* slow_recorder() const {
+    return slow_recorder_.get();
+  }
+
   const Options& options() const { return options_; }
 
  private:
@@ -303,14 +331,23 @@ class InferenceEngine {
     ClassifyCallback done;
     /// True when this request holds an admission slot to release.
     bool admitted = false;
-    /// Submit time, for the request-latency histogram and trace span.
+    /// Submit time, for the request-latency histogram, trace span and
+    /// the timeline's stamp origin.
     std::chrono::steady_clock::time_point submitted{};
+    /// Stage stamps accumulated as the request crosses the pipeline
+    /// (offsets from `submitted`; trace context copied from options).
+    RequestTimeline tl;
 
     bool has_deadline() const {
       return deadline != std::chrono::steady_clock::time_point{};
     }
     bool expired(std::chrono::steady_clock::time_point now) const {
       return has_deadline() && now >= deadline;
+    }
+    int64_t SinceSubmitNs(std::chrono::steady_clock::time_point now) const {
+      return std::chrono::duration_cast<std::chrono::nanoseconds>(
+                 now - submitted)
+          .count();
     }
   };
 
@@ -366,6 +403,21 @@ class InferenceEngine {
   Result<ClassifyResult> TryDegradedAnswer(chain::AddressId address,
                                            const Status& why);
 
+  /// Completes a submit-side fast path (shed, expired-at-submit,
+  /// unknown address) with a timeline: deliver stamp, outcome label,
+  /// flight-recorder entry, then the callback. Mirrors FinishRequest
+  /// for requests that never got a heap Request.
+  void DeliverEarly(chain::AddressId address,
+                    std::chrono::steady_clock::time_point submit,
+                    const ClassifyOptions& options,
+                    Result<ClassifyResult> outcome,
+                    const ClassifyCallback& done);
+
+  /// Delivery-side bookkeeping shared by FinishRequest and
+  /// DeliverEarly: flight recorder, slow-ring + slowlog line, Perfetto
+  /// flow event.
+  void RecordDelivery(chain::AddressId address, const RequestTimeline& tl);
+
   /// Live backlog signal for admission: enqueued requests plus pool
   /// tasks in flight.
   int64_t Backlog() const {
@@ -404,6 +456,13 @@ class InferenceEngine {
   /// Set only with options_.enable_admission.
   std::unique_ptr<AdmissionController> admission_;
 
+  /// Last-N timeline ring (null when flight_recorder_capacity is 0).
+  std::unique_ptr<FlightRecorder> recorder_;
+  /// Timelines at or past the slow threshold (null when disabled).
+  std::unique_ptr<FlightRecorder> slow_recorder_;
+  /// options_.slow_request_threshold in nanoseconds (0 = disabled).
+  int64_t slow_threshold_ns_ = 0;
+
   struct Stats {
     Counter requests;
     Counter full_hits;
@@ -420,6 +479,7 @@ class InferenceEngine {
     Counter degraded_stale;
     Counter degraded_fallback;
     Counter degraded_late;
+    Counter slow_requests;
     TimeAccumulator build_seconds;
     TimeAccumulator embed_seconds;
     TimeAccumulator aggregate_seconds;

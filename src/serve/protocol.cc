@@ -15,8 +15,85 @@ using Micros = std::chrono::microseconds;
 
 }  // namespace
 
-void ClassifyOptions::EncodeTo(
-    std::string* out, std::chrono::steady_clock::time_point now) const {
+const char* RequestOutcomeName(RequestOutcome outcome) {
+  switch (outcome) {
+    case RequestOutcome::kOk:
+      return "ok";
+    case RequestOutcome::kShed:
+      return "shed";
+    case RequestOutcome::kDeadline:
+      return "deadline";
+    case RequestOutcome::kDegraded:
+      return "degraded";
+    case RequestOutcome::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+bool RequestTimeline::Monotone() const {
+  if (deliver_ns < 0) return false;  // never delivered: not a timeline
+  const int64_t stamps[] = {enqueue_ns, batch_join_ns, lookup_ns,
+                            build_ns,   aggregate_ns,  deliver_ns};
+  int64_t last = 0;
+  for (const int64_t s : stamps) {
+    if (s < 0) continue;  // stage never reached
+    if (s < last) return false;
+    last = s;
+  }
+  return true;
+}
+
+std::string RequestTimeline::ToJson() const {
+  std::string out;
+  out += "{\"trace_id\":" + std::to_string(trace_id);
+  out += ",\"span_id\":" + std::to_string(span_id);
+  out += ",\"outcome\":\"";
+  out += RequestOutcomeName(outcome);
+  out += "\",\"enqueue_ns\":" + std::to_string(enqueue_ns);
+  out += ",\"batch_join_ns\":" + std::to_string(batch_join_ns);
+  out += ",\"lookup_ns\":" + std::to_string(lookup_ns);
+  out += ",\"build_ns\":" + std::to_string(build_ns);
+  out += ",\"aggregate_ns\":" + std::to_string(aggregate_ns);
+  out += ",\"deliver_ns\":" + std::to_string(deliver_ns) + "}";
+  return out;
+}
+
+void RequestTimeline::EncodeTo(std::string* out) const {
+  AppendPod(out, trace_id);
+  AppendPod(out, span_id);
+  AppendPod(out, enqueue_ns);
+  AppendPod(out, batch_join_ns);
+  AppendPod(out, lookup_ns);
+  AppendPod(out, build_ns);
+  AppendPod(out, aggregate_ns);
+  AppendPod(out, deliver_ns);
+  AppendPod(out, static_cast<uint8_t>(outcome));
+}
+
+Status RequestTimeline::DecodeFrom(util::BufferReader* in,
+                                   RequestTimeline* out) {
+  RequestTimeline tl;
+  uint8_t outcome = 0;
+  if (!in->ReadPod(&tl.trace_id) || !in->ReadPod(&tl.span_id) ||
+      !in->ReadPod(&tl.enqueue_ns) || !in->ReadPod(&tl.batch_join_ns) ||
+      !in->ReadPod(&tl.lookup_ns) || !in->ReadPod(&tl.build_ns) ||
+      !in->ReadPod(&tl.aggregate_ns) || !in->ReadPod(&tl.deliver_ns) ||
+      !in->ReadPod(&outcome)) {
+    return Status::InvalidArgument("truncated RequestTimeline encoding");
+  }
+  if (outcome > static_cast<uint8_t>(RequestOutcome::kError)) {
+    return Status::InvalidArgument(
+        "RequestTimeline.outcome out of range: " + std::to_string(outcome));
+  }
+  tl.outcome = static_cast<RequestOutcome>(outcome);
+  *out = tl;
+  return Status::OK();
+}
+
+void ClassifyOptions::EncodeTo(std::string* out,
+                               std::chrono::steady_clock::time_point now,
+                               uint16_t version) const {
   int64_t budget_micros = -1;
   if (has_deadline()) {
     // A deadline already behind `now` encodes as a negative budget and
@@ -28,11 +105,15 @@ void ClassifyOptions::EncodeTo(
   AppendPod(out, budget_micros);
   AppendPod(out, static_cast<uint8_t>(allow_degraded ? 1 : 0));
   AppendPod(out, static_cast<int32_t>(priority));
+  if (version >= 2) {
+    AppendPod(out, trace_id);
+    AppendPod(out, span_id);
+  }
 }
 
 Status ClassifyOptions::DecodeFrom(
     util::BufferReader* in, std::chrono::steady_clock::time_point now,
-    ClassifyOptions* out) {
+    ClassifyOptions* out, uint16_t version) {
   int64_t budget_micros = 0;
   uint8_t allow = 0;
   int32_t priority = 0;
@@ -55,6 +136,11 @@ Status ClassifyOptions::DecodeFrom(
   }
   out->allow_degraded = allow != 0;
   out->priority = priority;
+  if (version >= 2 &&
+      (!in->ReadPod(&out->trace_id) || !in->ReadPod(&out->span_id))) {
+    return Status::InvalidArgument(
+        "truncated ClassifyOptions trace context (v2)");
+  }
   return Status::OK();
 }
 
@@ -95,24 +181,24 @@ Status ClassifyResult::DecodeFrom(util::BufferReader* in,
 }
 
 std::string ClassifyRequest::EncodePayload(
-    std::chrono::steady_clock::time_point now) const {
+    std::chrono::steady_clock::time_point now, uint16_t version) const {
   std::string payload;
   AppendPod(&payload, request_id);
   AppendPod(&payload, address);
-  options.EncodeTo(&payload, now);
+  options.EncodeTo(&payload, now, version);
   return payload;
 }
 
 Status ClassifyRequest::Decode(std::string_view payload,
                                std::chrono::steady_clock::time_point now,
-                               ClassifyRequest* out) {
+                               ClassifyRequest* out, uint16_t version) {
   util::BufferReader reader(payload.data(), payload.size());
   ClassifyRequest req;
   if (!reader.ReadPod(&req.request_id) || !reader.ReadPod(&req.address)) {
     return Status::InvalidArgument("truncated ClassifyRequest payload");
   }
   BA_RETURN_NOT_OK(
-      ClassifyOptions::DecodeFrom(&reader, now, &req.options));
+      ClassifyOptions::DecodeFrom(&reader, now, &req.options, version));
   if (reader.remaining() != 0) {
     return Status::InvalidArgument(
         "ClassifyRequest payload has " +
@@ -123,13 +209,16 @@ Status ClassifyRequest::Decode(std::string_view payload,
 }
 
 ClassifyResponse ClassifyResponse::From(
-    uint64_t request_id, const Result<ClassifyResult>& outcome) {
+    uint64_t request_id, const Result<ClassifyResult>& outcome,
+    const RequestTimeline& timeline) {
   ClassifyResponse resp;
   resp.request_id = request_id;
+  resp.timeline = timeline;
   if (outcome.ok()) {
     resp.code = static_cast<int32_t>(StatusCode::kOk);
     resp.has_result = true;
     resp.result = outcome.value();
+    resp.result.timeline = timeline;
   } else {
     resp.code = static_cast<int32_t>(outcome.status().code());
     resp.message = outcome.status().message();
@@ -150,7 +239,7 @@ Result<ClassifyResult> ClassifyResponse::ToResult() const {
   return Status(static_cast<StatusCode>(code), message);
 }
 
-std::string ClassifyResponse::EncodePayload() const {
+std::string ClassifyResponse::EncodePayload(uint16_t version) const {
   std::string payload;
   AppendPod(&payload, request_id);
   AppendPod(&payload, code);
@@ -158,11 +247,12 @@ std::string ClassifyResponse::EncodePayload() const {
   payload.append(message);
   AppendPod(&payload, static_cast<uint8_t>(has_result ? 1 : 0));
   if (has_result) result.EncodeTo(&payload);
+  if (version >= 2) timeline.EncodeTo(&payload);
   return payload;
 }
 
 Status ClassifyResponse::Decode(std::string_view payload,
-                                ClassifyResponse* out) {
+                                ClassifyResponse* out, uint16_t version) {
   util::BufferReader reader(payload.data(), payload.size());
   ClassifyResponse resp;
   uint32_t message_len = 0;
@@ -196,6 +286,10 @@ Status ClassifyResponse::Decode(std::string_view payload,
   if (resp.has_result) {
     BA_RETURN_NOT_OK(ClassifyResult::DecodeFrom(&reader, &resp.result));
   }
+  if (version >= 2) {
+    BA_RETURN_NOT_OK(RequestTimeline::DecodeFrom(&reader, &resp.timeline));
+    resp.result.timeline = resp.timeline;
+  }
   if (reader.remaining() != 0) {
     return Status::InvalidArgument(
         "ClassifyResponse payload has " +
@@ -205,11 +299,12 @@ Status ClassifyResponse::Decode(std::string_view payload,
   return Status::OK();
 }
 
-std::string EncodeFrame(MessageType type, std::string_view payload) {
+std::string EncodeFrame(MessageType type, std::string_view payload,
+                        uint16_t version) {
   std::string frame;
   frame.reserve(kFrameHeaderBytes + payload.size() + kFrameTrailerBytes);
   frame.append(kWireMagic, sizeof(kWireMagic));
-  AppendPod(&frame, kWireVersion);
+  AppendPod(&frame, version);
   AppendPod(&frame, static_cast<uint16_t>(type));
   AppendPod(&frame, static_cast<uint32_t>(payload.size()));
   frame.append(payload.data(), payload.size());
@@ -244,10 +339,11 @@ Result<bool> FrameDecoder::Next(Frame* out) {
   uint16_t type = 0;
   std::memcpy(&version, head + 4, sizeof(version));
   std::memcpy(&type, head + 6, sizeof(type));
-  if (version != kWireVersion) {
+  if (version < kMinWireVersion || version > kWireVersion) {
     failed_ = Status::InvalidArgument(
         "frame decode: unsupported protocol version " +
         std::to_string(version) + " (this peer speaks " +
+        std::to_string(kMinWireVersion) + ".." +
         std::to_string(kWireVersion) + ")");
     return failed_;
   }

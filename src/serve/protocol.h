@@ -35,11 +35,21 @@
 /// Frame layout (12-byte header + payload + 4-byte trailer):
 ///
 ///     magic   'BANP'      4 bytes
-///     version uint16      protocol version (kWireVersion)
+///     version uint16      protocol version (kMinWireVersion..kWireVersion)
 ///     type    uint16      MessageType
 ///     length  uint32      payload byte count (<= max payload)
 ///     payload ...         `length` bytes
 ///     crc32   uint32      util::Crc32 over header + payload
+///
+/// Version history. v1 is the PR 7 layout. v2 adds request-scoped
+/// trace context: `ClassifyOptions` carries a client-generated 64-bit
+/// `trace_id`/`span_id` pair and every `ClassifyResponse` appends the
+/// server-side `RequestTimeline` for the request it answers. Decoders
+/// accept both versions (a v1 peer keeps classifying against a v2
+/// server — it just gets no timeline back); encoders take the version
+/// to speak, defaulting to the latest. Payload decoding is strict per
+/// version: v1 payloads must not carry the v2 tail and vice versa, so
+/// a mislabeled frame fails loudly instead of decoding garbage.
 ///
 /// The decoder (`FrameDecoder`) is an incremental reassembler for
 /// non-blocking sockets: feed it arbitrary byte chunks, poll frames
@@ -55,9 +65,15 @@ namespace ba::serve {
 /// First bytes of every frame.
 inline constexpr char kWireMagic[4] = {'B', 'A', 'N', 'P'};
 
-/// Protocol version carried in every frame header. Bump when any wire
-/// layout below changes; decoders reject other versions loudly.
-inline constexpr uint16_t kWireVersion = 1;
+/// Protocol version carried in every frame header and spoken by
+/// default. Bump when any wire layout below changes; keep the old
+/// decode path alive and raise `kMinWireVersion` only when a version
+/// is truly retired.
+inline constexpr uint16_t kWireVersion = 2;
+
+/// Oldest version decoders still accept. v1 frames (pre trace-context)
+/// decode and classify against a v2 server.
+inline constexpr uint16_t kMinWireVersion = 1;
 
 /// Default ceiling on a frame's declared payload length. A header
 /// claiming more is a protocol error, rejected before any buffering.
@@ -82,10 +98,66 @@ enum class MessageType : uint16_t {
   kError = 3,
 };
 
-/// \brief Per-request serving options (wire type, version 1).
+/// \brief How a request ended — the wire-stable outcome label carried
+/// in every `RequestTimeline`. Matches the resilience contract's four
+/// explicit endings plus kError for injected faults and invalid
+/// addresses.
+enum class RequestOutcome : uint8_t {
+  kOk = 0,        ///< nominal answer
+  kShed = 1,      ///< ResourceExhausted from admission control
+  kDeadline = 2,  ///< DeadlineExceeded, no degraded answer available
+  kDegraded = 3,  ///< labeled degraded answer (stale/fallback/late)
+  kError = 4,     ///< anything else (injected fault, unknown address)
+};
+
+/// "ok" / "shed" / "deadline" / "degraded" / "error".
+const char* RequestOutcomeName(RequestOutcome outcome);
+
+/// \brief Compact per-request timeline: where one request spent its
+/// life, stamped by the engine as the request crosses each stage.
+///
+/// Stamps are nanosecond offsets from submit (the admit decision); -1
+/// means the stage was never reached (a shed request has only
+/// `deliver_ns`, a full cache hit never builds or aggregates). Present
+/// stamps are monotone non-decreasing in stage order. The engine
+/// records every finished timeline into its flight recorder and
+/// returns it on `ClassifyResult`; v2 responses carry it back over the
+/// wire.
+///
+/// Wire layout: u64 trace_id, u64 span_id, i64 enqueue_ns,
+/// i64 batch_join_ns, i64 lookup_ns, i64 build_ns, i64 aggregate_ns,
+/// i64 deliver_ns, u8 outcome.
+struct RequestTimeline {
+  /// Client-generated trace context (0 = untraced request). Rides the
+  /// wire in `ClassifyOptions` and is echoed here so the client can
+  /// stitch its own span to the server-side flow.
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+  int64_t enqueue_ns = -1;     ///< pushed onto the engine queue
+  int64_t batch_join_ns = -1;  ///< drained into a micro-batch
+  int64_t lookup_ns = -1;      ///< cache-lookup stage done
+  int64_t build_ns = -1;       ///< build/embed stage done
+  int64_t aggregate_ns = -1;   ///< aggregate stage done
+  int64_t deliver_ns = -1;     ///< callback about to fire (total latency)
+  RequestOutcome outcome = RequestOutcome::kOk;
+
+  /// True when every present (>= 0) stamp is ordered by stage and the
+  /// timeline was delivered — the invariant tests assert per request.
+  bool Monotone() const;
+
+  /// Single-line JSON object (slowlog / timeline admin output).
+  std::string ToJson() const;
+
+  void EncodeTo(std::string* out) const;
+  static Status DecodeFrom(util::BufferReader* in, RequestTimeline* out);
+};
+
+/// \brief Per-request serving options (wire type; trace context is the
+/// v2 addition).
 ///
 /// Wire layout: i64 deadline budget in microseconds (-1 = none, may be
-/// negative = already expired), u8 allow_degraded, i32 priority.
+/// negative = already expired), u8 allow_degraded, i32 priority;
+/// v2 appends u64 trace_id, u64 span_id.
 struct ClassifyOptions {
   /// Hard per-request deadline; the epoch default means "none".
   /// Checked at submit, at cache lookup and between batch stages —
@@ -97,6 +169,12 @@ struct ClassifyOptions {
   bool allow_degraded = false;
   /// > 0 bypasses watermark shedding (not the hard in-flight budget).
   int priority = 0;
+  /// Client-generated 64-bit trace context (0 = untraced). Propagated
+  /// through admission and every batch stage, echoed in the response
+  /// timeline, and used as the Perfetto flow id so client, server and
+  /// engine extents stitch into one async track.
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
 
   bool has_deadline() const {
     return deadline != std::chrono::steady_clock::time_point{};
@@ -112,15 +190,18 @@ struct ClassifyOptions {
     return o;
   }
 
-  /// Appends the wire encoding, converting the absolute deadline into
-  /// a budget relative to `now`.
-  void EncodeTo(std::string* out,
-                std::chrono::steady_clock::time_point now) const;
+  /// Appends the wire encoding for `version`, converting the absolute
+  /// deadline into a budget relative to `now`. v1 omits the trace
+  /// context.
+  void EncodeTo(std::string* out, std::chrono::steady_clock::time_point now,
+                uint16_t version = kWireVersion) const;
 
-  /// Reads the wire encoding, re-anchoring the budget against `now`.
+  /// Reads the `version` wire encoding, re-anchoring the budget
+  /// against `now`. Decoding v1 leaves the trace context zeroed.
   static Status DecodeFrom(util::BufferReader* in,
                            std::chrono::steady_clock::time_point now,
-                           ClassifyOptions* out);
+                           ClassifyOptions* out,
+                           uint16_t version = kWireVersion);
 };
 
 /// \brief Outcome of one classification query (wire type, version 1).
@@ -147,6 +228,10 @@ struct ClassifyResult {
   /// tx count now minus the capped tx count the answer was computed at
   /// (0 for fresh and fallback answers).
   uint64_t epoch_lag = 0;
+  /// Where this request spent its life (in-process field — on the wire
+  /// the timeline travels once at the `ClassifyResponse` layer, and
+  /// the client decode copies it back here).
+  RequestTimeline timeline;
 
   void EncodeTo(std::string* out) const;
   static Status DecodeFrom(util::BufferReader* in, ClassifyResult* out);
@@ -162,18 +247,26 @@ struct ClassifyRequest {
   uint64_t address = 0;
   ClassifyOptions options;
 
-  /// The full frame payload for this request.
-  std::string EncodePayload(std::chrono::steady_clock::time_point now) const;
+  /// The full frame payload for this request, in the `version` layout.
+  std::string EncodePayload(std::chrono::steady_clock::time_point now,
+                            uint16_t version = kWireVersion) const;
+  /// Strict per-version decode: the dispatcher passes the version the
+  /// enclosing frame declared.
   static Status Decode(std::string_view payload,
                        std::chrono::steady_clock::time_point now,
-                       ClassifyRequest* out);
+                       ClassifyRequest* out,
+                       uint16_t version = kWireVersion);
 };
 
 /// \brief One classification response as sent over the wire.
 ///
 /// Wire layout: u64 request_id, i32 status code, string message
 /// (u32 length + bytes, <= kMaxWireMessage), u8 has_result,
-/// ClassifyResult fields when has_result.
+/// ClassifyResult fields when has_result; v2 appends the
+/// RequestTimeline fields — error outcomes (shed, deadline) carry
+/// their timeline too, which is how the acceptance invariant "every
+/// wire completion yields a timeline matching its outcome" holds for
+/// inline sheds.
 struct ClassifyResponse {
   uint64_t request_id = 0;
   /// StatusCode of the outcome (kOk carries a result).
@@ -181,17 +274,24 @@ struct ClassifyResponse {
   std::string message;
   bool has_result = false;
   ClassifyResult result;
+  /// Server-side timeline for the request this answers (v2 only on
+  /// the wire; all stamps -1 for responses synthesized without one,
+  /// e.g. protocol errors). Decode mirrors it into `result.timeline`.
+  RequestTimeline timeline;
 
-  /// Builds a response from an engine outcome.
+  /// Builds a response from an engine outcome and its timeline (the
+  /// two arguments ClassifyCallback delivers).
   static ClassifyResponse From(uint64_t request_id,
-                               const Result<ClassifyResult>& outcome);
+                               const Result<ClassifyResult>& outcome,
+                               const RequestTimeline& timeline = {});
 
   /// The outcome this response carries, as the engine would have
   /// returned it in process.
   Result<ClassifyResult> ToResult() const;
 
-  std::string EncodePayload() const;
-  static Status Decode(std::string_view payload, ClassifyResponse* out);
+  std::string EncodePayload(uint16_t version = kWireVersion) const;
+  static Status Decode(std::string_view payload, ClassifyResponse* out,
+                       uint16_t version = kWireVersion);
 };
 
 /// \brief One decoded frame.
@@ -201,8 +301,11 @@ struct Frame {
   std::string payload;
 };
 
-/// \brief Encodes a complete frame (header + payload + CRC trailer).
-std::string EncodeFrame(MessageType type, std::string_view payload);
+/// \brief Encodes a complete frame (header + payload + CRC trailer)
+/// declaring `version` — the payload must already be in that version's
+/// layout. Tests and legacy peers pass kMinWireVersion.
+std::string EncodeFrame(MessageType type, std::string_view payload,
+                        uint16_t version = kWireVersion);
 
 /// \brief Incremental frame reassembler for a byte stream.
 ///

@@ -142,12 +142,17 @@ TEST_F(AsyncClassifyTest, ExpiredDeadlineFiresCallbackSynchronously) {
   std::atomic<int> fired{0};
   engine->ClassifyAsync(
       (*watched_)[0].address, options,
-      [&](Result<ClassifyResult> outcome) {
+      [&](Result<ClassifyResult> outcome,
+          const serve::RequestTimeline& tl) {
         // Fast-path rejection: delivered on the submitting thread,
         // before ClassifyAsync returns.
         EXPECT_EQ(std::this_thread::get_id(), submitter);
         ASSERT_FALSE(outcome.ok());
         EXPECT_EQ(outcome.status().code(), StatusCode::kDeadlineExceeded);
+        // Error outcomes still deliver a timeline — the callback arg
+        // is the only channel (a Status carries none).
+        EXPECT_EQ(tl.outcome, serve::RequestOutcome::kDeadline);
+        EXPECT_TRUE(tl.Monotone()) << tl.ToJson();
         fired.fetch_add(1);
       });
   EXPECT_EQ(fired.load(), 1) << "callback did not fire synchronously";
@@ -158,9 +163,12 @@ TEST_F(AsyncClassifyTest, UnknownAddressFiresCallbackWithInvalidArgument) {
   std::atomic<int> fired{0};
   engine->ClassifyAsync(
       simulator_->ledger().num_addresses() + 99, {},
-      [&](Result<ClassifyResult> outcome) {
+      [&](Result<ClassifyResult> outcome,
+          const serve::RequestTimeline& tl) {
         ASSERT_FALSE(outcome.ok());
         EXPECT_EQ(outcome.status().code(), StatusCode::kInvalidArgument);
+        EXPECT_EQ(tl.outcome, serve::RequestOutcome::kError);
+        EXPECT_TRUE(tl.Monotone()) << tl.ToJson();
         fired.fetch_add(1);
       });
   EXPECT_EQ(fired.load(), 1);
@@ -186,14 +194,23 @@ TEST_F(AsyncClassifyTest, ShedRequestsFireCallbackWithResourceExhausted) {
   for (int i = 0; i < kBurst; ++i) {
     engine->ClassifyAsync(
         (*watched_)[static_cast<size_t>(i) % watched_->size()].address, {},
-        [&](Result<ClassifyResult> outcome) {
+        [&](Result<ClassifyResult> outcome,
+            const serve::RequestTimeline& tl) {
           std::lock_guard<std::mutex> lock(mu);
+          EXPECT_TRUE(tl.Monotone()) << tl.ToJson();
           if (outcome.ok()) {
+            // The timeline's outcome label always matches what was
+            // delivered — including on the inline shed fast path.
+            EXPECT_EQ(tl.outcome, outcome.value().degraded
+                                      ? serve::RequestOutcome::kDegraded
+                                      : serve::RequestOutcome::kOk);
+            EXPECT_EQ(outcome.value().timeline.outcome, tl.outcome);
             ++ok;
           } else {
             EXPECT_EQ(outcome.status().code(),
                       StatusCode::kResourceExhausted)
                 << outcome.status().message();
+            EXPECT_EQ(tl.outcome, serve::RequestOutcome::kShed);
             ++shed;
           }
           ++fired;
@@ -232,7 +249,8 @@ TEST_F(AsyncClassifyTest, AsyncAndBlockingCallersAgreeWithSerialRerun) {
   });
   for (size_t i = 0; i < n; ++i) {
     engine->ClassifyAsync((*watched_)[i].address, {},
-                          [&, i](Result<ClassifyResult> outcome) {
+                          [&, i](Result<ClassifyResult> outcome,
+                                 const serve::RequestTimeline&) {
                             std::lock_guard<std::mutex> lock(mu);
                             async_results[i] = std::move(outcome);
                             ++async_done;
@@ -274,7 +292,9 @@ TEST_F(AsyncClassifyTest, DestructionDrainsCallbacksInFlight) {
     for (int i = 0; i < kInflight; ++i) {
       engine->ClassifyAsync(
           (*watched_)[static_cast<size_t>(i) % watched_->size()].address,
-          {}, [&](Result<ClassifyResult>) { fired.fetch_add(1); });
+          {}, [&](Result<ClassifyResult>, const serve::RequestTimeline&) {
+            fired.fetch_add(1);
+          });
     }
     // ~InferenceEngine blocks until every callback has fired.
   }

@@ -7,9 +7,12 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <memory>
 #include <string>
 #include <thread>
@@ -34,6 +37,36 @@ using net::Server;
 using net::ServerOptions;
 using serve::ClassifyOptions;
 using serve::InferenceEngine;
+using serve::RequestOutcome;
+
+/// Structural JSON well-formedness: every brace/bracket balances and
+/// every string closes, honoring escapes. Admin replies and saved
+/// traces must satisfy this even when produced under overload.
+bool JsonWellFormed(const std::string& text) {
+  int depth = 0;
+  bool in_string = false;
+  bool escaped = false;
+  for (const char c : text) {
+    if (in_string) {
+      if (escaped) {
+        escaped = false;
+      } else if (c == '\\') {
+        escaped = true;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') {
+      in_string = true;
+    } else if (c == '{' || c == '[') {
+      ++depth;
+    } else if (c == '}' || c == ']') {
+      if (--depth < 0) return false;
+    }
+  }
+  return depth == 0 && !in_string && !text.empty();
+}
 
 /// Every fault-injection test must leave the global injector clean.
 class FaultGuard {
@@ -372,6 +405,258 @@ TEST_F(NetTest, SlowLorisByteAtATimeStillGetsAnswered) {
   ASSERT_TRUE(resp.ok()) << resp.status().message();
   EXPECT_EQ(resp.value().request_id, 424242u);
   EXPECT_TRUE(resp.value().ToResult().ok());
+  server->Stop();
+}
+
+TEST_F(NetTest, WireTimelinesStitchToTraceContextAndOutcome) {
+  auto engine = MakeEngine();
+  auto server = MakeServer(engine.get());
+  Client client = Dial(*server);
+
+  // Nominal answer: the v2 response carries the server-side timeline,
+  // echoing our trace context, with monotone stamps and an outcome
+  // matching what the wire delivered.
+  ClassifyOptions options;
+  options.trace_id = 0xACE0FBA5E;
+  options.span_id = 7;
+  const auto ok = client.Classify((*watched_)[0].address, options);
+  ASSERT_TRUE(ok.ok()) << ok.status().message();
+  const serve::RequestTimeline& tl = ok.value().timeline;
+  EXPECT_EQ(tl.trace_id, options.trace_id);
+  EXPECT_EQ(tl.span_id, options.span_id);
+  EXPECT_TRUE(tl.Monotone()) << tl.ToJson();
+  EXPECT_EQ(tl.outcome, ok.value().degraded ? RequestOutcome::kDegraded
+                                            : RequestOutcome::kOk);
+
+  // Error answers carry their timeline too: an expired deadline comes
+  // back as a DeadlineExceeded response whose timeline says kDeadline.
+  ClassifyOptions expired;
+  expired.trace_id = 0xDEAD;
+  expired.deadline =
+      std::chrono::steady_clock::now() - std::chrono::milliseconds(5);
+  ASSERT_TRUE(client.Send(31337, (*watched_)[0].address, expired).ok());
+  const auto resp = client.ReadResponse();
+  ASSERT_TRUE(resp.ok()) << resp.status().message();
+  EXPECT_EQ(resp.value().ToResult().status().code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(resp.value().timeline.trace_id, 0xDEADu);
+  EXPECT_EQ(resp.value().timeline.outcome, RequestOutcome::kDeadline);
+  EXPECT_TRUE(resp.value().timeline.Monotone())
+      << resp.value().timeline.ToJson();
+  server->Stop();
+}
+
+TEST_F(NetTest, PipelinedAndShedCompletionsAllCarryMatchingTimelines) {
+  FaultGuard guard;
+  serve::InferenceEngineOptions options;
+  options.enable_admission = true;
+  options.admission.max_inflight = 64;
+  options.admission.high_watermark = 3;
+  options.admission.low_watermark = 1;
+  auto engine = MakeEngine(std::move(options));
+  auto server = MakeServer(engine.get());
+  util::FaultInjector::Instance().ArmLatency(
+      InferenceEngine::kFaultBatchBuild, 0.02);
+
+  // Pipelined burst, every request traced with a distinctive id. Each
+  // completion — batched answer or inline shed — must answer with a
+  // monotone timeline whose trace id and outcome label match the wire
+  // response it rode in on.
+  Client client = Dial(*server);
+  constexpr int kBurst = 48;
+  constexpr uint64_t kTraceBase = 0x7700000000000000ULL;
+  for (int i = 0; i < kBurst; ++i) {
+    const AddressId address =
+        (*watched_)[static_cast<size_t>(i) % watched_->size()].address;
+    ClassifyOptions traced;
+    traced.trace_id = kTraceBase + static_cast<uint64_t>(i + 1);
+    ASSERT_TRUE(
+        client.Send(static_cast<uint64_t>(i + 1), address, traced).ok());
+  }
+
+  // Overload is the interesting moment for the admin surface: slowlog
+  // must stay one well-formed JSON line while the burst is in flight.
+  const auto mid_burst = Client::AdminCommand(
+      "127.0.0.1", server->admin_port(), "slowlog 8");
+  ASSERT_TRUE(mid_burst.ok()) << mid_burst.status().message();
+  EXPECT_TRUE(JsonWellFormed(mid_burst.value())) << mid_burst.value();
+
+  int ok = 0;
+  int shed = 0;
+  for (int i = 0; i < kBurst; ++i) {
+    const auto resp = client.ReadResponse();
+    ASSERT_TRUE(resp.ok()) << resp.status().message();
+    const serve::RequestTimeline& tl = resp.value().timeline;
+    EXPECT_EQ(tl.trace_id, kTraceBase + resp.value().request_id);
+    EXPECT_TRUE(tl.Monotone()) << tl.ToJson();
+    const auto outcome = resp.value().ToResult();
+    if (outcome.ok()) {
+      EXPECT_EQ(tl.outcome, outcome.value().degraded
+                                ? RequestOutcome::kDegraded
+                                : RequestOutcome::kOk);
+      ++ok;
+    } else {
+      ASSERT_EQ(outcome.status().code(), StatusCode::kResourceExhausted)
+          << outcome.status().message();
+      EXPECT_EQ(tl.outcome, RequestOutcome::kShed);
+      ++shed;
+    }
+  }
+  EXPECT_EQ(ok + shed, kBurst);
+  EXPECT_GT(ok, 0);
+  EXPECT_GT(shed, 0) << "burst never tripped the watermark";
+  server->Stop();
+}
+
+TEST_F(NetTest, V1FramesStillDecodeAndClassifyAgainstV2Server) {
+  auto engine = MakeEngine();
+  auto server = MakeServer(engine.get());
+  Client client = Dial(*server);
+
+  // A pre-trace-context peer: hand-rolled v1 frame over the raw pipe.
+  // The server must decode it, classify, and answer in v1 — which the
+  // client decodes as a response with no timeline.
+  serve::ClassifyRequest req;
+  req.request_id = 11111;
+  req.address = (*watched_)[0].address;
+  const std::string frame = serve::EncodeFrame(
+      serve::MessageType::kClassifyRequest,
+      req.EncodePayload(std::chrono::steady_clock::now(), /*version=*/1),
+      /*version=*/1);
+  ASSERT_TRUE(client.SendRaw(frame).ok());
+
+  const auto resp = client.ReadResponse();
+  ASSERT_TRUE(resp.ok()) << resp.status().message();
+  EXPECT_EQ(resp.value().request_id, 11111u);
+  const auto outcome = resp.value().ToResult();
+  ASSERT_TRUE(outcome.ok()) << outcome.status().message();
+  EXPECT_EQ(outcome.value().predicted,
+            engine->Classify(req.address).value().predicted);
+  // v1 responses carry no timeline; the decode leaves the default.
+  EXPECT_EQ(resp.value().timeline.deliver_ns, -1);
+
+  // The same connection can then speak v2 — versions are per frame.
+  ClassifyOptions traced;
+  traced.trace_id = 5555;
+  const auto v2 = client.Classify(req.address, traced);
+  ASSERT_TRUE(v2.ok()) << v2.status().message();
+  EXPECT_EQ(v2.value().timeline.trace_id, 5555u);
+  server->Stop();
+}
+
+TEST_F(NetTest, AdminSlowlogAndTimelineAnswerJson) {
+  serve::InferenceEngineOptions options;
+  options.flight_recorder_capacity = 64;
+  options.slow_request_threshold = 1e-9;  // everything is "slow"
+  auto engine = MakeEngine(std::move(options));
+  auto server = MakeServer(engine.get());
+
+  Client client = Dial(*server);
+  ClassifyOptions traced;
+  traced.trace_id = 0xBEEF;
+  ASSERT_TRUE(client.Classify((*watched_)[0].address, traced).ok());
+  ASSERT_TRUE(client.Classify((*watched_)[1].address).ok());
+
+  // slowlog: one well-formed JSON object with both rings; the traced
+  // request shows up (threshold 1ns means every request is slow).
+  const auto slowlog = Client::AdminCommand(
+      "127.0.0.1", server->admin_port(), "slowlog");
+  ASSERT_TRUE(slowlog.ok()) << slowlog.status().message();
+  EXPECT_TRUE(JsonWellFormed(slowlog.value())) << slowlog.value();
+  EXPECT_NE(slowlog.value().find("\"threshold_seconds\""),
+            std::string::npos);
+  EXPECT_NE(slowlog.value().find("\"slow\""), std::string::npos);
+  EXPECT_NE(slowlog.value().find("\"recent\""), std::string::npos);
+  EXPECT_NE(slowlog.value().find("\"trace_id\":48879"), std::string::npos)
+      << slowlog.value();
+
+  // timeline lookup: decimal and 0x-hex spellings both resolve.
+  for (const char* spelling : {"timeline 48879", "timeline 0xBEEF"}) {
+    const auto found = Client::AdminCommand(
+        "127.0.0.1", server->admin_port(), spelling);
+    ASSERT_TRUE(found.ok()) << found.status().message();
+    EXPECT_TRUE(JsonWellFormed(found.value())) << found.value();
+    EXPECT_NE(found.value().find("\"trace_id\":48879"), std::string::npos)
+        << found.value();
+    EXPECT_NE(found.value().find("\"outcome\""), std::string::npos);
+  }
+
+  // Unknown trace id: still one well-formed JSON line, not a hang or
+  // an empty reply.
+  const auto missing = Client::AdminCommand(
+      "127.0.0.1", server->admin_port(), "timeline 424242");
+  ASSERT_TRUE(missing.ok());
+  EXPECT_TRUE(JsonWellFormed(missing.value())) << missing.value();
+  EXPECT_NE(missing.value().find("not found"), std::string::npos);
+  server->Stop();
+}
+
+TEST_F(NetTest, AdminTraceLifecycleUnderConcurrentLoad) {
+  auto engine = MakeEngine();
+  auto server = MakeServer(engine.get());
+  const std::string path =
+      "/tmp/ba_net_trace_" + std::to_string(::getpid()) + ".json";
+
+  // trace start → hammer the data port from several connections →
+  // trace save → trace stop. The saved file must be well-formed JSON
+  // even though events were being recorded while Save ran.
+  const auto started = Client::AdminCommand(
+      "127.0.0.1", server->admin_port(), "trace start");
+  ASSERT_TRUE(started.ok()) << started.status().message();
+  EXPECT_NE(started.value().find("OK"), std::string::npos);
+
+  constexpr int kClients = 4;
+  std::atomic<int> failures{0};
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> fleet;
+  fleet.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    fleet.emplace_back([&, c] {
+      auto worker = Client::Connect("127.0.0.1", server->port());
+      if (!worker.ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+      uint64_t i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        ClassifyOptions traced;
+        traced.trace_id =
+            (static_cast<uint64_t>(c) + 1) << 32 | ++i;
+        const size_t pick = static_cast<size_t>(i) % watched_->size();
+        if (!worker.value()
+                 .Classify((*watched_)[pick].address, traced)
+                 .ok()) {
+          failures.fetch_add(1);
+          return;
+        }
+      }
+    });
+  }
+
+  // Save mid-load, twice — the tracer must snapshot consistently while
+  // the fleet keeps appending events.
+  for (int round = 0; round < 2; ++round) {
+    const auto saved = Client::AdminCommand(
+        "127.0.0.1", server->admin_port(), "trace save " + path);
+    ASSERT_TRUE(saved.ok()) << saved.status().message();
+    EXPECT_NE(saved.value().find("OK"), std::string::npos)
+        << saved.value();
+    const auto text = util::ReadFileToString(path);
+    ASSERT_TRUE(text.ok()) << text.status().message();
+    EXPECT_TRUE(JsonWellFormed(text.value()))
+        << "round " << round << ": saved trace is not well-formed JSON";
+    EXPECT_NE(text.value().find("\"traceEvents\""), std::string::npos);
+  }
+
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& t : fleet) t.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  const auto stopped = Client::AdminCommand(
+      "127.0.0.1", server->admin_port(), "trace stop");
+  ASSERT_TRUE(stopped.ok());
+  EXPECT_NE(stopped.value().find("OK"), std::string::npos);
+  std::remove(path.c_str());
   server->Stop();
 }
 

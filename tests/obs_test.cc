@@ -501,6 +501,51 @@ TEST(TraceTest, RingOverflowKeepsBoundAndReportsDrop) {
   EXPECT_NE(json.find("\"ba_dropped_events\":42"), std::string::npos);
 }
 
+TEST(TraceTest, AsyncFlowEventsExportAsPairedPhases) {
+  TraceGuard trace;
+  Tracer::Instance().RecordAsync("obs_test.flow", /*flow_id=*/0xAB,
+                                 Tracer::NowNs(), /*dur_ns=*/1000);
+  const std::string json = Tracer::Instance().ToJson();
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json;
+  // One 'b'/'e' pair on the ba.flow category, keyed by the hex id —
+  // that's what lets Perfetto stitch client/server/engine extents
+  // recorded on different threads into one async track.
+  EXPECT_NE(json.find("\"cat\":\"ba.flow\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"ph\":\"b\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"e\""), std::string::npos);
+  EXPECT_NE(json.find("\"id\":\"0xab\""), std::string::npos) << json;
+}
+
+TEST(TraceTest, AsyncWithZeroFlowIdOrDisabledRecordsNothing) {
+  {
+    TraceGuard trace;
+    // flow id 0 means "untraced request" — never an event.
+    Tracer::Instance().RecordAsync("obs_test.untraced", 0,
+                                   Tracer::NowNs(), 100);
+    EXPECT_EQ(Tracer::Instance().TotalRecorded(), 0u);
+  }
+  // Disabled tracer: same, the call is a cheap no-op.
+  Tracer::Instance().RecordAsync("obs_test.disabled", 0x77,
+                                 Tracer::NowNs(), 100);
+  EXPECT_EQ(Tracer::Instance().EventCount(), 0u);
+}
+
+TEST(TraceTest, RingDropsIncrementRegistryCounter) {
+  auto* dropped =
+      MetricsRegistry::Instance().GetCounter("obs.trace.dropped");
+  const uint64_t before = dropped->value();
+  TraceGuard trace(/*capacity=*/8);
+  std::thread([] {
+    for (int i = 0; i < 50; ++i) {
+      BA_TRACE_SPAN("obs_test.drop_counter");
+    }
+  }).join();
+  // 50 spans through an 8-slot ring: 42 overwrites, each counted — the
+  // counter survives the trace buffer reset, so a monitoring loop can
+  // see drops long after the ring wrapped.
+  EXPECT_EQ(dropped->value() - before, 42u);
+}
+
 TEST(TraceTest, SaveWritesLoadableTraceFile) {
   FaultGuard fault;
   TraceGuard trace;

@@ -12,6 +12,7 @@
 #include <string>
 
 #include "serve/protocol.h"
+#include "util/fs.h"
 #include "util/status.h"
 
 namespace ba {
@@ -25,6 +26,8 @@ using serve::EncodeFrame;
 using serve::Frame;
 using serve::FrameDecoder;
 using serve::MessageType;
+using serve::RequestOutcome;
+using serve::RequestTimeline;
 using Clock = std::chrono::steady_clock;
 
 ClassifyResult SampleResult() {
@@ -306,6 +309,217 @@ TEST(ProtocolTest, ResponseMessageLengthIsBounded) {
   std::memcpy(payload.data() + 12, &bogus, sizeof(bogus));
   ClassifyResponse back;
   EXPECT_FALSE(ClassifyResponse::Decode(payload, &back).ok());
+}
+
+// --- v2 trace context + timelines ------------------------------------
+
+RequestTimeline SampleTimeline() {
+  RequestTimeline tl;
+  tl.trace_id = 0xABCDEF0123456789ULL;
+  tl.span_id = 0x42;
+  tl.enqueue_ns = 1'000;
+  tl.batch_join_ns = 2'500;
+  tl.lookup_ns = 9'000;
+  tl.build_ns = 120'000;
+  tl.aggregate_ns = 150'000;
+  tl.deliver_ns = 160'000;
+  tl.outcome = RequestOutcome::kDegraded;
+  return tl;
+}
+
+void ExpectSameTimeline(const RequestTimeline& a, const RequestTimeline& b) {
+  EXPECT_EQ(a.trace_id, b.trace_id);
+  EXPECT_EQ(a.span_id, b.span_id);
+  EXPECT_EQ(a.enqueue_ns, b.enqueue_ns);
+  EXPECT_EQ(a.batch_join_ns, b.batch_join_ns);
+  EXPECT_EQ(a.lookup_ns, b.lookup_ns);
+  EXPECT_EQ(a.build_ns, b.build_ns);
+  EXPECT_EQ(a.aggregate_ns, b.aggregate_ns);
+  EXPECT_EQ(a.deliver_ns, b.deliver_ns);
+  EXPECT_EQ(a.outcome, b.outcome);
+}
+
+TEST(ProtocolTest, TraceContextRoundTripsInV2Request) {
+  const auto now = Clock::now();
+  ClassifyRequest req;
+  req.request_id = 7;
+  req.address = 99;
+  req.options.trace_id = 0x1122334455667788ULL;
+  req.options.span_id = 0x99AA;
+
+  ClassifyRequest back;
+  ASSERT_TRUE(
+      ClassifyRequest::Decode(req.EncodePayload(now), now, &back).ok());
+  EXPECT_EQ(back.options.trace_id, req.options.trace_id);
+  EXPECT_EQ(back.options.span_id, req.options.span_id);
+}
+
+TEST(ProtocolTest, V1RequestDropsTraceContext) {
+  // A v1 peer never sends trace context; encoding v1 omits it and
+  // decoding v1 leaves it zeroed — the request is simply untraced.
+  const auto now = Clock::now();
+  ClassifyRequest req;
+  req.request_id = 8;
+  req.address = 100;
+  req.options.trace_id = 0xFFFF;
+  req.options.span_id = 0xEEEE;
+  req.options.allow_degraded = true;
+
+  const std::string v1 = req.EncodePayload(now, /*version=*/1);
+  const std::string v2 = req.EncodePayload(now, /*version=*/2);
+  EXPECT_EQ(v2.size(), v1.size() + 16) << "v2 appends two u64 trace ids";
+
+  ClassifyRequest back;
+  ASSERT_TRUE(ClassifyRequest::Decode(v1, now, &back, /*version=*/1).ok());
+  EXPECT_EQ(back.request_id, req.request_id);
+  EXPECT_TRUE(back.options.allow_degraded);
+  EXPECT_EQ(back.options.trace_id, 0u);
+  EXPECT_EQ(back.options.span_id, 0u);
+}
+
+TEST(ProtocolTest, RequestDecodeIsStrictPerVersion) {
+  // The dispatcher passes the version the enclosing frame declared;
+  // payload and version must agree in both directions.
+  const auto now = Clock::now();
+  ClassifyRequest req;
+  req.request_id = 9;
+  req.address = 5;
+  ClassifyRequest back;
+  // v1 payload read as v2: the decoder wants trace ids that never came.
+  EXPECT_FALSE(ClassifyRequest::Decode(req.EncodePayload(now, 1), now,
+                                       &back, /*version=*/2)
+                   .ok());
+  // v2 payload read as v1: 16 trailing bytes nobody consumed.
+  const auto got = ClassifyRequest::Decode(req.EncodePayload(now, 2), now,
+                                           &back, /*version=*/1);
+  ASSERT_FALSE(got.ok());
+  EXPECT_NE(got.message().find("trailing"), std::string::npos);
+}
+
+TEST(ProtocolTest, TimelineRoundTripsThroughCodec) {
+  const RequestTimeline tl = SampleTimeline();
+  std::string bytes;
+  tl.EncodeTo(&bytes);
+
+  util::BufferReader reader(bytes);
+  RequestTimeline back;
+  ASSERT_TRUE(RequestTimeline::DecodeFrom(&reader, &back).ok());
+  EXPECT_EQ(reader.remaining(), 0u);
+  ExpectSameTimeline(tl, back);
+}
+
+TEST(ProtocolTest, TimelineOutcomeByteIsRangeChecked) {
+  RequestTimeline tl = SampleTimeline();
+  std::string bytes;
+  tl.EncodeTo(&bytes);
+  bytes.back() = 17;  // outcome is the trailing u8
+
+  util::BufferReader reader(bytes);
+  RequestTimeline back;
+  const auto got = RequestTimeline::DecodeFrom(&reader, &back);
+  ASSERT_FALSE(got.ok());
+  EXPECT_NE(got.message().find("outcome"), std::string::npos);
+}
+
+TEST(ProtocolTest, MonotoneRequiresDeliveryAndStageOrder) {
+  RequestTimeline tl;
+  EXPECT_FALSE(tl.Monotone()) << "never delivered";
+
+  // Shed inline: only deliver_ns is stamped, every stage skipped.
+  tl.deliver_ns = 100;
+  EXPECT_TRUE(tl.Monotone());
+
+  // Full pipeline, ordered.
+  EXPECT_TRUE(SampleTimeline().Monotone());
+
+  // A stamp that runs backwards across present stages.
+  RequestTimeline bad = SampleTimeline();
+  bad.build_ns = bad.batch_join_ns - 1;
+  EXPECT_FALSE(bad.Monotone());
+
+  // Skipped interior stages (-1) don't break the ordering check.
+  RequestTimeline sparse = SampleTimeline();
+  sparse.build_ns = -1;
+  sparse.aggregate_ns = -1;
+  EXPECT_TRUE(sparse.Monotone());
+}
+
+TEST(ProtocolTest, ResponseCarriesTimelineOnlyInV2) {
+  ClassifyResponse resp = ClassifyResponse::From(
+      21, Result<ClassifyResult>(SampleResult()), SampleTimeline());
+
+  const std::string v2 = resp.EncodePayload();
+  ClassifyResponse back;
+  ASSERT_TRUE(ClassifyResponse::Decode(v2, &back).ok());
+  ExpectSameTimeline(back.timeline, SampleTimeline());
+  // The decode mirrors the wire timeline into the in-process result.
+  ExpectSameTimeline(back.result.timeline, SampleTimeline());
+
+  // v1 encoding is strictly shorter and round-trips with a default
+  // (all -1) timeline.
+  const std::string v1 = resp.EncodePayload(/*version=*/1);
+  EXPECT_LT(v1.size(), v2.size());
+  ClassifyResponse old;
+  ASSERT_TRUE(ClassifyResponse::Decode(v1, &old, /*version=*/1).ok());
+  EXPECT_EQ(old.timeline.trace_id, 0u);
+  EXPECT_EQ(old.timeline.deliver_ns, -1);
+  ExpectSameResult(old.result, resp.result);
+
+  // Cross-version strictness mirrors the request side.
+  EXPECT_FALSE(ClassifyResponse::Decode(v1, &back, /*version=*/2).ok());
+  EXPECT_FALSE(ClassifyResponse::Decode(v2, &back, /*version=*/1).ok());
+}
+
+TEST(ProtocolTest, ErrorResponseStillCarriesItsTimeline) {
+  // Sheds and deadline misses answer with an error *and* a timeline —
+  // that's how the client learns where a rejected request spent time.
+  RequestTimeline tl;
+  tl.trace_id = 77;
+  tl.deliver_ns = 420;
+  tl.outcome = RequestOutcome::kShed;
+  const ClassifyResponse resp = ClassifyResponse::From(
+      33, Result<ClassifyResult>(Status::ResourceExhausted("shed")), tl);
+
+  ClassifyResponse back;
+  ASSERT_TRUE(ClassifyResponse::Decode(resp.EncodePayload(), &back).ok());
+  EXPECT_FALSE(back.has_result);
+  EXPECT_EQ(back.timeline.trace_id, 77u);
+  EXPECT_EQ(back.timeline.deliver_ns, 420);
+  EXPECT_EQ(back.timeline.outcome, RequestOutcome::kShed);
+  const auto result = back.ToResult();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(ProtocolTest, DecoderAcceptsBothLiveVersions) {
+  // A v1 frame (pre trace-context peer) still decodes; the frame
+  // reports which version it declared so the dispatcher can answer in
+  // kind.
+  FrameDecoder decoder;
+  decoder.Append(
+      EncodeFrame(MessageType::kClassifyRequest, "old", /*version=*/1));
+  decoder.Append(EncodeFrame(MessageType::kClassifyRequest, "new"));
+  Frame frame;
+  auto got = decoder.Next(&frame);
+  ASSERT_TRUE(got.ok() && got.value());
+  EXPECT_EQ(frame.version, 1);
+  EXPECT_EQ(frame.payload, "old");
+  got = decoder.Next(&frame);
+  ASSERT_TRUE(got.ok() && got.value());
+  EXPECT_EQ(frame.version, serve::kWireVersion);
+  EXPECT_EQ(frame.payload, "new");
+}
+
+TEST(ProtocolTest, FutureVersionIsRejected) {
+  std::string bytes = EncodeFrame(MessageType::kClassifyRequest, "v3");
+  const uint16_t future = serve::kWireVersion + 1;
+  std::memcpy(bytes.data() + 4, &future, sizeof(future));
+  FrameDecoder decoder;
+  decoder.Append(bytes);
+  Frame frame;
+  const auto got = decoder.Next(&frame);
+  ASSERT_FALSE(got.ok());
+  EXPECT_NE(got.status().message().find("version"), std::string::npos);
 }
 
 }  // namespace

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <fstream>
@@ -535,6 +536,80 @@ TEST_F(ServeTest, EngineRejectsBadSetups) {
   auto e3 =
       InferenceEngine::Create(&untrained, &simulator_->ledger(), {});
   EXPECT_EQ(e3.status().code(), StatusCode::kFailedPrecondition);
+
+  InferenceEngineOptions negative_threshold;
+  negative_threshold.slow_request_threshold = -0.5;
+  auto e4 = InferenceEngine::Create(classifier_, &simulator_->ledger(),
+                                    negative_threshold);
+  EXPECT_EQ(e4.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(e4.status().message().find("slow_request_threshold"),
+            std::string::npos);
+}
+
+TEST_F(ServeTest, BlockingClassifyRecordsMonotoneTimeline) {
+  auto engine = MakeEngine();
+  ClassifyOptions options;
+  options.trace_id = 0xF00D;
+  options.span_id = 3;
+  const auto result = engine->Classify((*test_)[0].address, options);
+  ASSERT_TRUE(result.ok()) << result.status().message();
+
+  const RequestTimeline& tl = result.value().timeline;
+  EXPECT_EQ(tl.trace_id, options.trace_id);
+  EXPECT_EQ(tl.span_id, options.span_id);
+  EXPECT_TRUE(tl.Monotone()) << tl.ToJson();
+  EXPECT_EQ(tl.outcome, result.value().degraded ? RequestOutcome::kDegraded
+                                                : RequestOutcome::kOk);
+  // A batched answer passed through every stage — each stamp present
+  // and the pipeline order visible in the offsets.
+  EXPECT_GE(tl.enqueue_ns, 0);
+  EXPECT_GE(tl.batch_join_ns, tl.enqueue_ns);
+  EXPECT_GE(tl.lookup_ns, tl.batch_join_ns);
+  EXPECT_GE(tl.deliver_ns, tl.lookup_ns);
+
+  // The flight recorder kept it, addressable by trace id.
+  ASSERT_NE(engine->flight_recorder(), nullptr);
+  const auto entry = engine->flight_recorder()->Find(options.trace_id);
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_EQ(entry->address, (*test_)[0].address);
+  EXPECT_EQ(entry->timeline.deliver_ns, tl.deliver_ns);
+  EXPECT_FALSE(engine->flight_recorder()->Find(0xBAD).has_value());
+}
+
+TEST_F(ServeTest, SlowThresholdCopiesIntoSlowRingAndCounts) {
+  InferenceEngineOptions options;
+  options.flight_recorder_capacity = 32;
+  options.slow_request_threshold = 1e-9;  // every request is "slow"
+  auto engine = MakeEngine(options);
+
+  const size_t n = std::min<size_t>(test_->size(), 4);
+  for (size_t i = 0; i < n; ++i) {
+    ClassifyOptions traced;
+    traced.trace_id = 1000 + i;
+    ASSERT_TRUE(engine->Classify((*test_)[i].address, traced).ok());
+  }
+
+  ASSERT_NE(engine->slow_recorder(), nullptr);
+  EXPECT_EQ(engine->slow_recorder()->recorded(), n);
+  EXPECT_EQ(engine->Metrics().slow_requests, n);
+  const auto slowest = engine->slow_recorder()->Find(1000);
+  ASSERT_TRUE(slowest.has_value());
+  EXPECT_TRUE(slowest->timeline.Monotone());
+
+  // Snapshot returns newest-first, bounded by the ask.
+  const auto snap = engine->slow_recorder()->Snapshot(2);
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_GT(snap[0].seq, snap[1].seq);
+}
+
+TEST_F(ServeTest, FlightRecorderCanBeDisabled) {
+  InferenceEngineOptions options;
+  options.flight_recorder_capacity = 0;
+  auto engine = MakeEngine(options);
+  EXPECT_EQ(engine->flight_recorder(), nullptr);
+  EXPECT_EQ(engine->slow_recorder(), nullptr);
+  // Classification is unaffected — recording is a pure observer.
+  EXPECT_TRUE(engine->Classify((*test_)[0].address).ok());
 }
 
 }  // namespace
