@@ -1,5 +1,6 @@
 #pragma once
 
+#include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -11,6 +12,7 @@
 #include "datagen/simulator.h"
 #include "metrics/classification.h"
 #include "obs/trace.h"
+#include "tensor/gemm.h"
 #include "util/cli.h"
 #include "util/stopwatch.h"
 #include "util/table.h"
@@ -61,12 +63,31 @@ inline void MaybeSetSharedPoolThreads(const CliFlags& flags) {
 #define BA_BENCH_COMPILER "unknown"
 #endif
 
+/// \brief The CPU "model name" from /proc/cpuinfo, or "unknown" where
+/// that pseudo-file doesn't exist. GFLOPS entries are meaningless
+/// without knowing the silicon that produced them.
+inline std::string CpuModelName() {
+  std::ifstream cpuinfo("/proc/cpuinfo");
+  std::string line;
+  while (std::getline(cpuinfo, line)) {
+    const auto colon = line.find(':');
+    if (colon == std::string::npos) continue;
+    if (line.compare(0, 10, "model name") != 0) continue;
+    auto start = line.find_first_not_of(" \t", colon + 1);
+    if (start == std::string::npos) start = colon + 1;
+    return line.substr(start);
+  }
+  return "unknown";
+}
+
 /// \brief JSON object recording the provenance every BENCH_*.json
 /// needs to be comparable across machines and commits: which benchmark
 /// wrote it, git SHA, compiler + flags, the `--threads` setting, the
-/// shared pool's effective size, and the machine's hardware
-/// concurrency. Every bench JSON writer goes through this one helper —
-/// add a provenance field here and all of them pick it up.
+/// shared pool's effective size, the machine's hardware concurrency,
+/// the CPU model, and which fp32 target_clones / int8 kernel variants
+/// actually dispatch on this host. Every bench JSON writer goes
+/// through this one helper — add a provenance field here and all of
+/// them pick it up.
 inline std::string BenchMetaJson(const CliFlags& flags,
                                  const char* bench_name = "") {
   std::ostringstream os;
@@ -77,7 +98,10 @@ inline std::string BenchMetaJson(const CliFlags& flags,
      << "\",\"threads_flag\":" << flags.GetInt("threads", 0)
      << ",\"shared_pool_threads\":" << util::SharedPoolThreads()
      << ",\"hardware_concurrency\":" << std::thread::hardware_concurrency()
-     << "}";
+     << ",\"cpu_model\":\"" << CpuModelName()
+     << "\",\"gemm_variant\":\"" << tensor::internal::GemmVariantName()
+     << "\",\"int8_gemm_variant\":\"" << tensor::internal::Int8GemmVariantName()
+     << "\"}";
   return os.str();
 }
 

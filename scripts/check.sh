@@ -34,12 +34,15 @@
 #                      admin port via serve_monitor's scrape subcommand,
 #                      then shuts the daemon down with an admin quit and
 #                      requires a clean exit.
-#   perf               Release-build perf smoke: bench_gemm (kernel
-#                      parity + single-thread speedup) and the training
-#                      throughput bench at 1 and N lanes. Fails on any
-#                      kernel parity mismatch or serial/threaded loss
-#                      divergence; the JSON outputs land in the build
-#                      dir, not the repo root.
+#   perf               Release-build perf smoke: bench_gemm (fp32 +
+#                      int8 kernel parity, single-thread speedup), the
+#                      training throughput bench at 1 and N lanes, and
+#                      the int8 serving comparison (quantized engine
+#                      must hold >= 1.3x fp32 qps with label accuracy
+#                      within 0.5 points). Fails on any kernel parity
+#                      mismatch, serial/threaded loss divergence, or a
+#                      missed int8 gate; the JSON outputs land in the
+#                      build dir, not the repo root.
 #
 # Usage: scripts/check.sh [address|thread|trace|chaos|net|perf] [build-dir]
 set -euo pipefail
@@ -235,10 +238,11 @@ EOF
     THREADS="${BA_THREADS:-$(nproc)}"
     cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
     cmake --build "$BUILD_DIR" -j "$(nproc)" \
-      --target bench_gemm bench_train_throughput
+      --target bench_gemm bench_train_throughput bench_serve_throughput
     # Kernel parity + single-thread speedup (the acceptance gate), then
     # the row-panel split at N threads. bench_gemm exits non-zero on any
-    # parity mismatch.
+    # parity mismatch — fp32 tolerance parity, and bit-exact int8
+    # parity across ISA variants.
     "$BUILD_DIR"/bench/bench_gemm --threads 1 --reps-ms 80 \
       --out "$BUILD_DIR/BENCH_gemm.json"
     "$BUILD_DIR"/bench/bench_gemm --threads "$THREADS" --reps-ms 80 \
@@ -248,6 +252,11 @@ EOF
     "$BUILD_DIR"/bench/bench_train_throughput --threads "$THREADS" \
       --blocks 150 --addresses 200 --epochs 2 \
       --out "$BUILD_DIR/BENCH_train.json"
+    # Int8 serving gates: the quantized engine must hold >= 1.3x the
+    # fp32 engine's cold-cache qps, with label accuracy within 0.5
+    # points (bench_serve_throughput exits non-zero on either miss).
+    "$BUILD_DIR"/bench/bench_serve_throughput --precision int8 \
+      --out "$BUILD_DIR/BENCH_serve_int8.json"
     echo "perf smoke OK (threads=$THREADS)"
     ;;
   *)

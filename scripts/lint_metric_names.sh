@@ -47,4 +47,17 @@ fi
 if [ "$fail" -ne 0 ]; then
   exit 1
 fi
+
+# Load-bearing span names: dashboards and the perf gates grep for
+# these literals, so a rename must fail here instead of silently
+# breaking them. (tensor.gemm covers the fp32 dispatch path,
+# tensor.gemm.int8 the quantized kernels, core.quant.calibrate the
+# post-training calibration pass.)
+for required in core.quant.calibrate tensor.gemm tensor.gemm.int8; do
+  if ! grep -rqF "\"$required\"" src/; then
+    echo "lint_metric_names: REQUIRED SPAN \"$required\" missing from src/" >&2
+    exit 1
+  fi
+done
+
 echo "lint_metric_names OK: $count instrument/span names conform"

@@ -128,6 +128,19 @@ Status BaClassifier::TrainOnSamples(
   return Status::OK();
 }
 
+Status BaClassifier::Quantize(const std::vector<AddressSample>& calibration) {
+  if (!trained_) {
+    return Status::FailedPrecondition(
+        "cannot quantize an untrained classifier");
+  }
+  BA_TRACE_SPAN("core.quant.calibrate");
+  return graph_model_->Quantize(calibration);
+}
+
+bool BaClassifier::quantized() const {
+  return trained_ && graph_model_->quantized();
+}
+
 Status BaClassifier::PredictSample(const AddressSample& sample,
                                    int* out) const {
   if (!trained_) {

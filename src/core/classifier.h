@@ -99,6 +99,18 @@ class BaClassifier {
                       const std::vector<datagen::LabeledAddress>& addresses,
                       std::vector<AddressSample>* out) const;
 
+  /// \brief Post-training int8 quantization of the graph encoder's
+  /// embed path, calibrated on `calibration` (typically the training
+  /// samples) under a `core.quant.calibrate` trace span. After an OK
+  /// return, serving layers may select the int8 path (see
+  /// serve::InferenceEngineOptions::precision); the fp32 paths and all
+  /// training/checkpointing are untouched. FailedPrecondition when
+  /// untrained; Unimplemented for non-GFN encoders.
+  Status Quantize(const std::vector<AddressSample>& calibration);
+
+  /// True once Quantize() has succeeded on the trained model.
+  bool quantized() const;
+
   /// \brief Predicted class per address into `*out` (order preserved;
   /// addresses with empty history predict class 0). FailedPrecondition
   /// when the model is untrained.

@@ -203,6 +203,37 @@ tensor::Tensor GraphModel::Embed(const GraphTensors& gt) const {
   return tensor::Tensor();
 }
 
+Status GraphModel::Quantize(const std::vector<AddressSample>& calibration) {
+  if (options_.encoder != GraphEncoderKind::kGfn) {
+    return Status::Unimplemented(
+        std::string("int8 quantization supports the GFN encoder only; "
+                    "this model uses ") +
+        GraphEncoderName(options_.encoder));
+  }
+  std::vector<const tensor::Tensor*> inputs;
+  for (const AddressSample& s : calibration) {
+    for (const GraphTensors& gt : s.tensors) inputs.push_back(&gt.augmented);
+  }
+  if (inputs.empty()) {
+    return Status::InvalidArgument(
+        "GraphModel::Quantize: calibration set has no graphs");
+  }
+  quantized_node_mlp_ =
+      std::make_unique<nn::QuantizedMlp>(gfn_->node_mlp(), inputs);
+  return Status::OK();
+}
+
+tensor::Tensor GraphModel::EmbedQuantized(const GraphTensors& gt) const {
+  BA_CHECK(quantized_node_mlp_ != nullptr);
+  const tensor::Tensor h = quantized_node_mlp_->Forward(gt.augmented);
+  // SUM readout (Eq. 15) in fp32, exactly like the fp32 path.
+  tensor::Tensor out({1, h.dim(1)});
+  for (int64_t i = 0; i < h.dim(0); ++i) {
+    for (int64_t j = 0; j < h.dim(1); ++j) out.at(0, j) += h.at(i, j);
+  }
+  return out;
+}
+
 Status GraphModel::Train(const std::vector<AddressSample>& train,
                          const std::vector<AddressSample>* eval,
                          std::vector<EpochStat>* history) {

@@ -12,6 +12,7 @@
 #include "nn/gcn.h"
 #include "nn/gat.h"
 #include "nn/gfn.h"
+#include "nn/quantized.h"
 #include "tensor/optimizer.h"
 
 /// \file graph_model.h
@@ -104,6 +105,22 @@ class GraphModel {
   /// Graph embedding rep^G (inference mode), shape (1, embed_dim).
   tensor::Tensor Embed(const GraphTensors& gt) const;
 
+  /// \brief Post-training int8 quantization of the embed path,
+  /// calibrated on the augmented node features of `calibration`
+  /// (typically the training set). GFN-only: its embed path is a pure
+  /// node MLP; returns Unimplemented for the other encoders and
+  /// InvalidArgument when `calibration` holds no graphs. Training and
+  /// the fp32 Embed/Logits paths are untouched; idempotent (a second
+  /// call recalibrates).
+  Status Quantize(const std::vector<AddressSample>& calibration);
+
+  /// True after a successful Quantize().
+  bool quantized() const { return quantized_node_mlp_ != nullptr; }
+
+  /// Graph embedding through the int8 node MLP (SUM readout in fp32),
+  /// shape (1, embed_dim). Requires quantized().
+  tensor::Tensor EmbedQuantized(const GraphTensors& gt) const;
+
   /// Graph-level confusion over every graph of `samples` — the Table II
   /// evaluation protocol.
   metrics::ConfusionMatrix EvaluateGraphLevel(
@@ -125,6 +142,8 @@ class GraphModel {
   GraphModelOptions options_;
   mutable Rng rng_;
   std::unique_ptr<nn::GfnEncoder> gfn_;
+  /// Int8 twin of gfn_'s node MLP (set by Quantize, GFN only).
+  std::unique_ptr<nn::QuantizedMlp> quantized_node_mlp_;
   std::unique_ptr<nn::GcnEncoder> gcn_;
   std::unique_ptr<nn::DiffPoolEncoder> diffpool_;
   std::unique_ptr<nn::GatEncoder> gat_;

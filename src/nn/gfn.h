@@ -57,6 +57,10 @@ class GfnEncoder : public Module {
   int64_t embed_dim() const { return options_.embed_dim; }
   int64_t input_dim() const { return options_.input_dim; }
 
+  /// The per-node MLP — the embed path's entire compute, which is what
+  /// int8 quantization snapshots (the SUM readout stays fp32).
+  const Mlp& node_mlp() const { return node_mlp_; }
+
   std::vector<Var> Parameters() const override {
     return CollectParameters({&node_mlp_, &head_});
   }

@@ -28,6 +28,11 @@ class Linear : public Module {
   int64_t in_features() const { return weight_->value.dim(0); }
   int64_t out_features() const { return weight_->value.dim(1); }
 
+  /// Trained parameter values — read-only views for deploy-time
+  /// transforms (int8 quantization snapshots these, never mutates).
+  const tensor::Tensor& weight_value() const { return weight_->value; }
+  const tensor::Tensor& bias_value() const { return bias_->value; }
+
  private:
   Var weight_;
   Var bias_;
@@ -87,6 +92,11 @@ class Mlp : public Module {
   }
 
   size_t num_layers() const { return layers_.size(); }
+
+  /// Per-layer read access (quantization walks the stack layer by
+  /// layer to calibrate each layer's input range).
+  const Linear& layer(size_t i) const { return layers_[i]; }
+  Activation activation() const { return activation_; }
 
  private:
   std::vector<Linear> layers_;

@@ -17,7 +17,10 @@ namespace ba::serve {
 namespace {
 
 constexpr char kCacheMagic[4] = {'B', 'A', 'S', 'V'};
-constexpr uint32_t kCacheVersion = 1;
+/// v2 added the precision byte: fp32 and int8 embeddings differ, so a
+/// cache built under one path must not warm-start an engine on the
+/// other. v1 files are rejected (a cold start, not data loss).
+constexpr uint32_t kCacheVersion = 2;
 /// Ceiling on per-entry slice counts accepted from a cache file, so a
 /// corrupted length can never drive a huge allocation.
 constexpr uint32_t kMaxSlicesPerEntry = 1u << 20;
@@ -75,6 +78,16 @@ using SteadyClock = std::chrono::steady_clock;
 
 }  // namespace
 
+const char* PrecisionName(Precision p) {
+  switch (p) {
+    case Precision::kFp32:
+      return "fp32";
+    case Precision::kInt8:
+      return "int8";
+  }
+  return "unknown";
+}
+
 Status InferenceEngineOptions::Validate() const {
   if (max_batch_size < 1) {
     return Status::InvalidArgument(
@@ -116,6 +129,11 @@ Result<std::unique_ptr<InferenceEngine>> InferenceEngine::Create(
     return Status::FailedPrecondition(
         "InferenceEngine: classifier is untrained; Train() or "
         "FromCheckpoint() first");
+  }
+  if (options.precision == Precision::kInt8 && !classifier->quantized()) {
+    return Status::FailedPrecondition(
+        "InferenceEngine: precision=int8 but the classifier has no "
+        "quantized encoder; call BaClassifier::Quantize() first");
   }
   std::unique_ptr<InferenceEngine> engine(
       new InferenceEngine(classifier, ledger, std::move(options)));
@@ -710,6 +728,7 @@ void InferenceEngine::ProcessBatch(const std::vector<Request*>& batch) {
   if (!work.empty()) {
     BA_TRACE_SPAN("serve.batch.build_embed");
     const core::GraphModel& model = classifier_->graph_model();
+    const bool int8 = options_.precision == Precision::kInt8;
     pool_->ParallelFor(work.size(), [&](size_t i) {
       Work& w = work[i];
       core::GraphConstructor ctor(
@@ -721,7 +740,8 @@ void InferenceEngine::ProcessBatch(const std::vector<Request*>& batch) {
       embed_sw.Start();
       for (const core::AddressGraph& g : graphs) {
         const core::GraphTensors gt = core::PrepareGraphTensors(g, k_hops_);
-        const tensor::Tensor e = model.Embed(gt);
+        const tensor::Tensor e =
+            int8 ? model.EmbedQuantized(gt) : model.Embed(gt);
         std::vector<float> row(static_cast<size_t>(embed_dim_));
         for (int64_t j = 0; j < embed_dim_; ++j) {
           row[static_cast<size_t>(j)] = e.at(0, j);
@@ -879,6 +899,7 @@ Status InferenceEngine::SaveCacheOnce() const {
   AppendPod(&body, static_cast<int32_t>(slice_size_));
   AppendPod(&body, static_cast<int32_t>(k_hops_));
   AppendPod(&body, static_cast<int64_t>(embed_dim_));
+  AppendPod(&body, static_cast<uint8_t>(options_.precision));
   AppendPod(&body, static_cast<uint64_t>(entries.size()));
   for (const auto& [address, entry] : entries) {
     AppendPod(&body, static_cast<uint64_t>(address));
@@ -936,10 +957,19 @@ Status InferenceEngine::LoadCacheFile(const std::string& path) {
   int32_t slice_size = 0;
   int32_t k_hops = 0;
   int64_t embed_dim = 0;
+  uint8_t precision = 0;
   uint64_t count = 0;
   if (!reader.ReadPod(&slice_size) || !reader.ReadPod(&k_hops) ||
-      !reader.ReadPod(&embed_dim) || !reader.ReadPod(&count)) {
+      !reader.ReadPod(&embed_dim) || !reader.ReadPod(&precision) ||
+      !reader.ReadPod(&count)) {
     return Status::InvalidArgument("truncated serve cache header: " + path);
+  }
+  if (precision != static_cast<uint8_t>(options_.precision)) {
+    return Status::InvalidArgument(
+        "serve cache was built under a different precision (cache " +
+        std::to_string(precision) + ", engine " +
+        std::string(PrecisionName(options_.precision)) +
+        "); fp32 and int8 embeddings must not mix: " + path);
   }
   if (slice_size != slice_size_ || k_hops != k_hops_ ||
       embed_dim != embed_dim_) {

@@ -96,10 +96,24 @@
 
 namespace ba::serve {
 
+/// \brief Numeric precision of the engine's embed stage.
+enum class Precision {
+  kFp32,  ///< the trained model's native path (default)
+  kInt8,  ///< quantized node-MLP path — requires a calibrated
+          ///< (BaClassifier::Quantize) classifier
+};
+
+const char* PrecisionName(Precision p);
+
 /// \brief Engine tunables.
 struct InferenceEngineOptions {
   /// Requests the batch leader drains per micro-batch.
   int max_batch_size = 32;
+  /// Embed-stage precision. kInt8 runs the quantized encoder path;
+  /// Create() fails when the classifier has not been quantized. Cached
+  /// embeddings are precision-specific (the cache file records which
+  /// path produced it and refuses a mismatched warm start).
+  Precision precision = Precision::kFp32;
   /// Worker threads for graph construction + encoder passes. 0 draws
   /// on the process-wide `util::SharedPool()` instead of creating a
   /// private pool — the right choice when an engine coexists with

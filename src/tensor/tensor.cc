@@ -91,7 +91,11 @@ Tensor MatMulTransposeBValue(const Tensor& a, const Tensor& b) {
   // products, a serial reduction the vectorizer cannot touch under
   // strict FP. Transposing into (k,n) scratch up front costs O(n·k)
   // against the O(m·n·k) multiply and restores contiguous row access.
-  std::vector<float> bt(static_cast<size_t>(k) * static_cast<size_t>(n));
+  // The scratch is thread_local and reused: at 512² it crosses glibc's
+  // mmap threshold, and a fresh mmap + page-fault-zero + munmap per
+  // call costs more than the transpose itself.
+  thread_local std::vector<float> bt;
+  bt.resize(static_cast<size_t>(k) * static_cast<size_t>(n));
   const float* bd = b.data();
   constexpr int64_t kBlk = 32;  // tiles keep both sides cache-resident
   for (int64_t j0 = 0; j0 < n; j0 += kBlk) {

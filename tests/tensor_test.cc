@@ -145,6 +145,10 @@ const GemmShape kParityShapes[] = {
     {1, 1, 1},  {1, 9, 1},    {9, 1, 5},   {1, 16, 16}, {4, 16, 16},
     {5, 7, 9},  {17, 33, 65}, {12, 8, 16}, {64, 64, 64}, {3, 128, 2},
     {2, 300, 3}, {0, 4, 4},   {4, 0, 4},   {4, 4, 0},
+    // k beyond kKc: the chunked k-loop must fold partial products into
+    // C across one and two chunk boundaries (all three layouts run
+    // these via the parity tests above/below).
+    {5, 257, 9}, {8, 600, 33},
 };
 
 TEST(GemmParityTest, MatMulMatchesReference) {
@@ -195,6 +199,40 @@ TEST(GemmParityTest, RowPanelSplitIsBitExact) {
     }
     for (int64_t i = 0; i < whole.numel(); ++i) {
       ASSERT_EQ(whole.data()[i], parts.data()[i]) << "split " << split;
+    }
+  }
+}
+
+TEST(GemmParityTest, KBlockingAndAPackingAreBitExactAcrossRowSplits) {
+  // k > kKc exercises the chunk loop (first chunk stores, later chunks
+  // accumulate); the strided-A layout (as_p != 1, the transpose-A
+  // feed) additionally routes through the packed A panel. Neither may
+  // perturb any element's accumulation chain, so every row split is
+  // bit-identical to the full sweep in both layouts.
+  Rng rng(25);
+  const int64_t m = 19, k = internal::kKc * 2 + 33, n = 21;
+  Tensor a = Tensor::RandomUniform({m, k}, &rng, -1.0f, 1.0f);
+  Tensor at = Tensor::RandomUniform({k, m}, &rng, -1.0f, 1.0f);
+  Tensor b = Tensor::RandomUniform({k, n}, &rng, -1.0f, 1.0f);
+  struct Layout {
+    const float* a;
+    int64_t as_i, as_p;
+  };
+  const Layout layouts[] = {{a.data(), k, 1}, {at.data(), 1, m}};
+  for (const Layout& l : layouts) {
+    Tensor whole({m, n});
+    internal::GemmRowRange(l.a, l.as_i, l.as_p, b.data(), whole.data(), 0,
+                           m, k, n);
+    for (int64_t split : {3, 8, 16}) {
+      Tensor parts({m, n});
+      for (int64_t i = 0; i < m; i += split) {
+        internal::GemmRowRange(l.a, l.as_i, l.as_p, b.data(), parts.data(),
+                               i, std::min(m, i + split), k, n);
+      }
+      for (int64_t i = 0; i < whole.numel(); ++i) {
+        ASSERT_EQ(whole.data()[i], parts.data()[i])
+            << "as_p=" << l.as_p << " split=" << split << " elem " << i;
+      }
     }
   }
 }
