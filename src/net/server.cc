@@ -55,7 +55,7 @@ Status ServerOptions::Validate() const {
   return Status::OK();
 }
 
-Server::Server(serve::InferenceEngine* engine, const chain::Ledger* ledger,
+Server::Server(serve::Engine* engine, const chain::Ledger* ledger,
                ServerOptions options)
     : engine_(engine), ledger_(ledger), options_(options) {
   auto& reg = obs::MetricsRegistry::Instance();
@@ -71,7 +71,7 @@ Server::Server(serve::InferenceEngine* engine, const chain::Ledger* ledger,
 }
 
 Result<std::unique_ptr<Server>> Server::Create(
-    serve::InferenceEngine* engine, const chain::Ledger* ledger,
+    serve::Engine* engine, const chain::Ledger* ledger,
     ServerOptions options) {
   if (engine == nullptr) {
     return Status::InvalidArgument("Server: engine must not be null");
@@ -287,6 +287,11 @@ void Server::DispatchClassify(Connection* conn,
     return;
   }
   net_.requests->Increment();
+  // Stamp the connection id as the in-process client identity: the
+  // sharded router's sweep detector keys its per-client miss streaks
+  // on it. Never decoded from the wire — a client cannot claim another
+  // connection's identity.
+  req.options.client_id = conn->id;
   {
     std::lock_guard<std::mutex> lock(pending_mu_);
     ++pending_classifies_;
@@ -394,15 +399,9 @@ void Server::HandleAdminLine(Connection* conn, const std::string& line) {
   } else if (cmd == "slowlog") {
     size_t max_entries = 32;
     if (size_t n = 0; is >> n) max_entries = std::max<size_t>(n, 1);
-    const serve::FlightRecorder* slow = engine_->slow_recorder();
-    const serve::FlightRecorder* recent = engine_->flight_recorder();
-    std::ostringstream os;
-    os << "{\"threshold_seconds\":"
-       << engine_->options().slow_request_threshold << ",\"slow\":"
-       << (slow != nullptr ? slow->ToJson(max_entries) : "[]")
-       << ",\"recent\":"
-       << (recent != nullptr ? recent->ToJson(max_entries) : "[]") << "}";
-    SendBytes(conn, os.str() + "\n");
+    // The engine composes the payload (and, sharded, merges every
+    // shard's rings) — the server no longer reaches into recorders.
+    SendBytes(conn, engine_->SlowlogJson(max_entries) + "\n");
   } else if (cmd == "timeline") {
     std::string arg;
     is >> arg;
@@ -410,15 +409,8 @@ void Server::HandleAdminLine(Connection* conn, const std::string& line) {
     if (trace_id == 0) {
       SendBytes(conn, "ERR usage: timeline <trace_id>\n");
     } else {
-      // Most recent entry wins; the slow ring keeps entries alive
-      // after the main ring has wrapped past them.
-      std::optional<serve::FlightRecorder::Entry> hit;
-      if (engine_->flight_recorder() != nullptr) {
-        hit = engine_->flight_recorder()->Find(trace_id);
-      }
-      if (!hit.has_value() && engine_->slow_recorder() != nullptr) {
-        hit = engine_->slow_recorder()->Find(trace_id);
-      }
+      std::optional<serve::FlightRecorder::Entry> hit =
+          engine_->FindTimeline(trace_id);
       SendBytes(conn, hit.has_value()
                           ? hit->ToJson() + "\n"
                           : "{\"error\":\"trace_id not found\","
@@ -536,6 +528,8 @@ void Server::CloseConnection(uint64_t conn_id) {
   loop_->Remove(it->second->sock.fd());
   conns_.erase(it);
   net_.connections_active->Add(-1);
+  // Drop any sweep-detector state keyed on this connection id.
+  engine_->ForgetClient(conn_id);
 }
 
 void Server::SendProtocolError(Connection* conn, uint64_t request_id,

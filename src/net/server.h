@@ -25,7 +25,7 @@
 /// reassembling frames from arbitrary chunks) and a write state
 /// machine (immediate write, overflow buffered, EPOLLOUT armed only
 /// while bytes are pending). A decoded ClassifyRequest dispatches into
-/// `InferenceEngine::ClassifyAsync`; the completion callback — running
+/// `serve::Engine::ClassifyAsync`; the completion callback — running
 /// on an engine worker thread — encodes the response frame and posts
 /// it back to the loop, which writes it out. Because dispatch is
 /// non-blocking, *backpressure is the engine's admission controller*:
@@ -91,13 +91,15 @@ struct ServerOptions {
   Status Validate() const;
 };
 
-/// \brief TCP front end over one InferenceEngine. Create → Start →
-/// (serve) → Stop. `engine` and `ledger` must outlive the server;
+/// \brief TCP front end over one serve::Engine — a single
+/// InferenceEngine or the sharded router, interchangeably. Create →
+/// Start → (serve) → Stop. `engine` and `ledger` must outlive the
+/// server;
 /// `ledger` may be null (health then omits the epoch watermark).
 class Server {
  public:
   static Result<std::unique_ptr<Server>> Create(
-      serve::InferenceEngine* engine, const chain::Ledger* ledger,
+      serve::Engine* engine, const chain::Ledger* ledger,
       ServerOptions options);
 
   /// Stops and drains (idempotent with Stop()).
@@ -173,7 +175,7 @@ class Server {
     std::chrono::steady_clock::time_point last_active{};
   };
 
-  Server(serve::InferenceEngine* engine, const chain::Ledger* ledger,
+  Server(serve::Engine* engine, const chain::Ledger* ledger,
          ServerOptions options);
 
   void OnAcceptable(Socket* listener, bool admin);
@@ -211,7 +213,7 @@ class Server {
 
   std::string HealthJson() const;
 
-  serve::InferenceEngine* engine_;
+  serve::Engine* engine_;
   const chain::Ledger* ledger_;
   ServerOptions options_;
 

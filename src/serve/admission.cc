@@ -87,18 +87,13 @@ Status AdmissionController::AdmitAt(Clock::time_point now, int64_t backlog,
                                     int priority) {
   std::lock_guard<std::mutex> lock(mu_);
 
-  // The hard budget binds everyone, including priority traffic: it is
-  // the limit that bounds memory, not a quality-of-service knob.
-  if (inflight_ >= options_.max_inflight) {
-    ++shed_;
-    ShedCounter()->Increment();
-    return Status::ResourceExhausted(
-        "admission: in-flight budget exhausted (" +
-        std::to_string(inflight_) + "/" +
-        std::to_string(options_.max_inflight) + ")");
-  }
-
-  // Advance the state machine on the live backlog signal.
+  // Advance the state machine on the live backlog signal BEFORE the
+  // hard-budget check. The budget rejection must not short-circuit the
+  // transition: under sustained budget-exhausted overload every call
+  // would return early and the controller would sit parked in
+  // `accepting` while the backlog screamed past high_watermark — then
+  // the instant one slot freed it would admit at full rate instead of
+  // entering shedding/recovery.
   switch (state_) {
     case State::kAccepting:
       if (backlog >= options_.high_watermark) state_ = State::kShedding;
@@ -129,6 +124,17 @@ Status AdmissionController::AdmitAt(Clock::time_point now, int64_t backlog,
       }
       break;
     }
+  }
+
+  // The hard budget binds everyone, including priority traffic: it is
+  // the limit that bounds memory, not a quality-of-service knob.
+  if (inflight_ >= options_.max_inflight) {
+    ++shed_;
+    ShedCounter()->Increment();
+    return Status::ResourceExhausted(
+        "admission: in-flight budget exhausted (" +
+        std::to_string(inflight_) + "/" +
+        std::to_string(options_.max_inflight) + ")");
   }
 
   bool admit = priority > 0;

@@ -30,15 +30,29 @@ void FlightRecorder::Record(uint64_t address,
 std::vector<FlightRecorder::Entry> FlightRecorder::Snapshot(
     size_t max_entries) const {
   std::vector<Entry> entries;
-  entries.reserve(std::min(capacity_, max_entries));
+  // The collection loop visits every slot regardless of max_entries, so
+  // reserve for the worst case — reserving min(capacity, max_entries)
+  // would just reallocate mid-loop on a full ring. Only the top
+  // max_entries by seq are wanted; partial_sort stops ordering there
+  // instead of fully sorting all `capacity_` entries for an admin query
+  // that asked for 32.
+  entries.reserve(capacity_);
   for (size_t i = 0; i < capacity_; ++i) {
     const Slot& slot = slots_[i];
     std::lock_guard<std::mutex> lock(slot.mu);
     if (slot.filled) entries.push_back(slot.entry);
   }
-  std::sort(entries.begin(), entries.end(),
-            [](const Entry& a, const Entry& b) { return a.seq > b.seq; });
-  if (entries.size() > max_entries) entries.resize(max_entries);
+  const auto newer = [](const Entry& a, const Entry& b) {
+    return a.seq > b.seq;
+  };
+  if (entries.size() > max_entries) {
+    std::partial_sort(entries.begin(),
+                      entries.begin() + static_cast<ptrdiff_t>(max_entries),
+                      entries.end(), newer);
+    entries.resize(max_entries);
+  } else {
+    std::sort(entries.begin(), entries.end(), newer);
+  }
   return entries;
 }
 

@@ -94,6 +94,11 @@ Status InferenceEngineOptions::Validate() const {
         "InferenceEngineOptions.max_batch_size must be >= 1, got " +
         std::to_string(max_batch_size));
   }
+  if (max_batch_leaders < 1) {
+    return Status::InvalidArgument(
+        "InferenceEngineOptions.max_batch_leaders must be >= 1, got " +
+        std::to_string(max_batch_leaders));
+  }
   if (num_threads < 0) {
     return Status::InvalidArgument(
         "InferenceEngineOptions.num_threads must be >= 0 (0 = shared "
@@ -195,7 +200,7 @@ InferenceEngine::~InferenceEngine() {
   // callback has returned.
   std::unique_lock<std::mutex> lock(queue_mu_);
   done_cv_.wait(lock, [this] {
-    return queue_.empty() && !leader_active_ && inflight_requests_ == 0;
+    return queue_.empty() && active_leaders_ == 0 && inflight_requests_ == 0;
   });
 }
 
@@ -208,7 +213,7 @@ uint64_t InferenceEngine::TxCountOf(const chain::LedgerSnapshot& snapshot,
 }
 
 Result<ClassifyResult> InferenceEngine::TryDegradedAnswer(
-    chain::AddressId address, const Status& why) {
+    chain::AddressId address, const Status& why, CacheMode cache_mode) {
   const chain::LedgerSnapshot snapshot = ledger_->Snapshot();
   const uint64_t n = TxCountOf(snapshot, address);
   if (n == 0) {
@@ -223,7 +228,9 @@ Result<ClassifyResult> InferenceEngine::TryDegradedAnswer(
     std::unique_lock<std::mutex> lock(cache_mu_);
     auto it = cache_.find(address);
     if (it != cache_.end() && it->second.tx_count <= n) {
-      it->second.last_used = ++lru_tick_;
+      if (cache_mode != CacheMode::kNoPromote) {
+        it->second.last_used = ++lru_tick_;
+      }
       ClassifyResult r;
       r.predicted = it->second.predicted;
       r.cache_hit = true;
@@ -277,8 +284,9 @@ InferenceEngine::Request* InferenceEngine::MakeRequest(
       stats_.shed.Increment();
       stats_.requests.Increment();
       DeliverEarly(address, submit, options,
-                   options.allow_degraded ? TryDegradedAnswer(address, st)
-                                          : Result<ClassifyResult>(st),
+                   options.allow_degraded
+                       ? TryDegradedAnswer(address, st, options.cache_mode)
+                       : Result<ClassifyResult>(st),
                    done);
       return nullptr;
     }
@@ -292,8 +300,9 @@ InferenceEngine::Request* InferenceEngine::MakeRequest(
     const Status expired = Status::DeadlineExceeded(
         "InferenceEngine: deadline expired at submit");
     Result<ClassifyResult> r =
-        options.allow_degraded ? TryDegradedAnswer(address, expired)
-                               : Result<ClassifyResult>(expired);
+        options.allow_degraded
+            ? TryDegradedAnswer(address, expired, options.cache_mode)
+            : Result<ClassifyResult>(expired);
     if (!r.ok()) stats_.deadline_exceeded.Increment();
     if (admitted) admission_->Release();
     DeliverEarly(address, submit, options, std::move(r), done);
@@ -304,6 +313,7 @@ InferenceEngine::Request* InferenceEngine::MakeRequest(
   req->address = address;
   req->deadline = options.deadline;
   req->allow_degraded = options.allow_degraded;
+  req->cache_mode = options.cache_mode;
   req->done = std::move(done);
   req->admitted = admitted;
   req->submitted = submit;
@@ -364,8 +374,8 @@ void InferenceEngine::Enqueue(const std::vector<Request*>& requests,
     queue_.push_back(r);
     queue_depth_.fetch_add(1, std::memory_order_relaxed);
   }
-  if (leader_active_) return;
-  leader_active_ = true;
+  if (active_leaders_ >= options_.max_batch_leaders) return;
+  ++active_leaders_;
   if (inline_leader) {
     RunLeader(&lock);
     return;
@@ -488,6 +498,19 @@ void InferenceEngine::RunLeader(std::unique_lock<std::mutex>* lock) {
     }
     const auto joined = SteadyClock::now();
     for (Request* r : batch) r->tl.batch_join_ns = r->SinceSubmitNs(joined);
+    // Mid-drain hand-off: queued work remains and a leader slot is
+    // free — spawn the successor *before* processing this batch, so
+    // one slow batch never serializes the arrivals (or the remainder
+    // of the queue) behind it.
+    if (!queue_.empty() && active_leaders_ < options_.max_batch_leaders) {
+      ++active_leaders_;
+      if (!pool_->Submit([this] {
+            std::unique_lock<std::mutex> leader_lock(queue_mu_);
+            RunLeader(&leader_lock);
+          })) {
+        --active_leaders_;  // pool shut down: this leader drains alone
+      }
+    }
     lock->unlock();
     ProcessBatch(batch);
     // Callbacks fire with the queue lock released — a callback may
@@ -497,7 +520,7 @@ void InferenceEngine::RunLeader(std::unique_lock<std::mutex>* lock) {
     inflight_requests_ -= static_cast<int64_t>(batch.size());
     done_cv_.notify_all();
   }
-  leader_active_ = false;
+  --active_leaders_;
   done_cv_.notify_all();
 }
 
@@ -514,16 +537,21 @@ void InferenceEngine::ProcessBatch(const std::vector<Request*>& batch) {
   // ApplyTransaction racing the batch.
   const chain::LedgerSnapshot snapshot = ledger_->Snapshot();
 
-  // Answers `req` from a stale prediction computed at `stale_tx_count`,
-  // labeled degraded with its epoch lag against `now_tx_count`.
+  // Answers `req` from a stale prediction computed at `stale_tx_count`
+  // over `stale_slices` cached slice embeddings, labeled degraded with
+  // its epoch lag against `now_tx_count`. Sets exactly the fields the
+  // degraded-answer contract (protocol.h, ClassifyResult) promises for
+  // a stale answer — matching TryDegradedAnswer's stale path, which
+  // serves the same answer from the submit fast paths.
   auto answer_stale = [this](Request* req, int predicted,
-                             uint64_t stale_tx_count,
-                             uint64_t now_tx_count) {
+                             uint64_t stale_tx_count, uint64_t now_tx_count,
+                             int stale_slices) {
     req->result.predicted = predicted;
     req->result.cache_hit = true;
     req->result.tx_count = stale_tx_count;
     req->result.degraded = true;
     req->result.epoch_lag = now_tx_count - stale_tx_count;
+    req->result.slices_reused = stale_slices;
     stats_.degraded_stale.Increment();
     DegradedStaleCounter()->Increment();
   };
@@ -564,6 +592,10 @@ void InferenceEngine::ProcessBatch(const std::vector<Request*>& batch) {
     bool has_stale = false;
     int stale_predicted = 0;
     uint64_t stale_tx_count = 0;
+    int stale_slices = 0;
+    /// True only while every requester is router-flagged sweep
+    /// traffic; one normal requester earns the result a cache slot.
+    bool no_promote = true;
   };
   std::vector<Work> work;
   work.reserve(batch.size());
@@ -588,7 +620,9 @@ void InferenceEngine::ProcessBatch(const std::vector<Request*>& batch) {
         }
         auto it = cache_.find(req->address);
         if (it != cache_.end() && it->second.tx_count <= n) {
-          it->second.last_used = ++lru_tick_;
+          if (req->cache_mode != CacheMode::kNoPromote) {
+            it->second.last_used = ++lru_tick_;
+          }
           if (it->second.tx_count == n) {
             // Exact at this epoch: a full hit, not a degraded answer.
             req->result.predicted = it->second.predicted;
@@ -600,7 +634,8 @@ void InferenceEngine::ProcessBatch(const std::vector<Request*>& batch) {
             stats_.slices_reused.Increment(
                 it->second.slice_embeddings.size());
           } else {
-            answer_stale(req, it->second.predicted, it->second.tx_count, n);
+            answer_stale(req, it->second.predicted, it->second.tx_count, n,
+                         static_cast<int>(it->second.slice_embeddings.size()));
           }
         } else {
           // Fallback hook runs outside the cache lock.
@@ -611,13 +646,18 @@ void InferenceEngine::ProcessBatch(const std::vector<Request*>& batch) {
       }
       auto dup = work_index.find(req->address);
       if (dup != work_index.end()) {
-        work[dup->second].reqs.push_back(req);
+        Work& shared = work[dup->second];
+        shared.reqs.push_back(req);
+        shared.no_promote =
+            shared.no_promote && req->cache_mode == CacheMode::kNoPromote;
         stats_.coalesced.Increment();
         continue;
       }
       auto it = cache_.find(req->address);
       if (it != cache_.end() && it->second.tx_count == n) {
-        it->second.last_used = ++lru_tick_;
+        if (req->cache_mode != CacheMode::kNoPromote) {
+          it->second.last_used = ++lru_tick_;
+        }
         req->result.predicted = it->second.predicted;
         req->result.cache_hit = true;
         req->result.tx_count = n;
@@ -631,6 +671,7 @@ void InferenceEngine::ProcessBatch(const std::vector<Request*>& batch) {
       w.reqs.push_back(req);
       w.address = req->address;
       w.tx_count = n;
+      w.no_promote = req->cache_mode == CacheMode::kNoPromote;
       // An entry computed at a shorter history can donate its complete
       // slices — they are immutable on the append-only ledger. (An
       // entry *ahead* of the live ledger can only mean the ledger was
@@ -644,6 +685,8 @@ void InferenceEngine::ProcessBatch(const std::vector<Request*>& batch) {
         w.has_stale = true;
         w.stale_predicted = it->second.predicted;
         w.stale_tx_count = it->second.tx_count;
+        w.stale_slices =
+            static_cast<int>(it->second.slice_embeddings.size());
       }
       if (complete > 0) {
         w.reuse_slices = complete;
@@ -692,7 +735,8 @@ void InferenceEngine::ProcessBatch(const std::vector<Request*>& batch) {
           continue;
         }
         if (req->allow_degraded && w.has_stale) {
-          answer_stale(req, w.stale_predicted, w.stale_tx_count, w.tx_count);
+          answer_stale(req, w.stale_predicted, w.stale_tx_count, w.tx_count,
+                       w.stale_slices);
         } else if (req->allow_degraded && options_.degraded_fallback) {
           req->result.predicted = options_.degraded_fallback(req->address);
           req->result.tx_count = w.tx_count;
@@ -819,7 +863,7 @@ void InferenceEngine::ProcessBatch(const std::vector<Request*>& batch) {
         entry.tx_count = w.tx_count;
         entry.slice_embeddings = std::move(w.rows);
         entry.predicted = predicted;
-        StoreEntry(w.address, std::move(entry));
+        StoreEntry(w.address, std::move(entry), w.no_promote);
       }
     }
     const auto aggregated = SteadyClock::now();
@@ -837,32 +881,64 @@ void InferenceEngine::ProcessBatch(const std::vector<Request*>& batch) {
   queue_depth_gauge_->Set(queue_depth_.load(std::memory_order_relaxed));
 }
 
-void InferenceEngine::StoreEntry(chain::AddressId address, CacheEntry entry) {
-  std::unique_lock<std::mutex> lock(cache_mu_);
-  entry.last_used = ++lru_tick_;
-  cache_[address] = std::move(entry);
-  if (cache_.size() <= options_.cache_capacity) return;
-  // Evict the least-recently-used ~10% in one sweep so the scan cost
-  // amortizes over many inserts instead of paying O(size) per insert.
-  const size_t target =
-      std::max<size_t>(1, options_.cache_capacity -
-                              options_.cache_capacity / 10);
-  // The entry just stored for the current request is structurally
-  // excluded from the candidate list: it must survive its own insert
-  // even at cache_capacity = 1, where it is also the freshest entry.
+void InferenceEngine::StoreEntry(chain::AddressId address, CacheEntry entry,
+                                 bool no_promote) {
   std::vector<std::pair<uint64_t, chain::AddressId>> order;
-  order.reserve(cache_.size() - 1);
-  for (const auto& [addr, e] : cache_) {
-    if (addr == address) continue;
-    order.emplace_back(e.last_used, addr);
+  size_t want_evicted = 0;
+  {
+    std::unique_lock<std::mutex> lock(cache_mu_);
+    if (no_promote) {
+      // Sweep traffic: refresh an entry the hot set already earned
+      // (same recency — reading it was not a working-set signal), but
+      // never insert, so a full-chain scan cannot trigger eviction.
+      auto it = cache_.find(address);
+      if (it == cache_.end()) return;
+      const uint64_t last_used = it->second.last_used;
+      it->second = std::move(entry);
+      it->second.last_used = last_used;
+      return;
+    }
+    entry.last_used = ++lru_tick_;
+    cache_[address] = std::move(entry);
+    if (cache_.size() <= options_.cache_capacity) return;
+    // Evict the least-recently-used ~10% in one sweep so the scan cost
+    // amortizes over many inserts instead of paying O(size) per
+    // insert. Only the O(size) candidate *copy* runs under the lock;
+    // the nth_element ordering runs after release so concurrent
+    // lookups never stall behind it.
+    const size_t target =
+        std::max<size_t>(1, options_.cache_capacity -
+                                options_.cache_capacity / 10);
+    // The entry just stored for the current request is structurally
+    // excluded from the candidate list: it must survive its own insert
+    // even at cache_capacity = 1, where it is also the freshest entry.
+    order.reserve(cache_.size() - 1);
+    for (const auto& [addr, e] : cache_) {
+      if (addr == address) continue;
+      order.emplace_back(e.last_used, addr);
+    }
+    want_evicted = std::min(order.size(), cache_.size() - target);
   }
-  const size_t evict = std::min(order.size(), cache_.size() - target);
-  if (evict == 0) return;
+  if (want_evicted == 0) return;
   std::nth_element(order.begin(),
-                   order.begin() + static_cast<ptrdiff_t>(evict),
+                   order.begin() + static_cast<ptrdiff_t>(want_evicted),
                    order.end());
-  for (size_t i = 0; i < evict; ++i) cache_.erase(order[i].second);
-  stats_.evictions.Increment(evict);
+  uint64_t evicted = 0;
+  {
+    std::unique_lock<std::mutex> lock(cache_mu_);
+    for (size_t i = 0; i < want_evicted; ++i) {
+      // A candidate touched (or replaced) between the scan and this
+      // erase earned a reprieve: evict only entries whose recency
+      // still matches what the scan saw.
+      auto it = cache_.find(order[i].second);
+      if (it == cache_.end() || it->second.last_used != order[i].first) {
+        continue;
+      }
+      cache_.erase(it);
+      ++evicted;
+    }
+  }
+  stats_.evictions.Increment(evicted);
 }
 
 size_t InferenceEngine::CacheSize() const {
@@ -1067,6 +1143,30 @@ InferenceMetricsSnapshot InferenceEngine::Metrics() const {
   s.request_latency = stats_.request_latency.Snapshot();
   s.batch_latency = stats_.batch_latency.Snapshot();
   return s;
+}
+
+std::string InferenceEngine::SlowlogJson(size_t max_entries) const {
+  std::ostringstream os;
+  os << "{\"threshold_seconds\":" << options_.slow_request_threshold
+     << ",\"slow\":"
+     << (slow_recorder_ != nullptr ? slow_recorder_->ToJson(max_entries)
+                                   : "[]")
+     << ",\"recent\":"
+     << (recorder_ != nullptr ? recorder_->ToJson(max_entries) : "[]")
+     << "}";
+  return os.str();
+}
+
+std::optional<FlightRecorder::Entry> InferenceEngine::FindTimeline(
+    uint64_t trace_id) const {
+  // Most recent entry wins; the slow ring keeps entries alive after the
+  // main ring has wrapped past them.
+  std::optional<FlightRecorder::Entry> hit;
+  if (recorder_ != nullptr) hit = recorder_->Find(trace_id);
+  if (!hit.has_value() && slow_recorder_ != nullptr) {
+    hit = slow_recorder_->Find(trace_id);
+  }
+  return hit;
 }
 
 std::string InferenceMetricsSnapshot::ToString() const {

@@ -109,6 +109,13 @@ const char* PrecisionName(Precision p);
 struct InferenceEngineOptions {
   /// Requests the batch leader drains per micro-batch.
   int max_batch_size = 32;
+  /// Concurrent batch leaders. With 1 (the default, the historical
+  /// behavior) a slow batch serializes every arrival behind it; with
+  /// more, a leader that takes a batch while queued work remains hands
+  /// off mid-drain — it spawns a fresh leader on the pool before
+  /// processing, so arrivals keep draining while the slow batch runs.
+  /// The sharded tier defaults each shard to 2.
+  int max_batch_leaders = 1;
   /// Embed-stage precision. kInt8 runs the quantized encoder path;
   /// Create() fails when the classifier has not been quantized. Cached
   /// embeddings are precision-specific (the cache file records which
@@ -220,8 +227,61 @@ struct InferenceMetricsSnapshot {
   std::string ToJson() const;
 };
 
+/// \brief Abstract serving surface shared by the single
+/// `InferenceEngine` and the sharded tier (`serve::ShardedEngine`).
+/// `net::Server`, the daemon and the monitoring tools program against
+/// this interface, so swapping one engine for N behind a router
+/// changes none of them — the wire protocol, admin commands and
+/// metrics JSON all keep their shapes.
+class Engine {
+ public:
+  virtual ~Engine() = default;
+
+  /// See InferenceEngine::ClassifyAsync for the full contract.
+  virtual void ClassifyAsync(chain::AddressId address,
+                             const ClassifyOptions& options,
+                             ClassifyCallback done) = 0;
+
+  /// Blocking single-address classification.
+  virtual Result<ClassifyResult> Classify(
+      chain::AddressId address, const ClassifyOptions& options = {}) = 0;
+
+  /// Blocking multi-address classification; results align with input.
+  virtual std::vector<Result<ClassifyResult>> ClassifyBatch(
+      const std::vector<chain::AddressId>& addresses,
+      const ClassifyOptions& options = {}) = 0;
+
+  /// Persists the embedding cache (no-op OK when disabled).
+  virtual Status SaveCache() const = 0;
+
+  /// Entries currently cached (summed across shards).
+  virtual size_t CacheSize() const = 0;
+
+  /// Drops every cached entry (metrics keep counting).
+  virtual void ClearCache() = 0;
+
+  /// Point-in-time metrics (aggregated across shards).
+  virtual InferenceMetricsSnapshot Metrics() const = 0;
+
+  /// The admin `slowlog` payload: one JSON object
+  /// {"threshold_seconds":…,"slow":[…],"recent":[…]} with up to
+  /// `max_entries` timelines per ring (merged across shards).
+  virtual std::string SlowlogJson(size_t max_entries) const = 0;
+
+  /// The most recent recorded timeline carrying `trace_id`, searching
+  /// the flight and slow rings (of every shard), or nullopt.
+  virtual std::optional<FlightRecorder::Entry> FindTimeline(
+      uint64_t trace_id) const = 0;
+
+  /// A client (`ClassifyOptions::client_id`) went away — the net
+  /// server calls this on connection close. Default no-op; the sharded
+  /// tier drops the client's sweep-detector state so a recycled
+  /// connection id never inherits a stale miss streak.
+  virtual void ForgetClient(uint64_t client_id) { (void)client_id; }
+};
+
 /// \brief Batched, cached, instrumented classification server.
-class InferenceEngine {
+class InferenceEngine : public Engine {
  public:
   using Options = InferenceEngineOptions;
 
@@ -265,8 +325,8 @@ class InferenceEngine {
   /// request — and the blocking Classify/ClassifyBatch are thin
   /// wrappers over it. Micro-batching, caching, deadlines, admission
   /// and degraded answers behave exactly as documented on Classify.
-  void ClassifyAsync(chain::AddressId address,
-                     const ClassifyOptions& options, ClassifyCallback done);
+  void ClassifyAsync(chain::AddressId address, const ClassifyOptions& options,
+                     ClassifyCallback done) override;
 
   /// \brief Classifies one address (blocking). Thread-safe; concurrent
   /// callers are micro-batched. An address with no transactions
@@ -278,7 +338,7 @@ class InferenceEngine {
   /// thread becomes the batch leader when none is active, so blocking
   /// callers keep their pre-async latency profile.
   Result<ClassifyResult> Classify(chain::AddressId address,
-                                  const ClassifyOptions& options = {});
+                                  const ClassifyOptions& options = {}) override;
 
   /// \brief Classifies many addresses through the same batching path
   /// (the whole list is enqueued before processing starts, so a single
@@ -286,20 +346,25 @@ class InferenceEngine {
   /// `options` applies to every request in the list.
   std::vector<Result<ClassifyResult>> ClassifyBatch(
       const std::vector<chain::AddressId>& addresses,
-      const ClassifyOptions& options = {});
+      const ClassifyOptions& options = {}) override;
 
   /// \brief Persists the cache to `options().cache_path` atomically
   /// (no-op OK when persistence is disabled). Safe to call while
   /// queries run.
-  Status SaveCache() const;
+  Status SaveCache() const override;
 
   /// Entries currently cached.
-  size_t CacheSize() const;
+  size_t CacheSize() const override;
 
   /// Drops every cached entry (metrics keep counting).
-  void ClearCache();
+  void ClearCache() override;
 
-  InferenceMetricsSnapshot Metrics() const;
+  InferenceMetricsSnapshot Metrics() const override;
+
+  std::string SlowlogJson(size_t max_entries) const override;
+
+  std::optional<FlightRecorder::Entry> FindTimeline(
+      uint64_t trace_id) const override;
 
   /// The admission controller, or nullptr when `enable_admission` is
   /// off (monitoring loops report its state).
@@ -337,6 +402,9 @@ class InferenceEngine {
     chain::AddressId address = chain::kInvalidAddress;
     std::chrono::steady_clock::time_point deadline{};
     bool allow_degraded = false;
+    /// kNoPromote for router-flagged sweep traffic: lookups skip the
+    /// LRU touch and results never insert new cache entries.
+    CacheMode cache_mode = CacheMode::kNormal;
     ClassifyResult result;
     /// Non-OK when the request ended in an explicit error outcome
     /// (DeadlineExceeded, injected Internal) instead of a result.
@@ -401,9 +469,15 @@ class InferenceEngine {
   uint64_t TxCountOf(const chain::LedgerSnapshot& snapshot,
                      chain::AddressId address) const;
 
-  /// Inserts/overwrites the entry and evicts past capacity. Caller
-  /// must not hold `cache_mu_`.
-  void StoreEntry(chain::AddressId address, CacheEntry entry);
+  /// Inserts/overwrites the entry and evicts past capacity. With
+  /// `no_promote` an existing entry is refreshed in place (recency
+  /// untouched) and a new address is not inserted at all — sweep
+  /// traffic cannot trigger eviction. Candidate ordering for an
+  /// eviction sweep runs outside `cache_mu_` so concurrent lookups
+  /// never stall behind the O(size) scan's nth_element. Caller must
+  /// not hold `cache_mu_`.
+  void StoreEntry(chain::AddressId address, CacheEntry entry,
+                  bool no_promote);
 
   Status LoadCacheFile(const std::string& path);
 
@@ -415,7 +489,8 @@ class InferenceEngine {
   /// prediction, the fallback hook, or — when neither exists — `why`
   /// verbatim. An exact-epoch cache hit comes back non-degraded.
   Result<ClassifyResult> TryDegradedAnswer(chain::AddressId address,
-                                           const Status& why);
+                                           const Status& why,
+                                           CacheMode cache_mode);
 
   /// Completes a submit-side fast path (shed, expired-at-submit,
   /// unknown address) with a timeline: deliver stamp, outcome label,
@@ -459,7 +534,8 @@ class InferenceEngine {
   /// Signals queue-drained (destructor) and leader handoff.
   std::condition_variable done_cv_;
   std::deque<Request*> queue_;
-  bool leader_active_ = false;
+  /// Leaders currently draining (<= options_.max_batch_leaders).
+  int active_leaders_ = 0;
   /// Requests submitted but not yet finished (callback not returned) —
   /// the destructor drains this to zero before tearing down.
   int64_t inflight_requests_ = 0;

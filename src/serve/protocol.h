@@ -113,6 +113,20 @@ enum class RequestOutcome : uint8_t {
 /// "ok" / "shed" / "deadline" / "degraded" / "error".
 const char* RequestOutcomeName(RequestOutcome outcome);
 
+/// \brief How a request interacts with the engine's embedding cache.
+/// In-process routing metadata — never encoded on the wire (a remote
+/// peer cannot be trusted to classify its own traffic as hot-set).
+enum class CacheMode : uint8_t {
+  /// Normal: hits refresh LRU recency, computed results are inserted.
+  kNormal = 0,
+  /// Scan traffic (mixer_hunt-style cold sweeps, as flagged by the
+  /// router's per-connection miss-streak detector): lookups still read
+  /// the cache but never refresh recency, and computed results update
+  /// an existing entry in place without inserting new ones — a full
+  /// sweep cannot evict the hot working set.
+  kNoPromote = 1,
+};
+
 /// \brief Compact per-request timeline: where one request spent its
 /// life, stamped by the engine as the request crosses each stage.
 ///
@@ -175,6 +189,14 @@ struct ClassifyOptions {
   /// engine extents stitch into one async track.
   uint64_t trace_id = 0;
   uint64_t span_id = 0;
+  /// In-process only (never on the wire): a stable caller identity —
+  /// the net server stamps its connection id — that the sharded
+  /// router's sweep detector keys per-connection miss streaks on.
+  /// 0 = anonymous (no sweep tracking).
+  uint64_t client_id = 0;
+  /// In-process only (never on the wire): set to kNoPromote by the
+  /// router once a client's miss streak marks it as a cold sweep.
+  CacheMode cache_mode = CacheMode::kNormal;
 
   bool has_deadline() const {
     return deadline != std::chrono::steady_clock::time_point{};
@@ -208,6 +230,23 @@ struct ClassifyOptions {
 ///
 /// Wire layout: i32 predicted, u8 cache_hit, i32 slices_reused,
 /// i32 slices_built, u64 tx_count, u8 degraded, u64 epoch_lag.
+///
+/// **Degraded-answer contract** (pinned by
+/// resilience_test DegradedResultContract*): every degraded answer
+/// sets the same fields the same way no matter which pipeline stage
+/// produced it — submit fast path, cache-lookup stage, build-boundary
+/// recheck, or delivery:
+///
+///  * **stale**  (cached prediction from an older epoch):
+///    `cache_hit = true`, `tx_count` = the epoch the answer was
+///    computed at, `epoch_lag` = live capped count − `tx_count` (> 0),
+///    `slices_reused` = the cached entry's slice count.
+///  * **fallback** (flat-feature hook): `cache_hit = false`,
+///    `tx_count` = the live capped count, `epoch_lag = 0`,
+///    `slices_reused = 0`.
+///  * **late** (fresh result past its deadline): identical to the
+///    nominal result — `tx_count` = the batch epoch, `epoch_lag = 0`,
+///    real `slices_reused`/`slices_built` — except `degraded = true`.
 struct ClassifyResult {
   int predicted = 0;
   /// Served entirely from cache (no graph/encoder work).

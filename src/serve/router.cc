@@ -1,0 +1,111 @@
+#include "serve/router.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace ba::serve {
+namespace {
+
+/// splitmix64 — the same cheap, well-mixed 64-bit finalizer the fault
+/// injector's probabilistic streams use. Good enough avalanche that
+/// sequential AddressIds land uniformly on the ring.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+ShardRouter::ShardRouter(uint32_t num_shards, uint32_t vnodes_per_shard)
+    : num_shards_(std::max<uint32_t>(num_shards, 1)) {
+  const uint32_t vnodes = std::max<uint32_t>(vnodes_per_shard, 1);
+  ring_.reserve(static_cast<size_t>(num_shards_) * vnodes);
+  for (uint32_t shard = 0; shard < num_shards_; ++shard) {
+    for (uint32_t v = 0; v < vnodes; ++v) {
+      // Point identity mixes shard and vnode ordinals; the odd
+      // multiplier keeps distinct (shard, vnode) pairs from colliding
+      // before the mix.
+      const uint64_t key =
+          (static_cast<uint64_t>(shard) << 32) | (v * 2654435761u);
+      ring_.emplace_back(Mix64(key), shard);
+    }
+  }
+  std::sort(ring_.begin(), ring_.end());
+}
+
+uint32_t ShardRouter::ShardOf(chain::AddressId address) const {
+  const uint64_t h = Mix64(static_cast<uint64_t>(address));
+  // Successor on the ring, wrapping past the largest point.
+  auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), h,
+      [](const std::pair<uint64_t, uint32_t>& p, uint64_t value) {
+        return p.first < value;
+      });
+  if (it == ring_.end()) it = ring_.begin();
+  return it->second;
+}
+
+SweepDetector::SweepDetector(int threshold) : threshold_(threshold) {}
+
+CacheMode SweepDetector::ModeFor(uint64_t client_id) const {
+  if (threshold_ < 1 || client_id == 0) return CacheMode::kNormal;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = clients_.find(client_id);
+  return it != clients_.end() && it->second.sweeping
+             ? CacheMode::kNoPromote
+             : CacheMode::kNormal;
+}
+
+void SweepDetector::Observe(uint64_t client_id, bool reused_cache) {
+  if (threshold_ < 1 || client_id == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = clients_.find(client_id);
+  if (it == clients_.end()) {
+    if (clients_.size() >= kMaxClients) return;
+    it = clients_.emplace(client_id, ClientState{}).first;
+  }
+  ClientState& c = it->second;
+  if (reused_cache) {
+    c.streak = 0;
+    // Unmarking is sticky: a scanner that wraps back over the handful
+    // of entries it cached before being caught produces a short hit
+    // run, and unmarking on the first hit would let it alternate
+    // between marked and unmarked forever — inserting (and evicting
+    // the hot set) on every wrap. A genuine working-set client hits
+    // continuously and clears the mark within kUnmarkHitRun requests.
+    if (c.sweeping && ++c.hit_streak >= kUnmarkHitRun) {
+      c.sweeping = false;
+      c.hit_streak = 0;
+    }
+    return;
+  }
+  c.hit_streak = 0;
+  // A repeat offender re-marks on a much shorter streak: the first
+  // detection paid the full threshold of cold insertions, there is no
+  // reason to sell that many hot entries again.
+  const int effective = c.ever_swept
+                            ? std::max(2, threshold_ / 4)
+                            : threshold_;
+  if (++c.streak >= effective) {
+    c.sweeping = true;
+    c.ever_swept = true;
+  }
+}
+
+void SweepDetector::Forget(uint64_t client_id) {
+  if (client_id == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  clients_.erase(client_id);
+}
+
+uint64_t SweepDetector::sweeping_clients() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t n = 0;
+  for (const auto& [id, c] : clients_) n += c.sweeping ? 1 : 0;
+  return n;
+}
+
+}  // namespace ba::serve

@@ -24,6 +24,7 @@
 #include "datagen/simulator.h"
 #include "obs/metrics.h"
 #include "serve/admission.h"
+#include "serve/flight_recorder.h"
 #include "serve/inference_engine.h"
 #include "util/fs.h"
 #include "util/retry.h"
@@ -160,6 +161,111 @@ TEST(AdmissionControllerTest, ShedDecisionIsFast) {
   }
   EXPECT_LT(std::chrono::duration<double>(Clock::now() - start).count(),
             1.0);
+}
+
+// Regression: the hard-budget rejection used to run BEFORE the state
+// machine advanced, so sustained budget-exhausted overload kept the
+// controller parked in `accepting` — and the instant one slot freed it
+// admitted at full rate instead of metering through recovery.
+TEST(AdmissionControllerTest, BudgetExhaustionStillAdvancesStateMachine) {
+  AdmissionController ctl(SmallAdmission());
+  const Clock::time_point t0 = Clock::now();
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(ctl.AdmitAt(t0, 0, 1).ok()) << "fill slot " << i;
+  }
+  ASSERT_EQ(ctl.state(), State::kAccepting);
+
+  // Budget-bound shed arriving with the backlog past high_watermark:
+  // the rejection is the budget's, but the state still transitions.
+  const Status budget_shed = ctl.AdmitAt(t0 + Ms(1), 50, 0);
+  ASSERT_EQ(budget_shed.code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(budget_shed.message().find("budget"), std::string::npos)
+      << budget_shed.ToString();
+  EXPECT_EQ(ctl.state(), State::kShedding);
+
+  // Backlog drains while the budget still binds: shedding -> recovering
+  // happens on a budget-shed call too (and arms the one up-front token).
+  EXPECT_EQ(ctl.AdmitAt(t0 + Ms(2), 0, 0).code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(ctl.state(), State::kRecovering);
+
+  // Slots free with no time for the bucket to refill: exactly the
+  // up-front token is admitted, then the bucket meters — the pre-fix
+  // controller would still be `accepting` here and admit everything.
+  for (int i = 0; i < 4; ++i) ctl.Release();
+  EXPECT_TRUE(ctl.AdmitAt(t0 + Ms(2), 0, 0).ok());
+  EXPECT_EQ(ctl.AdmitAt(t0 + Ms(2), 0, 0).code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(ctl.state(), State::kRecovering);
+  ctl.Release();
+}
+
+/// Fills `recorder` with `n` entries whose seq/address/trace_id all
+/// identify the record order.
+void FillRecorder(serve::FlightRecorder* recorder, uint64_t n) {
+  serve::RequestTimeline t;
+  for (uint64_t i = 0; i < n; ++i) {
+    t.trace_id = i + 1;
+    t.deliver_ns = static_cast<int64_t>(i);
+    recorder->Record(/*address=*/i, t);
+  }
+}
+
+// Regression: Snapshot reserved `max_entries` instead of the ring
+// capacity (reallocating while collecting) and fully sorted the whole
+// ring even when asked for a handful of entries.
+TEST(FlightRecorderTest, TruncatedSnapshotKeepsNewestEntries) {
+  serve::FlightRecorder recorder(64);
+  FillRecorder(&recorder, 200);
+
+  const auto top = recorder.Snapshot(10);
+  ASSERT_EQ(top.size(), 10u);
+  for (size_t i = 0; i < top.size(); ++i) {
+    // Newest first: seqs 199, 198, ... — and each entry's payload is
+    // the one recorded under that seq (record i got seq i).
+    EXPECT_EQ(top[i].seq, 199u - i);
+    EXPECT_EQ(top[i].address, top[i].seq);
+    EXPECT_EQ(top[i].timeline.trace_id, top[i].seq + 1);
+  }
+
+  // The truncated snapshot is exactly the head of the full one.
+  const auto full = recorder.Snapshot(recorder.capacity());
+  ASSERT_EQ(full.size(), 64u);
+  for (size_t i = 0; i < top.size(); ++i) {
+    EXPECT_EQ(full[i].seq, top[i].seq);
+  }
+}
+
+TEST(FlightRecorderTest, TruncatedSnapshotIsNotTaxedLikeAFullOne) {
+  // Regression: Snapshot used to reserve `max_entries` (so a truncated
+  // snapshot of a big ring reallocated its way through 64k collected
+  // entries) and then fully sorted the whole ring before truncating —
+  // Snapshot(16) cost measurably MORE than Snapshot(capacity), whose
+  // reserve happened to be right. Post-fix both reserve the ring size
+  // and the truncated path partial_sorts, so it can only be cheaper.
+  // Walking the per-slot mutexes dominates either way, so the gate is
+  // deliberately "no slower", not a large speedup.
+  serve::FlightRecorder recorder(1 << 16);
+  FillRecorder(&recorder, recorder.capacity());
+
+  double truncated = 1e9;
+  double full = 1e9;
+  for (int attempt = 0; attempt < 7; ++attempt) {
+    auto start = Clock::now();
+    const auto top = recorder.Snapshot(16);
+    truncated = std::min(
+        truncated,
+        std::chrono::duration<double>(Clock::now() - start).count());
+    ASSERT_EQ(top.size(), 16u);
+
+    start = Clock::now();
+    const auto all = recorder.Snapshot(recorder.capacity());
+    full = std::min(
+        full, std::chrono::duration<double>(Clock::now() - start).count());
+    ASSERT_EQ(all.size(), recorder.capacity());
+  }
+  EXPECT_LT(truncated, full * 1.05)
+      << "Snapshot(16) " << truncated << "s vs full " << full << "s";
 }
 
 /// Engine fixture: one small trained classifier per suite, a growing
@@ -535,6 +641,127 @@ TEST_F(ResilienceServeTest, EngineShedsUnderOverloadThenRecovers) {
   }
   EXPECT_TRUE(recovered);
   EXPECT_EQ(engine->admission()->inflight(), 0);
+}
+
+// Regression for the degraded-answer contract (protocol.h): the
+// build-boundary stale path used to leave `slices_reused` at 0 while
+// the submit fast path reported the cached entry's slice count — the
+// same answer described two different ways depending on which stage
+// produced it. Every stale answer now sets the same fields.
+TEST_F(ResilienceServeTest, DegradedResultContractStaleAcrossPaths) {
+  FaultGuard guard;
+  auto engine = MakeEngine();
+  const AddressId address = (*watched_)[2].address;
+  const auto warm = engine->Classify(address);
+  ASSERT_TRUE(warm.ok()) << warm.status().message();
+  ASSERT_GT(warm.value().tx_count, 0u);
+  GrowAddress(address);
+  const uint64_t live = CappedTxCount(address);
+  ASSERT_GT(live, warm.value().tx_count);
+
+  // Path 1: dead on arrival — the submit fast path answers stale.
+  const auto submit_stale = engine->Classify(address, ExpiredDeadline(true));
+  ASSERT_TRUE(submit_stale.ok()) << submit_stale.status().message();
+
+  // Path 2: alive through the cache lookup, expired at the build
+  // boundary — the batch stale path answers.
+  util::FaultInjector::Instance().ArmLatency(
+      InferenceEngine::kFaultBatchBuild, 0.05);
+  ClassifyOptions o;
+  o.deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(5);
+  o.allow_degraded = true;
+  const auto batch_stale = engine->Classify(address, o);
+  ASSERT_TRUE(batch_stale.ok()) << batch_stale.status().message();
+
+  for (const ClassifyResult* r :
+       {&submit_stale.value(), &batch_stale.value()}) {
+    EXPECT_TRUE(r->degraded);
+    EXPECT_TRUE(r->cache_hit);
+    EXPECT_EQ(r->tx_count, warm.value().tx_count);
+    EXPECT_EQ(r->epoch_lag, live - warm.value().tx_count);
+    EXPECT_GT(r->slices_reused, 0);
+    EXPECT_EQ(r->predicted, PredictAtEpoch(address, r->tx_count));
+  }
+  // Field-for-field: both paths describe the same answer identically.
+  EXPECT_EQ(submit_stale.value().predicted, batch_stale.value().predicted);
+  EXPECT_EQ(submit_stale.value().slices_reused,
+            batch_stale.value().slices_reused);
+  EXPECT_EQ(engine->Metrics().degraded_stale, 2u);
+}
+
+// Companion contract pin for the fallback leg: a cold-cache degraded
+// answer reports the live epoch with no lag and no cache reuse, from
+// the submit fast path and from inside the batch alike.
+TEST_F(ResilienceServeTest, DegradedResultContractFallbackAcrossPaths) {
+  FaultGuard guard;
+  serve::InferenceEngineOptions options;
+  options.degraded_fallback = [](AddressId) { return 2; };
+  auto engine = MakeEngine(std::move(options));
+  const AddressId address = (*watched_)[3].address;
+  const uint64_t live = CappedTxCount(address);
+  ASSERT_GT(live, 0u);
+
+  const auto submit_fb = engine->Classify(address, ExpiredDeadline(true));
+  ASSERT_TRUE(submit_fb.ok()) << submit_fb.status().message();
+
+  // Expire inside the batch: the injected stall sits in front of the
+  // cache lookup, so the 5ms deadline dies mid-pipeline with the cache
+  // still cold for this address.
+  util::FaultInjector::Instance().ArmLatency(
+      InferenceEngine::kFaultBatchLookup, 0.05);
+  ClassifyOptions o;
+  o.deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(5);
+  o.allow_degraded = true;
+  const auto batch_fb = engine->Classify(address, o);
+  ASSERT_TRUE(batch_fb.ok()) << batch_fb.status().message();
+
+  for (const ClassifyResult* r : {&submit_fb.value(), &batch_fb.value()}) {
+    EXPECT_TRUE(r->degraded);
+    EXPECT_FALSE(r->cache_hit);
+    EXPECT_EQ(r->predicted, 2);
+    EXPECT_EQ(r->tx_count, live);
+    EXPECT_EQ(r->epoch_lag, 0u);
+    EXPECT_EQ(r->slices_reused, 0);
+    EXPECT_EQ(r->slices_built, 0);
+  }
+  EXPECT_EQ(engine->Metrics().degraded_fallback, 2u);
+}
+
+// With max_batch_leaders = 2 a second leader drains the queue while
+// the first is stuck mid-batch, so two slow singleton batches overlap
+// instead of serializing (the sharded tier runs its shards this way).
+TEST_F(ResilienceServeTest, SecondBatchLeaderDrainsDuringSlowBatch) {
+  FaultGuard guard;
+  serve::InferenceEngineOptions options;
+  options.max_batch_size = 1;
+  options.max_batch_leaders = 2;
+  auto engine = MakeEngine(std::move(options));
+  util::FaultInjector::Instance().ArmLatency(
+      InferenceEngine::kFaultBatchLookup, 0.15);
+
+  std::atomic<int> done{0};
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < 2; ++i) {
+    engine->ClassifyAsync(
+        (*watched_)[static_cast<size_t>(i)].address, {},
+        [&done](Result<ClassifyResult> outcome,
+                const serve::RequestTimeline&) {
+          EXPECT_TRUE(outcome.ok()) << outcome.status().message();
+          done.fetch_add(1);
+        });
+  }
+  while (done.load() < 2) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  // Serial leaders would stack the two 150ms stalls (>= 300ms); the
+  // hand-off overlaps them. The bound leaves slack for the real
+  // lookup/build work behind the stalls.
+  EXPECT_LT(elapsed, 0.28) << "batches serialized behind one leader";
 }
 
 TEST_F(ResilienceServeTest, RegistryExportsLoadAndAdmissionInstruments) {

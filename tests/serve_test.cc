@@ -442,6 +442,60 @@ TEST_F(ServeTest, CapacityOneCacheKeepsTheFreshEntry) {
   ASSERT_GE(checked, 2);
 }
 
+TEST_F(ServeTest, LookupsDuringEvictionStormStayCoherent) {
+  // The eviction sweep orders its candidates OUTSIDE the cache lock
+  // (the full scan-and-sort used to run under cache_mu_, stalling every
+  // concurrent lookup) and re-validates each candidate's recency before
+  // erasing it. This hammers lookups against eviction-heavy inserts so
+  // the unlocked window and the re-validation both get exercised; run
+  // under BA_SANITIZE=thread for the data-race half of the claim.
+  InferenceEngineOptions options;
+  options.cache_capacity = 6;
+  auto engine = MakeEngine(options);
+
+  const datagen::LabeledAddress hot = (*test_)[0];
+  ASSERT_GT(simulator_->ledger().TxCountOf(hot.address), 0u);
+  const int expected = SerialTruth({hot})[0];
+  ASSERT_TRUE(engine->Classify(hot.address).ok());
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> wrong{0};
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      const auto r = engine->Classify(hot.address);
+      if (!r.ok() || r.value().predicted != expected) {
+        wrong.fetch_add(1);
+      }
+    }
+  });
+
+  // Two writers walk the whole test split repeatedly: every insert
+  // overflows the 6-entry cache, so eviction sweeps run continuously
+  // while the reader keeps touching (and re-warming) the hot entry.
+  constexpr int kWriters = 2;
+  constexpr int kRounds = 3;
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      for (int round = 0; round < kRounds; ++round) {
+        for (size_t i = static_cast<size_t>(w); i < test_->size();
+             i += kWriters) {
+          (void)engine->Classify((*test_)[i].address);
+        }
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+
+  // Every concurrent lookup stayed correct, the capacity bound held
+  // (give or take racing inserts), and sweeps actually ran.
+  EXPECT_EQ(wrong.load(), 0);
+  EXPECT_LE(engine->CacheSize(), options.cache_capacity + kWriters);
+  EXPECT_GT(engine->Metrics().cache_evictions, 0u);
+}
+
 TEST_F(ServeTest, EmptyMetricsSnapshotJsonIsWellFormed) {
   // A scrape before the first request must produce clean JSON: hit_rate
   // stays 0 (not 0/0) and no "nan"/"inf" token leaks from the empty

@@ -1,0 +1,493 @@
+// Sharded-tier tests: the consistent-hash router must be deterministic
+// and balanced, the sweep detector must mark scanners (and only
+// scanners) with sticky unmarking, and ShardedEngine must agree with
+// serial BaClassifier::Predict while aggregating metrics, persisting
+// per-shard caches behind a shard-count manifest, and refusing
+// no-promote traffic a cache slot. Run under BA_SANITIZE=thread to
+// validate the cross-shard concurrency.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/classifier.h"
+#include "datagen/dataset.h"
+#include "datagen/simulator.h"
+#include "obs/metrics.h"
+#include "serve/router.h"
+#include "serve/sharded_engine.h"
+#include "util/fs.h"
+
+namespace ba::serve {
+namespace {
+
+using chain::AddressId;
+
+// ---------------------------------------------------------------------
+// ShardRouter
+// ---------------------------------------------------------------------
+
+TEST(ShardRouterTest, MappingIsDeterministic) {
+  ShardRouter a(4), b(4);
+  for (AddressId addr = 0; addr < 1000; ++addr) {
+    const uint32_t shard = a.ShardOf(addr);
+    EXPECT_LT(shard, 4u);
+    // A pure function of (num_shards, vnodes, address): a rebuilt ring
+    // routes every address identically, which is what makes per-shard
+    // cache files reusable across restarts.
+    EXPECT_EQ(shard, b.ShardOf(addr));
+  }
+}
+
+TEST(ShardRouterTest, RingBalancesAcrossShards) {
+  constexpr uint32_t kShards = 4;
+  constexpr int kAddresses = 20000;
+  ShardRouter router(kShards);
+  std::vector<int> owned(kShards, 0);
+  for (AddressId addr = 0; addr < kAddresses; ++addr) {
+    ++owned[router.ShardOf(addr)];
+  }
+  const double fair = static_cast<double>(kAddresses) / kShards;
+  for (uint32_t s = 0; s < kShards; ++s) {
+    // 64 vnodes per shard keeps every shard within a loose factor of
+    // its fair share — no shard is starved or doubled up.
+    EXPECT_GT(owned[s], fair * 0.5) << "shard " << s << " starved";
+    EXPECT_LT(owned[s], fair * 1.6) << "shard " << s << " overloaded";
+  }
+}
+
+TEST(ShardRouterTest, SingleShardOwnsEverything) {
+  ShardRouter router(1);
+  for (AddressId addr = 0; addr < 500; ++addr) {
+    EXPECT_EQ(router.ShardOf(addr), 0u);
+  }
+}
+
+// ---------------------------------------------------------------------
+// SweepDetector
+// ---------------------------------------------------------------------
+
+TEST(SweepDetectorTest, MarksAfterMissStreakHitResetsIt) {
+  SweepDetector detector(4);
+  const uint64_t client = 7;
+  for (int i = 0; i < 3; ++i) detector.Observe(client, false);
+  EXPECT_EQ(detector.ModeFor(client), CacheMode::kNormal);
+  // A hit mid-streak resets it: three more misses are not enough.
+  detector.Observe(client, true);
+  for (int i = 0; i < 3; ++i) detector.Observe(client, false);
+  EXPECT_EQ(detector.ModeFor(client), CacheMode::kNormal);
+  EXPECT_EQ(detector.sweeping_clients(), 0u);
+  // The fourth consecutive miss marks the client.
+  detector.Observe(client, false);
+  EXPECT_EQ(detector.ModeFor(client), CacheMode::kNoPromote);
+  EXPECT_EQ(detector.sweeping_clients(), 1u);
+}
+
+TEST(SweepDetectorTest, UnmarkIsStickyAndRemarkIsFast) {
+  SweepDetector detector(8);
+  const uint64_t client = 3;
+  for (int i = 0; i < 8; ++i) detector.Observe(client, false);
+  ASSERT_EQ(detector.ModeFor(client), CacheMode::kNoPromote);
+
+  // A scanner wrapping over its own few cached entries produces short
+  // hit runs; one hit (or three) must not clear the mark.
+  for (int i = 0; i < 3; ++i) {
+    detector.Observe(client, true);
+    EXPECT_EQ(detector.ModeFor(client), CacheMode::kNoPromote)
+        << "unmarked after only " << i + 1 << " hits";
+  }
+  // The fourth consecutive hit clears it — a genuine working-set
+  // client hits continuously and recovers normal promotion quickly.
+  detector.Observe(client, true);
+  EXPECT_EQ(detector.ModeFor(client), CacheMode::kNormal);
+  EXPECT_EQ(detector.sweeping_clients(), 0u);
+
+  // A repeat offender re-marks on a quarter of the threshold: the full
+  // insertion budget is never sold twice.
+  detector.Observe(client, false);
+  EXPECT_EQ(detector.ModeFor(client), CacheMode::kNormal);
+  detector.Observe(client, false);
+  EXPECT_EQ(detector.ModeFor(client), CacheMode::kNoPromote);
+}
+
+TEST(SweepDetectorTest, AnonymousAndDisabledClientsAreNeverTracked) {
+  SweepDetector detector(2);
+  for (int i = 0; i < 10; ++i) detector.Observe(/*client_id=*/0, false);
+  EXPECT_EQ(detector.ModeFor(0), CacheMode::kNormal);
+  EXPECT_EQ(detector.sweeping_clients(), 0u);
+
+  SweepDetector disabled(0);
+  for (int i = 0; i < 10; ++i) disabled.Observe(5, false);
+  EXPECT_EQ(disabled.ModeFor(5), CacheMode::kNormal);
+  EXPECT_EQ(disabled.sweeping_clients(), 0u);
+}
+
+TEST(SweepDetectorTest, ForgetDropsClientState) {
+  SweepDetector detector(3);
+  for (int i = 0; i < 3; ++i) detector.Observe(11, false);
+  ASSERT_EQ(detector.ModeFor(11), CacheMode::kNoPromote);
+  detector.Forget(11);
+  EXPECT_EQ(detector.ModeFor(11), CacheMode::kNormal);
+  EXPECT_EQ(detector.sweeping_clients(), 0u);
+  // A recycled connection id starts from a clean slate: the fast
+  // re-mark path does not survive Forget.
+  detector.Observe(11, false);
+  detector.Observe(11, false);
+  EXPECT_EQ(detector.ModeFor(11), CacheMode::kNormal);
+}
+
+// ---------------------------------------------------------------------
+// ShardedEngine
+// ---------------------------------------------------------------------
+
+/// Owns a cache base path plus everything a sharded save derives from
+/// it (per-shard files, manifest), removed on destruction.
+class TempCacheBase {
+ public:
+  explicit TempCacheBase(const std::string& name)
+      : base_("/tmp/ba_sharded_" + name + "_" + std::to_string(::getpid())) {
+    Cleanup();
+  }
+  ~TempCacheBase() { Cleanup(); }
+  const std::string& base() const { return base_; }
+  std::string shard(int k) const {
+    return base_ + ".shard" + std::to_string(k);
+  }
+  std::string manifest() const { return base_ + ".manifest"; }
+
+ private:
+  void Cleanup() {
+    for (int k = 0; k < 16; ++k) std::remove(shard(k).c_str());
+    std::remove(manifest().c_str());
+    std::remove(base_.c_str());
+  }
+  std::string base_;
+};
+
+/// Shared fixture: one small economy and one trained classifier,
+/// materialized once per suite (training dominates the suite's cost).
+class ShardedServeTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    datagen::ScenarioConfig config;
+    config.seed = 23;
+    config.num_blocks = 100;
+    config.num_retail_users = 30;
+    config.miners_per_pool = 12;
+    config.gamblers_per_house = 6;
+    simulator_ = new datagen::Simulator(config);
+    ASSERT_TRUE(simulator_->Run().ok());
+
+    auto labeled = simulator_->CollectLabeledAddresses(3);
+    Rng rng(1);
+    const auto split = datagen::StratifiedSplit(labeled, 0.8, &rng);
+    train_ = new std::vector<datagen::LabeledAddress>(split.train);
+    test_ = new std::vector<datagen::LabeledAddress>(split.test);
+    ASSERT_GE(test_->size(), 8u);
+    ASSERT_GE(train_->size(), 16u);
+
+    core::BaClassifier::Options opts;
+    opts.dataset.construction.slice_size = 20;
+    opts.graph_model.epochs = 2;
+    opts.graph_model.embed_dim = 16;
+    opts.graph_model.hidden_dim = 32;
+    opts.aggregator.epochs = 4;
+    auto created = core::BaClassifier::Create(opts);
+    ASSERT_TRUE(created.ok()) << created.status().message();
+    classifier_ = created.value().release();
+    ASSERT_TRUE(classifier_->Train(simulator_->ledger(), *train_).ok());
+  }
+
+  static void TearDownTestSuite() {
+    delete classifier_;
+    delete simulator_;
+    delete train_;
+    delete test_;
+    classifier_ = nullptr;
+    simulator_ = nullptr;
+    train_ = nullptr;
+    test_ = nullptr;
+  }
+
+  /// Three shards over the process-wide pool by default (N private
+  /// pools on a test box would be pure oversubscription).
+  static std::unique_ptr<ShardedEngine> MakeSharded(
+      ShardedEngineOptions options = DefaultOptions()) {
+    auto engine = ShardedEngine::Create(classifier_, &simulator_->ledger(),
+                                        std::move(options));
+    EXPECT_TRUE(engine.ok()) << engine.status().message();
+    return std::move(engine.value());
+  }
+
+  static ShardedEngineOptions DefaultOptions() {
+    ShardedEngineOptions options;
+    options.num_engines = 3;
+    options.engine.num_threads = 0;
+    return options;
+  }
+
+  static std::vector<int> SerialTruth(
+      const std::vector<datagen::LabeledAddress>& addresses) {
+    std::vector<int> expected;
+    EXPECT_TRUE(
+        classifier_->Predict(simulator_->ledger(), addresses, &expected)
+            .ok());
+    return expected;
+  }
+
+  static datagen::Simulator* simulator_;
+  static std::vector<datagen::LabeledAddress>* train_;
+  static std::vector<datagen::LabeledAddress>* test_;
+  static core::BaClassifier* classifier_;
+};
+
+datagen::Simulator* ShardedServeTest::simulator_ = nullptr;
+std::vector<datagen::LabeledAddress>* ShardedServeTest::train_ = nullptr;
+std::vector<datagen::LabeledAddress>* ShardedServeTest::test_ = nullptr;
+core::BaClassifier* ShardedServeTest::classifier_ = nullptr;
+
+TEST_F(ShardedServeTest, OptionsValidateCatchesBadFields) {
+  ShardedEngineOptions options = DefaultOptions();
+  options.num_engines = 0;
+  EXPECT_FALSE(options.Validate().ok());
+  options = DefaultOptions();
+  options.vnodes_per_shard = 0;
+  EXPECT_FALSE(options.Validate().ok());
+  options = DefaultOptions();
+  options.engine.max_batch_size = 0;  // per-shard options validate too
+  EXPECT_FALSE(options.Validate().ok());
+  EXPECT_TRUE(DefaultOptions().Validate().ok());
+}
+
+TEST_F(ShardedServeTest, MatchesSerialPredictAcrossShards) {
+  const std::vector<int> expected = SerialTruth(*test_);
+  auto engine = MakeSharded();
+  std::vector<AddressId> addresses;
+  for (const auto& a : *test_) addresses.push_back(a.address);
+
+  const auto results = engine->ClassifyBatch(addresses);
+  ASSERT_EQ(results.size(), addresses.size());
+  for (size_t i = 0; i < results.size(); ++i) {
+    ASSERT_TRUE(results[i].ok()) << results[i].status().message();
+    EXPECT_EQ(results[i].value().predicted, expected[i])
+        << "address " << addresses[i] << " (shard "
+        << engine->ShardOf(addresses[i]) << ")";
+  }
+
+  // Every request landed on the shard the ring assigns it, and more
+  // than one shard did real work.
+  uint64_t shard_requests = 0;
+  int active_shards = 0;
+  for (int k = 0; k < static_cast<int>(engine->num_shards()); ++k) {
+    const auto m = engine->ShardMetrics(k);
+    shard_requests += m.requests;
+    active_shards += m.requests > 0 ? 1 : 0;
+  }
+  EXPECT_EQ(shard_requests, addresses.size());
+  EXPECT_GT(active_shards, 1);
+}
+
+TEST_F(ShardedServeTest, BlockingClassifyRoutesToOwningShard) {
+  auto engine = MakeSharded();
+  const AddressId address = (*test_)[0].address;
+  const uint32_t owner = engine->ShardOf(address);
+  ASSERT_TRUE(engine->Classify(address).ok());
+  for (int k = 0; k < static_cast<int>(engine->num_shards()); ++k) {
+    EXPECT_EQ(engine->ShardMetrics(k).requests,
+              k == static_cast<int>(owner) ? 1u : 0u)
+        << "shard " << k;
+  }
+  // Repeat query: same shard, now a full hit from its cache.
+  const auto again = engine->Classify(address);
+  ASSERT_TRUE(again.ok());
+  EXPECT_TRUE(again.value().cache_hit);
+  EXPECT_EQ(engine->ShardMetrics(static_cast<int>(owner)).full_hits, 1u);
+}
+
+TEST_F(ShardedServeTest, MetricsAggregateAcrossShards) {
+  auto& reg = obs::MetricsRegistry::Instance();
+  const uint64_t router_before =
+      reg.GetCounter("serve.router.requests")->value();
+  ShardedEngineOptions options = DefaultOptions();
+  options.engine.enable_admission = true;  // exercise worst-state merge
+  auto engine = MakeSharded(options);
+  std::vector<AddressId> addresses;
+  for (const auto& a : *test_) addresses.push_back(a.address);
+  for (const auto& r : engine->ClassifyBatch(addresses)) {
+    ASSERT_TRUE(r.ok());  // cold round
+  }
+  for (const auto& r : engine->ClassifyBatch(addresses)) {
+    ASSERT_TRUE(r.ok());  // repeat round, all hits
+  }
+
+  const InferenceMetricsSnapshot agg = engine->Metrics();
+  EXPECT_EQ(agg.requests, 2 * addresses.size());
+  EXPECT_EQ(agg.full_hits, addresses.size());  // the repeat round
+  EXPECT_EQ(agg.cache_entries, engine->CacheSize());
+  EXPECT_GT(agg.hit_rate, 0.0);
+  EXPECT_GT(agg.request_latency.count, 0u);
+  EXPECT_GT(agg.request_latency.max_seconds, 0.0);
+  // Aggregate equals the sum of the per-shard snapshots it merges.
+  uint64_t sum_requests = 0;
+  uint64_t sum_latency_count = 0;
+  for (int k = 0; k < static_cast<int>(engine->num_shards()); ++k) {
+    sum_requests += engine->ShardMetrics(k).requests;
+    sum_latency_count += engine->ShardMetrics(k).request_latency.count;
+  }
+  EXPECT_EQ(agg.requests, sum_requests);
+  EXPECT_EQ(agg.request_latency.count, sum_latency_count);
+  EXPECT_EQ(agg.admission_state, "accepting");
+  // The router-level counter moved once per dispatched request.
+  EXPECT_EQ(reg.GetCounter("serve.router.requests")->value(),
+            router_before + 2 * addresses.size());
+  // The router's registry provider is live while the engine exists.
+  EXPECT_NE(reg.JsonExposition().find("\"serve.router."),
+            std::string::npos);
+}
+
+TEST_F(ShardedServeTest, TimelinesAndSlowlogSearchEveryShard) {
+  auto engine = MakeSharded();
+  ClassifyOptions options;
+  options.trace_id = 0xABCD1234u;
+  options.span_id = 1;
+  ASSERT_TRUE(engine->Classify((*test_)[1].address, options).ok());
+  const auto found = engine->FindTimeline(options.trace_id);
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(found->timeline.trace_id, options.trace_id);
+  EXPECT_FALSE(engine->FindTimeline(0xFFFF9999u).has_value());
+
+  const std::string slowlog = engine->SlowlogJson(8);
+  EXPECT_NE(slowlog.find("\"threshold_seconds\":"), std::string::npos);
+  EXPECT_NE(slowlog.find("\"recent\":["), std::string::npos);
+  EXPECT_NE(slowlog.find("\"slow\":["), std::string::npos);
+}
+
+TEST_F(ShardedServeTest, SaveCacheWritesShardFilesManifestAndWarmRestart) {
+  TempCacheBase cache("warm");
+  ShardedEngineOptions options = DefaultOptions();
+  options.engine.cache_path = cache.base();
+
+  std::vector<AddressId> addresses;
+  for (const auto& a : *test_) addresses.push_back(a.address);
+  {
+    auto engine = MakeSharded(options);
+    for (const auto& r : engine->ClassifyBatch(addresses)) {
+      ASSERT_TRUE(r.ok());
+    }
+    ASSERT_TRUE(engine->SaveCache().ok());
+  }
+  for (int k = 0; k < options.num_engines; ++k) {
+    EXPECT_TRUE(util::FileExists(cache.shard(k))) << cache.shard(k);
+  }
+  auto manifest = util::ReadFileToString(cache.manifest());
+  ASSERT_TRUE(manifest.ok());
+  EXPECT_EQ(*manifest, "shards 3\n");
+
+  // Warm restart with the same shard count: the ring sends every
+  // address back to the shard whose file holds it — all full hits.
+  auto warm = MakeSharded(options);
+  for (const auto& r : warm->ClassifyBatch(addresses)) {
+    ASSERT_TRUE(r.ok());
+    EXPECT_TRUE(r.value().cache_hit);
+  }
+  EXPECT_EQ(warm->Metrics().full_hits, addresses.size());
+  EXPECT_EQ(warm->Metrics().slices_built, 0u);
+}
+
+TEST_F(ShardedServeTest, MismatchedShardCountRestartIsRejected) {
+  TempCacheBase cache("mismatch");
+  ShardedEngineOptions options = DefaultOptions();
+  options.engine.cache_path = cache.base();
+  {
+    auto engine = MakeSharded(options);
+    ASSERT_TRUE(engine->Classify((*test_)[0].address).ok());
+    ASSERT_TRUE(engine->SaveCache().ok());
+  }
+
+  options.num_engines = 2;
+  auto rejected = ShardedEngine::Create(classifier_, &simulator_->ledger(),
+                                        options);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kInvalidArgument);
+  // The diagnostic names both counts and the way out.
+  EXPECT_NE(rejected.status().message().find("3-shard"), std::string::npos)
+      << rejected.status().ToString();
+  EXPECT_NE(rejected.status().message().find("--engines is 2"),
+            std::string::npos)
+      << rejected.status().ToString();
+
+  // A corrupt manifest is also loud, not a silent cold start.
+  {
+    std::ofstream out(cache.manifest(), std::ios::trunc);
+    out << "shards zero\n";
+  }
+  options.num_engines = 3;
+  auto corrupt = ShardedEngine::Create(classifier_, &simulator_->ledger(),
+                                       options);
+  ASSERT_FALSE(corrupt.ok());
+  EXPECT_NE(corrupt.status().message().find("corrupt"), std::string::npos);
+}
+
+TEST_F(ShardedServeTest, SweepingClientStopsGrowingTheCache) {
+  auto& reg = obs::MetricsRegistry::Instance();
+  const uint64_t sweep_before =
+      reg.GetCounter("serve.router.sweep_requests")->value();
+  ShardedEngineOptions options = DefaultOptions();
+  options.sweep_miss_streak = 4;
+  auto engine = MakeSharded(options);
+
+  // The working set is warmed anonymously (client_id 0 — batch
+  // warm-up traffic is never sweep-tracked); the monitoring client
+  // then polls it and only ever hits.
+  std::vector<datagen::LabeledAddress> hot(test_->begin(),
+                                           test_->begin() + 6);
+  std::vector<AddressId> hot_addresses;
+  for (const auto& a : hot) hot_addresses.push_back(a.address);
+  for (const auto& r : engine->ClassifyBatch(hot_addresses)) {
+    ASSERT_TRUE(r.ok());
+  }
+  const size_t warm_size = engine->CacheSize();
+  ASSERT_EQ(warm_size, hot.size());
+  ClassifyOptions monitor;
+  monitor.client_id = 1;
+
+  // A second client sweeps cold addresses: the first `threshold`
+  // misses buy cache slots, then the detector flags it and every
+  // later request is stamped kNoPromote — the cache stops growing.
+  const std::vector<int> sweep_truth = SerialTruth(*train_);
+  ClassifyOptions scanner;
+  scanner.client_id = 42;
+  for (size_t i = 0; i < train_->size(); ++i) {
+    const auto r = engine->Classify((*train_)[i].address, scanner);
+    ASSERT_TRUE(r.ok()) << r.status().message();
+    // No-promote is invisible to the answer: the scan still gets the
+    // exact serial prediction.
+    EXPECT_EQ(r.value().predicted, sweep_truth[i]);
+  }
+  EXPECT_EQ(engine->sweeping_clients(), 1u);
+  EXPECT_EQ(engine->CacheSize(),
+            warm_size + static_cast<size_t>(options.sweep_miss_streak));
+  EXPECT_EQ(reg.GetCounter("serve.router.sweep_requests")->value(),
+            sweep_before + train_->size() -
+                static_cast<size_t>(options.sweep_miss_streak));
+
+  // The monitoring client's working set survived the sweep untouched.
+  for (const auto& a : hot) {
+    const auto r = engine->Classify(a.address, monitor);
+    ASSERT_TRUE(r.ok());
+    EXPECT_TRUE(r.value().cache_hit) << "hot address " << a.address
+                                     << " evicted by the sweep";
+  }
+
+  // Connection close drops the mark; a recycled id starts clean.
+  engine->ForgetClient(scanner.client_id);
+  EXPECT_EQ(engine->sweeping_clients(), 0u);
+}
+
+}  // namespace
+}  // namespace ba::serve
